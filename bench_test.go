@@ -1,0 +1,420 @@
+// Package bench is the benchmark harness required by DESIGN.md: one
+// testing.B benchmark per experiment table (E1-E8, see EXPERIMENTS.md),
+// each reporting the simulated CONGEST round counts as custom metrics
+// ("rounds", "qsize", ...) alongside wall-clock time. The richer sweeps
+// with markdown output live in cmd/congestbench; these benches pin the same
+// quantities into `go test -bench`.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"congestapsp/internal/bford"
+	"congestapsp/internal/blocker"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/core"
+	"congestapsp/internal/csssp"
+	"congestapsp/internal/graph"
+	"congestapsp/internal/qsink"
+	"congestapsp/internal/unweighted"
+)
+
+var benchSizes = []int{16, 24, 32}
+
+func benchGraph(n int) *graph.Graph {
+	return graph.RandomConnected(graph.GenConfig{N: n, Directed: true, Seed: int64(n), MaxWeight: 50}, 4*n)
+}
+
+func hopParam(n int) int { return int(math.Ceil(math.Pow(float64(n), 1.0/3))) }
+
+func buildColl(b *testing.B, g *graph.Graph, h int) (*csssp.Collection, *congest.Network) {
+	b.Helper()
+	nw, err := congest.NewNetwork(g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs := make([]int, g.N)
+	for i := range srcs {
+		srcs[i] = i
+	}
+	coll, err := csssp.Build(nw, g, srcs, h, bford.Out)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return coll, nw
+}
+
+// BenchmarkTable1RoundComparison reproduces Table 1 empirically: full APSP
+// round counts for the paper's algorithm and the baselines (experiment E1).
+func BenchmarkTable1RoundComparison(b *testing.B) {
+	variants := []struct {
+		name string
+		v    core.Variant
+	}{
+		{"det43-paper", core.Det43},
+		{"det32-podc18", core.Det32},
+		{"rand43", core.Rand43},
+		{"broadcast-step6", core.BroadcastStep6},
+	}
+	for _, n := range benchSizes {
+		g := benchGraph(n)
+		for _, vt := range variants {
+			b.Run(fmt.Sprintf("%s/n=%d", vt.name, n), func(b *testing.B) {
+				var rounds, msgs float64
+				for i := 0; i < b.N; i++ {
+					res, err := core.Run(g, core.Options{Variant: vt.v, SkipLastEdges: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = float64(res.Stats.Rounds)
+					msgs = float64(res.Stats.Messages)
+				}
+				b.ReportMetric(rounds, "rounds")
+				b.ReportMetric(msgs, "messages")
+			})
+		}
+	}
+}
+
+// BenchmarkStepDecomposition reports the per-step rounds of the paper's
+// algorithm (E1b): Steps 1 and 7 carry the clean n^(4/3) exponent.
+func BenchmarkStepDecomposition(b *testing.B) {
+	for _, n := range benchSizes {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var st core.StepRounds
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, core.Options{Variant: core.Det43, SkipLastEdges: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = res.Stats.Steps
+			}
+			b.ReportMetric(float64(st.Step1CSSSP), "step1-rounds")
+			b.ReportMetric(float64(st.Step2Blocker), "step2-rounds")
+			b.ReportMetric(float64(st.Step6QSink), "step6-rounds")
+			b.ReportMetric(float64(st.Step7Extend), "step7-rounds")
+		})
+	}
+}
+
+// BenchmarkBlockerSetSize is experiment E2 (Lemma 3.10): |Q| against the
+// n*ln(n)/h bound for each construction.
+func BenchmarkBlockerSetSize(b *testing.B) {
+	modes := []struct {
+		name string
+		mode blocker.Mode
+	}{
+		{"deterministic", blocker.Deterministic},
+		{"greedy", blocker.Greedy},
+		{"sampled", blocker.RandomSample},
+	}
+	for _, n := range benchSizes {
+		g := benchGraph(n)
+		h := hopParam(n)
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("%s/n=%d", m.name, n), func(b *testing.B) {
+				var size, rounds float64
+				for i := 0; i < b.N; i++ {
+					coll, nw := buildColl(b, g, h)
+					res, err := blocker.Compute(nw, coll, blocker.Params{Mode: m.mode, Seed: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					size = float64(len(res.Q))
+					rounds = float64(res.Stats.Rounds)
+				}
+				b.ReportMetric(size, "qsize")
+				b.ReportMetric(rounds, "rounds")
+				b.ReportMetric(float64(n)*math.Log(float64(n))/float64(h), "bound")
+			})
+		}
+	}
+}
+
+// BenchmarkBlockerRounds is experiment E4 (Corollary 3.13): construction
+// rounds of the derandomized set cover vs the greedy baseline, whose n*|Q|
+// cleanup term the paper removes.
+func BenchmarkBlockerRounds(b *testing.B) {
+	for _, n := range benchSizes {
+		g := benchGraph(n)
+		h := hopParam(n)
+		for _, m := range []struct {
+			name string
+			mode blocker.Mode
+		}{{"setcover", blocker.Deterministic}, {"greedy", blocker.Greedy}} {
+			b.Run(fmt.Sprintf("%s/n=%d", m.name, n), func(b *testing.B) {
+				var rounds, steps float64
+				for i := 0; i < b.N; i++ {
+					coll, nw := buildColl(b, g, h)
+					res, err := blocker.Compute(nw, coll, blocker.Params{Mode: m.mode})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = float64(res.Stats.Rounds)
+					steps = float64(res.Stats.SelectionSteps)
+				}
+				b.ReportMetric(rounds, "rounds")
+				b.ReportMetric(steps, "selection-steps")
+			})
+		}
+	}
+}
+
+func oracleDelta(g *graph.Graph, Q []int) [][]int64 {
+	rev := g
+	if g.Directed {
+		rev = g.Reverse()
+	}
+	delta := make([][]int64, g.N)
+	for x := range delta {
+		delta[x] = make([]int64, len(Q))
+	}
+	for ci, c := range Q {
+		d := graph.Dijkstra(rev, c)
+		for x := 0; x < g.N; x++ {
+			delta[x][ci] = d[x]
+		}
+	}
+	return delta
+}
+
+// BenchmarkQSinkRounds is experiment E5 (Lemmas 4.1/4.5): the reversed
+// q-sink delivery under each scheduler, including the trivial broadcast
+// baseline whose O~(n^(5/3)) cost Section 4 beats.
+func BenchmarkQSinkRounds(b *testing.B) {
+	for _, n := range benchSizes {
+		g := benchGraph(n)
+		var Q []int
+		for v := 0; v < n; v += 3 {
+			Q = append(Q, v)
+		}
+		delta := oracleDelta(g, Q)
+		for _, sch := range []qsink.Scheduler{qsink.RoundRobin, qsink.Frames, qsink.BroadcastAll} {
+			b.Run(fmt.Sprintf("%v/n=%d", sch, n), func(b *testing.B) {
+				var rounds, msgs float64
+				for i := 0; i < b.N; i++ {
+					nw, err := congest.NewNetwork(g, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := qsink.Run(nw, g, Q, delta, qsink.Params{Scheduler: sch})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = float64(res.Stats.RoundsTotal)
+					msgs = float64(res.Stats.PipelineMessages)
+				}
+				b.ReportMetric(rounds, "rounds")
+				b.ReportMetric(msgs, "pipeline-msgs")
+			})
+		}
+	}
+}
+
+// BenchmarkBottleneck is experiment E6 (Lemmas A.15-A.17): bottleneck-node
+// elimination on the hub-heavy star workload.
+func BenchmarkBottleneck(b *testing.B) {
+	for _, n := range benchSizes {
+		g := graph.Star(graph.GenConfig{N: n, Seed: int64(n), MaxWeight: 20})
+		var Q []int
+		for v := 0; v < n; v += 4 {
+			Q = append(Q, v)
+		}
+		delta := oracleDelta(g, Q)
+		b.Run(fmt.Sprintf("star/n=%d", n), func(b *testing.B) {
+			var bc, before, after float64
+			for i := 0; i < b.N; i++ {
+				nw, err := congest.NewNetwork(g, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := qsink.Run(nw, g, Q, delta, qsink.Params{Scheduler: qsink.RoundRobin, CongestionMult: 0.05})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bc = float64(res.Stats.BottleneckCount)
+				before = float64(res.Stats.MaxLoadBefore)
+				after = float64(res.Stats.MaxLoadAfter)
+			}
+			b.ReportMetric(bc, "bottlenecks")
+			b.ReportMetric(before, "load-before")
+			b.ReportMetric(after, "load-after")
+		})
+	}
+}
+
+// BenchmarkGoodSetDensity is experiment E7 (Lemma 3.8): the fraction of
+// pairwise-independent sample points that form good sets, on the
+// disjoint-paths workload that forces the good-set branch.
+func BenchmarkGoodSetDensity(b *testing.B) {
+	for _, k := range []int{16, 20} {
+		g := graph.DisjointPaths(k, 3, 1000, graph.GenConfig{Seed: int64(k), MaxWeight: 4})
+		b.Run(fmt.Sprintf("paths=%d", k), func(b *testing.B) {
+			var frac, goodsets float64
+			for i := 0; i < b.N; i++ {
+				coll, nw := buildColl(b, g, 3)
+				res, err := blocker.Compute(nw, coll, blocker.Params{
+					Mode: blocker.Deterministic, Delta: 0.5, UseFullSpace: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.PointsScanned > 0 {
+					frac = float64(res.Stats.GoodPoints) / float64(res.Stats.PointsScanned)
+				}
+				goodsets = float64(res.Stats.GoodSetSelections)
+			}
+			b.ReportMetric(frac, "good-fraction")
+			b.ReportMetric(goodsets, "goodset-selections")
+			b.ReportMetric(0.125, "lemma38-floor")
+		})
+	}
+}
+
+// BenchmarkFrameShrinkage is experiment E8 (Lemma 4.8): stages used by the
+// frame scheduler and the shrinkage of max |Q_{v,i}|.
+func BenchmarkFrameShrinkage(b *testing.B) {
+	for _, n := range benchSizes {
+		g := benchGraph(n)
+		var Q []int
+		for v := 0; v < n; v += 3 {
+			Q = append(Q, v)
+		}
+		delta := oracleDelta(g, Q)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var stages, first, last float64
+			for i := 0; i < b.N; i++ {
+				nw, err := congest.NewNetwork(g, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := qsink.Run(nw, g, Q, delta, qsink.Params{Scheduler: qsink.Frames})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stages = float64(res.Stats.FrameStages)
+				if m := res.Stats.FrameQviMax; len(m) > 0 {
+					first, last = float64(m[0]), float64(m[len(m)-1])
+				}
+			}
+			b.ReportMetric(stages, "stages")
+			b.ReportMetric(first, "qvi-stage0")
+			b.ReportMetric(last, "qvi-final")
+		})
+	}
+}
+
+// --- Microbenchmarks of the substrates (wall-clock oriented) ---
+
+// BenchmarkSimulatorRound measures the raw cost of one simulated CONGEST
+// round across all nodes (idle protocol).
+func BenchmarkSimulatorRound(b *testing.B) {
+	g := benchGraph(64)
+	nw, err := congest.NewNetwork(g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idle := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+		return false
+	})
+	b.ResetTimer()
+	if _, err := nw.Run(idle, b.N); err == nil {
+		b.Fatal("idle protocol unexpectedly terminated")
+	}
+}
+
+// BenchmarkDistributedBellmanFord measures one h-hop SSSP on the simulator.
+func BenchmarkDistributedBellmanFord(b *testing.B) {
+	for _, n := range []int{32, 64} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			nw, err := congest.NewNetwork(g, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := bford.Run(nw, g, i%n, hopParam(n), bford.Out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFloydWarshallOracle calibrates the sequential oracle used in
+// verification.
+func BenchmarkFloydWarshallOracle(b *testing.B) {
+	g := benchGraph(64)
+	for i := 0; i < b.N; i++ {
+		graph.FloydWarshall(g)
+	}
+}
+
+// BenchmarkUnweightedAPSP is experiment E12: the O(n)-round unweighted
+// baseline (pipelined BFS) that matches the Omega(n) lower bound of [6].
+func BenchmarkUnweightedAPSP(b *testing.B) {
+	for _, n := range []int{32, 64} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var rounds float64
+			for i := 0; i < b.N; i++ {
+				nw, err := congest.NewNetwork(g, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := unweighted.Run(nw, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = float64(res.Rounds)
+			}
+			b.ReportMetric(rounds, "rounds")
+			b.ReportMetric(rounds/float64(n), "rounds-per-n")
+		})
+	}
+}
+
+// BenchmarkHSweep is experiment E10: the Theorem 1.1 balance between the
+// O(n*h) steps and the blocker/q-sink machinery.
+func BenchmarkHSweep(b *testing.B) {
+	n := 32
+	g := benchGraph(n)
+	for _, h := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
+			var rounds, qsize float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, core.Options{Variant: core.Det43, H: h, SkipLastEdges: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = float64(res.Stats.Rounds)
+				qsize = float64(res.Stats.QSize)
+			}
+			b.ReportMetric(rounds, "rounds")
+			b.ReportMetric(qsize, "qsize")
+		})
+	}
+}
+
+// BenchmarkBandwidthSweep is experiment E11: latency-bound vs
+// bandwidth-bound steps.
+func BenchmarkBandwidthSweep(b *testing.B) {
+	n := 32
+	g := benchGraph(n)
+	for _, bw := range []int{1, 4} {
+		b.Run(fmt.Sprintf("B=%d", bw), func(b *testing.B) {
+			var rounds float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, core.Options{Variant: core.Det43, Bandwidth: bw, SkipLastEdges: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = float64(res.Stats.Rounds)
+			}
+			b.ReportMetric(rounds, "rounds")
+		})
+	}
+}

@@ -1,0 +1,199 @@
+// Command apsp runs one APSP computation on a generated or user-supplied
+// graph and reports distances plus the CONGEST cost accounting.
+//
+// Examples:
+//
+//	apsp -graph random -n 32 -m 128 -algorithm det43
+//	apsp -graph grid -rows 5 -cols 6 -algorithm det32 -print
+//	apsp -edges edges.txt -directed       (file lines: "u v w")
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"congestapsp/pkg/apsp"
+)
+
+func main() {
+	var (
+		gtype     = flag.String("graph", "random", "random|ring|grid|layered|star|zeromix (ignored with -edges)")
+		n         = flag.Int("n", 32, "number of nodes")
+		m         = flag.Int("m", 0, "edge target for random graphs (default 4n)")
+		rows      = flag.Int("rows", 5, "grid rows / layered layers")
+		cols      = flag.Int("cols", 6, "grid cols / layered width")
+		directed  = flag.Bool("directed", false, "directed edges")
+		seed      = flag.Int64("seed", 1, "generator / algorithm seed")
+		maxW      = flag.Int64("maxweight", 100, "maximum edge weight")
+		algorithm = flag.String("algorithm", "det43", "det43|det32|rand43|bcast6")
+		hopParam  = flag.Int("h", 0, "hop parameter override (0 = default)")
+		printMat  = flag.Bool("print", false, "print the distance matrix")
+		pathFrom  = flag.Int("from", -1, "print a shortest path from this node")
+		pathTo    = flag.Int("to", -1, "... to this node")
+		edgesFile = flag.String("edges", "", "read edges from file (lines: u v w)")
+		traceFile = flag.String("trace", "", "write a per-round CSV trace (round,delivered) to this file")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*edgesFile, *gtype, *n, *m, *rows, *cols, *directed, *seed, *maxW)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var alg apsp.Algorithm
+	switch *algorithm {
+	case "det43":
+		alg = apsp.Deterministic43
+	case "det32":
+		alg = apsp.Deterministic32
+	case "rand43":
+		alg = apsp.Randomized43
+	case "bcast6":
+		alg = apsp.BroadcastStep6
+	default:
+		log.Fatalf("unknown algorithm %q", *algorithm)
+	}
+
+	opts := apsp.Options{Algorithm: alg, HopParam: *hopParam, Seed: *seed}
+	var closer func() error
+	if *traceFile != "" {
+		var err error
+		opts.OnRound, closer, err = csvTracer(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := apsp.Run(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if closer != nil {
+		if err := closer(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round trace written to %s\n", *traceFile)
+	}
+
+	s := res.Stats
+	fmt.Printf("graph: n=%d m=%d directed=%v\n", s.N, s.M, g.Directed())
+	fmt.Printf("algorithm: %v (h=%d)\n", alg, s.H)
+	fmt.Printf("rounds=%d messages=%d words=%d |Q|=%d max-node-congestion=%d\n",
+		s.Rounds, s.Messages, s.Words, s.BlockerSetSize, s.MaxNodeCongestion)
+	fmt.Printf("step rounds: csssp=%d blocker=%d in-sssp=%d bcast=%d qsink=%d extend=%d lastedge=%d\n",
+		s.Steps.Step1CSSSP, s.Steps.Step2Blocker, s.Steps.Step3InSSSP,
+		s.Steps.Step4Bcast, s.Steps.Step6QSink, s.Steps.Step7Extend, s.Steps.Step8LastEdge)
+	if s.BottleneckCount > 0 || s.QPrimeSize > 0 {
+		fmt.Printf("qsink: |Q'|=%d bottlenecks=%d pipeline-rounds=%d\n", s.QPrimeSize, s.BottleneckCount, s.PipelineRounds)
+	}
+
+	if *printMat {
+		for x := 0; x < g.N(); x++ {
+			var row []string
+			for t := 0; t < g.N(); t++ {
+				if res.Dist[x][t] >= apsp.Inf {
+					row = append(row, "inf")
+				} else {
+					row = append(row, fmt.Sprint(res.Dist[x][t]))
+				}
+			}
+			fmt.Println(strings.Join(row, " "))
+		}
+	}
+	if *pathFrom >= 0 && *pathTo >= 0 {
+		fmt.Printf("path %d -> %d: %v (distance %d)\n",
+			*pathFrom, *pathTo, res.Path(*pathFrom, *pathTo), res.Dist[*pathFrom][*pathTo])
+	}
+}
+
+// csvTracer returns an OnRound hook streaming "round,delivered" lines.
+func csvTracer(path string) (func(round, delivered int), func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "round,delivered")
+	hook := func(round, delivered int) {
+		fmt.Fprintf(w, "%d,%d\n", round, delivered)
+	}
+	closer := func() error {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	return hook, closer, nil
+}
+
+func buildGraph(edgesFile, gtype string, n, m, rows, cols int, directed bool, seed, maxW int64) (*apsp.Graph, error) {
+	if edgesFile != "" {
+		return readEdges(edgesFile, directed)
+	}
+	o := apsp.GenOptions{N: n, Directed: directed, Seed: seed, MaxWeight: maxW}
+	if m == 0 {
+		m = 4 * n
+	}
+	switch gtype {
+	case "random":
+		return apsp.RandomGraph(o, m), nil
+	case "ring":
+		return apsp.RingGraph(o), nil
+	case "grid":
+		return apsp.GridGraph(rows, cols, o), nil
+	case "layered":
+		return apsp.LayeredGraph(rows, cols, o), nil
+	case "star":
+		return apsp.StarGraph(o), nil
+	case "zeromix":
+		return apsp.ZeroWeightGraph(o, m), nil
+	}
+	return nil, fmt.Errorf("unknown graph type %q", gtype)
+}
+
+func readEdges(path string, directed bool) (*apsp.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type edge struct {
+		u, v int
+		w    int64
+	}
+	var edges []edge
+	maxID := -1
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var e edge
+		if _, err := fmt.Sscanf(text, "%d %d %d", &e.u, &e.v, &e.w); err != nil {
+			return nil, fmt.Errorf("%s:%d: %q: %w", path, line, text, err)
+		}
+		edges = append(edges, e)
+		if e.u > maxID {
+			maxID = e.u
+		}
+		if e.v > maxID {
+			maxID = e.v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := apsp.NewGraph(maxID+1, directed)
+	for _, e := range edges {
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,576 @@
+// Command congestbench regenerates the experiment tables of EXPERIMENTS.md:
+// the empirical counterpart of Table 1 of the paper plus one experiment per
+// quantitative lemma (blocker-set size, selection steps, construction
+// rounds, reversed q-sink rounds, bottleneck elimination, good-set density,
+// frame-stage shrinkage).
+//
+// Usage:
+//
+//	congestbench -exp table1 [-sizes 16,24,32,48,64] [-seeds 2]
+//	congestbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"congestapsp/internal/bford"
+	"congestapsp/internal/blocker"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/core"
+	"congestapsp/internal/csssp"
+	"congestapsp/internal/graph"
+	"congestapsp/internal/qsink"
+	"congestapsp/internal/unweighted"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|blockersize|selectionsteps|blockerrounds|qsink|bottleneck|goodset|frames|hsweep|bandwidth|unweighted|all")
+	sizesFlag := flag.String("sizes", "16,24,32,48,64", "comma-separated node counts")
+	seeds := flag.Int("seeds", 2, "seeds per configuration (results averaged)")
+	verify := flag.Bool("verify", true, "cross-check distances against Floyd-Warshall")
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := harness{sizes: sizes, seeds: *seeds, verify: *verify}
+
+	all := map[string]func(){
+		"table1":         h.table1,
+		"blockersize":    h.blockerSize,
+		"selectionsteps": h.selectionSteps,
+		"blockerrounds":  h.blockerRounds,
+		"qsink":          h.qsinkRounds,
+		"bottleneck":     h.bottleneck,
+		"goodset":        h.goodset,
+		"frames":         h.frames,
+		"hsweep":         h.hSweep,
+		"bandwidth":      h.bandwidthSweep,
+		"unweighted":     h.unweightedRounds,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "blockersize", "selectionsteps", "blockerrounds", "qsink", "bottleneck", "goodset", "frames", "hsweep", "bandwidth", "unweighted"} {
+			all[name]()
+		}
+		return
+	}
+	fn, ok := all[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fn()
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 4 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+type harness struct {
+	sizes  []int
+	seeds  int
+	verify bool
+}
+
+func (h harness) graphFor(n int, seed int64) *graph.Graph {
+	return graph.RandomConnected(graph.GenConfig{N: n, Directed: true, Seed: seed, MaxWeight: 50}, 4*n)
+}
+
+// fitExponent returns the least-squares slope of log(y) against log(x).
+func fitExponent(xs []int, ys []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx, ly := math.Log(float64(xs[i])), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	k := float64(len(xs))
+	return (k*sxy - sx*sy) / (k*sxx - sx*sx)
+}
+
+func (h harness) runVariant(g *graph.Graph, v core.Variant, seed int64) *core.Result {
+	res, err := core.Run(g, core.Options{Variant: v, Seed: seed, SkipLastEdges: true})
+	if err != nil {
+		log.Fatalf("%v on n=%d: %v", v, g.N, err)
+	}
+	if h.verify {
+		want := graph.FloydWarshall(g)
+		for x := 0; x < g.N; x++ {
+			for t := 0; t < g.N; t++ {
+				if res.Dist[x][t] != want[x][t] {
+					log.Fatalf("%v: wrong distance (%d,%d)", v, x, t)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// table1: empirical Table 1 — full-APSP round counts per variant.
+func (h harness) table1() {
+	fmt.Println("## E1 (Table 1): APSP round complexity by algorithm")
+	fmt.Println()
+	fmt.Println("| n | det n^4/3 (paper) | det n^3/2 [2] | randomized [13,1] | broadcast Step 6 | |Q| (paper) |")
+	fmt.Println("|--:|--:|--:|--:|--:|--:|")
+	variants := []core.Variant{core.Det43, core.Det32, core.Rand43, core.BroadcastStep6}
+	series := make([][]float64, len(variants))
+	for _, n := range h.sizes {
+		avg := make([]float64, len(variants))
+		var qsz float64
+		for s := 0; s < h.seeds; s++ {
+			g := h.graphFor(n, int64(n*1000+s))
+			for vi, v := range variants {
+				res := h.runVariant(g, v, int64(s))
+				avg[vi] += float64(res.Stats.Rounds) / float64(h.seeds)
+				if v == core.Det43 {
+					qsz += float64(res.Stats.QSize) / float64(h.seeds)
+				}
+			}
+		}
+		fmt.Printf("| %d | %.0f | %.0f | %.0f | %.0f | %.1f |\n", n, avg[0], avg[1], avg[2], avg[3], qsz)
+		for vi := range variants {
+			series[vi] = append(series[vi], avg[vi])
+		}
+	}
+	fmt.Println()
+	fmt.Printf("fitted growth exponents: det43=%.2f det32=%.2f rand43=%.2f bcast=%.2f (theory: 1.33 / 1.50 / 1.33 / 1.67, all x polylog)\n\n",
+		fitExponent(h.sizes, series[0]), fitExponent(h.sizes, series[1]),
+		fitExponent(h.sizes, series[2]), fitExponent(h.sizes, series[3]))
+
+	// Per-step decomposition for the paper's variant: the clean exponents
+	// live here (Step 1/7 are O(n*h) with no polylog).
+	fmt.Println("### E1b: per-step rounds of the deterministic n^4/3 algorithm")
+	fmt.Println()
+	fmt.Println("| n | step1 CSSSP | step2 blocker | step3 inSSSP | step4 bcast | step6 qsink | step7 extend |")
+	fmt.Println("|--:|--:|--:|--:|--:|--:|--:|")
+	var s1, s7 []float64
+	for _, n := range h.sizes {
+		g := h.graphFor(n, int64(n*1000))
+		res := h.runVariant(g, core.Det43, 0)
+		st := res.Stats.Steps
+		fmt.Printf("| %d | %d | %d | %d | %d | %d | %d |\n", n,
+			st.Step1CSSSP, st.Step2Blocker, st.Step3InSSSP, st.Step4Bcast, st.Step6QSink, st.Step7Extend)
+		s1 = append(s1, float64(st.Step1CSSSP))
+		s7 = append(s7, float64(st.Step7Extend))
+	}
+	fmt.Println()
+	fmt.Printf("fitted exponents: step1=%.2f step7=%.2f (theory: both n*h = n^1.33 exactly)\n\n",
+		fitExponent(h.sizes, s1), fitExponent(h.sizes, s7))
+}
+
+func (h harness) buildColl(g *graph.Graph, hp int) (*csssp.Collection, *congest.Network) {
+	nw, err := congest.NewNetwork(g, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srcs := make([]int, g.N)
+	for i := range srcs {
+		srcs[i] = i
+	}
+	coll, err := csssp.Build(nw, g, srcs, hp, bford.Out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return coll, nw
+}
+
+func hopParam(n int) int { return int(math.Ceil(math.Pow(float64(n), 1.0/3))) }
+
+// blockerSize: Lemma 3.10 — |Q| = O(n log n / h) for every construction.
+func (h harness) blockerSize() {
+	fmt.Println("## E2 (Lemma 3.10): blocker set size vs n ln(n)/h")
+	fmt.Println()
+	fmt.Println("| n | h | n*ln(n)/h | det (Alg 2') | greedy [2] | sampled [13] |")
+	fmt.Println("|--:|--:|--:|--:|--:|--:|")
+	for _, n := range h.sizes {
+		hp := hopParam(n)
+		bound := float64(n) * math.Log(float64(n)) / float64(hp)
+		var det, gre, smp float64
+		for s := 0; s < h.seeds; s++ {
+			g := h.graphFor(n, int64(n*100+s))
+			for _, m := range []struct {
+				mode blocker.Mode
+				dst  *float64
+			}{{blocker.Deterministic, &det}, {blocker.Greedy, &gre}, {blocker.RandomSample, &smp}} {
+				coll, nw := h.buildColl(g, hp)
+				res, err := blocker.Compute(nw, coll, blocker.Params{Mode: m.mode, Seed: int64(s)})
+				if err != nil {
+					log.Fatal(err)
+				}
+				*m.dst += float64(len(res.Q)) / float64(h.seeds)
+			}
+		}
+		fmt.Printf("| %d | %d | %.1f | %.1f | %.1f | %.1f |\n", n, hp, bound, det, gre, smp)
+	}
+	fmt.Println()
+}
+
+// selectionSteps: Lemma 3.9 — the while loop runs O(log^3 n / (delta^3 eps^2)) times.
+func (h harness) selectionSteps() {
+	fmt.Println("## E3 (Lemma 3.9): selection steps of the deterministic construction")
+	fmt.Println()
+	fmt.Println("| n | selection steps | single-node | good-set | fallback | log2(n)^3 |")
+	fmt.Println("|--:|--:|--:|--:|--:|--:|")
+	for _, n := range h.sizes {
+		hp := hopParam(n)
+		var steps, single, good, fall float64
+		for s := 0; s < h.seeds; s++ {
+			g := h.graphFor(n, int64(n*100+s))
+			coll, nw := h.buildColl(g, hp)
+			res, err := blocker.Compute(nw, coll, blocker.Params{Mode: blocker.Deterministic})
+			if err != nil {
+				log.Fatal(err)
+			}
+			k := float64(h.seeds)
+			steps += float64(res.Stats.SelectionSteps) / k
+			single += float64(res.Stats.SingleSelections) / k
+			good += float64(res.Stats.GoodSetSelections) / k
+			fall += float64(res.Stats.FallbackSteps) / k
+		}
+		l := math.Log2(float64(n))
+		fmt.Printf("| %d | %.1f | %.1f | %.1f | %.1f | %.0f |\n", n, steps, single, good, fall, l*l*l)
+	}
+	fmt.Println()
+}
+
+// blockerRounds: Corollary 3.13 vs the n*|Q| term of the greedy baseline.
+func (h harness) blockerRounds() {
+	fmt.Println("## E4 (Corollary 3.13): blocker construction rounds, set cover vs greedy")
+	fmt.Println()
+	fmt.Println("| n | h | det rounds | greedy rounds | greedy n*|Q| term | det/nh |")
+	fmt.Println("|--:|--:|--:|--:|--:|--:|")
+	var detR, greR []float64
+	for _, n := range h.sizes {
+		hp := hopParam(n)
+		var det, gre, nq float64
+		for s := 0; s < h.seeds; s++ {
+			g := h.graphFor(n, int64(n*100+s))
+			collD, nwD := h.buildColl(g, hp)
+			resD, err := blocker.Compute(nwD, collD, blocker.Params{Mode: blocker.Deterministic})
+			if err != nil {
+				log.Fatal(err)
+			}
+			collG, nwG := h.buildColl(g, hp)
+			resG, err := blocker.Compute(nwG, collG, blocker.Params{Mode: blocker.Greedy})
+			if err != nil {
+				log.Fatal(err)
+			}
+			k := float64(h.seeds)
+			det += float64(resD.Stats.Rounds) / k
+			gre += float64(resG.Stats.Rounds) / k
+			nq += float64(n*len(resG.Q)) / k
+		}
+		fmt.Printf("| %d | %d | %.0f | %.0f | %.0f | %.1f |\n", n, hp, det, gre, nq, det/float64(n*hp))
+		detR = append(detR, det)
+		greR = append(greR, gre)
+	}
+	fmt.Println()
+	fmt.Printf("fitted exponents: det=%.2f greedy=%.2f (theory: |S|h = n^1.33 x polylog vs nh + n|Q| -> n^1.67-ish as |Q| grows)\n\n",
+		fitExponent(h.sizes, detR), fitExponent(h.sizes, greR))
+}
+
+// qsinkRounds: Lemmas 4.1/4.5 — Step 6 alone, pipelined vs broadcast.
+func (h harness) qsinkRounds() {
+	fmt.Println("## E5 (Lemmas 4.1, 4.5): reversed q-sink delivery rounds")
+	fmt.Println()
+	fmt.Println("| n | |Q| | roundrobin | frames | broadcast n*|Q| | pipeline msgs |")
+	fmt.Println("|--:|--:|--:|--:|--:|--:|")
+	for _, n := range h.sizes {
+		hp := hopParam(n)
+		g := h.graphFor(n, int64(n*100))
+		coll, nwb := h.buildColl(g, hp)
+		bres, err := blocker.Compute(nwb, coll, blocker.Params{Mode: blocker.Deterministic})
+		if err != nil {
+			log.Fatal(err)
+		}
+		Q := bres.Q
+		if len(Q) == 0 {
+			continue
+		}
+		delta := oracleDelta(g, Q)
+		row := make(map[qsink.Scheduler]*qsink.Stats)
+		for _, sch := range []qsink.Scheduler{qsink.RoundRobin, qsink.Frames, qsink.BroadcastAll} {
+			nw, err := congest.NewNetwork(g, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := qsink.Run(nw, g, Q, delta, qsink.Params{Scheduler: sch})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if h.verify {
+				checkQsink(g, Q, res)
+			}
+			st := res.Stats
+			row[sch] = &st
+		}
+		fmt.Printf("| %d | %d | %d | %d | %d | %d |\n", n, len(Q),
+			row[qsink.RoundRobin].RoundsTotal, row[qsink.Frames].RoundsTotal,
+			row[qsink.BroadcastAll].RoundsTotal, row[qsink.RoundRobin].PipelineMessages)
+	}
+	fmt.Println()
+}
+
+func oracleDelta(g *graph.Graph, Q []int) [][]int64 {
+	rev := g
+	if g.Directed {
+		rev = g.Reverse()
+	}
+	delta := make([][]int64, g.N)
+	for x := range delta {
+		delta[x] = make([]int64, len(Q))
+	}
+	for ci, c := range Q {
+		d := graph.Dijkstra(rev, c)
+		for x := 0; x < g.N; x++ {
+			delta[x][ci] = d[x]
+		}
+	}
+	return delta
+}
+
+func checkQsink(g *graph.Graph, Q []int, res *qsink.Result) {
+	want := oracleDelta(g, Q)
+	for ci := range Q {
+		for x := 0; x < g.N; x++ {
+			got, exp := res.AtBlocker[ci][x], want[x][ci]
+			if exp >= graph.Inf {
+				exp = graph.Inf
+			}
+			if got != exp && !(got >= graph.Inf && exp >= graph.Inf) {
+				log.Fatalf("qsink wrong at (c=%d, x=%d): %d vs %d", Q[ci], x, got, exp)
+			}
+		}
+	}
+}
+
+// bottleneck: Lemmas A.15-A.17 — bottleneck count and load reduction. The
+// lemma regime (mult=1: |B| <= sqrt(q), loads <= n*sqrt(q)) and a stress
+// regime (mult=0.05) are reported separately.
+func (h harness) bottleneck() {
+	fmt.Println("## E6 (Lemmas A.15-A.17): bottleneck elimination")
+	fmt.Println()
+	fmt.Println("| n | workload | mult | |Q| | bound | |B| | sqrt(q) cap (mult=1) | load before | load after |")
+	fmt.Println("|--:|--|--:|--:|--:|--:|--:|--:|--:|")
+	for _, n := range h.sizes {
+		for _, wl := range []struct {
+			name string
+			g    *graph.Graph
+		}{
+			{"star", graph.Star(graph.GenConfig{N: n, Seed: int64(n), MaxWeight: 20})},
+			{"grid", gridFor(n)},
+		} {
+			var Q []int
+			for v := 0; v < n; v += 4 {
+				Q = append(Q, v)
+			}
+			for _, mult := range []float64{1.0, 0.05} {
+				nw, err := congest.NewNetwork(wl.g, 1)
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := qsink.Run(nw, wl.g, Q, oracleDelta(wl.g, Q), qsink.Params{Scheduler: qsink.RoundRobin, CongestionMult: mult})
+				if err != nil {
+					log.Fatal(err)
+				}
+				if h.verify {
+					checkQsink(wl.g, Q, res)
+				}
+				st := res.Stats
+				cap := "-"
+				if mult == 1.0 {
+					cap = fmt.Sprintf("%.1f", math.Sqrt(float64(len(Q))))
+					if float64(st.BottleneckCount) > math.Sqrt(float64(len(Q)))+1 {
+						cap += " VIOLATED"
+					}
+				}
+				fmt.Printf("| %d | %s | %.2f | %d | %d | %d | %s | %d | %d |\n",
+					n, wl.name, mult, len(Q), st.CongestionBound, st.BottleneckCount,
+					cap, st.MaxLoadBefore, st.MaxLoadAfter)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+func gridFor(n int) *graph.Graph {
+	side := int(math.Sqrt(float64(n)))
+	if side < 2 {
+		side = 2
+	}
+	return graph.Grid(side, (n+side-1)/side, graph.GenConfig{Seed: int64(n), MaxWeight: 20})
+}
+
+// goodset: Lemma 3.8 — density of good sample points.
+func (h harness) goodset() {
+	fmt.Println("## E7 (Lemma 3.8): good sample points in the pairwise-independent space")
+	fmt.Println()
+	fmt.Println("(disjoint-paths workloads: no vertex covers more than ~1/k of the paths,")
+	fmt.Println("so Step 9's single-node rule fails and the good-set branch must run;")
+	fmt.Println("delta=0.5, full-space exhaustive search)")
+	fmt.Println()
+	fmt.Println("| k paths x h | n | good-set selections | fallbacks | good points | scanned | fraction | Lemma 3.8 floor |")
+	fmt.Println("|--|--:|--:|--:|--:|--:|--:|--:|")
+	for _, cfg := range []struct{ k, h int }{{12, 3}, {16, 3}, {20, 3}, {16, 4}} {
+		g := graph.DisjointPaths(cfg.k, cfg.h, 1000, graph.GenConfig{Seed: int64(cfg.k*10 + cfg.h), MaxWeight: 4})
+		coll, nw := h.buildColl(g, cfg.h)
+		res, err := blocker.Compute(nw, coll, blocker.Params{
+			Mode: blocker.Deterministic, Delta: 0.5, UseFullSpace: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		frac := 0.0
+		if res.Stats.PointsScanned > 0 {
+			frac = float64(res.Stats.GoodPoints) / float64(res.Stats.PointsScanned)
+		}
+		fmt.Printf("| %dx%d | %d | %d | %d | %d | %d | %.3f | 0.125 |\n",
+			cfg.k, cfg.h, g.N, res.Stats.GoodSetSelections, res.Stats.FallbackSteps,
+			res.Stats.GoodPoints, res.Stats.PointsScanned, frac)
+	}
+	fmt.Println()
+}
+
+// frames: Lemma 4.8 — per-stage shrinkage of max |Q_{v,i}|. With the
+// paper's quota the stage-0 budget already covers all traffic at these
+// sizes, so a scaled-down quota (x0.02) is used to surface the multi-stage
+// shrinkage the lemma describes.
+func (h harness) frames() {
+	fmt.Println("## E8 (Lemma 4.8): frame-stage shrinkage of max |Q_v,i|")
+	fmt.Println()
+	fmt.Println("| n | |Q| | quota | stages | max|Qvi| per stage | pipeline rounds |")
+	fmt.Println("|--:|--:|--:|--:|--|--:|")
+	for _, n := range h.sizes {
+		g := h.graphFor(n, int64(n*7))
+		var Q []int
+		for v := 0; v < n; v += 3 {
+			Q = append(Q, v)
+		}
+		for _, scale := range []float64{1.0, 0.02} {
+			nw, err := congest.NewNetwork(g, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := qsink.Run(nw, g, Q, oracleDelta(g, Q), qsink.Params{Scheduler: qsink.Frames, FrameQuotaScale: scale})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if h.verify {
+				checkQsink(g, Q, res)
+			}
+			st := res.Stats
+			var parts []string
+			for _, m := range st.FrameQviMax {
+				parts = append(parts, strconv.Itoa(m))
+			}
+			fmt.Printf("| %d | %d | x%.2f | %d | %s | %d |\n", n, len(Q), scale, st.FrameStages, strings.Join(parts, " -> "), st.PipelineRounds)
+		}
+	}
+	fmt.Println()
+}
+
+// hSweep: ablation of the hop parameter. Theorem 1.1 balances the O~(n*h)
+// cost of Steps 1/2/7 against the O~(n*sqrt(q)) = O~(n*sqrt(n log n / h))
+// cost of Step 6 at h = n^(1/3); the sweep shows where the balance falls
+// with real constants.
+func (h harness) hSweep() {
+	fmt.Println("## E10 (Theorem 1.1 ablation): total rounds vs hop parameter h")
+	fmt.Println()
+	n := h.sizes[len(h.sizes)-1]
+	g := h.graphFor(n, int64(n*1000))
+	fmt.Printf("(n = %d; theory balance point h = n^(1/3) = %.1f)\n\n", n, math.Pow(float64(n), 1.0/3))
+	fmt.Println("| h | rounds | |Q| | step1 | step2 blocker | step6 qsink | step7 |")
+	fmt.Println("|--:|--:|--:|--:|--:|--:|--:|")
+	maxH := int(math.Ceil(math.Sqrt(float64(n)))) + 2
+	for hp := 2; hp <= maxH; hp += 2 {
+		res, err := core.Run(g, core.Options{Variant: core.Det43, H: hp, SkipLastEdges: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res.Stats.Steps
+		fmt.Printf("| %d | %d | %d | %d | %d | %d | %d |\n",
+			hp, res.Stats.Rounds, res.Stats.QSize, st.Step1CSSSP, st.Step2Blocker, st.Step6QSink, st.Step7Extend)
+	}
+	fmt.Println()
+}
+
+// bandwidthSweep: rounds vs per-link bandwidth B. The paper's model allows
+// a constant number of values per edge per round; the sweep shows which
+// steps are bandwidth-bound (broadcasts, pipelines) versus latency-bound
+// (Bellman-Ford waves).
+func (h harness) bandwidthSweep() {
+	fmt.Println("## E11 (model ablation): rounds vs per-link bandwidth")
+	fmt.Println()
+	n := h.sizes[len(h.sizes)-1]
+	g := h.graphFor(n, int64(n*1000))
+	fmt.Printf("(n = %d, deterministic n^4/3 profile)\n\n", n)
+	fmt.Println("| bandwidth | rounds | step2 blocker | step6 qsink | step1+7 BF |")
+	fmt.Println("|--:|--:|--:|--:|--:|")
+	for _, bw := range []int{1, 2, 4, 8} {
+		res, err := core.Run(g, core.Options{Variant: core.Det43, Bandwidth: bw, SkipLastEdges: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res.Stats.Steps
+		fmt.Printf("| %d | %d | %d | %d | %d |\n",
+			bw, res.Stats.Rounds, st.Step2Blocker, st.Step6QSink, st.Step1CSSSP+st.Step7Extend)
+	}
+	fmt.Println()
+}
+
+// unweightedRounds: the O(n) unweighted regime of Table 1's context (the
+// Omega(n) lower bound of [6] holds even unweighted).
+func (h harness) unweightedRounds() {
+	fmt.Println("## E12 (context): unweighted APSP in O(n) rounds (pipelined BFS)")
+	fmt.Println()
+	fmt.Println("| n | rounds | rounds/n | weighted det43 rounds |")
+	fmt.Println("|--:|--:|--:|--:|")
+	for _, n := range h.sizes {
+		g := h.graphFor(n, int64(n*1000))
+		nw, err := congest.NewNetwork(g, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := unweighted.Run(nw, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if h.verify {
+			unit := graph.New(g.N, g.Directed)
+			for _, e := range g.Edges() {
+				unit.MustAddEdge(e.U, e.V, 1)
+			}
+			want := graph.FloydWarshall(unit)
+			for s := 0; s < g.N; s++ {
+				for v := 0; v < g.N; v++ {
+					if res.Dist[s][v] != want[s][v] {
+						log.Fatalf("unweighted wrong at (%d,%d)", s, v)
+					}
+				}
+			}
+		}
+		det := h.runVariant(g, core.Det43, 0)
+		fmt.Printf("| %d | %d | %.1f | %d |\n", n, res.Rounds, float64(res.Rounds)/float64(n), det.Stats.Rounds)
+	}
+	fmt.Println()
+}

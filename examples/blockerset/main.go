@@ -1,0 +1,44 @@
+// Blockerset: the paper's first technical contribution in isolation. A
+// blocker set must hit every h-hop shortest path of the h-hop tree
+// collection; this example builds one with each of the four constructions
+// (the paper's derandomized set cover, its randomized form, the PODC'18
+// greedy baseline, and classic random sampling) on a deep layered graph and
+// compares sizes, selection behavior, and CONGEST round costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"congestapsp/pkg/apsp"
+)
+
+func main() {
+	// Layered graphs maximize the number of full-length h-hop paths, which
+	// is exactly what a blocker set must cover.
+	g := apsp.LayeredGraph(8, 5, apsp.GenOptions{Seed: 7, MaxWeight: 20})
+	h := 4
+	fmt.Printf("layered graph: n=%d m=%d, hop parameter h=%d\n\n", g.N(), g.M(), h)
+
+	modes := []struct {
+		name string
+		mode apsp.BlockerMode
+	}{
+		{"deterministic (Alg 2', paper)", apsp.BlockerDeterministic},
+		{"randomized (Alg 2)", apsp.BlockerRandomized},
+		{"greedy (PODC'18 [2])", apsp.BlockerGreedy},
+		{"random sampling [13]", apsp.BlockerSampled},
+	}
+	fmt.Printf("%-32s %6s %10s %10s %10s\n", "construction", "|Q|", "rounds", "selections", "goodsets")
+	for _, m := range modes {
+		q, stats, err := apsp.BlockerSet(g, h, m.mode, 42)
+		if err != nil {
+			log.Fatalf("%s: %v", m.name, err)
+		}
+		fmt.Printf("%-32s %6d %10d %10d %10d\n", m.name, len(q), stats.Rounds, stats.SelectionSteps, stats.GoodSets)
+	}
+
+	fmt.Println("\nnote: the deterministic and randomized set-cover constructions avoid")
+	fmt.Println("the n*|Q| cleanup term of the greedy baseline (Corollary 3.13), which")
+	fmt.Println("is what drops the overall APSP bound from O~(n^(3/2)) to O~(n^(4/3)).")
+}

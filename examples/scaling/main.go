@@ -1,0 +1,55 @@
+// Scaling: an empirical look at Theorem 1.1. Runs the paper's algorithm
+// and the baselines over a sweep of graph sizes and prints measured CONGEST
+// rounds next to the theoretical growth exponents (4/3 vs 3/2 vs 5/3),
+// reproducing the shape of Table 1 of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"congestapsp/pkg/apsp"
+)
+
+func main() {
+	sizes := []int{16, 24, 32, 48, 64}
+	type row struct {
+		n                  int
+		det43, det32, bc56 int
+	}
+	var rows []row
+	for _, n := range sizes {
+		g := apsp.RandomGraph(apsp.GenOptions{N: n, Seed: int64(n), MaxWeight: 50}, 4*n)
+		r43, err := apsp.Run(g, apsp.Options{Algorithm: apsp.Deterministic43, SkipLastHops: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r32, err := apsp.Run(g, apsp.Options{Algorithm: apsp.Deterministic32, SkipLastHops: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r56, err := apsp.Run(g, apsp.Options{Algorithm: apsp.BroadcastStep6, SkipLastHops: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{n, r43.Stats.Rounds, r32.Stats.Rounds, r56.Stats.Rounds})
+	}
+
+	fmt.Printf("%6s %14s %14s %16s\n", "n", "det n^(4/3)", "det n^(3/2)", "broadcast step6")
+	for _, r := range rows {
+		fmt.Printf("%6d %14d %14d %16d\n", r.n, r.det43, r.det32, r.bc56)
+	}
+
+	// Log-log growth exponents between consecutive sizes.
+	fmt.Printf("\nempirical growth exponents (round ratio / size ratio, log-log):\n")
+	fmt.Printf("%12s %10s %10s %10s   (paper: 1.33 / 1.50 / 1.67)\n", "n range", "det43", "det32", "bcast")
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		ln := math.Log(float64(b.n) / float64(a.n))
+		e43 := math.Log(float64(b.det43)/float64(a.det43)) / ln
+		e32 := math.Log(float64(b.det32)/float64(a.det32)) / ln
+		e56 := math.Log(float64(b.bc56)/float64(a.bc56)) / ln
+		fmt.Printf("%5d->%-5d %10.2f %10.2f %10.2f\n", a.n, b.n, e43, e32, e56)
+	}
+}

@@ -1,0 +1,342 @@
+// Package bford implements the distributed hop-bounded Bellman-Ford
+// algorithm [Bellman 1958] in the CONGEST model, the workhorse of Steps 1,
+// 3 and 7 of the paper's Algorithm 1 (Lemma A.4: an h-hop SSSP costs O(h)
+// rounds per source).
+//
+// Both orientations are provided:
+//
+//   - Out: shortest paths FROM the root along edge directions (out-SSSP);
+//     node v learns delta_h(root, v).
+//   - In: shortest paths TO the root along edge directions (in-SSSP); node v
+//     learns delta_h(v, root). Messages travel against edge direction, which
+//     is legal because CONGEST communication uses the underlying undirected
+//     graph (paper Section 1.1).
+//
+// Labels are (dist, hops) compared lexicographically, so the tree realizes,
+// for every node, the minimum-hop path among minimum-weight paths within the
+// hop horizon; parents break remaining ties by smallest id. This is the
+// deterministic tie-breaking that the CSSSP construction of [1] relies on.
+package bford
+
+import (
+	"fmt"
+
+	"congestapsp/internal/congest"
+	"congestapsp/internal/graph"
+)
+
+// Mode selects the tree orientation.
+type Mode int
+
+const (
+	// Out computes shortest paths from the root (out-SSSP).
+	Out Mode = iota
+	// In computes shortest paths to the root (in-SSSP).
+	In
+)
+
+func (m Mode) String() string {
+	if m == In {
+		return "in"
+	}
+	return "out"
+}
+
+// Result is the outcome of one hop-bounded SSSP computation.
+type Result struct {
+	Root int
+	Mode Mode
+	// Dist[v] is the hop-bounded shortest-path distance (graph.Inf if no
+	// path within the hop bound). For Out it is delta_h(root, v); for In it
+	// is delta_h(v, root).
+	Dist []int64
+	// Hops[v] is the hop count of the tree path realizing Dist[v], -1 if
+	// unreachable.
+	Hops []int
+	// Parent[v] is v's neighbor toward the root in the tree (-1 for the
+	// root and for unreachable nodes). For Out trees the parent is the
+	// predecessor on the path root->v; for In trees it is the successor on
+	// the path v->root.
+	Parent []int
+	// Confirmed[v] reports that v's label composes through a confirmed
+	// parent chain back to a seed, i.e. v genuinely belongs to the SSSP
+	// tree. Hop-limited fringe labels can fail to compose (see the
+	// confirmation wave in RunWithInit); their Dist values are still valid
+	// hop-bounded distances but they carry no tree position.
+	Confirmed []bool
+}
+
+// relAdj describes, for the chosen mode, the relaxation structure:
+// rel[v] lists (u, w) such that dist(v) can improve to dist(u)+w, and
+// notify[u] lists the nodes v that must hear about u's label changes.
+type relAdj struct {
+	rel    [][]arc
+	notify [][]int
+}
+
+type arc struct {
+	nbr int
+	w   int64
+}
+
+// buildRelAdj collapses parallel edges to their minimum weight: a node
+// learns a neighbor's label once per round and applies its locally known
+// minimum incident edge weight.
+func buildRelAdj(g *graph.Graph, mode Mode) *relAdj {
+	n := g.N
+	minW := make([]map[int]int64, n) // minW[v][u] = min weight of a relaxation arc u~>v
+	for v := 0; v < n; v++ {
+		minW[v] = map[int]int64{}
+	}
+	record := func(v, u int, w int64) {
+		if old, ok := minW[v][u]; !ok || w < old {
+			minW[v][u] = w
+		}
+	}
+	for _, e := range g.Edges() {
+		switch {
+		case mode == Out && g.Directed:
+			record(e.V, e.U, e.W) // dist(e.V) <- dist(e.U) + w
+		case mode == In && g.Directed:
+			record(e.U, e.V, e.W) // dist(e.U) <- dist(e.V) + w   (path e.U -> e.V -> ... -> root)
+		default: // undirected: both
+			record(e.V, e.U, e.W)
+			record(e.U, e.V, e.W)
+		}
+	}
+	ra := &relAdj{rel: make([][]arc, n), notify: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if w, ok := minW[v][u]; ok {
+				ra.rel[v] = append(ra.rel[v], arc{u, w})
+				ra.notify[u] = append(ra.notify[u], v)
+			}
+		}
+	}
+	return ra
+}
+
+// Run computes the h-hop SSSP rooted at root, consuming exactly hops rounds
+// on nw (the fixed schedule of Lemma A.4).
+func Run(nw *congest.Network, g *graph.Graph, root, hops int, mode Mode) (*Result, error) {
+	init := make([]int64, g.N)
+	for i := range init {
+		init[i] = graph.Inf
+	}
+	init[root] = 0
+	res, err := RunWithInit(nw, g, init, hops, mode)
+	if err != nil {
+		return nil, err
+	}
+	res.Root = root
+	return res, nil
+}
+
+// RunLabels is Run without the tree-confirmation wave: only the distance
+// labels are guaranteed (Parent pointers may be stale near the hop
+// horizon, Confirmed is nil). Steps that consume distances but not tree
+// structure (the per-blocker in-SSSPs of Step 3, the extension SSSPs of
+// Step 7) use this cheaper schedule: hops+1 rounds.
+func RunLabels(nw *congest.Network, g *graph.Graph, root, hops int, mode Mode) (*Result, error) {
+	init := make([]int64, g.N)
+	for i := range init {
+		init[i] = graph.Inf
+	}
+	init[root] = 0
+	res, err := RunLabelsWithInit(nw, g, init, hops, mode)
+	if err != nil {
+		return nil, err
+	}
+	res.Root = root
+	return res, nil
+}
+
+// RunWithInit computes hop-bounded shortest paths from the virtual source
+// defined by the initial distance labels: init[v] < graph.Inf seeds node v.
+// This is exactly the "extended h-hop shortest paths" primitive of Step 7
+// (Section 5): blocker nodes are seeded with delta(x, c) and Bellman-Ford
+// runs for the given number of hops. Root is -1 in the result.
+func RunWithInit(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mode) (*Result, error) {
+	return runBF(nw, g, init, hops, mode, true)
+}
+
+// RunLabelsWithInit is RunWithInit without the tree-confirmation wave; see
+// RunLabels.
+func RunLabelsWithInit(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mode) (*Result, error) {
+	return runBF(nw, g, init, hops, mode, false)
+}
+
+func runBF(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mode, confirm bool) (*Result, error) {
+	if len(init) != g.N {
+		return nil, fmt.Errorf("bford: init length %d != n %d", len(init), g.N)
+	}
+	ra := buildRelAdj(g, mode)
+	n := g.N
+	res := &Result{
+		Root:   -1,
+		Mode:   mode,
+		Dist:   make([]int64, n),
+		Hops:   make([]int, n),
+		Parent: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		res.Dist[v] = init[v]
+		res.Parent[v] = -1
+		if init[v] < graph.Inf {
+			res.Hops[v] = 0
+		} else {
+			res.Hops[v] = -1
+		}
+	}
+
+	const kindLabel uint8 = 7
+	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+		// Relax labels received this round (sent by neighbors last round),
+		// then forward our label in the same round if it improved, so each
+		// hop costs one round. Relaxation is order-independent; parent
+		// tie-breaks are resolved explicitly by (dist, hops, id).
+		improved := round == 0 && res.Hops[v] == 0 // seeds announce at round 0
+		for _, m := range in {
+			if m.Kind != kindLabel {
+				continue
+			}
+			var w int64 = -1
+			for _, a := range ra.rel[v] {
+				if a.nbr == m.From {
+					w = a.w
+					break
+				}
+			}
+			if w < 0 {
+				continue // label from a neighbor with no relaxation arc to v
+			}
+			nd, nh := m.A+w, int(m.B)+1
+			if better(nd, nh, m.From, res.Dist[v], res.Hops[v], res.Parent[v]) {
+				res.Dist[v], res.Hops[v], res.Parent[v] = nd, nh, m.From
+				improved = true
+			}
+		}
+		if improved && round < hops {
+			for _, u := range ra.notify[v] {
+				send(congest.Message{To: u, Kind: kindLabel, A: res.Dist[v], B: int64(res.Hops[v])})
+			}
+		}
+		return round >= hops
+	})
+	// The schedule takes hops+1 rounds: seeds send at round 0, labels at hop
+	// distance r settle at round r, and the final round only receives.
+	if err := nw.RunFor(p, hops+1); err != nil {
+		return nil, fmt.Errorf("bford: %s-SSSP: %w", mode, err)
+	}
+	if !confirm {
+		return res, nil
+	}
+
+	// Tree confirmation wave (hops+2 extra rounds). Near the hop horizon,
+	// final lexicographic labels need not compose into a tree: a node's
+	// recorded parent may have since improved to a smaller-distance,
+	// larger-hop label whose own extension was cut off by the horizon.
+	// The wave retains exactly the nodes whose label composes through a
+	// confirmed parent chain back to a seed: every node announces its final
+	// label, seeds confirm first, and a node at hop level k confirms at
+	// round k+1 through the smallest-id confirmed neighbor u with
+	// (dist_u + w, hops_u + 1) equal to its own label. Nodes realizing
+	// true shortest paths within the horizon always confirm (shortest-path
+	// prefixes are shortest and their minimum hop counts telescope), which
+	// is the containment property CSSSP needs; hop-limited fringe labels
+	// that no longer compose are left out of the tree (their Dist values
+	// remain valid hop-bounded distances).
+	const (
+		kindFinal   uint8 = 8
+		kindConfirm uint8 = 9
+	)
+	res.Confirmed = make([]bool, n)
+	nbrLabel := make([]map[int][2]int64, n)
+	for v := range nbrLabel {
+		nbrLabel[v] = map[int][2]int64{}
+	}
+	wave := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+		for _, m := range in {
+			switch m.Kind {
+			case kindFinal:
+				nbrLabel[v][m.From] = [2]int64{m.A, m.B}
+			case kindConfirm:
+				if res.Hops[v] == round-1 {
+					lbl, ok := nbrLabel[v][m.From]
+					if !ok {
+						continue
+					}
+					var w int64 = -1
+					for _, a := range ra.rel[v] {
+						if a.nbr == m.From {
+							w = a.w
+							break
+						}
+					}
+					if w < 0 {
+						continue
+					}
+					if lbl[0]+w == res.Dist[v] && int(lbl[1])+1 == res.Hops[v] {
+						if !res.Confirmed[v] || m.From < res.Parent[v] {
+							res.Confirmed[v] = true
+							res.Parent[v] = m.From
+						}
+					}
+				}
+			}
+		}
+		// Messages within one round arrive together, so re-scan for the
+		// smallest-id confirming sender (the loop above may have set a
+		// larger id first); handled by the m.From < Parent check.
+		switch {
+		case round == 0:
+			if res.Hops[v] >= 0 {
+				for _, u := range ra.notify[v] {
+					send(congest.Message{To: u, Kind: kindFinal, A: res.Dist[v], B: int64(res.Hops[v])})
+				}
+			}
+		case round == 1 && res.Hops[v] == 0:
+			res.Confirmed[v] = true
+			res.Parent[v] = -1
+			for _, u := range ra.notify[v] {
+				send(congest.Message{To: u, Kind: kindConfirm})
+			}
+		case round >= 2 && res.Confirmed[v] && res.Hops[v] == round-1:
+			for _, u := range ra.notify[v] {
+				send(congest.Message{To: u, Kind: kindConfirm})
+			}
+		}
+		return round >= hops+1
+	})
+	if err := nw.RunFor(wave, hops+2); err != nil {
+		return nil, fmt.Errorf("bford: %s-SSSP confirmation wave: %w", mode, err)
+	}
+	for v := 0; v < n; v++ {
+		if !res.Confirmed[v] && res.Hops[v] > 0 {
+			res.Parent[v] = -1
+		}
+	}
+	return res, nil
+}
+
+// better reports whether label (d1,h1) with parent p1 beats (d2,h2,p2)
+// lexicographically: smaller distance, then fewer hops, then smaller parent
+// id. Unreachable labels (h == -1) always lose to reachable ones.
+func better(d1 int64, h1 int, p1 int, d2 int64, h2 int, p2 int) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	if h2 == -1 {
+		return h1 != -1
+	}
+	if h1 == -1 {
+		return false
+	}
+	if h1 != h2 {
+		return h1 < h2
+	}
+	// Equal (dist, hops): prefer the smaller parent id. A node with hops 0
+	// is a seed and never re-parents (incoming labels have hops >= 1, so
+	// they differ in the hop component and are handled above).
+	return p1 < p2
+}

@@ -1,0 +1,363 @@
+package bford
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"congestapsp/internal/congest"
+	"congestapsp/internal/graph"
+)
+
+func newNet(t *testing.T, g *graph.Graph) *congest.Network {
+	t.Helper()
+	nw, err := congest.NewNetwork(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestOutSSSPMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		for _, dir := range []bool{false, true} {
+			g := graph.RandomConnected(graph.GenConfig{N: 25, Directed: dir, Seed: seed, MaxWeight: 12}, 70)
+			nw := newNet(t, g)
+			for _, h := range []int{1, 3, g.N - 1} {
+				for src := 0; src < g.N; src += 7 {
+					res, err := Run(nw, g, src, h, Out)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := graph.BellmanFordHops(g, src, h)
+					for v := 0; v < g.N; v++ {
+						if res.Dist[v] != want[v] {
+							t.Fatalf("seed=%d dir=%v h=%d src=%d: dist[%d]=%d, want %d",
+								seed, dir, h, src, v, res.Dist[v], want[v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInSSSPMatchesReversedOracle(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := graph.RandomConnected(graph.GenConfig{N: 20, Directed: true, Seed: seed, MaxWeight: 9}, 60)
+		rev := g.Reverse()
+		nw := newNet(t, g)
+		for _, h := range []int{2, 5, g.N - 1} {
+			for root := 0; root < g.N; root += 5 {
+				res, err := Run(nw, g, root, h, In)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// delta_h(v, root) in g equals delta_h(root, v) in reverse(g).
+				want := graph.BellmanFordHops(rev, root, h)
+				for v := 0; v < g.N; v++ {
+					if res.Dist[v] != want[v] {
+						t.Fatalf("seed=%d h=%d root=%d: in-dist[%d]=%d, want %d",
+							seed, h, root, v, res.Dist[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHopBoundRespected(t *testing.T) {
+	// 0 -> 1 -> 2 (1+1) vs direct 0 -> 2 (10).
+	g := graph.New(3, true)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 10)
+	nw := newNet(t, g)
+	r1, err := Run(nw, g, 0, 1, Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Dist[2] != 10 {
+		t.Errorf("1-hop dist[2] = %d, want 10", r1.Dist[2])
+	}
+	r2, _ := Run(nw, g, 0, 2, Out)
+	if r2.Dist[2] != 2 {
+		t.Errorf("2-hop dist[2] = %d, want 2", r2.Dist[2])
+	}
+}
+
+func TestParentTreeRealizesDistances(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 30, Directed: true, Seed: 7, MaxWeight: 15}, 90)
+	nw := newNet(t, g)
+	h := 6
+	res, err := Run(nw, g, 0, h, Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge-weight lookup (min over parallel edges u->v).
+	wOf := func(u, v int) int64 {
+		best := graph.Inf
+		g.OutNeighbors(u, func(x int, w int64) {
+			if x == v && w < best {
+				best = w
+			}
+		})
+		return best
+	}
+	for v := 0; v < g.N; v++ {
+		if res.Hops[v] <= 0 {
+			continue
+		}
+		p := res.Parent[v]
+		if p < 0 {
+			t.Fatalf("node %d reachable (hops %d) but no parent", v, res.Hops[v])
+		}
+		if res.Hops[p] != res.Hops[v]-1 {
+			t.Errorf("hops[%d]=%d but parent %d has hops %d", v, res.Hops[v], p, res.Hops[p])
+		}
+		if res.Dist[p]+wOf(p, v) != res.Dist[v] {
+			t.Errorf("dist[%d]=%d != dist[parent %d]=%d + w=%d", v, res.Dist[v], p, res.Dist[p], wOf(p, v))
+		}
+	}
+}
+
+func TestMinHopAmongMinWeight(t *testing.T) {
+	// Two shortest 0->3 paths of weight 2: 0-1-3 (2 hops) and 0-1-2-3 with a
+	// zero-weight edge (3 hops). The label must report 2 hops.
+	g := graph.New(4, true)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 3, 1)
+	g.MustAddEdge(1, 2, 0)
+	g.MustAddEdge(2, 3, 1)
+	nw := newNet(t, g)
+	res, err := Run(nw, g, 0, 3, Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[3] != 2 || res.Hops[3] != 2 {
+		t.Errorf("label at 3 = (%d,%d), want (2,2)", res.Dist[3], res.Hops[3])
+	}
+}
+
+func TestZeroWeightEdges(t *testing.T) {
+	g := graph.ZeroWeightMix(graph.GenConfig{N: 22, Directed: true, Seed: 13, MaxWeight: 8}, 66)
+	nw := newNet(t, g)
+	h := 5
+	for src := 0; src < g.N; src += 3 {
+		res, err := Run(nw, g, src, h, Out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.BellmanFordHops(g, src, h)
+		for v := 0; v < g.N; v++ {
+			if res.Dist[v] != want[v] {
+				t.Fatalf("src=%d dist[%d]=%d, want %d", src, v, res.Dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestRunWithInitSeedsMultipleSources(t *testing.T) {
+	// Virtual-source BF: seeding nodes 0 and 4 with given offsets must give
+	// min over seeds of (offset + distance).
+	g := graph.Ring(graph.GenConfig{N: 8, Seed: 3, MaxWeight: 5})
+	nw := newNet(t, g)
+	init := make([]int64, g.N)
+	for i := range init {
+		init[i] = graph.Inf
+	}
+	init[0] = 7
+	init[4] = 0
+	res, err := RunWithInit(nw, g, init, g.N, Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := graph.Dijkstra(g, 0)
+	d4 := graph.Dijkstra(g, 4)
+	for v := 0; v < g.N; v++ {
+		want := min64(7+d0[v], d4[v])
+		if res.Dist[v] != want {
+			t.Errorf("dist[%d] = %d, want %d", v, res.Dist[v], want)
+		}
+	}
+}
+
+func TestRunWithInitLengthMismatch(t *testing.T) {
+	g := graph.Ring(graph.GenConfig{N: 5, Seed: 1, MaxWeight: 2})
+	nw := newNet(t, g)
+	if _, err := RunWithInit(nw, g, make([]int64, 3), 2, Out); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRoundBudgetLinearInHops(t *testing.T) {
+	// The fixed schedule is (hops+1) relaxation rounds plus a (hops+2)-round
+	// tree-confirmation wave: 2*hops+3 total (still O(h), Lemma A.4).
+	g := graph.Ring(graph.GenConfig{N: 10, Seed: 1, MaxWeight: 3})
+	nw := newNet(t, g)
+	if _, err := Run(nw, g, 0, 7, Out); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Stats.Rounds != 2*7+3 {
+		t.Errorf("rounds = %d, want 2*hops+3 = 17", nw.Stats.Rounds)
+	}
+}
+
+func TestDeterministicRepeatRuns(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 35, Directed: true, Seed: 21, MaxWeight: 10}, 100)
+	run := func() *Result {
+		nw := newNet(t, g)
+		res, err := Run(nw, g, 4, 6, Out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for v := 0; v < g.N; v++ {
+		if a.Dist[v] != b.Dist[v] || a.Hops[v] != b.Hops[v] || a.Parent[v] != b.Parent[v] {
+			t.Fatalf("node %d: runs differ: (%d,%d,%d) vs (%d,%d,%d)",
+				v, a.Dist[v], a.Hops[v], a.Parent[v], b.Dist[v], b.Hops[v], b.Parent[v])
+		}
+	}
+}
+
+// Property test: distributed h-hop distances always match the sequential
+// oracle on random graphs.
+func TestQuickDistributedMatchesOracle(t *testing.T) {
+	f := func(seed int64, nRaw, hRaw uint8, directed bool) bool {
+		n := 6 + int(nRaw%20)
+		h := 1 + int(hRaw%uint8(n))
+		g := graph.RandomConnected(graph.GenConfig{N: n, Directed: directed, Seed: seed, MaxWeight: 20}, 3*n)
+		nw, err := congest.NewNetwork(g, 1)
+		if err != nil {
+			return false
+		}
+		src := int(uint(seed) % uint(n))
+		res, err := Run(nw, g, src, h, Out)
+		if err != nil {
+			return false
+		}
+		want := graph.BellmanFordHops(g, src, h)
+		for v := 0; v < n; v++ {
+			if res.Dist[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRunLabelsSkipsWave(t *testing.T) {
+	g := graph.Ring(graph.GenConfig{N: 10, Seed: 2, MaxWeight: 3})
+	nw := newNet(t, g)
+	res, err := RunLabels(nw, g, 0, 5, Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confirmed != nil {
+		t.Error("RunLabels populated Confirmed")
+	}
+	if nw.Stats.Rounds != 6 {
+		t.Errorf("label-only rounds = %d, want hops+1 = 6", nw.Stats.Rounds)
+	}
+	want := graph.BellmanFordHops(g, 0, 5)
+	for v := 0; v < g.N; v++ {
+		if res.Dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Dist[v], want[v])
+		}
+	}
+}
+
+func TestConfirmedChainsAlwaysTelescope(t *testing.T) {
+	// The confirmation wave's contract: every confirmed node's parent chain
+	// telescopes exactly in both dist and hops.
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.RandomConnected(graph.GenConfig{N: 28, Directed: true, Seed: seed, MaxWeight: 10}, 90)
+		nw := newNet(t, g)
+		res, err := Run(nw, g, int(seed)%g.N, 6, Out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wOf := func(u, v int) int64 {
+			best := graph.Inf
+			g.OutNeighbors(u, func(x int, w int64) {
+				if x == v && w < best {
+					best = w
+				}
+			})
+			return best
+		}
+		for v := 0; v < g.N; v++ {
+			if !res.Confirmed[v] || res.Hops[v] <= 0 {
+				continue
+			}
+			p := res.Parent[v]
+			if p < 0 || !res.Confirmed[p] {
+				t.Fatalf("seed %d: confirmed node %d has unconfirmed parent %d", seed, v, p)
+			}
+			if res.Hops[p] != res.Hops[v]-1 || res.Dist[p]+wOf(p, v) != res.Dist[v] {
+				t.Fatalf("seed %d: chain broken at %d", seed, v)
+			}
+		}
+	}
+}
+
+func TestConfirmedCoversTrueShortestWithinHorizon(t *testing.T) {
+	// Nodes whose true shortest path fits in the horizon must confirm.
+	g := graph.RandomConnected(graph.GenConfig{N: 24, Seed: 7, MaxWeight: 8}, 70)
+	nw := newNet(t, g)
+	h := 5
+	src := 3
+	res, err := Run(nw, g, src, h, Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := graph.Dijkstra(g, src)
+	minhop := graph.HopsOnShortestPath(g, src)
+	for v := 0; v < g.N; v++ {
+		if full[v] < graph.Inf && minhop[v] >= 0 && minhop[v] <= h {
+			if !res.Confirmed[v] {
+				t.Errorf("node %d (minhop %d <= %d) not confirmed", v, minhop[v], h)
+			}
+			if res.Dist[v] != full[v] {
+				t.Errorf("node %d dist %d != true %d", v, res.Dist[v], full[v])
+			}
+		}
+	}
+}
+
+func TestInModeParentIsForwardEdge(t *testing.T) {
+	// In-tree parents are successors: v -> Parent[v] must be a real edge.
+	g := graph.RandomConnected(graph.GenConfig{N: 20, Directed: true, Seed: 8, MaxWeight: 8}, 70)
+	nw := newNet(t, g)
+	res, err := Run(nw, g, 5, 6, In)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N; v++ {
+		if res.Confirmed == nil || !res.Confirmed[v] || res.Hops[v] <= 0 {
+			continue
+		}
+		ok := false
+		g.OutNeighbors(v, func(u int, _ int64) {
+			if u == res.Parent[v] {
+				ok = true
+			}
+		})
+		if !ok {
+			t.Errorf("in-tree parent %d of %d is not a forward edge", res.Parent[v], v)
+		}
+	}
+}

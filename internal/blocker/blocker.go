@@ -1,0 +1,446 @@
+package blocker
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"congestapsp/internal/broadcast"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/csssp"
+)
+
+// Mode selects the blocker-set construction algorithm.
+type Mode int
+
+const (
+	// Deterministic is Algorithm 2' of the paper: the stage/phase selection
+	// loop of Algorithm 2 with Steps 12-14 replaced by the derandomized
+	// good-set search of Algorithm 7. O~(|S|*h) rounds (Corollary 3.13).
+	Deterministic Mode = iota
+	// Randomized is Algorithm 2 as written: good sets are drawn from the
+	// pairwise-independent sample space and retried until good (Lemma 3.8:
+	// success probability >= 1/8 per attempt).
+	Randomized
+	// Greedy is the baseline of Agarwal et al. [2]: repeatedly take the
+	// node covering the most paths. O(|S|*h + n*|Q|) rounds.
+	Greedy
+	// RandomSample is the classic randomized baseline (Ullman-Yannakakis /
+	// Huang et al. [13]): sample each node with probability ~ln(n)/h and
+	// patch any uncovered path. O(|S|*h + n) rounds.
+	RandomSample
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Deterministic:
+		return "deterministic"
+	case Randomized:
+		return "randomized"
+	case Greedy:
+		return "greedy"
+	default:
+		return "randomsample"
+	}
+}
+
+// Params configures the construction. Zero values select the paper's
+// defaults (eps = delta = 1/12, linear-size sample enumeration).
+type Params struct {
+	Mode Mode
+	// Eps and Delta are the constants of Algorithm 2, both required to be
+	// in (0, 1/12] by the analysis; the implementation accepts up to 1/2
+	// for experimentation.
+	Eps, Delta float64
+	// SampleMult: the deterministic search enumerates SampleMult*n sample
+	// points of the affine space (default 4), unless UseFullSpace is set.
+	SampleMult int
+	// UseFullSpace enumerates the entire 2^(2K)-point affine space
+	// (exhaustive search; small n only).
+	UseFullSpace bool
+	// Seed drives the Randomized and RandomSample modes.
+	Seed int64
+	// MaxSelectionSteps caps the selection loop (safety net); 0 means
+	// automatic (16n + 1024).
+	MaxSelectionSteps int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Eps <= 0 || p.Eps > 0.5 {
+		p.Eps = 1.0 / 12
+	}
+	if p.Delta <= 0 || p.Delta > 0.5 {
+		p.Delta = 1.0 / 12
+	}
+	if p.SampleMult <= 0 {
+		p.SampleMult = 4
+	}
+	return p
+}
+
+// Stats reports what the construction did; the benchmark harness turns
+// these into the EXPERIMENTS.md series.
+type Stats struct {
+	SelectionSteps    int // iterations of the while loop (Steps 6-16)
+	SingleSelections  int // Step 9/10 firings (one high-coverage node)
+	GoodSetSelections int // Steps 11-14 / Algorithm 7 firings
+	FallbackSteps     int // enumerated slice had no good point; single-best used
+	RandomRetries     int // Randomized mode: re-drawn sets that were not good
+	StagesVisited     int // stages with nonempty V_i
+	PhasesVisited     int // phases entered within visited stages
+	Rounds            int // CONGEST rounds consumed by the construction
+	// GoodPoints / PointsScanned measure Lemma 3.8 empirically: across all
+	// deterministic good-set searches, how many enumerated sample points
+	// satisfied Definition 3.1 (the lemma predicts a >= 1/8 fraction over
+	// the full pairwise-independent space).
+	GoodPoints, PointsScanned int64
+}
+
+// Result is a computed blocker set.
+type Result struct {
+	Q     []int  // blocker node ids, ascending
+	InQ   []bool // membership indicator
+	Stats Stats
+}
+
+// Compute builds a blocker set for the full-length (depth-H) paths of coll.
+// It consumes rounds on nw according to the selected algorithm.
+func Compute(nw *congest.Network, coll *csssp.Collection, par Params) (*Result, error) {
+	par = par.withDefaults()
+	switch par.Mode {
+	case Greedy:
+		return computeGreedy(nw, coll)
+	case RandomSample:
+		return computeRandomSample(nw, coll, par)
+	default:
+		return computeSetCover(nw, coll, par)
+	}
+}
+
+// state carries the shared knowledge of the set-cover algorithm. Fields
+// marked "global knowledge" are values that every node holds identical
+// copies of after the corresponding broadcast; keeping one copy is the
+// simulator's equivalent.
+type state struct {
+	nw   *congest.Network
+	coll *csssp.Collection
+	par  Params
+	n, h int
+	tree *broadcast.Tree // BFS tree rooted at the leader (node 0)
+
+	anc [][][]int32 // anc[i][v]: proper ancestors of v in tree i, root excluded
+
+	score    []int64 // global knowledge after broadcastScores
+	inVi     []bool  // current V_i (derived locally from score)
+	viSize   int
+	leafBeta [][]int64 // leafBeta[i][v]: |V_i ∩ path(i,v)| for alive full-length leaves; global knowledge
+	inQ      []bool
+	q        []int
+	stats    Stats
+}
+
+func computeSetCover(nw *congest.Network, coll *csssp.Collection, par Params) (*Result, error) {
+	n := nw.N()
+	st := &state{
+		nw: nw, coll: coll, par: par,
+		n: n, h: coll.H,
+		inQ: make([]bool, n),
+	}
+	maxSteps := par.MaxSelectionSteps
+	if maxSteps == 0 {
+		maxSteps = 16*n + 1024
+	}
+
+	roundsBefore := nw.Stats.Rounds
+	var err error
+	st.tree, err = broadcast.BuildBFS(nw, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Step 1 of Algorithm 7: every node collects the ids on each of its
+	// tree paths (pipelined Ancestors of [2]; O(|S|*h) rounds). Removals
+	// only delete whole paths, so the lists stay valid throughout.
+	st.anc = make([][][]int32, coll.NumTrees())
+	for i := range coll.Sources {
+		st.anc[i], err = collectAncestors(nw, coll, i)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Step 1 of Algorithm 2: compute score(v) ([2], O(|S|*h) rounds), then
+	// broadcast all scores so V_i construction is local at every stage
+	// (one all-to-all replaces the per-stage id broadcast of Lemma 3.2).
+	if err := st.recomputeScores(); err != nil {
+		return nil, err
+	}
+
+	onePlusEps := 1 + st.par.Eps
+	maxStage := int(math.Ceil(math.Log(float64(n)*float64(n))/math.Log(onePlusEps))) + 1
+	maxPhase := int(math.Ceil(math.Log(float64(st.h))/math.Log(onePlusEps))) + 1
+	if maxPhase < 1 {
+		maxPhase = 1
+	}
+
+	for i := maxStage; i >= 1; i-- {
+		stageLo := math.Pow(onePlusEps, float64(i-1))
+		stageHi := math.Pow(onePlusEps, float64(i))
+		if !st.rebuildVi(stageLo) {
+			continue // V_i empty: known locally from the score broadcast
+		}
+		st.stats.StagesVisited++
+		needRefresh := true
+		for j := maxPhase; j >= 1; j-- {
+			phaseLo := math.Pow(onePlusEps, float64(j-1))
+			st.stats.PhasesVisited++
+			for {
+				if st.stats.SelectionSteps > maxSteps {
+					return nil, fmt.Errorf("blocker: selection steps exceeded safety cap %d", maxSteps)
+				}
+				if needRefresh {
+					// Steps 3-4 / 7(a): Compute-Pi/Pij downcasts per tree,
+					// then one all-to-all of per-leaf beta values so that
+					// every node can evaluate |P_ij| for every j locally
+					// (Algorithm 5).
+					if err := st.refreshBetas(); err != nil {
+						return nil, err
+					}
+					needRefresh = false
+				}
+				pijLeaf, pijSize := st.pijLeaves(phaseLo)
+				if pijSize == 0 {
+					break // phase done
+				}
+				st.stats.SelectionSteps++
+				// Step 8: scoreij via per-tree upcasts + broadcast.
+				scoreij, err := st.computeScoreij(pijLeaf)
+				if err != nil {
+					return nil, err
+				}
+				// Step 9: a single node covering > delta^3/(1+eps) of P_ij?
+				thr := st.par.Delta * st.par.Delta * st.par.Delta / onePlusEps * float64(pijSize)
+				best, bestVal := -1, int64(0)
+				for v := 0; v < n; v++ {
+					if st.inVi[v] && (scoreij[v] > bestVal || (scoreij[v] == bestVal && bestVal > 0 && best >= 0 && v < best)) {
+						best, bestVal = v, scoreij[v]
+					}
+				}
+				var chosen []int
+				if best >= 0 && float64(bestVal) > thr {
+					chosen = []int{best} // Step 10
+					st.stats.SingleSelections++
+				} else {
+					chosen, err = st.selectGoodSet(i, j, stageHi, pijLeaf, pijSize, scoreij, best)
+					if err != nil {
+						return nil, err
+					}
+				}
+				if err := st.commit(chosen); err != nil {
+					return nil, err
+				}
+				st.rebuildVi(stageLo)
+				needRefresh = true
+			}
+		}
+	}
+	// Sanity: the set-cover loop must have covered everything (Lemma A.7).
+	if remaining := countFullPaths(coll); remaining != 0 {
+		return nil, fmt.Errorf("blocker: %d full-length paths remain uncovered", remaining)
+	}
+	st.stats.Rounds = nw.Stats.Rounds - roundsBefore
+	sort.Ints(st.q)
+	return &Result{Q: st.q, InQ: st.inQ, Stats: st.stats}, nil
+}
+
+// rebuildVi recomputes V_i = {v : score(v) >= lo} locally (scores are
+// global knowledge). It reports whether V_i is nonempty.
+func (st *state) rebuildVi(lo float64) bool {
+	st.inVi = make([]bool, st.n)
+	st.viSize = 0
+	for v := 0; v < st.n; v++ {
+		if float64(st.score[v]) >= lo {
+			st.inVi[v] = true
+			st.viSize++
+		}
+	}
+	return st.viSize > 0
+}
+
+// recomputeScores runs the per-tree subtree-count upcasts ([2]'s score
+// algorithm; O(|S|*h) rounds) and broadcasts all scores (O(n)).
+func (st *state) recomputeScores() error {
+	n := st.n
+	score := make([]int64, n)
+	init := make([]int64, n)
+	for i := range st.coll.Sources {
+		for v := 0; v < n; v++ {
+			if st.coll.InTree(i, v) && st.coll.Depth[i][v] == st.h {
+				init[v] = 1
+			} else {
+				init[v] = 0
+			}
+		}
+		counts, err := st.coll.UpcastSum(st.nw, i, init)
+		if err != nil {
+			return err
+		}
+		root := st.coll.Sources[i]
+		for v := 0; v < n; v++ {
+			if v != root && st.coll.InTree(i, v) {
+				score[v] += counts[v]
+			}
+		}
+	}
+	// All-to-all broadcast of (id, score) items: O(n) rounds (Lemma A.2).
+	perNode := make([][]broadcast.Item, n)
+	for v := 0; v < n; v++ {
+		if score[v] > 0 {
+			perNode[v] = []broadcast.Item{{A: int64(v), B: score[v]}}
+		}
+	}
+	if _, err := broadcast.AllToAll(st.nw, st.tree, perNode); err != nil {
+		return err
+	}
+	st.score = score
+	return nil
+}
+
+// refreshBetas recomputes leafBeta (the |V_i ∩ path| counts) with the
+// Compute-Pij downcast per tree, then shares the per-leaf values by one
+// all-to-all broadcast so every node can evaluate any |P_ij| locally.
+func (st *state) refreshBetas() error {
+	st.leafBeta = make([][]int64, st.coll.NumTrees())
+	items := make([][]broadcast.Item, st.n)
+	for i := range st.coll.Sources {
+		beta, err := computePijDowncast(st.nw, st.coll, i, st.inVi)
+		if err != nil {
+			return err
+		}
+		st.leafBeta[i] = make([]int64, st.n)
+		for v := 0; v < st.n; v++ {
+			if st.coll.InTree(i, v) && st.coll.Depth[i][v] == st.h {
+				st.leafBeta[i][v] = beta[v]
+				if beta[v] > 0 {
+					items[v] = append(items[v], broadcast.Item{A: int64(v), B: int64(i), C: beta[v]})
+				}
+			}
+		}
+	}
+	// Per-leaf betas: at most one item per (leaf, tree) pair with a V_i
+	// node; the all-to-all is O(n + K) rounds for K items (Lemma A.2).
+	if _, err := broadcast.AllToAll(st.nw, st.tree, items); err != nil {
+		return err
+	}
+	return nil
+}
+
+// pijLeaves returns the indicator of alive full-length paths with at least
+// phaseLo V_i-nodes, keyed (tree, leaf), plus their count.
+func (st *state) pijLeaves(phaseLo float64) ([][]bool, int) {
+	out := make([][]bool, st.coll.NumTrees())
+	size := 0
+	for i := range st.coll.Sources {
+		out[i] = make([]bool, st.n)
+		for v := 0; v < st.n; v++ {
+			if st.coll.InTree(i, v) && st.coll.Depth[i][v] == st.h && float64(st.leafBeta[i][v]) >= phaseLo {
+				out[i][v] = true
+				size++
+			}
+		}
+	}
+	return out, size
+}
+
+// computeScoreij computes scoreij(v) = #paths of P_ij containing v via one
+// upcast per tree (a result from [2], Step 8 of Algorithm 2), then
+// broadcasts the values (O(n)).
+func (st *state) computeScoreij(pijLeaf [][]bool) ([]int64, error) {
+	n := st.n
+	scoreij := make([]int64, n)
+	init := make([]int64, n)
+	for i := range st.coll.Sources {
+		any := false
+		for v := 0; v < n; v++ {
+			if pijLeaf[i][v] {
+				init[v] = 1
+				any = true
+			} else {
+				init[v] = 0
+			}
+		}
+		if !any {
+			continue
+		}
+		counts, err := st.coll.UpcastSum(st.nw, i, init)
+		if err != nil {
+			return nil, err
+		}
+		root := st.coll.Sources[i]
+		for v := 0; v < n; v++ {
+			if v != root && st.coll.InTree(i, v) {
+				scoreij[v] += counts[v]
+			}
+		}
+	}
+	perNode := make([][]broadcast.Item, n)
+	for v := 0; v < n; v++ {
+		if scoreij[v] > 0 {
+			perNode[v] = []broadcast.Item{{A: int64(v), B: scoreij[v]}}
+		}
+	}
+	if _, err := broadcast.AllToAll(st.nw, st.tree, perNode); err != nil {
+		return nil, err
+	}
+	return scoreij, nil
+}
+
+// commit adds the chosen nodes to Q, removes the subtrees they root
+// (Step 15, Algorithm 6), and recomputes scores (Step 16).
+func (st *state) commit(chosen []int) error {
+	if len(chosen) == 0 {
+		return fmt.Errorf("blocker: empty selection committed")
+	}
+	inZ := make([]bool, st.n)
+	for _, v := range chosen {
+		if !st.inQ[v] {
+			st.inQ[v] = true
+			st.q = append(st.q, v)
+		}
+		inZ[v] = true
+	}
+	if err := st.coll.RemoveSubtrees(st.nw, inZ, true); err != nil {
+		return err
+	}
+	return st.recomputeScores()
+}
+
+// countFullPaths counts the alive full-length paths of the collection.
+func countFullPaths(coll *csssp.Collection) int {
+	total := 0
+	for i := range coll.Sources {
+		total += len(coll.FullLengthLeaves(i))
+	}
+	return total
+}
+
+// Verify checks that q hits every full-length root-to-leaf path of a
+// (freshly built, unremoved) collection; used by tests and by the
+// RandomSample patch-up. Root nodes do not count as coverage (hyperedges
+// exclude the root).
+func Verify(coll *csssp.Collection, inQ []bool) error {
+	for i := range coll.Sources {
+		for _, leaf := range coll.FullLengthLeaves(i) {
+			pv := coll.PathVertices(i, leaf)
+			covered := false
+			for _, u := range pv {
+				if inQ[u] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return fmt.Errorf("blocker: path (tree %d, leaf %d) uncovered", i, leaf)
+			}
+		}
+	}
+	return nil
+}

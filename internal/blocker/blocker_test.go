@@ -1,0 +1,228 @@
+package blocker
+
+import (
+	"math"
+	"testing"
+
+	"congestapsp/internal/bford"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/csssp"
+	"congestapsp/internal/graph"
+)
+
+func buildColl(t testing.TB, g *graph.Graph, h int, mode bford.Mode) (*csssp.Collection, *congest.Network) {
+	t.Helper()
+	nw, err := congest.NewNetwork(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]int, g.N)
+	for i := range srcs {
+		srcs[i] = i
+	}
+	coll, err := csssp.Build(nw, g, srcs, h, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coll, nw
+}
+
+// verifyAgainstFresh rebuilds the collection and checks q covers every
+// full-length path (Compute consumes the collection via removals).
+func verifyAgainstFresh(t *testing.T, g *graph.Graph, h int, mode bford.Mode, res *Result) {
+	t.Helper()
+	fresh, _ := buildColl(t, g, h, mode)
+	if err := Verify(fresh, res.InQ); err != nil {
+		t.Errorf("blocker invalid: %v", err)
+	}
+}
+
+func TestDeterministicCoversAllFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		h    int
+	}{
+		{"random-undir", graph.RandomConnected(graph.GenConfig{N: 28, Seed: 1, MaxWeight: 9}, 80), 3},
+		{"random-dir", graph.RandomConnected(graph.GenConfig{N: 24, Directed: true, Seed: 2, MaxWeight: 9}, 80), 3},
+		{"grid", graph.Grid(4, 6, graph.GenConfig{Seed: 3, MaxWeight: 9}), 3},
+		{"ring", graph.Ring(graph.GenConfig{N: 20, Seed: 4, MaxWeight: 9}), 4},
+		{"layered", graph.Layered(6, 3, graph.GenConfig{Seed: 5, MaxWeight: 9}), 3},
+		{"star", graph.Star(graph.GenConfig{N: 18, Seed: 6, MaxWeight: 9}), 2},
+		{"zeromix", graph.ZeroWeightMix(graph.GenConfig{N: 22, Seed: 7, MaxWeight: 9}, 60), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			coll, nw := buildColl(t, tc.g, tc.h, bford.Out)
+			res, err := Compute(nw, coll, Params{Mode: Deterministic})
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyAgainstFresh(t, tc.g, tc.h, bford.Out, res)
+			if res.Stats.Rounds <= 0 {
+				t.Error("no rounds recorded")
+			}
+		})
+	}
+}
+
+func TestDeterministicIsDeterministic(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 26, Directed: true, Seed: 11, MaxWeight: 12}, 90)
+	run := func() *Result {
+		coll, nw := buildColl(t, g, 3, bford.Out)
+		res, err := Compute(nw, coll, Params{Mode: Deterministic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Q) != len(b.Q) {
+		t.Fatalf("|Q| differs across runs: %d vs %d", len(a.Q), len(b.Q))
+	}
+	for i := range a.Q {
+		if a.Q[i] != b.Q[i] {
+			t.Fatalf("Q differs at %d: %d vs %d", i, a.Q[i], b.Q[i])
+		}
+	}
+	if a.Stats.Rounds != b.Stats.Rounds {
+		t.Errorf("round counts differ: %d vs %d", a.Stats.Rounds, b.Stats.Rounds)
+	}
+}
+
+func TestRandomizedCovers(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 24, Seed: 21, MaxWeight: 9}, 70)
+	coll, nw := buildColl(t, g, 3, bford.Out)
+	res, err := Compute(nw, coll, Params{Mode: Randomized, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyAgainstFresh(t, g, 3, bford.Out, res)
+}
+
+func TestGreedyCovers(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 26, Directed: true, Seed: 31, MaxWeight: 9}, 90)
+	coll, nw := buildColl(t, g, 3, bford.Out)
+	res, err := Compute(nw, coll, Params{Mode: Greedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyAgainstFresh(t, g, 3, bford.Out, res)
+	if res.Stats.SelectionSteps != len(res.Q) {
+		t.Errorf("greedy picks %d != |Q| %d", res.Stats.SelectionSteps, len(res.Q))
+	}
+}
+
+func TestRandomSampleCovers(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 30, Seed: 41, MaxWeight: 9}, 90)
+	coll, nw := buildColl(t, g, 3, bford.Out)
+	res, err := Compute(nw, coll, Params{Mode: RandomSample, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyAgainstFresh(t, g, 3, bford.Out, res)
+}
+
+func TestSizeBoundLemma310(t *testing.T) {
+	// Lemma 3.10: |Q| = O(n log n / h). Check a generous constant on a
+	// path-heavy workload for all four modes.
+	g := graph.Layered(8, 4, graph.GenConfig{Seed: 51, MaxWeight: 9})
+	h := 4
+	bound := 8.0 * float64(g.N) * math.Log(float64(g.N)) / float64(h)
+	for _, mode := range []Mode{Deterministic, Randomized, Greedy, RandomSample} {
+		coll, nw := buildColl(t, g, h, bford.Out)
+		res, err := Compute(nw, coll, Params{Mode: mode, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if float64(len(res.Q)) > bound {
+			t.Errorf("%v: |Q| = %d exceeds bound %.0f", mode, len(res.Q), bound)
+		}
+	}
+}
+
+func TestEmptyWhenNoFullPaths(t *testing.T) {
+	// h larger than any tree height: nothing to cover, Q must be empty.
+	g := graph.Star(graph.GenConfig{N: 10, Seed: 61, MaxWeight: 5})
+	coll, nw := buildColl(t, g, 5, bford.Out)
+	for i := range coll.Sources {
+		if leaves := coll.FullLengthLeaves(i); len(leaves) != 0 {
+			t.Fatalf("star with h=5 has full-length leaves %v in tree %d", leaves, i)
+		}
+	}
+	res, err := Compute(nw, coll, Params{Mode: Deterministic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Q) != 0 {
+		t.Errorf("Q = %v, want empty", res.Q)
+	}
+}
+
+func TestInTreeCollectionBlocker(t *testing.T) {
+	// Algorithms 8/9 build blockers over in-CSSSP collections; exercise
+	// that orientation.
+	g := graph.RandomConnected(graph.GenConfig{N: 22, Directed: true, Seed: 71, MaxWeight: 9}, 70)
+	coll, nw := buildColl(t, g, 3, bford.In)
+	res, err := Compute(nw, coll, Params{Mode: Deterministic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyAgainstFresh(t, g, 3, bford.In, res)
+}
+
+func TestSelectionPathsExercised(t *testing.T) {
+	// With the paper's tiny delta, single-node selection dominates at small
+	// n; a larger delta drives the good-set machinery. Both must cover.
+	g := graph.Layered(7, 4, graph.GenConfig{Seed: 81, MaxWeight: 9})
+	coll, nw := buildColl(t, g, 3, bford.Out)
+	res, err := Compute(nw, coll, Params{Mode: Deterministic, Eps: 0.25, Delta: 0.45, UseFullSpace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyAgainstFresh(t, g, 3, bford.Out, res)
+	if res.Stats.GoodSetSelections+res.Stats.FallbackSteps == 0 {
+		t.Logf("warning: good-set path not exercised (singles=%d)", res.Stats.SingleSelections)
+	}
+	if res.Stats.SelectionSteps == 0 {
+		t.Error("no selection steps recorded despite full-length paths")
+	}
+}
+
+func TestVerifyDetectsUncovered(t *testing.T) {
+	g := graph.Ring(graph.GenConfig{N: 12, Seed: 91, MaxWeight: 5})
+	coll, _ := buildColl(t, g, 3, bford.Out)
+	inQ := make([]bool, g.N) // empty set cannot cover a ring's paths
+	if err := Verify(coll, inQ); err == nil {
+		t.Error("Verify accepted an empty blocker for a ring")
+	}
+}
+
+func TestScoreBroadcastKnowledge(t *testing.T) {
+	// After Compute, the collection must have no alive full-length leaves.
+	g := graph.Grid(3, 7, graph.GenConfig{Seed: 95, MaxWeight: 6})
+	coll, nw := buildColl(t, g, 3, bford.Out)
+	if _, err := Compute(nw, coll, Params{Mode: Deterministic}); err != nil {
+		t.Fatal(err)
+	}
+	if c := countFullPaths(coll); c != 0 {
+		t.Errorf("%d full-length paths alive after Compute", c)
+	}
+}
+
+func TestDeterministicRoundsScaleWithSh(t *testing.T) {
+	// Corollary 3.13: O~(|S|*h) rounds. Sanity-check that the round count
+	// stays within a polylog factor of |S|*h on a mid-size instance.
+	g := graph.RandomConnected(graph.GenConfig{N: 32, Seed: 97, MaxWeight: 9}, 100)
+	h := 3
+	coll, nw := buildColl(t, g, h, bford.Out)
+	res, err := Compute(nw, coll, Params{Mode: Deterministic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := float64(g.N * h)
+	logn := math.Log2(float64(g.N))
+	if float64(res.Stats.Rounds) > 60*sh*logn {
+		t.Errorf("rounds = %d, want within polylog of |S|h = %.0f", res.Stats.Rounds, sh)
+	}
+}

@@ -1,0 +1,108 @@
+// Package blocker implements the paper's deterministic blocker-set
+// construction (Section 3: Algorithms 2-7 and the helper Algorithms 11-12),
+// its randomized pairwise-independence variant, and two baselines (the
+// greedy construction of Agarwal et al. PODC'18 [2] and random sampling).
+//
+// A blocker set Q for an h-hop tree collection C is a set of nodes hitting
+// every root-to-leaf path of length exactly h in every tree (Definition
+// 2.2). The deterministic algorithm runs in O~(|S| * h) rounds
+// (Corollary 3.13), removing the n*|Q| term of the earlier greedy
+// constructions.
+package blocker
+
+import (
+	"fmt"
+
+	"congestapsp/internal/congest"
+	"congestapsp/internal/csssp"
+)
+
+// Message kinds for the per-tree protocols.
+const (
+	kindAncestor uint8 = iota + 20
+	kindBeta
+)
+
+// collectAncestors runs the pipelined Ancestors protocol of [2] (Step 1 of
+// Algorithm 7) on tree i: every node learns the ids of its proper ancestors
+// up to but excluding the root, ordered nearest-first. Cost: H+1 rounds
+// (each node sends its own id at round 0 and forwards received ids FIFO).
+func collectAncestors(nw *congest.Network, coll *csssp.Collection, i int) ([][]int32, error) {
+	n := nw.N()
+	h := coll.H
+	root := coll.Sources[i]
+	ch := coll.Children(i)
+	anc := make([][]int32, n)
+	pending := make([][]int32, n) // ids received, not yet forwarded
+	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+		for _, m := range in {
+			if m.Kind == kindAncestor {
+				anc[v] = append(anc[v], int32(m.A))
+				pending[v] = append(pending[v], int32(m.A))
+			}
+		}
+		if coll.InTree(i, v) && round <= h {
+			if round == 0 && v != root {
+				// Send own id to children (the root's id is excluded from
+				// ancestor lists: hyperedges drop the root).
+				for _, c := range ch[v] {
+					send(congest.Message{To: c, Kind: kindAncestor, A: int64(v)})
+				}
+			} else if len(pending[v]) > 0 {
+				id := pending[v][0]
+				pending[v] = pending[v][1:]
+				for _, c := range ch[v] {
+					send(congest.Message{To: c, Kind: kindAncestor, A: int64(id)})
+				}
+			}
+		}
+		return round >= h
+	})
+	if err := nw.RunFor(p, h+1); err != nil {
+		return nil, fmt.Errorf("blocker: ancestors tree %d: %w", i, err)
+	}
+	return anc, nil
+}
+
+// computePijDowncast runs Compute-Pij (Algorithm 4): a downcast through
+// tree i accumulating the number of marked (in-Vi) nodes on each
+// root-to-node path, root excluded. It returns beta[v] for every tree node.
+// Compute-Pi (Algorithm 3) is the special case "beta >= 1". Cost: H+1
+// rounds.
+func computePijDowncast(nw *congest.Network, coll *csssp.Collection, i int, inVi []bool) ([]int64, error) {
+	n := nw.N()
+	h := coll.H
+	root := coll.Sources[i]
+	ch := coll.Children(i)
+	beta := make([]int64, n)
+	have := make([]bool, n)
+	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+		if round == 0 && v == root && coll.InTree(i, v) {
+			// The root's own membership is not counted (hyperedges exclude
+			// the root), so it forwards beta = 0.
+			have[v] = true
+			for _, c := range ch[v] {
+				send(congest.Message{To: c, Kind: kindBeta, A: 0})
+			}
+			return true
+		}
+		for _, m := range in {
+			if m.Kind != kindBeta || have[v] || !coll.InTree(i, v) {
+				continue
+			}
+			have[v] = true
+			beta[v] = m.A
+			if inVi[v] {
+				beta[v]++
+			}
+			for _, c := range ch[v] {
+				send(congest.Message{To: c, Kind: kindBeta, A: beta[v]})
+			}
+		}
+		return round >= 1 // runs until the fixed budget; done flags are advisory
+	})
+	if err := nw.RunFor(p, h+1); err != nil {
+		return nil, fmt.Errorf("blocker: compute-Pij tree %d: %w", i, err)
+	}
+	return beta, nil
+}

@@ -1,0 +1,257 @@
+// Package broadcast implements the communication primitives of Appendix A.1
+// of the paper on top of the CONGEST simulator:
+//
+//   - Lemma A.1: a node can broadcast k values to all nodes in O(n+k) rounds.
+//   - Lemma A.2: all nodes can broadcast one value each to all nodes in O(n)
+//     rounds.
+//
+// Both are realized by pipelining items over a BFS spanning tree of the
+// communication graph: a convergecast ("gather") moves items to the root in
+// O(depth + K) rounds and a pipelined flood ("broadcast") moves them from
+// the root to everyone in O(depth + K) rounds, where K is the total number
+// of items. The package also exposes the BFS-tree construction itself
+// (flooding, O(diameter) rounds), which Step 2 of Algorithm 7 uses.
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"congestapsp/internal/congest"
+)
+
+// Item is one pipelined value: three machine words of payload. By
+// convention A carries a node id when the item is attributed to a source.
+// An Item costs one bandwidth unit on a link, matching the paper's
+// "constant number of ids and distance values per edge per round".
+type Item struct {
+	A, B, C int64
+}
+
+// Tree is a rooted BFS spanning tree of the communication graph.
+type Tree struct {
+	Root     int
+	Parent   []int // Parent[root] = -1
+	Depth    []int
+	Children [][]int
+	Height   int
+}
+
+// Message kinds used by the protocols in this package.
+const (
+	kindBFSExplore uint8 = iota + 1
+	kindGather
+	kindFlood
+)
+
+// BuildBFS constructs a BFS spanning tree rooted at root by distributed
+// flooding. It consumes O(diameter) rounds on nw and returns the tree. An
+// error is returned if the communication graph is disconnected.
+func BuildBFS(nw *congest.Network, root int) (*Tree, error) {
+	n := nw.N()
+	parent := make([]int, n)
+	depth := make([]int, n)
+	joined := make([]bool, n)
+	for v := range parent {
+		parent[v] = -1
+		depth[v] = -1
+	}
+	joined[root] = true
+	depth[root] = 0
+
+	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+		if round == 0 {
+			if v == root {
+				for _, u := range nw.Neighbors(v) {
+					send(congest.Message{To: u, Kind: kindBFSExplore, A: int64(depth[v])})
+				}
+			}
+			return v != root
+		}
+		if joined[v] {
+			return true
+		}
+		// First round with an explore message: join under the smallest-id
+		// sender (deterministic), then propagate.
+		best := -1
+		var d int64
+		for _, m := range in {
+			if m.Kind != kindBFSExplore {
+				continue
+			}
+			if best == -1 || m.From < best {
+				best = m.From
+				d = m.A
+			}
+		}
+		if best == -1 {
+			return false
+		}
+		joined[v] = true
+		parent[v] = best
+		depth[v] = int(d) + 1
+		for _, u := range nw.Neighbors(v) {
+			if u != best {
+				send(congest.Message{To: u, Kind: kindBFSExplore, A: int64(depth[v])})
+			}
+		}
+		return true
+	})
+	if _, err := nw.Run(p, n+2); err != nil {
+		return nil, fmt.Errorf("broadcast: BFS construction: %w", err)
+	}
+	t := &Tree{Root: root, Parent: parent, Depth: depth, Children: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		if v == root {
+			continue
+		}
+		if !joined[v] {
+			return nil, fmt.Errorf("broadcast: node %d unreachable from root %d (communication graph disconnected)", v, root)
+		}
+		t.Children[parent[v]] = append(t.Children[parent[v]], v)
+		if depth[v] > t.Height {
+			t.Height = depth[v]
+		}
+	}
+	for v := range t.Children {
+		sort.Ints(t.Children[v])
+	}
+	return t, nil
+}
+
+// Gather convergecasts all items to the tree root, pipelined at the
+// network bandwidth. perNode[v] is the list of items originating at v. The
+// returned slice is the collection now known at the root, sorted
+// canonically. Rounds consumed: O(height + K/bandwidth), K total items.
+func Gather(nw *congest.Network, t *Tree, perNode [][]Item) ([]Item, error) {
+	n := nw.N()
+	queue := make([][]Item, n)
+	totalBelow := make([]int, n) // items that must pass through v (own + strict descendants)
+	for v := 0; v < n; v++ {
+		queue[v] = append(queue[v], perNode[v]...)
+	}
+	// Compute per-node totals bottom-up (local knowledge in a real system
+	// would be a convergecast of counts; the schedule below does not depend
+	// on these values, they only drive the done flags).
+	order := byDepthDesc(t)
+	for _, v := range order {
+		totalBelow[v] += len(perNode[v])
+		if v != t.Root {
+			totalBelow[t.Parent[v]] += totalBelow[v]
+		}
+	}
+	sent := make([]int, n)
+	var collected []Item
+
+	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+		for _, m := range in {
+			if m.Kind != kindGather {
+				continue
+			}
+			it := Item{m.A, m.B, m.C}
+			if v == t.Root {
+				collected = append(collected, it)
+			} else {
+				queue[v] = append(queue[v], it)
+			}
+		}
+		if v == t.Root {
+			// The root's own items never travel; it waits only for the
+			// strict-descendant items.
+			return len(collected) >= totalBelow[v]-len(perNode[v])
+		}
+		b := nw.Bandwidth
+		for b > 0 && len(queue[v]) > 0 {
+			it := queue[v][0]
+			queue[v] = queue[v][1:]
+			send(congest.Message{To: t.Parent[v], Kind: kindGather, A: it.A, B: it.B, C: it.C})
+			sent[v]++
+			b--
+		}
+		return sent[v] >= totalBelow[v]
+	})
+	total := totalBelow[t.Root]
+	budget := t.Height + total + 4
+	if _, err := nw.Run(p, budget+n); err != nil {
+		return nil, fmt.Errorf("broadcast: gather: %w", err)
+	}
+	collected = append(collected, perNode[t.Root]...)
+	sortItems(collected)
+	return collected, nil
+}
+
+// Broadcast floods the root's items to every node, pipelined. After it
+// returns, every node knows all items (Lemma A.1: O(n + k) rounds; with the
+// BFS tree it is O(height + k) here). The items are returned in canonical
+// order as the view every node now holds.
+func Broadcast(nw *congest.Network, t *Tree, items []Item) ([]Item, error) {
+	n := nw.N()
+	k := len(items)
+	recvd := make([][]Item, n)
+	fwd := make([]int, n) // next index to forward to children
+
+	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+		for _, m := range in {
+			if m.Kind != kindFlood {
+				continue
+			}
+			recvd[v] = append(recvd[v], Item{m.A, m.B, m.C})
+		}
+		var src []Item
+		if v == t.Root {
+			src = items
+		} else {
+			src = recvd[v]
+		}
+		b := nw.Bandwidth
+		for b > 0 && fwd[v] < len(src) {
+			it := src[fwd[v]]
+			fwd[v]++
+			for _, c := range t.Children[v] {
+				send(congest.Message{To: c, Kind: kindFlood, A: it.A, B: it.B, C: it.C})
+			}
+			b--
+		}
+		return fwd[v] >= k && (v == t.Root || len(recvd[v]) >= k)
+	})
+	if _, err := nw.Run(p, t.Height+k+4+n); err != nil {
+		return nil, fmt.Errorf("broadcast: broadcast: %w", err)
+	}
+	out := append([]Item(nil), items...)
+	sortItems(out)
+	return out, nil
+}
+
+// AllToAll implements Lemma A.2 generalized to multiple items per node:
+// every node contributes perNode[v] and afterwards every node knows the
+// union. Rounds: O(height + K/bandwidth) for gather plus the same for the
+// downward flood, i.e. O(n + K) in the worst case, matching O(n) for one
+// item per node.
+func AllToAll(nw *congest.Network, t *Tree, perNode [][]Item) ([]Item, error) {
+	up, err := Gather(nw, t, perNode)
+	if err != nil {
+		return nil, err
+	}
+	return Broadcast(nw, t, up)
+}
+
+func byDepthDesc(t *Tree) []int {
+	order := make([]int, len(t.Parent))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return t.Depth[order[i]] > t.Depth[order[j]] })
+	return order
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].A != items[j].A {
+			return items[i].A < items[j].A
+		}
+		if items[i].B != items[j].B {
+			return items[i].B < items[j].B
+		}
+		return items[i].C < items[j].C
+	})
+}

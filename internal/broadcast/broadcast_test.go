@@ -1,0 +1,222 @@
+package broadcast
+
+import (
+	"testing"
+
+	"congestapsp/internal/congest"
+	"congestapsp/internal/graph"
+)
+
+func newNet(t *testing.T, g *graph.Graph, bw int) *congest.Network {
+	t.Helper()
+	nw, err := congest.NewNetwork(g, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestBuildBFSPath(t *testing.T) {
+	g := graph.New(5, false)
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	nw := newNet(t, g, 1)
+	tr, err := BuildBFS(nw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height != 4 {
+		t.Errorf("height = %d, want 4", tr.Height)
+	}
+	for v := 1; v < 5; v++ {
+		if tr.Parent[v] != v-1 {
+			t.Errorf("parent[%d] = %d, want %d", v, tr.Parent[v], v-1)
+		}
+		if tr.Depth[v] != v {
+			t.Errorf("depth[%d] = %d, want %d", v, tr.Depth[v], v)
+		}
+	}
+	if nw.Stats.Rounds == 0 || nw.Stats.Rounds > g.N+2 {
+		t.Errorf("BFS rounds = %d, want O(diameter) <= %d", nw.Stats.Rounds, g.N+2)
+	}
+}
+
+func TestBuildBFSDepthsAreShortest(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 50, Seed: 3, MaxWeight: 5}, 120)
+	nw := newNet(t, g, 1)
+	tr, err := BuildBFS(nw, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS depth must equal unweighted shortest hop distance in UG.
+	ug := g.UnderlyingUndirected()
+	unit := graph.New(ug.N, false)
+	for _, e := range ug.Edges() {
+		unit.MustAddEdge(e.U, e.V, 1)
+	}
+	d := graph.Dijkstra(unit, 7)
+	for v := 0; v < g.N; v++ {
+		if int64(tr.Depth[v]) != d[v] {
+			t.Errorf("depth[%d] = %d, want %d", v, tr.Depth[v], d[v])
+		}
+	}
+}
+
+func TestBuildBFSDisconnected(t *testing.T) {
+	g := graph.New(4, false)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	nw := newNet(t, g, 1)
+	if _, err := BuildBFS(nw, 0); err == nil {
+		t.Error("disconnected graph not reported")
+	}
+}
+
+func TestGatherCollectsAll(t *testing.T) {
+	g := graph.Grid(4, 5, graph.GenConfig{Seed: 1, MaxWeight: 3})
+	nw := newNet(t, g, 1)
+	tr, err := BuildBFS(nw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := make([][]Item, g.N)
+	want := 0
+	for v := 0; v < g.N; v++ {
+		for j := 0; j <= v%3; j++ {
+			perNode[v] = append(perNode[v], Item{A: int64(v), B: int64(j), C: int64(v * j)})
+			want++
+		}
+	}
+	got, err := Gather(nw, tr, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Fatalf("gathered %d items, want %d", len(got), want)
+	}
+	// Spot-check presence and canonical sorting.
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.A > b.A || (a.A == b.A && a.B > b.B) {
+			t.Fatalf("items not sorted at %d: %v %v", i, a, b)
+		}
+	}
+}
+
+func TestGatherRoundsPipelined(t *testing.T) {
+	// On a path of length L with K items at the far end, pipelined gather
+	// must take O(L + K), not O(L * K).
+	L, K := 20, 30
+	g := graph.New(L+1, false)
+	for i := 0; i < L; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	nw := newNet(t, g, 1)
+	tr, err := BuildBFS(nw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.ResetStats()
+	perNode := make([][]Item, g.N)
+	for j := 0; j < K; j++ {
+		perNode[L] = append(perNode[L], Item{A: int64(L), B: int64(j)})
+	}
+	if _, err := Gather(nw, tr, perNode); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Stats.Rounds > L+K+6 {
+		t.Errorf("gather rounds = %d, want <= %d (pipelining)", nw.Stats.Rounds, L+K+6)
+	}
+}
+
+func TestBroadcastReachesAll(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 30, Seed: 5, MaxWeight: 4}, 60)
+	nw := newNet(t, g, 1)
+	tr, err := BuildBFS(nw, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []Item{{A: 1}, {A: 2}, {A: 3, B: 9}}
+	got, err := Broadcast(nw, tr, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("broadcast returned %d items, want %d", len(got), len(items))
+	}
+}
+
+func TestAllToAllLemmaA2Bound(t *testing.T) {
+	// Lemma A.2: n nodes broadcasting one value each completes in O(n).
+	g := graph.RandomConnected(graph.GenConfig{N: 64, Seed: 8, MaxWeight: 4}, 150)
+	nw := newNet(t, g, 1)
+	tr, err := BuildBFS(nw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.ResetStats()
+	perNode := make([][]Item, g.N)
+	for v := 0; v < g.N; v++ {
+		perNode[v] = []Item{{A: int64(v), B: int64(100 + v)}}
+	}
+	all, err := AllToAll(nw, tr, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != g.N {
+		t.Fatalf("got %d items, want %d", len(all), g.N)
+	}
+	for v := 0; v < g.N; v++ {
+		if all[v].A != int64(v) || all[v].B != int64(100+v) {
+			t.Fatalf("item %d corrupted: %+v", v, all[v])
+		}
+	}
+	// Constant * n with generous slack for tree height.
+	if nw.Stats.Rounds > 5*g.N {
+		t.Errorf("all-to-all rounds = %d, want O(n) <= %d", nw.Stats.Rounds, 5*g.N)
+	}
+}
+
+func TestBroadcastEmpty(t *testing.T) {
+	g := graph.Ring(graph.GenConfig{N: 6, Seed: 2, MaxWeight: 3})
+	nw := newNet(t, g, 1)
+	tr, err := BuildBFS(nw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Broadcast(nw, tr, nil); err != nil {
+		t.Fatalf("empty broadcast failed: %v", err)
+	}
+	if got, err := Gather(nw, tr, make([][]Item, g.N)); err != nil || len(got) != 0 {
+		t.Fatalf("empty gather: %v, %v", got, err)
+	}
+}
+
+func TestGatherHigherBandwidthFaster(t *testing.T) {
+	L, K := 10, 40
+	g := graph.New(L+1, false)
+	for i := 0; i < L; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	rounds := func(bw int) int {
+		nw := newNet(t, g, bw)
+		tr, err := BuildBFS(nw, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.ResetStats()
+		perNode := make([][]Item, g.N)
+		for j := 0; j < K; j++ {
+			perNode[L] = append(perNode[L], Item{A: int64(j)})
+		}
+		if _, err := Gather(nw, tr, perNode); err != nil {
+			t.Fatal(err)
+		}
+		return nw.Stats.Rounds
+	}
+	r1, r4 := rounds(1), rounds(4)
+	if r4 >= r1 {
+		t.Errorf("bandwidth 4 rounds %d not faster than bandwidth 1 rounds %d", r4, r1)
+	}
+}

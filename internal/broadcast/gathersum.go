@@ -1,0 +1,57 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"congestapsp/internal/congest"
+)
+
+// GatherSum implements the pipelined aggregation of Algorithms 11 and 12 of
+// the paper (computing the nu_Pi / nu_Pij totals at the leader): every node
+// v holds a vector vec[v] of m values; after the protocol the tree root
+// knows the element-wise sum over all nodes. Slot mu flows up the tree on a
+// fixed schedule — a node at depth d forwards slot mu at round
+// (height - d) + mu, having received its children's slot-mu partial sums in
+// the same round — so the whole aggregation completes in height + m + 1
+// rounds (Lemmas A.13/A.14: O(n) rounds for m = O(n)).
+func GatherSum(nw *congest.Network, t *Tree, vec [][]int64) ([]int64, error) {
+	n := nw.N()
+	if len(vec) != n {
+		return nil, fmt.Errorf("broadcast: GatherSum: %d vectors for %d nodes", len(vec), n)
+	}
+	m := 0
+	for v := range vec {
+		if len(vec[v]) > m {
+			m = len(vec[v])
+		}
+	}
+	if m == 0 {
+		return nil, nil
+	}
+	// acc[v] accumulates v's own values plus received partial sums.
+	acc := make([][]int64, n)
+	for v := 0; v < n; v++ {
+		acc[v] = make([]int64, m)
+		copy(acc[v], vec[v])
+	}
+	const kindSum uint8 = 13
+	h := t.Height
+	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+		for _, msg := range in {
+			if msg.Kind == kindSum {
+				acc[v][int(msg.A)] += msg.B
+			}
+		}
+		if v != t.Root {
+			mu := round - (h - t.Depth[v])
+			if mu >= 0 && mu < m {
+				send(congest.Message{To: t.Parent[v], Kind: kindSum, A: int64(mu), B: acc[v][mu]})
+			}
+		}
+		return round >= h+m
+	})
+	if err := nw.RunFor(p, h+m+1); err != nil {
+		return nil, fmt.Errorf("broadcast: GatherSum: %w", err)
+	}
+	return acc[t.Root], nil
+}

@@ -1,0 +1,383 @@
+// Package congest implements a round-synchronous simulator for the CONGEST
+// model of distributed computing (Peleg 2000), as specified in Section 1.1
+// of Agarwal & Ramachandran, "Faster Deterministic All Pairs Shortest Paths
+// in Congest Model" (SPAA 2020):
+//
+//   - n processors (nodes) connected by the links of the input graph; for a
+//     directed input graph the communication network is the underlying
+//     undirected graph UG.
+//   - Computation proceeds in synchronous rounds. In each round a node may
+//     send a constant number of words along each incident link, and it
+//     receives in round r+1 the messages sent to it in round r.
+//   - Local computation is free; complexity is measured in rounds.
+//
+// Protocols are per-node state machines driven by the engine. The engine
+// enforces CONGEST legality: messages may only travel along links of UG and
+// the number of words per link direction per round must not exceed the
+// configured bandwidth. Violations are reported as errors rather than being
+// silently absorbed, so tests can assert that an algorithm never overdrives
+// an edge.
+package congest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"congestapsp/internal/graph"
+)
+
+// Message is one CONGEST message. Payload is a small fixed tuple of int64
+// slots plus a protocol-defined Kind tag; this models the "constant number
+// of node ids, edge weights and distance values per edge per round" that the
+// paper assumes, and makes the word accounting concrete.
+type Message struct {
+	From, To int
+	Kind     uint8
+	A, B, C  int64
+	// Words is the bandwidth cost of the message. Zero means "count the
+	// populated payload implicitly as one word per slot in use plus one for
+	// the kind/header"; protocols that know better may set it explicitly.
+	Words int
+}
+
+func (m Message) cost() int {
+	if m.Words > 0 {
+		return m.Words
+	}
+	return 1
+}
+
+// Proto is a distributed protocol expressed as a per-node step function.
+//
+// Step is invoked exactly once per node per round, in increasing round
+// order. in holds the messages delivered to v this round (sent in the
+// previous round), in a deterministic order (sorted by sender id, then by
+// send order at the sender). send queues a message for delivery next round;
+// the From field is filled in by the engine. Step returns true when node v
+// has terminated; the protocol as a whole terminates when every node has
+// returned true and no messages remain in flight.
+//
+// Step for node v must only read and write state belonging to v (protocols
+// keep per-node state in slices indexed by node id); the engine may execute
+// the Steps of distinct nodes concurrently within a round.
+type Proto interface {
+	Step(v int, round int, in []Message, send func(Message)) bool
+}
+
+// ProtoFunc adapts a function to the Proto interface.
+type ProtoFunc func(v int, round int, in []Message, send func(Message)) bool
+
+// Step implements Proto.
+func (f ProtoFunc) Step(v int, round int, in []Message, send func(Message)) bool {
+	return f(v, round, in, send)
+}
+
+// Stats accumulates the cost measures of one or more protocol executions on
+// a network.
+type Stats struct {
+	Rounds   int   // total synchronous rounds consumed
+	Messages int64 // total messages delivered
+	Words    int64 // total words delivered
+	// WordsByNode[v] counts words sent by v; the maximum over v is the
+	// "congestion at a node" measure used in Section 4 of the paper.
+	WordsByNode []int64
+}
+
+// MaxNodeCongestion returns max_v WordsByNode[v].
+func (s *Stats) MaxNodeCongestion() int64 {
+	var m int64
+	for _, w := range s.WordsByNode {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Network is a CONGEST communication network over the underlying undirected
+// graph of an input graph.
+type Network struct {
+	G  *graph.Graph // the input graph (directed or undirected)
+	UG *graph.Graph // communication topology (underlying undirected graph)
+
+	// Bandwidth is the number of words each node may send along each
+	// incident link per round in each direction. The paper assumes a
+	// constant number of ids/weights/distances per edge per round.
+	Bandwidth int
+
+	// Parallel selects concurrent execution of node steps within a round
+	// using a worker pool (the natural goroutine mapping of synchronous
+	// rounds). Results are bit-identical to sequential execution.
+	Parallel bool
+
+	// OnRound, when set, is invoked after every simulated round with a
+	// monotonically increasing round sequence number and the number of
+	// messages delivered into that round's inboxes. The sequence number
+	// counts simulated rounds (it can differ slightly from Stats.Rounds,
+	// which follows the paper's charged schedules). It powers the -trace
+	// output of cmd/apsp; the hook must not call back into the network.
+	OnRound func(round int, delivered int)
+
+	roundSeq int // monotonic simulated-round counter for OnRound
+
+	Stats Stats
+
+	// neighbor[v] is the sorted set of v's neighbors in UG; linkIdx[v] maps
+	// neighbor id -> dense link index used by the per-round bandwidth
+	// accounting.
+	neighbor [][]int
+	linkIdx  []map[int]int
+}
+
+// NewNetwork builds a network for input graph g with the given per-link
+// bandwidth (words per direction per round). Bandwidth must be >= 1.
+func NewNetwork(g *graph.Graph, bandwidth int) (*Network, error) {
+	if bandwidth < 1 {
+		return nil, fmt.Errorf("congest: bandwidth must be >= 1, got %d", bandwidth)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	ug := g.UnderlyingUndirected()
+	nw := &Network{
+		G:         g,
+		UG:        ug,
+		Bandwidth: bandwidth,
+		neighbor:  make([][]int, g.N),
+		linkIdx:   make([]map[int]int, g.N),
+	}
+	nw.Stats.WordsByNode = make([]int64, g.N)
+	for v := 0; v < g.N; v++ {
+		seen := map[int]bool{}
+		ug.OutNeighbors(v, func(u int, _ int64) {
+			if !seen[u] {
+				seen[u] = true
+				nw.neighbor[v] = append(nw.neighbor[v], u)
+			}
+		})
+		ns := nw.neighbor[v]
+		for i := 1; i < len(ns); i++ {
+			for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
+				ns[j], ns[j-1] = ns[j-1], ns[j]
+			}
+		}
+		nw.linkIdx[v] = make(map[int]int, len(ns))
+		for i, u := range ns {
+			nw.linkIdx[v][u] = i
+		}
+	}
+	return nw, nil
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.G.N }
+
+// Neighbors returns v's neighbors in the communication graph, sorted by id.
+// The returned slice must not be modified.
+func (nw *Network) Neighbors(v int) []int { return nw.neighbor[v] }
+
+// IsLink reports whether {u,v} is a communication link.
+func (nw *Network) IsLink(u, v int) bool {
+	_, ok := nw.linkIdx[u][v]
+	return ok
+}
+
+// ResetStats zeroes the accumulated statistics.
+func (nw *Network) ResetStats() {
+	nw.Stats = Stats{WordsByNode: make([]int64, nw.G.N)}
+}
+
+// ChargeRounds adds k rounds to the running total without simulating them.
+// It exists for protocol steps whose round cost the paper charges as part of
+// a composed schedule (see DESIGN.md); use sparingly and document each call
+// site.
+func (nw *Network) ChargeRounds(k int) { nw.Stats.Rounds += k }
+
+// ErrBandwidth is returned (wrapped) when a protocol exceeds the per-link
+// bandwidth in some round.
+type ErrBandwidth struct {
+	Round    int
+	From, To int
+	Words    int
+	Limit    int
+}
+
+func (e *ErrBandwidth) Error() string {
+	return fmt.Sprintf("congest: bandwidth violation at round %d on link %d->%d: %d words > limit %d",
+		e.Round, e.From, e.To, e.Words, e.Limit)
+}
+
+// ErrNotALink is returned when a protocol sends along a non-existent link.
+type ErrNotALink struct {
+	Round    int
+	From, To int
+}
+
+func (e *ErrNotALink) Error() string {
+	return fmt.Sprintf("congest: node %d sent to %d at round %d but they share no link", e.From, e.To, e.Round)
+}
+
+// Run executes p until global termination or until maxRounds rounds have
+// elapsed, whichever is first. It returns the number of rounds executed.
+// Statistics accumulate into nw.Stats across calls, so a sequence of Run
+// calls models the paper's "Step k takes ... rounds" composition.
+func (nw *Network) Run(p Proto, maxRounds int) (int, error) {
+	n := nw.G.N
+	inbox := make([][]Message, n)
+	outbox := make([][]Message, n)
+	done := make([]bool, n)
+	used := make([][]int, n) // per-link words used this round, reset lazily
+	for v := 0; v < n; v++ {
+		used[v] = make([]int, len(nw.neighbor[v]))
+	}
+
+	var violation error
+	var vioMu sync.Mutex
+
+	workers := 1
+	if nw.Parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+	}
+
+	rounds := 0
+	for round := 0; round < maxRounds; round++ {
+		// Termination check: all nodes done after the previous round and no
+		// messages awaiting delivery.
+		if round > 0 {
+			allDone := true
+			for v := 0; v < n && allDone; v++ {
+				if !done[v] || len(inbox[v]) > 0 {
+					allDone = false
+				}
+			}
+			if allDone {
+				return rounds, nil
+			}
+		}
+		// Step phase: every node steps once; sends accumulate in its outbox.
+		step := func(v int) {
+			out := outbox[v][:0]
+			sendFn := func(m Message) {
+				m.From = v
+				out = append(out, m)
+			}
+			done[v] = p.Step(v, round, inbox[v], sendFn)
+			outbox[v] = out
+		}
+		if workers == 1 {
+			for v := 0; v < n; v++ {
+				step(v)
+			}
+		} else {
+			var wg sync.WaitGroup
+			chunk := (n + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo, hi := w*chunk, (w+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for v := lo; v < hi; v++ {
+						step(v)
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+		rounds++
+		nw.Stats.Rounds++
+
+		// Delivery phase: validate links and bandwidth, move outboxes into
+		// next-round inboxes. Iterating senders in node-id order makes
+		// inbox contents deterministic.
+		for v := 0; v < n; v++ {
+			inbox[v] = inbox[v][:0]
+		}
+		for v := 0; v < n; v++ {
+			if len(outbox[v]) == 0 {
+				continue
+			}
+			for i := range used[v] {
+				used[v][i] = 0
+			}
+			for _, m := range outbox[v] {
+				li, ok := nw.linkIdx[v][m.To]
+				if !ok {
+					vioMu.Lock()
+					if violation == nil {
+						violation = &ErrNotALink{Round: round, From: v, To: m.To}
+					}
+					vioMu.Unlock()
+					continue
+				}
+				used[v][li] += m.cost()
+				if used[v][li] > nw.Bandwidth && violation == nil {
+					violation = &ErrBandwidth{Round: round, From: v, To: m.To, Words: used[v][li], Limit: nw.Bandwidth}
+				}
+				inbox[m.To] = append(inbox[m.To], m)
+				nw.Stats.Messages++
+				nw.Stats.Words += int64(m.cost())
+				nw.Stats.WordsByNode[v] += int64(m.cost())
+			}
+			outbox[v] = outbox[v][:0]
+		}
+		if violation != nil {
+			return rounds, violation
+		}
+		if nw.OnRound != nil {
+			delivered := 0
+			for v := 0; v < n; v++ {
+				delivered += len(inbox[v])
+			}
+			nw.OnRound(nw.roundSeq, delivered)
+		}
+		nw.roundSeq++
+	}
+	// Final check: terminated exactly at the budget boundary?
+	allDone := true
+	for v := 0; v < n && allDone; v++ {
+		if !done[v] || len(inbox[v]) > 0 {
+			allDone = false
+		}
+	}
+	if allDone {
+		return rounds, nil
+	}
+	return rounds, fmt.Errorf("congest: protocol did not terminate within %d rounds", maxRounds)
+}
+
+// RunFor executes p for exactly k rounds (protocols with fixed round
+// budgets). Early global termination still stops the run, and messages sent
+// in the final round are dropped (the schedule is over), but exactly k
+// rounds are charged either way, matching the fixed schedules in the paper.
+func (nw *Network) RunFor(p Proto, k int) error {
+	before := nw.Stats.Rounds
+	_, err := nw.Run(&cappedProto{p: p, budget: k}, k+1)
+	if err != nil {
+		return err
+	}
+	nw.Stats.Rounds = before + k
+	return nil
+}
+
+type cappedProto struct {
+	p      Proto
+	budget int
+}
+
+func (c *cappedProto) Step(v int, round int, in []Message, send func(Message)) bool {
+	if round >= c.budget {
+		return true
+	}
+	done := c.p.Step(v, round, in, send)
+	return done || round == c.budget-1
+}

@@ -1,0 +1,260 @@
+package congest
+
+import (
+	"errors"
+	"testing"
+
+	"congestapsp/internal/graph"
+)
+
+func path3() *graph.Graph {
+	g := graph.New(3, false)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	return g
+}
+
+func TestNewNetworkRejectsBadBandwidth(t *testing.T) {
+	if _, err := NewNetwork(path3(), 0); err == nil {
+		t.Error("bandwidth 0 accepted")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := graph.New(4, true)
+	g.MustAddEdge(3, 1, 1)
+	g.MustAddEdge(1, 0, 1)
+	g.MustAddEdge(2, 1, 1)
+	nw, err := NewNetwork(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := nw.Neighbors(1)
+	want := []int{0, 2, 3}
+	if len(ns) != 3 {
+		t.Fatalf("neighbors(1) = %v", ns)
+	}
+	for i := range want {
+		if ns[i] != want[i] {
+			t.Fatalf("neighbors(1) = %v, want %v", ns, want)
+		}
+	}
+	if !nw.IsLink(1, 3) || nw.IsLink(0, 3) {
+		t.Error("IsLink wrong")
+	}
+}
+
+func TestMessageDeliveryNextRound(t *testing.T) {
+	nw, _ := NewNetwork(path3(), 1)
+	gotAt := -1
+	p := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+		if v == 0 && round == 0 {
+			send(Message{To: 1, Kind: 9, A: 42})
+		}
+		if v == 1 {
+			for _, m := range in {
+				if m.Kind == 9 && m.A == 42 && m.From == 0 {
+					gotAt = round
+				}
+			}
+		}
+		return round >= 2
+	})
+	if _, err := nw.Run(p, 10); err != nil {
+		t.Fatal(err)
+	}
+	if gotAt != 1 {
+		t.Errorf("message delivered at round %d, want 1", gotAt)
+	}
+}
+
+func TestBandwidthViolationDetected(t *testing.T) {
+	nw, _ := NewNetwork(path3(), 2)
+	p := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+		if v == 0 && round == 0 {
+			for i := 0; i < 3; i++ { // 3 words > bandwidth 2
+				send(Message{To: 1, Kind: 1, A: int64(i)})
+			}
+		}
+		return true
+	})
+	_, err := nw.Run(p, 5)
+	var bw *ErrBandwidth
+	if !errors.As(err, &bw) {
+		t.Fatalf("err = %v, want ErrBandwidth", err)
+	}
+	if bw.From != 0 || bw.To != 1 {
+		t.Errorf("violation on link %d->%d, want 0->1", bw.From, bw.To)
+	}
+}
+
+func TestBandwidthPerLinkNotPerNode(t *testing.T) {
+	// Node 1 sends one word to each of its two neighbors: legal at B=1.
+	nw, _ := NewNetwork(path3(), 1)
+	p := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+		if v == 1 && round == 0 {
+			send(Message{To: 0, Kind: 1})
+			send(Message{To: 2, Kind: 1})
+		}
+		return true
+	})
+	if _, err := nw.Run(p, 5); err != nil {
+		t.Fatalf("per-link sends flagged: %v", err)
+	}
+}
+
+func TestNonLinkSendRejected(t *testing.T) {
+	nw, _ := NewNetwork(path3(), 1)
+	p := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+		if v == 0 && round == 0 {
+			send(Message{To: 2, Kind: 1}) // 0 and 2 share no link
+		}
+		return true
+	})
+	_, err := nw.Run(p, 5)
+	var nl *ErrNotALink
+	if !errors.As(err, &nl) {
+		t.Fatalf("err = %v, want ErrNotALink", err)
+	}
+}
+
+func TestRunForChargesExactBudget(t *testing.T) {
+	nw, _ := NewNetwork(path3(), 1)
+	idle := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool { return true })
+	if err := nw.RunFor(idle, 17); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Stats.Rounds != 17 {
+		t.Errorf("Rounds = %d, want 17", nw.Stats.Rounds)
+	}
+	if err := nw.RunFor(idle, 5); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Stats.Rounds != 22 {
+		t.Errorf("Rounds = %d, want 22 (accumulated)", nw.Stats.Rounds)
+	}
+}
+
+func TestNonTerminationReported(t *testing.T) {
+	nw, _ := NewNetwork(path3(), 1)
+	never := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool { return false })
+	if _, err := nw.Run(never, 8); err == nil {
+		t.Error("non-terminating protocol not reported")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	nw, _ := NewNetwork(path3(), 4)
+	p := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+		if v == 1 && round == 0 {
+			send(Message{To: 0, Kind: 1, Words: 2})
+			send(Message{To: 2, Kind: 1})
+		}
+		return true
+	})
+	if _, err := nw.Run(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Stats.Messages != 2 {
+		t.Errorf("Messages = %d, want 2", nw.Stats.Messages)
+	}
+	if nw.Stats.Words != 3 {
+		t.Errorf("Words = %d, want 3", nw.Stats.Words)
+	}
+	if nw.Stats.WordsByNode[1] != 3 {
+		t.Errorf("WordsByNode[1] = %d, want 3", nw.Stats.WordsByNode[1])
+	}
+	if nw.Stats.MaxNodeCongestion() != 3 {
+		t.Errorf("MaxNodeCongestion = %d, want 3", nw.Stats.MaxNodeCongestion())
+	}
+	nw.ResetStats()
+	if nw.Stats.Rounds != 0 || nw.Stats.Messages != 0 {
+		t.Error("ResetStats did not zero stats")
+	}
+}
+
+// flooder is a deterministic multi-round protocol used to compare parallel
+// and sequential execution bit-for-bit.
+type flooder struct {
+	nw   *Network
+	best []int64
+}
+
+func (f *flooder) Step(v, round int, in []Message, send func(Message)) bool {
+	improved := false
+	if round == 0 && v == 0 {
+		f.best[v] = 1
+		improved = true
+	}
+	for _, m := range in {
+		if f.best[v] == 0 || m.A+int64(v%3) < f.best[v] {
+			f.best[v] = m.A + int64(v%3)
+			improved = true
+		}
+	}
+	if improved && round < 20 {
+		for _, u := range f.nw.Neighbors(v) {
+			send(Message{To: u, Kind: 2, A: f.best[v] + 1})
+		}
+	}
+	return round >= 20
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 60, Seed: 9, MaxWeight: 10}, 180)
+	run := func(parallel bool) []int64 {
+		nw, err := NewNetwork(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.Parallel = parallel
+		f := &flooder{nw: nw, best: make([]int64, g.N)}
+		if err := nw.RunFor(f, 21); err != nil {
+			t.Fatal(err)
+		}
+		return f.best
+	}
+	seq := run(false)
+	par := run(true)
+	for v := range seq {
+		if seq[v] != par[v] {
+			t.Fatalf("node %d: sequential %d != parallel %d", v, seq[v], par[v])
+		}
+	}
+}
+
+func TestChargeRounds(t *testing.T) {
+	nw, _ := NewNetwork(path3(), 1)
+	nw.ChargeRounds(100)
+	if nw.Stats.Rounds != 100 {
+		t.Errorf("Rounds = %d, want 100", nw.Stats.Rounds)
+	}
+}
+
+func TestOnRoundHook(t *testing.T) {
+	nw, _ := NewNetwork(path3(), 1)
+	var rounds []int
+	var delivered []int
+	nw.OnRound = func(r, d int) {
+		rounds = append(rounds, r)
+		delivered = append(delivered, d)
+	}
+	p := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+		if v == 0 && round == 0 {
+			send(Message{To: 1, Kind: 3})
+		}
+		return round >= 1
+	})
+	if _, err := nw.Run(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) < 2 {
+		t.Fatalf("hook called %d times, want >= 2", len(rounds))
+	}
+	if rounds[0] != 0 || rounds[1] != 1 {
+		t.Errorf("cumulative round indices = %v", rounds[:2])
+	}
+	if delivered[0] != 1 {
+		t.Errorf("delivered into round 1: got %d at hook[0]... %v", delivered[0], delivered)
+	}
+}

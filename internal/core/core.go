@@ -1,0 +1,535 @@
+// Package core implements the paper's overall APSP algorithm (Algorithm 1)
+// on the CONGEST simulator, together with the baseline variants that the
+// benchmark harness compares against (Table 1 of the paper):
+//
+//   - Det43: this paper — h = n^(1/3), deterministic blocker set
+//     (Algorithm 2'), pipelined reversed q-sink delivery (Algorithms 8/9).
+//     O~(n^(4/3)) rounds (Theorem 1.1).
+//   - Det32: the Agarwal-Ramachandran-King-Pontecorvi PODC'18 baseline [2]
+//     — h = n^(1/2), greedy blocker set, Step 6 by broadcast. O~(n^(3/2)).
+//   - Rand43: the randomized-sampling profile in the style of Huang et
+//     al. [13] / Agarwal-Ramachandran [1] — random blocker set, pipelined
+//     Step 6. O~(n^(4/3)) w.h.p.
+//   - BroadcastStep6: ablation — this paper's pipeline with Step 6 replaced
+//     by the trivial broadcast, isolating the contribution of Section 4.
+//     O~(n^(5/3)).
+//
+// The steps of Algorithm 1 map to:
+//
+//	Step 1  csssp.Build (out-trees for V)          O(n*h)
+//	Step 2  blocker.Compute                        O~(n*h) det / O(nh+n|Q|) greedy
+//	Step 3  bford.RunLabels in-SSSP per c in Q     O(|Q|*h)
+//	Step 4  broadcast.AllToAll of |Q|^2 values     O~(n^(4/3))
+//	Step 5  local min-plus closure over Q
+//	Step 6  qsink.Run                              O~(n^(4/3)) / O~(n^(5/3))
+//	Step 7  bford.RunLabelsWithInit per source     O(n*h)
+//	(+)     last-edge resolution by neighbor exchange, O(n)
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"congestapsp/internal/bford"
+	"congestapsp/internal/blocker"
+	"congestapsp/internal/broadcast"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/csssp"
+	"congestapsp/internal/graph"
+	"congestapsp/internal/qsink"
+)
+
+// Variant selects the algorithm profile.
+type Variant int
+
+const (
+	// Det43 is the paper's deterministic O~(n^(4/3)) algorithm.
+	Det43 Variant = iota
+	// Det32 is the deterministic O~(n^(3/2)) baseline of [2].
+	Det32
+	// Rand43 is the randomized-sampling O~(n^(4/3)) profile ([13, 1]).
+	Rand43
+	// BroadcastStep6 is Det43 with the trivial O~(n^(5/3)) Step 6.
+	BroadcastStep6
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Det43:
+		return "det43"
+	case Det32:
+		return "det32"
+	case Rand43:
+		return "rand43"
+	default:
+		return "broadcast-step6"
+	}
+}
+
+// Options configures a run.
+type Options struct {
+	Variant Variant
+	// H overrides the hop parameter (0 = the variant's default: ceil of
+	// n^(1/3) for the n^(4/3) profiles, ceil of sqrt(n) for Det32).
+	H int
+	// Bandwidth is the CONGEST per-link words-per-round budget (default 1).
+	Bandwidth int
+	// Parallel enables the simulator's worker-pool execution.
+	Parallel bool
+	// Seed drives the randomized variants.
+	Seed int64
+	// BlockerParams tunes the blocker construction. For the Det43 and
+	// BroadcastStep6 variants an explicit Mode is honored (e.g. the
+	// pairwise-independent randomized Algorithm 2); Det32 and Rand43 force
+	// their own constructions.
+	BlockerParams blocker.Params
+	// SkipLastEdges disables the final last-edge resolution pass.
+	SkipLastEdges bool
+	// OnRound is forwarded to the simulator's per-round trace hook.
+	OnRound func(round, delivered int)
+	// Sources, when non-nil, restricts the output to shortest paths FROM
+	// these sources (partial APSP): Step 7's per-source extension runs only
+	// for them, saving (n - |Sources|) * h rounds. Steps 1-6 are unchanged
+	// (the blocker machinery needs the full collection either way), and
+	// Dist rows for non-sources are nil. Implies SkipLastEdges.
+	Sources []int
+}
+
+// StepRounds decomposes the total round count by Algorithm 1 step.
+type StepRounds struct {
+	Step1CSSSP    int
+	Step2Blocker  int
+	Step3InSSSP   int
+	Step4Bcast    int
+	Step6QSink    int
+	Step7Extend   int
+	Step8LastEdge int
+}
+
+// Stats aggregates everything the benchmark harness reports.
+type Stats struct {
+	N, M, H           int
+	QSize             int
+	Rounds            int
+	Messages          int64
+	Words             int64
+	MaxNodeCongestion int64
+	Steps             StepRounds
+	Blocker           blocker.Stats
+	QSink             qsink.Stats
+}
+
+// Result is the APSP output: exact distances (and last edges) for every
+// ordered pair, as known distributedly at the target nodes.
+type Result struct {
+	// Dist[x][t] = delta(x, t); graph.Inf when t is unreachable from x.
+	Dist [][]int64
+	// LastHop[x][t] is the predecessor of t on a shortest x->t path (-1
+	// for t == x, unreachable pairs, or when SkipLastEdges was set).
+	LastHop [][]int
+	Stats   Stats
+}
+
+// Run executes the selected APSP variant on g.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	n := g.N
+	if n == 0 {
+		return &Result{}, nil
+	}
+	if opt.Bandwidth == 0 {
+		opt.Bandwidth = 1
+	}
+	nw, err := congest.NewNetwork(g, opt.Bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	nw.Parallel = opt.Parallel
+	nw.OnRound = opt.OnRound
+
+	h := opt.H
+	if h == 0 {
+		switch opt.Variant {
+		case Det32:
+			h = int(math.Ceil(math.Sqrt(float64(n))))
+		default:
+			h = int(math.Ceil(math.Pow(float64(n), 1.0/3)))
+		}
+	}
+	if h < 1 {
+		h = 1
+	}
+
+	st := Stats{N: n, M: g.M(), H: h}
+	mark := func(dst *int) {
+		*dst = nw.Stats.Rounds - sumSteps(&st.Steps)
+	}
+
+	// Step 1: h-hop CSSSP collection for V (out-trees).
+	sources := make([]int, n)
+	for i := range sources {
+		sources[i] = i
+	}
+	coll, err := csssp.Build(nw, g, sources, h, bford.Out)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 1: %w", err)
+	}
+	mark(&st.Steps.Step1CSSSP)
+
+	// Step 2: blocker set Q for the collection. The variant picks the
+	// construction; an explicit BlockerParams.Mode (e.g. the
+	// pairwise-independent randomized Algorithm 2) wins over the Det43
+	// default so ablations can drive the full pipeline with any blocker.
+	bp := opt.BlockerParams
+	switch opt.Variant {
+	case Det32:
+		bp.Mode = blocker.Greedy
+	case Rand43:
+		bp.Mode = blocker.RandomSample
+		bp.Seed = opt.Seed
+	default:
+		if bp.Mode != blocker.Deterministic {
+			bp.Seed = opt.Seed
+		}
+	}
+	bres, err := blocker.Compute(nw, coll, bp)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 2: %w", err)
+	}
+	coll.ResetRemovals() // the blocker construction pruned the trees
+	Q := bres.Q
+	st.QSize = len(Q)
+	st.Blocker = bres.Stats
+	mark(&st.Steps.Step2Blocker)
+
+	// Step 3: h-hop in-SSSP per blocker node: node x learns
+	// deltaH[ci][x] = delta_h(x, Q[ci]). (Label distances: min weight over
+	// <= h hops.)
+	deltaH := make([][]int64, len(Q))
+	for ci, c := range Q {
+		res, err := bford.RunLabels(nw, g, c, h, bford.In)
+		if err != nil {
+			return nil, fmt.Errorf("core: step 3: %w", err)
+		}
+		deltaH[ci] = res.Dist
+	}
+	mark(&st.Steps.Step3InSSSP)
+
+	// Step 4: every blocker c broadcasts delta_h(c, c') for all c' in Q
+	// (|Q|^2 values; O(n + |Q|^2) rounds, Lemma A.2/A.1).
+	tree, err := broadcast.BuildBFS(nw, 0)
+	if err != nil {
+		return nil, err
+	}
+	items := make([][]broadcast.Item, n)
+	for ci, c := range Q {
+		for cj := range Q {
+			if d := deltaH[cj][c]; d < graph.Inf {
+				items[c] = append(items[c], broadcast.Item{A: int64(ci), B: int64(cj), C: d})
+			}
+		}
+	}
+	all, err := broadcast.AllToAll(nw, tree, items)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 4: %w", err)
+	}
+	mark(&st.Steps.Step4Bcast)
+
+	// Step 5 (local): min-plus closure over the Q x Q matrix, then
+	// delta(x, c) = min(delta_h(x, c), min_c1 delta_h(x, c1) + dQ(c1, c)).
+	q := len(Q)
+	dQ := make([][]int64, q)
+	for i := range dQ {
+		dQ[i] = make([]int64, q)
+		for j := range dQ[i] {
+			if i == j {
+				dQ[i][j] = 0
+			} else {
+				dQ[i][j] = graph.Inf
+			}
+		}
+	}
+	for _, it := range all {
+		ci, cj, d := int(it.A), int(it.B), it.C
+		if d < dQ[ci][cj] {
+			dQ[ci][cj] = d
+		}
+	}
+	for k := 0; k < q; k++ {
+		for i := 0; i < q; i++ {
+			if dQ[i][k] >= graph.Inf {
+				continue
+			}
+			for j := 0; j < q; j++ {
+				if nd := dQ[i][k] + dQ[k][j]; nd < dQ[i][j] {
+					dQ[i][j] = nd
+				}
+			}
+		}
+	}
+	// delta[x][ci], the Step-5 value known at x.
+	delta := make([][]int64, n)
+	for x := 0; x < n; x++ {
+		delta[x] = make([]int64, q)
+		for ci := 0; ci < q; ci++ {
+			best := deltaH[ci][x]
+			for c1 := 0; c1 < q; c1++ {
+				if deltaH[c1][x] < graph.Inf && dQ[c1][ci] < graph.Inf {
+					if nd := deltaH[c1][x] + dQ[c1][ci]; nd < best {
+						best = nd
+					}
+				}
+			}
+			delta[x][ci] = best
+		}
+	}
+
+	// Step 6: reversed q-sink delivery.
+	qp := qsink.Params{Scheduler: qsink.RoundRobin, Blocker: blocker.Params{Mode: blocker.Deterministic}}
+	switch opt.Variant {
+	case Det32, BroadcastStep6:
+		qp.Scheduler = qsink.BroadcastAll
+	case Rand43:
+		qp.Blocker = blocker.Params{Mode: blocker.RandomSample, Seed: opt.Seed + 1}
+	}
+	qres, err := qsink.Run(nw, g, Q, delta, qp)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 6: %w", err)
+	}
+	st.QSink = qres.Stats
+	mark(&st.Steps.Step6QSink)
+
+	// Step 7: per source x, extended h-hop Bellman-Ford seeded with the
+	// Step-1 labels everywhere and the exact delta(x, c) at blockers.
+	step7Sources := sources
+	if opt.Sources != nil {
+		for _, x := range opt.Sources {
+			if x < 0 || x >= n {
+				return nil, fmt.Errorf("core: source %d out of range", x)
+			}
+		}
+		step7Sources = opt.Sources
+		opt.SkipLastEdges = true
+	}
+	dist := make([][]int64, n)
+	for _, x := range step7Sources {
+		xi := x // Step 1 built one tree per node, indexed by id
+		init := append([]int64(nil), coll.Label[xi]...)
+		for ci := range Q {
+			if v := qres.AtBlocker[ci][x]; v < init[Q[ci]] {
+				init[Q[ci]] = v
+			}
+		}
+		res, err := bford.RunLabelsWithInit(nw, g, init, h, bford.Out)
+		if err != nil {
+			return nil, fmt.Errorf("core: step 7: %w", err)
+		}
+		dist[x] = res.Dist
+	}
+	mark(&st.Steps.Step7Extend)
+
+	out := &Result{Dist: dist}
+
+	// Last-edge resolution (implementation addition; see the package
+	// comment): every node already knows its column of the distance
+	// matrix; one pipelined exchange of that column with each neighbor
+	// (O(n) rounds at bandwidth 1) lets each t pick, per source x, the
+	// smallest-id in-neighbor u with delta(x, u) + w(u, t) = delta(x, t).
+	if !opt.SkipLastEdges {
+		lh, err := resolveLastEdges(nw, g, dist)
+		if err != nil {
+			return nil, fmt.Errorf("core: last edges: %w", err)
+		}
+		out.LastHop = lh
+		mark(&st.Steps.Step8LastEdge)
+	}
+
+	st.Rounds = nw.Stats.Rounds
+	st.Messages = nw.Stats.Messages
+	st.Words = nw.Stats.Words
+	st.MaxNodeCongestion = nw.Stats.MaxNodeCongestion()
+	out.Stats = st
+	return out, nil
+}
+
+// BlockerOnly builds just the h-hop CSSSP collection for all sources and a
+// blocker set over it; it exists for the public BlockerSet API and the
+// blocker experiments. mode is the integer value of blocker.Mode.
+func BlockerOnly(g *graph.Graph, h int, mode int, seed int64) ([]int, blocker.Stats, error) {
+	if h < 1 {
+		h = int(math.Ceil(math.Pow(float64(g.N), 1.0/3)))
+	}
+	nw, err := congest.NewNetwork(g, 1)
+	if err != nil {
+		return nil, blocker.Stats{}, err
+	}
+	sources := make([]int, g.N)
+	for i := range sources {
+		sources[i] = i
+	}
+	coll, err := csssp.Build(nw, g, sources, h, bford.Out)
+	if err != nil {
+		return nil, blocker.Stats{}, err
+	}
+	res, err := blocker.Compute(nw, coll, blocker.Params{Mode: blocker.Mode(mode), Seed: seed})
+	if err != nil {
+		return nil, blocker.Stats{}, err
+	}
+	return res.Q, res.Stats, nil
+}
+
+func sumSteps(s *StepRounds) int {
+	return s.Step1CSSSP + s.Step2Blocker + s.Step3InSSSP + s.Step4Bcast +
+		s.Step6QSink + s.Step7Extend + s.Step8LastEdge
+}
+
+// resolveLastEdges runs the final neighbor exchange: node u streams its
+// distance column delta(., u) to every out-neighbor, one source per round;
+// each t combines the received columns with its incident edge weights.
+func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]int, error) {
+	n := g.N
+	lh := make([][]int, n)
+	for x := range lh {
+		lh[x] = make([]int, n)
+		for t := range lh[x] {
+			lh[x][t] = -1
+		}
+	}
+	// minimum weight per ordered neighbor pair (parallel edges collapsed)
+	wmin := make([]map[int]int64, n) // wmin[t][u] = min weight of u->t
+	for t := 0; t < n; t++ {
+		wmin[t] = map[int]int64{}
+	}
+	for _, e := range g.Edges() {
+		rec := func(u, t int, w int64) {
+			if old, ok := wmin[t][u]; !ok || w < old {
+				wmin[t][u] = w
+			}
+		}
+		rec(e.U, e.V, e.W)
+		if !g.Directed {
+			rec(e.V, e.U, e.W)
+		}
+	}
+	// Settle-wave: a node t settles its predecessor for source x either
+	// immediately (some in-neighbor u composes with a strictly smaller
+	// distance — strict decrease can never cycle) or upon hearing that an
+	// equal-distance zero-weight in-neighbor has itself settled, which
+	// makes the predecessor graph acyclic even across zero-weight
+	// plateaus. Columns are streamed one source per round; settle
+	// announcements drain one per round. O(n) rounds total.
+	const (
+		kindCol    uint8 = 50
+		kindSettle uint8 = 51
+	)
+	nbrDist := make([]map[int][]int64, n) // nbrDist[t][u][x]
+	settled := make([][]bool, n)          // settled[t][x]
+	var queue [][]int32                   // queue[t]: sources to announce
+	queue = make([][]int32, n)
+	for t := 0; t < n; t++ {
+		nbrDist[t] = map[int][]int64{}
+		for _, u := range nw.Neighbors(t) {
+			col := make([]int64, n)
+			for i := range col {
+				col[i] = graph.Inf
+			}
+			nbrDist[t][u] = col
+		}
+		settled[t] = make([]bool, n)
+	}
+	settle := func(t, x int, pred int) {
+		settled[t][x] = true
+		if pred >= 0 {
+			lh[x][t] = pred
+		}
+		queue[t] = append(queue[t], int32(x))
+	}
+	p := congest.ProtoFunc(func(t, round int, in []congest.Message, send func(congest.Message)) bool {
+		lastCol := -1
+		// Gather this round's settle announcements first so the min-id
+		// composing announcer wins deterministically.
+		var annX, annFrom []int
+		for _, m := range in {
+			switch m.Kind {
+			case kindCol:
+				nbrDist[t][m.From][int(m.A)] = m.B
+				lastCol = int(m.A)
+			case kindSettle:
+				annX = append(annX, int(m.A))
+				annFrom = append(annFrom, m.From)
+			}
+		}
+		for k, x := range annX {
+			u := annFrom[k]
+			if settled[t][x] || dist[x][t] >= graph.Inf {
+				continue
+			}
+			w, ok := wmin[t][u]
+			du := nbrDist[t][u][x]
+			if !ok || du >= graph.Inf || du+w != dist[x][t] {
+				continue
+			}
+			best := u
+			for k2 := k + 1; k2 < len(annX); k2++ {
+				if annX[k2] != x || annFrom[k2] >= best {
+					continue
+				}
+				u2 := annFrom[k2]
+				if w2, ok2 := wmin[t][u2]; ok2 {
+					if d2 := nbrDist[t][u2][x]; d2 < graph.Inf && d2+w2 == dist[x][t] {
+						best = u2
+					}
+				}
+			}
+			settle(t, x, best)
+		}
+		// All neighbor values for source lastCol just arrived: try the
+		// strict-decrease settlement.
+		if x := lastCol; x >= 0 {
+			if t == x {
+				settle(t, x, -1)
+			} else if dist[x][t] < graph.Inf {
+				best := -1
+				for _, u := range nw.Neighbors(t) {
+					w, ok := wmin[t][u]
+					if !ok || w == 0 {
+						continue
+					}
+					du := nbrDist[t][u][x]
+					if du < graph.Inf && du+w == dist[x][t] && (best == -1 || u < best) {
+						best = u
+					}
+				}
+				if best >= 0 {
+					settle(t, x, best)
+				}
+			}
+		}
+		// Stream one column value and drain one settle notice per round
+		// (two words per link per round; legal at bandwidth >= 1 because
+		// they are distinct messages of one word each only when the
+		// bandwidth allows — at bandwidth 1 we alternate).
+		budgetWords := nw.Bandwidth
+		if round < n && budgetWords > 0 {
+			x := round
+			if dist[x][t] < graph.Inf {
+				for _, nb := range nw.Neighbors(t) {
+					send(congest.Message{To: nb, Kind: kindCol, A: int64(x), B: dist[x][t]})
+				}
+				budgetWords--
+			}
+		}
+		if len(queue[t]) > 0 && budgetWords > 0 {
+			x := queue[t][0]
+			queue[t] = queue[t][1:]
+			for _, nb := range nw.Neighbors(t) {
+				send(congest.Message{To: nb, Kind: kindSettle, A: int64(x)})
+			}
+		}
+		return round >= n && len(queue[t]) == 0
+	})
+	budget := 8*n + 64
+	if _, err := nw.Run(p, budget); err != nil {
+		return nil, err
+	}
+	return lh, nil
+}

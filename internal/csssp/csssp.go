@@ -1,0 +1,353 @@
+// Package csssp implements h-hop Consistent SSSP collections (CSSSP,
+// Definition 2.1 / A.3 of the paper, introduced in [1] = Agarwal &
+// Ramachandran, IPDPS 2019) and the subtree-removal primitive
+// (Algorithm 6, Remove-Subtrees).
+//
+// Construction follows [1]: compute a 2h-hop SSSP for each source with
+// deterministic (dist, hops, parent-id) tie-breaking, then retain the first
+// h hops of each tree (Lemma A.4: O(h) rounds per source). The resulting
+// collection satisfies the CSSSP containment property exactly: tree T_x
+// contains every vertex v that has a path of at most h hops from x with
+// weight delta(x, v), and the tree path to such v realizes that distance.
+// The cross-tree path-consistency property is verified empirically by
+// CheckConsistency (see DESIGN.md for discussion).
+package csssp
+
+import (
+	"fmt"
+
+	"congestapsp/internal/bford"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/graph"
+)
+
+// Collection is an h-hop CSSSP collection: one height-<=h tree per source.
+// For Mode == bford.Out, tree T_i holds shortest paths FROM Sources[i]
+// (parents point toward the root/source). For Mode == bford.In, T_i holds
+// shortest paths TO Sources[i] (parents are next hops toward the sink).
+type Collection struct {
+	G       *graph.Graph
+	H       int
+	Mode    bford.Mode
+	Sources []int
+
+	// Dist[i][v] is the h-hop CSSSP distance between Sources[i] and v
+	// (graph.Inf when v is not in T_i).
+	Dist [][]int64
+	// Label[i][v] is the raw 2h-hop Bellman-Ford distance label between
+	// Sources[i] and v: the minimum weight over paths of at most 2h hops.
+	// It upper-bounds the true distance, equals it whenever some shortest
+	// path has at most 2h hops, and is kept even for nodes outside the
+	// truncated tree (Step 7 of Algorithm 1 seeds its extension runs with
+	// these values).
+	Label [][]int64
+	// Depth[i][v] is v's depth in T_i (hop distance to the root), or -1
+	// when v is not in T_i.
+	Depth [][]int
+	// Parent[i][v] is v's parent in T_i (toward the root), -1 for the root
+	// and for absent nodes.
+	Parent [][]int
+	// Removed[i][v] marks nodes pruned by RemoveSubtrees.
+	Removed [][]bool
+
+	children [][][]int // children[i][v], built lazily
+}
+
+// Build constructs the h-CSSSP collection for the given sources by running
+// a 2h-hop Bellman-Ford per source in sequence and truncating each tree to
+// height h (the construction of [1]; O(|S|*h) rounds total, Lemma A.4).
+func Build(nw *congest.Network, g *graph.Graph, sources []int, h int, mode bford.Mode) (*Collection, error) {
+	if h < 1 {
+		return nil, fmt.Errorf("csssp: hop bound must be >= 1, got %d", h)
+	}
+	c := &Collection{
+		G:       g,
+		H:       h,
+		Mode:    mode,
+		Sources: append([]int(nil), sources...),
+		Dist:    make([][]int64, len(sources)),
+		Label:   make([][]int64, len(sources)),
+		Depth:   make([][]int, len(sources)),
+		Parent:  make([][]int, len(sources)),
+		Removed: make([][]bool, len(sources)),
+	}
+	for i, src := range sources {
+		res, err := bford.Run(nw, g, src, 2*h, mode)
+		if err != nil {
+			return nil, fmt.Errorf("csssp: source %d: %w", src, err)
+		}
+		n := g.N
+		c.Dist[i] = make([]int64, n)
+		c.Label[i] = append([]int64(nil), res.Dist...)
+		c.Depth[i] = make([]int, n)
+		c.Parent[i] = make([]int, n)
+		c.Removed[i] = make([]bool, n)
+		for v := 0; v < n; v++ {
+			if res.Confirmed[v] && res.Hops[v] >= 0 && res.Hops[v] <= h {
+				c.Dist[i][v] = res.Dist[v]
+				c.Depth[i][v] = res.Hops[v]
+				c.Parent[i][v] = res.Parent[v]
+			} else {
+				c.Dist[i][v] = graph.Inf
+				c.Depth[i][v] = -1
+				c.Parent[i][v] = -1
+			}
+		}
+	}
+	return c, nil
+}
+
+// NumTrees returns the number of trees (sources) in the collection.
+func (c *Collection) NumTrees() int { return len(c.Sources) }
+
+// InTree reports whether v currently belongs to tree i (present and not
+// removed).
+func (c *Collection) InTree(i, v int) bool {
+	return c.Depth[i][v] >= 0 && !c.Removed[i][v]
+}
+
+// Children returns the child lists of tree i, respecting removals.
+func (c *Collection) Children(i int) [][]int {
+	n := c.G.N
+	ch := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if !c.InTree(i, v) {
+			continue
+		}
+		if p := c.Parent[i][v]; p >= 0 {
+			ch[p] = append(ch[p], v)
+		}
+	}
+	return ch
+}
+
+// PathToRoot returns the tree path from v to the root of tree i, inclusive
+// of both endpoints (v first). It returns nil when v is not in the tree.
+func (c *Collection) PathToRoot(i, v int) []int {
+	if !c.InTree(i, v) {
+		return nil
+	}
+	var path []int
+	for u := v; u != -1; u = c.Parent[i][u] {
+		path = append(path, u)
+		if len(path) > c.G.N {
+			panic("csssp: parent cycle")
+		}
+	}
+	return path
+}
+
+// FullLengthLeaves returns the nodes at depth exactly H in tree i (not
+// removed): the leaves of the root-to-leaf paths of length H that a blocker
+// set must cover (Definition 2.2).
+func (c *Collection) FullLengthLeaves(i int) []int {
+	var out []int
+	for v := 0; v < c.G.N; v++ {
+		if c.InTree(i, v) && c.Depth[i][v] == c.H {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PathVertices returns the hyperedge associated with the full-length path
+// of tree i ending at leaf v: the H vertices at depths 1..H (the root is
+// excluded so that each hyperedge has exactly H vertices, Section 3.1).
+func (c *Collection) PathVertices(i, leaf int) []int {
+	path := c.PathToRoot(i, leaf)
+	if path == nil || len(path) != c.H+1 {
+		return nil
+	}
+	return path[:c.H] // drop the root (last element)
+}
+
+// RemoveSubtrees implements Algorithm 6 (Remove-Subtrees): for each source
+// in sequence, every node z with inZ[z] floods a removal notice down its
+// subtree in T_i; all reached nodes leave the tree. Cost: at most H+1
+// rounds per source (Lemma 3.7).
+//
+// excludeRoots controls what happens when z is the root of a tree. The
+// blocker algorithm must skip roots (hyperedges exclude the root, so a
+// blocker node covers none of its own tree's paths and that tree must stay
+// coverable); the bottleneck elimination of Algorithm 9 removes the whole
+// tree (messages destined to that root are already handled via z).
+func (c *Collection) RemoveSubtrees(nw *congest.Network, inZ []bool, excludeRoots bool) error {
+	const kindRemove uint8 = 11
+	for i := range c.Sources {
+		ch := c.Children(i)
+		root := c.Sources[i]
+		p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+			if round == 0 {
+				if inZ[v] && c.InTree(i, v) && !(excludeRoots && v == root) {
+					c.Removed[i][v] = true
+					for _, w := range ch[v] {
+						send(congest.Message{To: w, Kind: kindRemove})
+					}
+				}
+				return !inZ[v]
+			}
+			for _, m := range in {
+				if m.Kind != kindRemove || c.Removed[i][v] {
+					continue
+				}
+				c.Removed[i][v] = true
+				for _, w := range ch[v] {
+					send(congest.Message{To: w, Kind: kindRemove})
+				}
+			}
+			return true
+		})
+		if err := nw.RunFor(p, c.H+1); err != nil {
+			return fmt.Errorf("csssp: remove-subtrees tree %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// UpcastSum runs the Compute-Count convergecast of Algorithm 14
+// (generalized): within tree i, each node starts with init[v] and finishes
+// with the sum of init over its subtree, itself included; nodes outside the
+// tree finish with 0. A node at depth d sends its accumulated sum to its
+// parent at round H-d, so the fixed schedule is H+1 rounds per tree
+// (Lemma A.18).
+func (c *Collection) UpcastSum(nw *congest.Network, i int, init []int64) ([]int64, error) {
+	n := c.G.N
+	h := c.H
+	acc := make([]int64, n)
+	for v := 0; v < n; v++ {
+		if c.InTree(i, v) {
+			acc[v] = init[v]
+		}
+	}
+	const kindCount uint8 = 12
+	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+		for _, m := range in {
+			if m.Kind == kindCount {
+				acc[v] += m.A
+			}
+		}
+		if c.InTree(i, v) {
+			if d := c.Depth[i][v]; d > 0 && round == h-d {
+				send(congest.Message{To: c.Parent[i][v], Kind: kindCount, A: acc[v]})
+			}
+		}
+		return round >= h
+	})
+	if err := nw.RunFor(p, h+1); err != nil {
+		return nil, fmt.Errorf("csssp: upcast tree %d: %w", i, err)
+	}
+	return acc, nil
+}
+
+// ResetRemovals restores every tree to its as-built state (all removal
+// marks cleared). Algorithms that prune a collection (blocker construction,
+// bottleneck elimination) run on the same trees the later steps route on;
+// callers reset between the two uses.
+func (c *Collection) ResetRemovals() {
+	for i := range c.Removed {
+		for v := range c.Removed[i] {
+			c.Removed[i][v] = false
+		}
+	}
+}
+
+// RemoveSubtreesLocal applies the effect of Algorithm 6 without consuming
+// network rounds. It exists for baseline algorithms whose papers give a
+// cheaper distributed implementation than re-flooding every tree (the
+// caller charges the appropriate rounds separately; see blocker.Greedy).
+func (c *Collection) RemoveSubtreesLocal(inZ []bool, excludeRoots bool) {
+	n := c.G.N
+	for i := range c.Sources {
+		ch := c.Children(i)
+		root := c.Sources[i]
+		var stack []int
+		for v := 0; v < n; v++ {
+			if inZ[v] && c.InTree(i, v) && !(excludeRoots && v == root) {
+				stack = append(stack, v)
+			}
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if c.Removed[i][v] {
+				continue
+			}
+			c.Removed[i][v] = true
+			stack = append(stack, ch[v]...)
+		}
+	}
+}
+
+// CheckContainment verifies the CSSSP containment property (Definition
+// A.3) against the sequential oracle: for every source x and vertex v, if
+// some path from x to v (or v to x, for in-trees) with at most H hops has
+// weight delta(x,v), then v must be in T_x at that distance. It returns an
+// error describing the first violation.
+func (c *Collection) CheckContainment() error {
+	g := c.G
+	if c.Mode == bford.In {
+		g = g.Reverse()
+	}
+	for i, src := range c.Sources {
+		full := graph.Dijkstra(g, src)
+		hopb := graph.BellmanFordHops(g, src, c.H)
+		for v := 0; v < g.N; v++ {
+			if full[v] < graph.Inf && hopb[v] == full[v] {
+				if c.Depth[i][v] < 0 {
+					return fmt.Errorf("csssp: tree %d (src %d) misses node %d with %d-hop-achievable distance %d", i, src, v, c.H, full[v])
+				}
+				if c.Dist[i][v] != full[v] {
+					return fmt.Errorf("csssp: tree %d (src %d) node %d: dist %d != delta %d", i, src, v, c.Dist[i][v], full[v])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckConsistency verifies the cross-tree path-consistency property of
+// Definition 2.1: for every pair (u, v), the u->v path is identical in
+// every tree of the collection in which v appears below u. It reports the
+// number of (u, v) pairs inspected and an error on the first mismatch.
+func (c *Collection) CheckConsistency() (int, error) {
+	n := c.G.N
+	checked := 0
+	// canonical[u*n+v] is the first-seen u->v tree path, encoded as the
+	// parent chain from v up to u.
+	canonical := make(map[int][]int)
+	for i := range c.Sources {
+		for v := 0; v < n; v++ {
+			if !c.InTree(i, v) {
+				continue
+			}
+			path := c.PathToRoot(i, v)
+			// Every ancestor u at index j defines a u->v subpath path[0..j].
+			for j := 1; j < len(path); j++ {
+				u := path[j]
+				key := u*n + v
+				sub := path[:j+1]
+				if prev, ok := canonical[key]; ok {
+					checked++
+					if !equalInts(prev, sub) {
+						return checked, fmt.Errorf("csssp: inconsistent %d->%d path between trees", u, v)
+					}
+				} else {
+					canonical[key] = append([]int(nil), sub...)
+				}
+			}
+		}
+	}
+	return checked, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+// Package graph provides the weighted-graph substrate used by the CONGEST
+// APSP algorithms: graph construction, generators, and exact sequential
+// reference algorithms (Dijkstra, Bellman-Ford, Floyd-Warshall) used as
+// oracles in tests and benchmarks.
+//
+// Vertices are dense integers 0..N-1. Edge weights are non-negative int64
+// (the paper allows arbitrary non-negative weights; integers keep arithmetic
+// exact). A Graph may be directed or undirected; in the CONGEST model the
+// communication network is always the underlying undirected graph.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Inf is the distance value used for "unreachable". It is chosen so that
+// Inf+maxWeight cannot overflow int64 when a single relaxation adds one edge.
+const Inf int64 = math.MaxInt64 / 4
+
+// Edge is a weighted edge from U to V. For undirected graphs an Edge
+// represents both directions.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// Graph is a weighted graph over vertices 0..N-1.
+type Graph struct {
+	N        int
+	Directed bool
+	edges    []Edge
+	// out[u] lists indices into edges of edges leaving u (for undirected
+	// graphs, edges incident to u, in either orientation).
+	out [][]int
+	// in[v] lists indices into edges of edges entering v. For undirected
+	// graphs in == out.
+	in [][]int
+}
+
+// New returns an empty graph with n vertices.
+func New(n int, directed bool) *Graph {
+	g := &Graph{
+		N:        n,
+		Directed: directed,
+		out:      make([][]int, n),
+	}
+	if directed {
+		g.in = make([][]int, n)
+	} else {
+		g.in = g.out
+	}
+	return g
+}
+
+// AddEdge adds an edge u->v with weight w (both directions if undirected).
+// Self-loops are rejected: they never appear on shortest paths with
+// non-negative weights and the CONGEST model has no self-links.
+func (g *Graph) AddEdge(u, v int, w int64) error {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.N)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d rejected", u)
+	}
+	if w < 0 {
+		return fmt.Errorf("graph: negative weight %d on edge (%d,%d)", w, u, v)
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	g.out[u] = append(g.out[u], idx)
+	if g.Directed {
+		g.in[v] = append(g.in[v], idx)
+	} else {
+		g.out[v] = append(g.out[v], idx)
+	}
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; for use in tests and
+// generators where inputs are known valid.
+func (g *Graph) MustAddEdge(u, v int, w int64) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+// M returns the number of edges (undirected edges counted once).
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the edge list. The returned slice must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// OutNeighbors calls f(v, w) for every edge u->v with weight w.
+// For undirected graphs this enumerates all incident edges.
+func (g *Graph) OutNeighbors(u int, f func(v int, w int64)) {
+	for _, idx := range g.out[u] {
+		e := g.edges[idx]
+		if e.U == u {
+			f(e.V, e.W)
+		} else {
+			f(e.U, e.W)
+		}
+	}
+}
+
+// InNeighbors calls f(u, w) for every edge u->v with weight w.
+// For undirected graphs this enumerates all incident edges.
+func (g *Graph) InNeighbors(v int, f func(u int, w int64)) {
+	for _, idx := range g.in[v] {
+		e := g.edges[idx]
+		if g.Directed {
+			f(e.U, e.W)
+		} else if e.U == v {
+			f(e.V, e.W)
+		} else {
+			f(e.U, e.W)
+		}
+	}
+}
+
+// OutDegree returns the number of outgoing edges of u.
+func (g *Graph) OutDegree(u int) int { return len(g.out[u]) }
+
+// Reverse returns the graph with all edges reversed. For undirected graphs
+// it returns a copy.
+func (g *Graph) Reverse() *Graph {
+	r := New(g.N, g.Directed)
+	for _, e := range g.edges {
+		r.MustAddEdge(e.V, e.U, e.W)
+	}
+	return r
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.N, g.Directed)
+	for _, e := range g.edges {
+		c.MustAddEdge(e.U, e.V, e.W)
+	}
+	return c
+}
+
+// UnderlyingUndirected returns the communication topology: the undirected
+// graph with an edge {u,v} wherever g has u->v or v->u. Parallel edges are
+// collapsed; the weight recorded is the minimum over collapsed edges (weights
+// on the communication graph are irrelevant to the CONGEST round structure
+// but kept for convenience).
+func (g *Graph) UnderlyingUndirected() *Graph {
+	if !g.Directed {
+		return g.Clone()
+	}
+	type key struct{ a, b int }
+	best := make(map[key]int64)
+	for _, e := range g.edges {
+		a, b := e.U, e.V
+		if a > b {
+			a, b = b, a
+		}
+		k := key{a, b}
+		if w, ok := best[k]; !ok || e.W < w {
+			best[k] = e.W
+		}
+	}
+	keys := make([]key, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	u := New(g.N, false)
+	for _, k := range keys {
+		u.MustAddEdge(k.a, k.b, best[k])
+	}
+	return u
+}
+
+// Validate checks internal consistency; it is used by failure-injection
+// tests.
+func (g *Graph) Validate() error {
+	for i, e := range g.edges {
+		if e.U < 0 || e.U >= g.N || e.V < 0 || e.V >= g.N {
+			return fmt.Errorf("graph: edge %d endpoints (%d,%d) out of range", i, e.U, e.V)
+		}
+		if e.W < 0 {
+			return fmt.Errorf("graph: edge %d has negative weight %d", i, e.W)
+		}
+	}
+	return nil
+}

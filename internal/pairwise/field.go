@@ -1,0 +1,155 @@
+// Package pairwise implements the small sample spaces of pairwise
+// independent random variables used to derandomize the blocker-set
+// selection step (Section 3.2 and Appendix A.3 of the paper, following
+// Luby [17] and Luby-Wigderson [18]).
+//
+// Two constructions are provided:
+//
+//   - XORSpace: the construction quoted verbatim in Appendix A.3 — a
+//     {0,1}^l sample space with 2n < 2^l <= 4n, X_i(z) = XOR_k (i_k * z_k)
+//     with the index encoding forced to end in a 1-bit. It yields unbiased
+//     (p = 1/2) pairwise-independent bits over a linear-size space.
+//
+//   - AffineSpace: the affine family Y_v = a*e_v + b over GF(2^k) with
+//     X_v = [Y_v < threshold], which supports the arbitrary selection
+//     probabilities p = delta/(1+eps)^j that Step 12 of Algorithm 2 needs,
+//     with exact pairwise independence. Its full sample space has 2^(2k)
+//     points; the blocker algorithm enumerates a deterministic linear-size
+//     slice of it (see DESIGN.md for the discussion of this substitution).
+package pairwise
+
+import "fmt"
+
+// Field is GF(2^K) represented by polynomials over GF(2) modulo an
+// irreducible polynomial of degree K (found at construction time by
+// deterministic search, so no hard-coded table can be wrong).
+type Field struct {
+	K    uint
+	Poly uint64 // the reduction polynomial including the x^K term
+}
+
+// NewField constructs GF(2^K) for 1 <= K <= 30.
+func NewField(k uint) (*Field, error) {
+	if k < 1 || k > 30 {
+		return nil, fmt.Errorf("pairwise: field degree %d out of range [1,30]", k)
+	}
+	poly, err := smallestIrreducible(k)
+	if err != nil {
+		return nil, err
+	}
+	return &Field{K: k, Poly: poly}, nil
+}
+
+// Size returns |GF(2^K)| = 2^K.
+func (f *Field) Size() uint64 { return 1 << f.K }
+
+// Add is addition in GF(2^K) (XOR).
+func (f *Field) Add(a, b uint64) uint64 { return a ^ b }
+
+// Mul multiplies in GF(2^K): carry-less product reduced mod Poly.
+func (f *Field) Mul(a, b uint64) uint64 {
+	var acc uint64
+	for b != 0 {
+		if b&1 != 0 {
+			acc ^= a
+		}
+		b >>= 1
+		a <<= 1
+		if a&(1<<f.K) != 0 {
+			a ^= f.Poly
+		}
+	}
+	return acc
+}
+
+// polyMulMod multiplies two GF(2)[x] polynomials modulo f (bit i of a value
+// is the coefficient of x^i). Used only by the irreducibility search, where
+// degrees stay below 2K <= 60 bits after reduction.
+func polyMulMod(a, b, mod uint64, deg uint) uint64 {
+	var acc uint64
+	for b != 0 {
+		if b&1 != 0 {
+			acc ^= a
+		}
+		b >>= 1
+		a <<= 1
+		if a&(1<<deg) != 0 {
+			a ^= mod
+		}
+	}
+	return acc
+}
+
+// smallestIrreducible returns the lexicographically smallest irreducible
+// polynomial of degree k over GF(2), including the leading x^k term.
+// Irreducibility is established with the standard criterion:
+// x^(2^k) == x (mod f), and gcd(x^(2^(k/d)) - x, f) == 1 for every prime
+// divisor d of k.
+func smallestIrreducible(k uint) (uint64, error) {
+	if k == 1 {
+		return 0b10, nil // x
+	}
+	for low := uint64(1); low < 1<<k; low += 2 { // constant term must be 1
+		f := (uint64(1) << k) | low
+		if isIrreducible(f, k) {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("pairwise: no irreducible polynomial of degree %d found", k)
+}
+
+func isIrreducible(f uint64, k uint) bool {
+	// t = x^(2^i) mod f, computed by repeated squaring of x.
+	t := uint64(0b10) // x
+	for i := uint(0); i < k; i++ {
+		t = polyMulMod(t, t, f, k)
+		// Composite-order check at proper divisors: for each i < k dividing
+		// k such that k/i is prime, gcd(x^(2^i) - x, f) must be 1.
+		step := i + 1
+		if step < k && k%step == 0 && isPrime(k/step) {
+			if polyGCD(t^0b10, f) != 1 {
+				return false
+			}
+		}
+	}
+	return t == 0b10 // x^(2^k) == x (mod f)
+}
+
+func isPrime(n uint) bool {
+	if n < 2 {
+		return false
+	}
+	for d := uint(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func polyGCD(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, polyMod(a, b)
+	}
+	return a
+}
+
+func polyMod(a, b uint64) uint64 {
+	db := bitLen(b)
+	for {
+		da := bitLen(a)
+		if da < db {
+			return a
+		}
+		a ^= b << (da - db)
+	}
+}
+
+func bitLen(x uint64) uint {
+	var n uint
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

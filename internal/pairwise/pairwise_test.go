@@ -1,0 +1,322 @@
+package pairwise
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmallestIrreducibleKnownValues(t *testing.T) {
+	// Degree 2: x^2+x+1 (0b111); degree 3: x^3+x+1 (0b1011);
+	// degree 4: x^4+x+1 (0b10011); degree 8: x^8+x^4+x^3+x+1 would be
+	// 0b100011011 but the lexicographically smallest is x^8+x^4+x^3+x^2+1
+	// = 0b100011101. Verify degrees 2-4 against the classic minimal polys.
+	want := map[uint]uint64{2: 0b111, 3: 0b1011, 4: 0b10011}
+	for k, w := range want {
+		got, err := smallestIrreducible(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("degree %d: got %#b, want %#b", k, got, w)
+		}
+	}
+}
+
+func TestIrreducibleRejectsComposites(t *testing.T) {
+	// x^2 (0b100), x^2+1 = (x+1)^2 (0b101), x^2+x = x(x+1) (0b110).
+	for _, f := range []uint64{0b100, 0b101, 0b110} {
+		if isIrreducible(f, 2) {
+			t.Errorf("%#b wrongly reported irreducible", f)
+		}
+	}
+	if !isIrreducible(0b111, 2) {
+		t.Error("x^2+x+1 wrongly reported reducible")
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	for _, k := range []uint{3, 5, 8} {
+		f, err := NewField(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := f.Size()
+		r := rand.New(rand.NewSource(int64(k)))
+		for trial := 0; trial < 200; trial++ {
+			a, b, c := r.Uint64()%n, r.Uint64()%n, r.Uint64()%n
+			if f.Mul(a, b) != f.Mul(b, a) {
+				t.Fatalf("k=%d: multiplication not commutative at (%d,%d)", k, a, b)
+			}
+			if f.Mul(a, f.Mul(b, c)) != f.Mul(f.Mul(a, b), c) {
+				t.Fatalf("k=%d: multiplication not associative", k)
+			}
+			if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+				t.Fatalf("k=%d: distributivity fails", k)
+			}
+			if f.Mul(a, 1) != a {
+				t.Fatalf("k=%d: 1 is not the multiplicative identity", k)
+			}
+		}
+		// No zero divisors: a*b = 0 implies a = 0 or b = 0 (full check for
+		// the small field).
+		if k == 3 {
+			for a := uint64(1); a < n; a++ {
+				for b := uint64(1); b < n; b++ {
+					if f.Mul(a, b) == 0 {
+						t.Fatalf("zero divisors: %d * %d = 0", a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestXORSpaceSizeBounds(t *testing.T) {
+	for _, n := range []int{1, 5, 16, 100, 1000} {
+		s, err := NewXORSpace(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := s.Size()
+		if size <= uint64(2*n) || size > uint64(4*n) {
+			t.Errorf("n=%d: space size %d not in (2n, 4n] = (%d, %d]", n, size, 2*n, 4*n)
+		}
+	}
+}
+
+func TestXORSpaceUniformAndPairwiseIndependent(t *testing.T) {
+	// Exact enumeration: every variable is 1 on exactly half the points and
+	// every pair agrees on being (1,1) on exactly a quarter.
+	n := 13
+	s, err := NewXORSpace(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := s.Size()
+	ones := make([]uint64, n)
+	both := make([][]uint64, n)
+	for i := range both {
+		both[i] = make([]uint64, n)
+	}
+	for z := uint64(0); z < size; z++ {
+		for i := 0; i < n; i++ {
+			if !s.Bit(i, z) {
+				continue
+			}
+			ones[i]++
+			for j := i + 1; j < n; j++ {
+				if s.Bit(j, z) {
+					both[i][j]++
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if ones[i] != size/2 {
+			t.Errorf("var %d: %d ones over %d points, want %d", i, ones[i], size, size/2)
+		}
+		for j := i + 1; j < n; j++ {
+			if both[i][j] != size/4 {
+				t.Errorf("pair (%d,%d): %d joint ones, want %d", i, j, both[i][j], size/4)
+			}
+		}
+	}
+}
+
+func TestAffineSpaceExactPairwiseIndependence(t *testing.T) {
+	// For every pair u != v, count over the FULL space: P[X_u & X_v] must
+	// equal p^2 exactly (threshold^2 / 2^(2K) points).
+	n := 7
+	s, err := NewAffineSpace(n, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := s.FullEnum()
+	thr := s.Threshold
+	size := s.F.Size()
+	wantSingle := thr * size // #points with X_v = 1
+	wantPair := thr * thr    // #points with X_u = X_v = 1
+	singles := make([]uint64, n)
+	pairs := make([][]uint64, n)
+	for i := range pairs {
+		pairs[i] = make([]uint64, n)
+	}
+	for _, p := range pts {
+		for v := 0; v < n; v++ {
+			if !s.Bit(v, p.A, p.B) {
+				continue
+			}
+			singles[v]++
+			for u := v + 1; u < n; u++ {
+				if s.Bit(u, p.A, p.B) {
+					pairs[v][u]++
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if singles[v] != wantSingle {
+			t.Errorf("var %d: %d ones, want %d", v, singles[v], wantSingle)
+		}
+		for u := v + 1; u < n; u++ {
+			if pairs[v][u] != wantPair {
+				t.Errorf("pair (%d,%d): %d joint ones, want %d", v, u, pairs[v][u], wantPair)
+			}
+		}
+	}
+}
+
+func TestAffineSpaceProbClamping(t *testing.T) {
+	s, err := NewAffineSpace(10, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Threshold != 1 {
+		t.Errorf("threshold = %d, want clamped to 1", s.Threshold)
+	}
+	s2, _ := NewAffineSpace(10, 2.0)
+	if s2.Threshold != s2.F.Size() {
+		t.Errorf("threshold = %d, want clamped to field size %d", s2.Threshold, s2.F.Size())
+	}
+}
+
+func TestLinearEnumDeterministicAndBounded(t *testing.T) {
+	s, err := NewAffineSpace(50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.LinearEnum(64)
+	b := s.LinearEnum(64)
+	if len(a) != 64 {
+		t.Fatalf("enum length %d, want 64", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("enumeration not deterministic at %d", i)
+		}
+		if a[i].A >= s.F.Size() || a[i].B >= s.F.Size() {
+			t.Fatalf("point %d out of field range: %+v", i, a[i])
+		}
+	}
+	// Requesting more points than the full space clamps.
+	tiny, _ := NewAffineSpace(2, 0.5)
+	if got := tiny.LinearEnum(1 << 20); uint64(len(got)) != tiny.FullSize() {
+		t.Errorf("clamped enum length %d, want %d", len(got), tiny.FullSize())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := NewXORSpace(0); err == nil {
+		t.Error("XOR space with n=0 accepted")
+	}
+	if _, err := NewAffineSpace(0, 0.5); err == nil {
+		t.Error("affine space with n=0 accepted")
+	}
+	if _, err := NewField(0); err == nil {
+		t.Error("field degree 0 accepted")
+	}
+	if _, err := NewField(31); err == nil {
+		t.Error("field degree 31 accepted")
+	}
+}
+
+// Property: fields of every supported small degree have no zero divisors on
+// random samples and multiplication by a nonzero constant permutes elements.
+func TestQuickFieldNoZeroDivisors(t *testing.T) {
+	f := func(kRaw uint8, aRaw, bRaw uint64) bool {
+		k := uint(2 + kRaw%12)
+		fld, err := NewField(k)
+		if err != nil {
+			return false
+		}
+		mask := fld.Size() - 1
+		a, b := aRaw&mask, bRaw&mask
+		if a != 0 && b != 0 && fld.Mul(a, b) == 0 {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XOR-space variables are pairwise independent for random pairs
+// at arbitrary n (exact counting over the space).
+func TestQuickXORPairwise(t *testing.T) {
+	f := func(nRaw uint8, iRaw, jRaw uint16) bool {
+		n := 2 + int(nRaw%40)
+		s, err := NewXORSpace(n)
+		if err != nil {
+			return false
+		}
+		i := int(iRaw) % n
+		j := int(jRaw) % n
+		if i == j {
+			return true
+		}
+		var joint uint64
+		for z := uint64(0); z < s.Size(); z++ {
+			if s.Bit(i, z) && s.Bit(j, z) {
+				joint++
+			}
+		}
+		return joint == s.Size()/4
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffineBitConsistency(t *testing.T) {
+	// Bit must be a pure function of (v, a, b).
+	s, err := NewAffineSpace(20, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.LinearEnum(10) {
+		for v := 0; v < 20; v++ {
+			if s.Bit(v, p.A, p.B) != s.Bit(v, p.A, p.B) {
+				t.Fatal("Bit not deterministic")
+			}
+		}
+	}
+}
+
+func TestAffineMarginalFrequencies(t *testing.T) {
+	// Over the full space every variable is 1 exactly Threshold*2^K times;
+	// over the linear slice the frequency should be near p (sanity, not
+	// exact).
+	s, err := NewAffineSpace(12, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := s.LinearEnum(64)
+	for v := 0; v < 12; v++ {
+		ones := 0
+		for _, p := range pts {
+			if s.Bit(v, p.A, p.B) {
+				ones++
+			}
+		}
+		frac := float64(ones) / float64(len(pts))
+		if frac < 0.05 || frac > 0.6 {
+			t.Errorf("var %d: slice frequency %.2f wildly off p=0.25", v, frac)
+		}
+	}
+}
+
+func TestFieldDegreeCoversUniverse(t *testing.T) {
+	for _, n := range []int{2, 3, 17, 100, 1000} {
+		s, err := NewAffineSpace(n, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.F.Size() < uint64(n) {
+			t.Errorf("n=%d: field size %d too small", n, s.F.Size())
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package pairwise
+
+import "fmt"
+
+// XORSpace is the sample space described verbatim in Appendix A.3 of the
+// paper: l is chosen with 2n < 2^l <= 4n; sample points are the 2^l strings
+// z in {0,1}^l; variable i takes value X_i(z) = XOR_k (enc(i)_k AND z_k),
+// where enc(i) = 2i+1 forces the low bit to 1 (the paper's "last bit is 1").
+// The variables are uniform (p = 1/2) and pairwise independent.
+type XORSpace struct {
+	N int
+	L uint
+}
+
+// NewXORSpace builds the space for n variables.
+func NewXORSpace(n int) (*XORSpace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pairwise: XOR space needs n >= 1, got %d", n)
+	}
+	l := uint(1)
+	for 1<<l <= 2*n {
+		l++
+	}
+	return &XORSpace{N: n, L: l}, nil
+}
+
+// Size returns the number of sample points, 2^L in (2n, 4n].
+func (s *XORSpace) Size() uint64 { return 1 << s.L }
+
+// Bit returns X_i(z) for variable i in [0, N) and sample point z in
+// [0, Size()).
+func (s *XORSpace) Bit(i int, z uint64) bool {
+	enc := uint64(2*i + 1)
+	return parity(enc&z) == 1
+}
+
+func parity(x uint64) uint64 {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// AffineSpace generates pairwise-independent biased bits over GF(2^K):
+// a sample point is a pair (a, b) of field elements, Y_v = a*e_v + b with
+// e_v = v, and X_v = [Y_v < Threshold]. For u != v the pair (Y_u, Y_v) is
+// uniform over F^2, so the X's are exactly pairwise independent with
+// Pr[X_v = 1] = Threshold / 2^K.
+type AffineSpace struct {
+	F         *Field
+	N         int
+	Threshold uint64
+}
+
+// NewAffineSpace builds a space for n variables with success probability
+// prob (clamped to [1/2^K, 1]); K is the smallest degree with 2^K >= n.
+func NewAffineSpace(n int, prob float64) (*AffineSpace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pairwise: affine space needs n >= 1, got %d", n)
+	}
+	k := uint(1)
+	for 1<<k < uint64(n) {
+		k++
+	}
+	f, err := NewField(k)
+	if err != nil {
+		return nil, err
+	}
+	size := float64(f.Size())
+	thr := uint64(prob * size)
+	if thr < 1 {
+		thr = 1
+	}
+	if thr > f.Size() {
+		thr = f.Size()
+	}
+	return &AffineSpace{F: f, N: n, Threshold: thr}, nil
+}
+
+// Prob returns the exact success probability Threshold / 2^K.
+func (s *AffineSpace) Prob() float64 {
+	return float64(s.Threshold) / float64(s.F.Size())
+}
+
+// FullSize returns the size of the full sample space, 2^(2K).
+func (s *AffineSpace) FullSize() uint64 { return s.F.Size() * s.F.Size() }
+
+// Bit returns X_v for the sample point (a, b).
+func (s *AffineSpace) Bit(v int, a, b uint64) bool {
+	y := s.F.Add(s.F.Mul(a, uint64(v)), b)
+	return y < s.Threshold
+}
+
+// Point is one enumerated sample point of the linear-size search slice.
+type Point struct {
+	A, B uint64
+}
+
+// LinearEnum returns the deterministic linear-size slice of the sample
+// space that the distributed derandomization enumerates: m points
+// (a_mu, b_mu) with a_mu ranging over distinct field elements and b_mu a
+// splitmix-style scrambled element. The full affine space guarantees a good
+// point exists (Lemma 3.8); the algorithm searches this slice first and
+// falls back to the single-best-node rule when (rarely) no enumerated point
+// is good — see DESIGN.md and the goodset experiment.
+func (s *AffineSpace) LinearEnum(m int) []Point {
+	if um := s.FullSize(); uint64(m) > um {
+		m = int(um)
+	}
+	mask := s.F.Size() - 1
+	pts := make([]Point, m)
+	for mu := 0; mu < m; mu++ {
+		pts[mu] = Point{
+			A: uint64(mu) & mask,
+			B: splitmix(uint64(mu)) & mask,
+		}
+	}
+	return pts
+}
+
+// FullEnum returns every point of the affine space; usable only for small
+// fields (tests and the goodset experiment).
+func (s *AffineSpace) FullEnum() []Point {
+	size := s.F.Size()
+	pts := make([]Point, 0, size*size)
+	for a := uint64(0); a < size; a++ {
+		for b := uint64(0); b < size; b++ {
+			pts = append(pts, Point{A: a, B: b})
+		}
+	}
+	return pts
+}
+
+// splitmix is the SplitMix64 finalizer, used as a deterministic scrambler.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,137 @@
+package qsink
+
+import (
+	"congestapsp/internal/broadcast"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/csssp"
+)
+
+// computeBottlenecks implements Compute-Bottleneck (Algorithm 13): it
+// returns the set B of nodes whose removal (with their subtrees, across all
+// trees of cq) brings every node's total forwarding load down to the given
+// bound. The per-tree loads count_{v,c} are computed with the Compute-Count
+// convergecast (Algorithm 14, h+1 rounds per tree); each elimination round
+// broadcasts the load values (O(n), Lemma A.2) and picks the maximum,
+// breaking ties toward the smaller id; the post-pick load update runs on
+// the CSSSP union trees in O(n) rounds ([2, 1], charged), mirrored locally.
+//
+// Lemma A.15: on return every load is at most bound. Lemma A.16: |B| <=
+// sqrt(|Q|) when bound = n*sqrt(|Q|), because each pick removes more than
+// bound nodes from trees holding at most n*|Q| nodes in total.
+func computeBottlenecks(nw *congest.Network, cq *csssp.Collection, tree *broadcast.Tree, bound int64) (B []int, loadBefore, loadAfter int64, err error) {
+	n := cq.G.N
+	q := cq.NumTrees()
+
+	// Step 1: count_{v,c} for every tree (simulated convergecasts), summed
+	// into total_count_v locally (Step 2).
+	ones := make([]int64, n)
+	for v := range ones {
+		ones[v] = 1
+	}
+	total := make([]int64, n)
+	for i := 0; i < q; i++ {
+		counts, err := cq.UpcastSum(nw, i, ones)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		root := cq.Sources[i]
+		for v := 0; v < n; v++ {
+			if v != root && cq.InTree(i, v) {
+				total[v] += counts[v]
+			}
+		}
+	}
+	loadBefore = maxOf(total)
+	loadAfter = loadBefore
+
+	// Steps 3-6: eliminate until no node exceeds the bound.
+	for {
+		// Step 4: broadcast the load values (only overloaded nodes need to
+		// speak; O(n) rounds either way).
+		items := make([][]broadcast.Item, n)
+		for v := 0; v < n; v++ {
+			if total[v] > bound {
+				items[v] = []broadcast.Item{{A: int64(v), B: total[v]}}
+			}
+		}
+		if _, err := broadcast.AllToAll(nw, tree, items); err != nil {
+			return nil, 0, 0, err
+		}
+		best, bestVal := -1, bound
+		for v := 0; v < n; v++ {
+			if total[v] > bestVal {
+				best, bestVal = v, total[v]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		B = append(B, best)
+		// Step 6: remove best's subtrees everywhere and refresh loads. [2,1]
+		// do this along the union in-/out-trees in O(n) rounds; we apply the
+		// identical update locally and charge those rounds.
+		inZ := make([]bool, n)
+		inZ[best] = true
+		cq.RemoveSubtreesLocal(inZ, false)
+		nw.ChargeRounds(n)
+		for v := range total {
+			total[v] = 0
+		}
+		for i := 0; i < q; i++ {
+			counts := subtreeSizesLocal(cq, i)
+			root := cq.Sources[i]
+			for v := 0; v < n; v++ {
+				if v != root && cq.InTree(i, v) {
+					total[v] += counts[v]
+				}
+			}
+		}
+		loadAfter = maxOf(total)
+	}
+	// The eliminations above marked removals in the local mirror only; the
+	// caller performs the actual distributed pruning (Step 5 of Algorithm
+	// 9) after the via-B distances are in place, so restore the trees.
+	cq.ResetRemovals()
+	return B, loadBefore, loadAfter, nil
+}
+
+// subtreeSizesLocal computes, without network traffic, the current subtree
+// size of every node of tree i (the local mirror used inside the O(n)
+// charged update).
+func subtreeSizesLocal(cq *csssp.Collection, i int) []int64 {
+	n := cq.G.N
+	size := make([]int64, n)
+	// Process nodes in decreasing depth so children accumulate first.
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if cq.InTree(i, v) {
+			order = append(order, v)
+			size[v] = 1
+		}
+	}
+	// Simple counting sort by depth.
+	byDepth := make([][]int, cq.H+1)
+	for _, v := range order {
+		d := cq.Depth[i][v]
+		byDepth[d] = append(byDepth[d], v)
+	}
+	for d := cq.H; d >= 1; d-- {
+		for _, v := range byDepth[d] {
+			p := cq.Parent[i][v]
+			if p >= 0 && cq.InTree(i, p) {
+				size[p] += size[v]
+			}
+		}
+	}
+	return size
+}
+
+func maxOf(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

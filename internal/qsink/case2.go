@@ -1,0 +1,305 @@
+package qsink
+
+import (
+	"fmt"
+	"math"
+
+	"congestapsp/internal/bford"
+	"congestapsp/internal/broadcast"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/csssp"
+	"congestapsp/internal/graph"
+)
+
+// runCase2 implements Algorithm 9: values for pairs with hops(x, c) <= h2
+// travel up the (pruned) in-CSSSP trees of CQ under a deterministic
+// schedule; values cut off by bottleneck removal are recovered through B
+// exactly as case (i) recovers through Q'.
+func runCase2(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *csssp.Collection,
+	Q []int, delta [][]int64, st *Stats, par Params, relax func(ci, x int, val int64)) error {
+
+	n := g.N
+	q := len(Q)
+
+	// Step 1 (Algorithm 13): bottleneck set B.
+	bound := int64(par.CongestionMult * float64(n) * math.Sqrt(float64(q)))
+	st.CongestionBound = bound
+	B, loadBefore, loadAfter, err := computeBottlenecks(nw, cq, tree, bound)
+	if err != nil {
+		return err
+	}
+	st.BottleneckCount = len(B)
+	st.MaxLoadBefore = loadBefore
+	st.MaxLoadAfter = loadAfter
+
+	if len(B) > 0 {
+		// Step 2: in-SSSP and out-SSSP per bottleneck node.
+		inD := make([][]int64, len(B))
+		outD := make([][]int64, len(B))
+		for k, b := range B {
+			rin, err := bford.Run(nw, g, b, n-1, bford.In)
+			if err != nil {
+				return err
+			}
+			inD[k] = rin.Dist
+			rout, err := bford.Run(nw, g, b, n-1, bford.Out)
+			if err != nil {
+				return err
+			}
+			outD[k] = rout.Dist
+		}
+		// Step 3: every x broadcasts delta(x, b) for each b in B.
+		items := make([][]broadcast.Item, n)
+		for x := 0; x < n; x++ {
+			for k := range B {
+				if inD[k][x] < graph.Inf {
+					items[x] = append(items[x], broadcast.Item{A: int64(x), B: int64(k), C: inD[k][x]})
+				}
+			}
+		}
+		all, err := broadcast.AllToAll(nw, tree, items)
+		if err != nil {
+			return err
+		}
+		// Step 4 (local at blockers): delta^(B)(x, c) = min_b delta(x, b) +
+		// delta(b, c).
+		for _, it := range all {
+			x, k, dxb := int(it.A), int(it.B), it.C
+			for ci, c := range Q {
+				if outD[k][c] < graph.Inf {
+					relax(ci, x, dxb+outD[k][c])
+				}
+			}
+		}
+		// Step 5: prune B's subtrees from CQ (Algorithm 6; roots included —
+		// a bottleneck that IS a blocker already has its values handled via
+		// the broadcast above).
+		inZ := make([]bool, n)
+		for _, b := range B {
+			inZ[b] = true
+		}
+		if err := cq.RemoveSubtrees(nw, inZ, false); err != nil {
+			return err
+		}
+	}
+
+	// Steps 6-9: deliver the surviving values up the pruned trees.
+	switch par.Scheduler {
+	case Frames:
+		return runFrames(nw, cq, Q, delta, st, par, relax)
+	default:
+		return runRoundRobin(nw, cq, Q, delta, st, relax)
+	}
+}
+
+// pipeMsg is one in-flight value (source x, blocker index ci).
+type pipeMsg struct {
+	x    int32
+	ci   int32
+	dist int64
+}
+
+const kindPipe uint8 = 40
+
+// pipeState is the shared plumbing of the two schedulers.
+type pipeState struct {
+	cq      *csssp.Collection
+	Q       []int
+	queues  [][][]pipeMsg // queues[v][ci]: unsent messages at v for blocker ci
+	pending []int64       // total unsent messages at v
+	total   int64
+	deliver func(ci, x int, val int64)
+	sent    []int64 // per-node forwarded count (congestion accounting)
+}
+
+func newPipeState(cq *csssp.Collection, Q []int, delta [][]int64, deliver func(ci, x int, val int64)) *pipeState {
+	n := cq.G.N
+	ps := &pipeState{
+		cq:      cq,
+		Q:       Q,
+		queues:  make([][][]pipeMsg, n),
+		pending: make([]int64, n),
+		deliver: deliver,
+		sent:    make([]int64, n),
+	}
+	for v := 0; v < n; v++ {
+		ps.queues[v] = make([][]pipeMsg, len(Q))
+	}
+	// Seed: every alive node x in pruned tree T_ci sends its own value.
+	for ci := range Q {
+		for x := 0; x < n; x++ {
+			if x == Q[ci] || !cq.InTree(ci, x) {
+				continue
+			}
+			if delta[x][ci] < graph.Inf {
+				ps.queues[x][ci] = append(ps.queues[x][ci], pipeMsg{x: int32(x), ci: int32(ci), dist: delta[x][ci]})
+				ps.pending[x]++
+				ps.total++
+			}
+		}
+	}
+	return ps
+}
+
+// receive ingests this round's messages at node v.
+func (ps *pipeState) receive(v int, in []congest.Message) {
+	for _, m := range in {
+		if m.Kind != kindPipe {
+			continue
+		}
+		ci := int(m.B)
+		if ps.Q[ci] == v {
+			ps.deliver(ci, int(m.A), m.C)
+			ps.total--
+			continue
+		}
+		ps.queues[v][ci] = append(ps.queues[v][ci], pipeMsg{x: int32(m.A), ci: int32(ci), dist: m.C})
+		ps.pending[v]++
+	}
+}
+
+// forward emits the head message of queue ci at v toward Q[ci]'s tree
+// parent.
+func (ps *pipeState) forward(v, ci int, send func(congest.Message)) {
+	msg := ps.queues[v][ci][0]
+	ps.queues[v][ci] = ps.queues[v][ci][1:]
+	ps.pending[v]--
+	send(congest.Message{To: ps.cq.Parent[ci][v], Kind: kindPipe, A: int64(msg.x), B: int64(msg.ci), C: msg.dist})
+	ps.sent[v]++
+}
+
+// runRoundRobin is Steps 7-9 of Algorithm 9: the nodes cycle through the
+// blocker sequence O, forwarding one unsent message per round toward the
+// next blocker with pending traffic.
+func runRoundRobin(nw *congest.Network, cq *csssp.Collection, Q []int, delta [][]int64,
+	st *Stats, relax func(ci, x int, val int64)) error {
+
+	n := cq.G.N
+	ps := newPipeState(cq, Q, delta, relax)
+	st.PipelineMessages = ps.total
+	if ps.total == 0 {
+		return nil
+	}
+	cursor := make([]int, n) // position in the cyclic order O per node
+
+	// Lemma 4.3 budget with slack; the protocol stops at global delivery.
+	budget := pipelineBudget(n, len(Q), ps.total)
+	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+		ps.receive(v, in)
+		if ps.pending[v] > 0 {
+			// Advance the cyclic cursor to the next blocker with traffic.
+			for k := 0; k < len(Q); k++ {
+				ci := (cursor[v] + k) % len(Q)
+				if len(ps.queues[v][ci]) > 0 {
+					ps.forward(v, ci, send)
+					cursor[v] = (ci + 1) % len(Q)
+					break
+				}
+			}
+		}
+		return ps.pending[v] == 0
+	})
+	rounds, err := nw.Run(p, budget)
+	if err != nil {
+		return fmt.Errorf("qsink: round-robin pipeline: %w", err)
+	}
+	if ps.total != 0 {
+		return fmt.Errorf("qsink: pipeline finished with %d undelivered messages", ps.total)
+	}
+	st.PipelineRounds = rounds
+	return nil
+}
+
+// runFrames is the stage/frame scheduler of Algorithm 10, used to observe
+// the progress measure of Section 4.3: in stage i, each node serves the
+// blockers in Q_{v,i} (those it still has traffic for) one frame slot at a
+// time; Lemma 4.8 predicts |Q_{v,i}| shrinks geometrically with i.
+func runFrames(nw *congest.Network, cq *csssp.Collection, Q []int, delta [][]int64,
+	st *Stats, par Params, relax func(ci, x int, val int64)) error {
+
+	n := cq.G.N
+	ps := newPipeState(cq, Q, delta, relax)
+	st.PipelineMessages = ps.total
+	if ps.total == 0 {
+		return nil
+	}
+	budget := pipelineBudget(n, len(Q), ps.total)
+	totalRounds := 0
+	logn := math.Log2(float64(n) + 1)
+	quotaScale := par.FrameQuotaScale
+	if quotaScale <= 0 {
+		quotaScale = 1
+	}
+	for stage := 0; ps.total > 0; stage++ {
+		st.FrameStages = stage + 1
+		// Q_{v,i}: the blockers each node still serves, fixed per stage.
+		qvi := make([][]int, n)
+		maxQvi := 0
+		for v := 0; v < n; v++ {
+			for ci := range Q {
+				if len(ps.queues[v][ci]) > 0 {
+					qvi[v] = append(qvi[v], ci)
+				}
+			}
+			if len(qvi[v]) > maxQvi {
+				maxQvi = len(qvi[v])
+			}
+		}
+		if maxQvi == 0 {
+			maxQvi = 1
+		}
+		st.FrameQviMax = append(st.FrameQviMax, maxQvi)
+		// Stage length: enough frames for n^(2/3) log^(i+1) n messages per
+		// served blocker (the Corollary 4.7 quota), capped by the global
+		// budget; each frame has one slot per blocker in Q_{v,i}.
+		quota := quotaScale * math.Ceil(math.Pow(float64(n), 2.0/3)) * math.Pow(logn, float64(stage+1))
+		frames := int(quota) + 1
+		stageRounds := frames * maxQvi
+		if stageRounds > budget-totalRounds {
+			stageRounds = budget - totalRounds
+		}
+		if stageRounds <= 0 {
+			return fmt.Errorf("qsink: frame scheduler exceeded budget with %d messages left", ps.total)
+		}
+		p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+			ps.receive(v, in)
+			// The final round of each stage is receive-only so no message
+			// is left in flight across the stage boundary.
+			if round < stageRounds && len(qvi[v]) > 0 {
+				slot := round % maxQvi
+				if slot < len(qvi[v]) {
+					ci := qvi[v][slot]
+					if len(ps.queues[v][ci]) > 0 {
+						ps.forward(v, ci, send)
+					}
+				}
+			}
+			return round >= stageRounds
+		})
+		rounds, err := nw.Run(p, stageRounds+2)
+		if err != nil {
+			return fmt.Errorf("qsink: frame stage %d: %w", stage, err)
+		}
+		totalRounds += rounds
+		if ps.total > 0 && totalRounds >= budget {
+			return fmt.Errorf("qsink: frame scheduler: %d messages left at budget", ps.total)
+		}
+	}
+	st.PipelineRounds = totalRounds
+	return nil
+}
+
+// pipelineBudget is the Lemma 4.3 bound with engineering slack:
+// (n^(4/3) log n + n^(4/3)) * ((1/3) log n / log log n) rounds, at least
+// enough for the degenerate small-n cases.
+func pipelineBudget(n, q int, msgs int64) int {
+	nf := float64(n)
+	logn := math.Log2(nf + 2)
+	loglog := math.Log2(logn + 2)
+	b := math.Pow(nf, 4.0/3) * (logn + 1) * (logn/loglog/3 + 1)
+	min := float64(msgs)*float64(q+1) + 16*nf
+	if b < min {
+		b = min
+	}
+	return int(b) + 64
+}

@@ -1,0 +1,151 @@
+// Package unweighted implements the classic O(n)-round unweighted APSP
+// algorithm in the CONGEST model (Holzer & Wattenhofer, PODC 2012 —
+// pipelined BFS from every source, started one after another by a token
+// walking a spanning tree). The paper's Table 1 cites the Omega(n) lower
+// bound of [6] that holds even for unweighted APSP; this package provides
+// the matching unweighted upper bound as context for the weighted
+// algorithms, and doubles as a stress test of the simulator's pipelining.
+//
+// The implementation is robust rather than schedule-fragile: BFS waves
+// carry explicit (source, dist) labels and every node forwards queued
+// announcements at the per-link bandwidth, so delayed messages still relax
+// correctly; the token staggering keeps the load low enough that the total
+// round count stays O(n) on the tested families (asserted empirically).
+package unweighted
+
+import (
+	"fmt"
+
+	"congestapsp/internal/broadcast"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/graph"
+)
+
+// Result is the unweighted APSP output.
+type Result struct {
+	// Dist[src][v] is the minimum number of edges on a src->v path
+	// (graph.Inf if unreachable). For directed graphs edges are followed
+	// forward; communication still uses the underlying undirected graph.
+	Dist   [][]int64
+	Rounds int
+}
+
+const (
+	kindToken uint8 = 60
+	kindWave  uint8 = 61
+)
+
+// Run computes hop-count APSP for all sources. It consumes O(n) rounds on
+// the tested families: a token performs a depth-first walk of a BFS
+// spanning tree, starting one source's BFS every two rounds; wave
+// announcements queue per node and drain at the link bandwidth.
+func Run(nw *congest.Network, g *graph.Graph) (*Result, error) {
+	n := g.N
+	if n == 0 {
+		return &Result{}, nil
+	}
+	tree, err := broadcast.BuildBFS(nw, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Token schedule: the depth-first walk of the spanning tree visits
+	// every node; node v's BFS starts when the token first reaches it.
+	// The walk is precomputed (it is fully determined by the tree, which
+	// every node helped build); startRound[v] = 2 * (first-visit index).
+	order := dfsOrder(tree)
+	startRound := make([]int, n)
+	for idx, v := range order {
+		startRound[v] = 2 * idx
+	}
+	lastStart := 2 * (len(order) - 1)
+
+	// out[v] lists the neighbors to announce to (forward edges).
+	out := make([][]int, n)
+	seen := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		seen[v] = map[int]bool{}
+		g.OutNeighbors(v, func(u int, _ int64) {
+			if !seen[v][u] {
+				seen[v][u] = true
+				out[v] = append(out[v], u)
+			}
+		})
+	}
+
+	dist := make([][]int64, n)
+	for s := range dist {
+		dist[s] = make([]int64, n)
+		for v := range dist[s] {
+			dist[s][v] = graph.Inf
+		}
+		dist[s][s] = 0
+	}
+
+	// queue[v]: pending (src, dist) announcements; each round v sends the
+	// head to all forward neighbors, one announcement per link per round.
+	type ann struct {
+		src  int32
+		dist int64
+	}
+	queue := make([][]ann, n)
+	roundsBefore := nw.Stats.Rounds
+	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
+		for _, m := range in {
+			if m.Kind != kindWave {
+				continue
+			}
+			src, d := int(m.A), m.B+1
+			// The receiver relaxes along the edge it heard the label on
+			// only if the sender is a forward in-neighbor.
+			if !isForwardEdge(g, m.From, v) {
+				continue
+			}
+			if d < dist[src][v] {
+				dist[src][v] = d
+				queue[v] = append(queue[v], ann{src: int32(src), dist: d})
+			}
+		}
+		if round == startRound[v] {
+			queue[v] = append(queue[v], ann{src: int32(v), dist: 0})
+		}
+		if len(queue[v]) > 0 {
+			a := queue[v][0]
+			queue[v] = queue[v][1:]
+			for _, u := range out[v] {
+				send(congest.Message{To: u, Kind: kindWave, A: int64(a.src), B: a.dist})
+			}
+		}
+		return round > lastStart && len(queue[v]) == 0
+	})
+	// O(n) with slack: starts take 2n rounds, waves another <= 2n + queues.
+	budget := 8*n + 2*tree.Height + 64
+	if _, err := nw.Run(p, budget); err != nil {
+		return nil, fmt.Errorf("unweighted: %w", err)
+	}
+	return &Result{Dist: dist, Rounds: nw.Stats.Rounds - roundsBefore}, nil
+}
+
+func isForwardEdge(g *graph.Graph, from, to int) bool {
+	ok := false
+	g.OutNeighbors(from, func(u int, _ int64) {
+		if u == to {
+			ok = true
+		}
+	})
+	return ok
+}
+
+// dfsOrder returns the first-visit order of a depth-first walk of the tree
+// (children in ascending id order), starting at the root.
+func dfsOrder(t *broadcast.Tree) []int {
+	var order []int
+	var walk func(v int)
+	walk = func(v int) {
+		order = append(order, v)
+		for _, c := range t.Children[v] {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return order
+}

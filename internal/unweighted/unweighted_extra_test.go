@@ -1,0 +1,73 @@
+package unweighted
+
+import (
+	"testing"
+
+	"congestapsp/internal/congest"
+	"congestapsp/internal/graph"
+)
+
+func TestParallelEdgesOneHop(t *testing.T) {
+	g := graph.New(2, true)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(0, 1, 9) // parallel edge must not break the wave
+	res := runOn(t, g)
+	if res.Dist[0][1] != 1 {
+		t.Errorf("hops(0,1) = %d, want 1", res.Dist[0][1])
+	}
+}
+
+func TestDenseGraphDiameterOne(t *testing.T) {
+	n := 12
+	g := graph.New(n, false)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	res := runOn(t, g)
+	for s := 0; s < n; s++ {
+		for v := 0; v < n; v++ {
+			want := int64(1)
+			if s == v {
+				want = 0
+			}
+			if res.Dist[s][v] != want {
+				t.Fatalf("hops(%d,%d) = %d, want %d", s, v, res.Dist[s][v], want)
+			}
+		}
+	}
+}
+
+func TestZeroWeightEdgesIgnored(t *testing.T) {
+	// Hop counts must ignore weights entirely, including zeros.
+	g := graph.ZeroWeightMix(graph.GenConfig{N: 16, Seed: 4, MaxWeight: 9}, 48)
+	res := runOn(t, g)
+	want := hopOracle(g)
+	for s := 0; s < g.N; s++ {
+		for v := 0; v < g.N; v++ {
+			if res.Dist[s][v] != want[s][v] {
+				t.Fatalf("hops(%d,%d) mismatch", s, v)
+			}
+		}
+	}
+}
+
+func TestBandwidthViolationNeverHappens(t *testing.T) {
+	// The queued forwarding must respect B = 1 on every family; the
+	// simulator errors on violations so success is the assertion.
+	families := []*graph.Graph{
+		graph.Star(graph.GenConfig{N: 30, Seed: 5, MaxWeight: 1}),
+		graph.Grid(5, 6, graph.GenConfig{Seed: 6, MaxWeight: 1}),
+		graph.Layered(5, 4, graph.GenConfig{Directed: true, Seed: 7, MaxWeight: 1}),
+	}
+	for i, g := range families {
+		nw, err := congest.NewNetwork(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(nw, g); err != nil {
+			t.Errorf("family %d: %v", i, err)
+		}
+	}
+}

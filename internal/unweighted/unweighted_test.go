@@ -1,0 +1,117 @@
+package unweighted
+
+import (
+	"testing"
+
+	"congestapsp/internal/congest"
+	"congestapsp/internal/graph"
+)
+
+// hopOracle computes hop-count distances sequentially.
+func hopOracle(g *graph.Graph) [][]int64 {
+	unit := graph.New(g.N, g.Directed)
+	for _, e := range g.Edges() {
+		unit.MustAddEdge(e.U, e.V, 1)
+	}
+	return graph.FloydWarshall(unit)
+}
+
+func runOn(t *testing.T, g *graph.Graph) *Result {
+	t.Helper()
+	nw, err := congest.NewNetwork(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(nw, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMatchesOracleOnFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"random-undir", graph.RandomConnected(graph.GenConfig{N: 24, Seed: 1, MaxWeight: 9}, 70)},
+		{"random-dir", graph.RandomConnected(graph.GenConfig{N: 20, Directed: true, Seed: 2, MaxWeight: 9}, 60)},
+		{"ring", graph.Ring(graph.GenConfig{N: 18, Seed: 3, MaxWeight: 9})},
+		{"grid", graph.Grid(4, 5, graph.GenConfig{Seed: 4, MaxWeight: 9})},
+		{"star", graph.Star(graph.GenConfig{N: 15, Seed: 5, MaxWeight: 9})},
+		{"layered-dir", graph.Layered(4, 3, graph.GenConfig{Directed: true, Seed: 6, MaxWeight: 9})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := runOn(t, tc.g)
+			want := hopOracle(tc.g)
+			for s := 0; s < tc.g.N; s++ {
+				for v := 0; v < tc.g.N; v++ {
+					if res.Dist[s][v] != want[s][v] {
+						t.Fatalf("hops(%d,%d) = %d, want %d", s, v, res.Dist[s][v], want[s][v])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLinearRounds(t *testing.T) {
+	// The whole point: all-sources BFS in O(n) rounds, not O(n*D).
+	for _, n := range []int{24, 48, 96} {
+		g := graph.RandomConnected(graph.GenConfig{N: n, Seed: int64(n), MaxWeight: 1}, 3*n)
+		res := runOn(t, g)
+		if res.Rounds > 8*n+64 {
+			t.Errorf("n=%d: %d rounds, want O(n)", n, res.Rounds)
+		}
+	}
+}
+
+func TestRingWorstCaseStillLinear(t *testing.T) {
+	// A ring has diameter n/2; sequential BFS would cost ~n^2/2 rounds.
+	n := 40
+	g := graph.Ring(graph.GenConfig{N: n, Seed: 1, MaxWeight: 1})
+	res := runOn(t, g)
+	if res.Rounds > 8*n+64 {
+		t.Errorf("ring n=%d: %d rounds, want O(n)", n, res.Rounds)
+	}
+	want := hopOracle(g)
+	for s := 0; s < n; s++ {
+		for v := 0; v < n; v++ {
+			if res.Dist[s][v] != want[s][v] {
+				t.Fatalf("hops(%d,%d) wrong", s, v)
+			}
+		}
+	}
+}
+
+func TestDirectedUnreachable(t *testing.T) {
+	g := graph.New(3, true)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	res := runOn(t, g)
+	if res.Dist[2][0] != graph.Inf {
+		t.Errorf("hops(2,0) = %d, want Inf", res.Dist[2][0])
+	}
+	if res.Dist[0][2] != 2 {
+		t.Errorf("hops(0,2) = %d, want 2", res.Dist[0][2])
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if res := runOn(t, graph.New(1, false)); res.Dist[0][0] != 0 {
+		t.Error("single node wrong")
+	}
+	nw, _ := congest.NewNetwork(graph.New(0, false), 1)
+	if _, err := Run(nw, graph.New(0, false)); err != nil {
+		t.Errorf("empty graph: %v", err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 30, Directed: true, Seed: 9, MaxWeight: 1}, 90)
+	a, b := runOn(t, g), runOn(t, g)
+	if a.Rounds != b.Rounds {
+		t.Errorf("rounds differ: %d vs %d", a.Rounds, b.Rounds)
+	}
+}

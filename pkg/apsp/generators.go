@@ -1,0 +1,52 @@
+package apsp
+
+import "congestapsp/internal/graph"
+
+// GenOptions parameterizes the workload generators. All generators are
+// deterministic in Seed and always produce a connected communication
+// network (a CONGEST requirement).
+type GenOptions struct {
+	N         int
+	Directed  bool
+	Seed      int64
+	MaxWeight int64 // edge weights drawn uniformly from [0, MaxWeight]; 0 means unit weights
+}
+
+func (o GenOptions) cfg() graph.GenConfig {
+	return graph.GenConfig{N: o.N, Directed: o.Directed, Seed: o.Seed, MaxWeight: o.MaxWeight}
+}
+
+// RandomGraph generates a connected random graph with about m edges.
+func RandomGraph(o GenOptions, m int) *Graph {
+	return &Graph{g: graph.RandomConnected(o.cfg(), m)}
+}
+
+// RingGraph generates a weighted cycle (diameter n/2 — the hop-bound
+// stress workload).
+func RingGraph(o GenOptions) *Graph {
+	return &Graph{g: graph.Ring(o.cfg())}
+}
+
+// GridGraph generates a rows x cols grid (road-network-style workload);
+// o.N is ignored.
+func GridGraph(rows, cols int, o GenOptions) *Graph {
+	return &Graph{g: graph.Grid(rows, cols, o.cfg())}
+}
+
+// LayeredGraph generates a deep layered DAG-with-spine (maximizes the
+// full-length h-hop paths that blocker sets must cover); o.N is ignored.
+func LayeredGraph(layers, width int, o GenOptions) *Graph {
+	return &Graph{g: graph.Layered(layers, width, o.cfg())}
+}
+
+// StarGraph generates a hub-and-spoke graph (maximizes relay congestion,
+// stressing the bottleneck-node machinery).
+func StarGraph(o GenOptions) *Graph {
+	return &Graph{g: graph.Star(o.cfg())}
+}
+
+// ZeroWeightGraph generates a connected random graph in which about half
+// the edges have weight zero.
+func ZeroWeightGraph(o GenOptions, m int) *Graph {
+	return &Graph{g: graph.ZeroWeightMix(o.cfg(), m)}
+}

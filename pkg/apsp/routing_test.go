@@ -1,0 +1,148 @@
+package apsp
+
+import (
+	"testing"
+
+	"congestapsp/internal/graph"
+)
+
+func TestRoutingTablesExact(t *testing.T) {
+	g := RandomGraph(GenOptions{N: 16, Directed: true, Seed: 4, MaxWeight: 9}, 50)
+	r, err := RunWithRouting(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.FloydWarshall(g.g)
+	// weight lookup
+	w := map[[2]int]int64{}
+	g.Edges(func(u, v int, wt int64) {
+		if old, ok := w[[2]int{u, v}]; !ok || wt < old {
+			w[[2]int{u, v}] = wt
+		}
+	})
+	for x := 0; x < g.N(); x++ {
+		for tt := 0; tt < g.N(); tt++ {
+			if r.Dist[x][tt] != want[x][tt] {
+				t.Fatalf("dist(%d,%d) wrong", x, tt)
+			}
+			if x == tt || r.Dist[x][tt] >= Inf {
+				continue
+			}
+			// NextHop must step onto a shortest path.
+			nh := r.NextHop[x][tt]
+			if nh < 0 {
+				t.Fatalf("NextHop(%d,%d) missing", x, tt)
+			}
+			wt, ok := w[[2]int{x, nh}]
+			if !ok {
+				t.Fatalf("NextHop(%d,%d)=%d is not an out-neighbor", x, tt, nh)
+			}
+			if wt+r.Dist[nh][tt] != r.Dist[x][tt] {
+				t.Fatalf("NextHop(%d,%d)=%d off the shortest path: %d+%d != %d",
+					x, tt, nh, wt, r.Dist[nh][tt], r.Dist[x][tt])
+			}
+		}
+	}
+}
+
+func TestRouteWalk(t *testing.T) {
+	g := GridGraph(3, 4, GenOptions{Seed: 5, MaxWeight: 7})
+	r, err := RunWithRouting(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < g.N(); x++ {
+		for tt := 0; tt < g.N(); tt++ {
+			route := r.Route(x, tt)
+			if x == tt {
+				if len(route) != 1 || route[0] != x {
+					t.Fatalf("self route = %v", route)
+				}
+				continue
+			}
+			if r.Dist[x][tt] >= Inf {
+				if route != nil {
+					t.Fatalf("route for unreachable pair: %v", route)
+				}
+				continue
+			}
+			if route == nil || route[0] != x || route[len(route)-1] != tt {
+				t.Fatalf("bad route %v for (%d,%d)", route, x, tt)
+			}
+		}
+	}
+}
+
+func TestRouteZeroWeights(t *testing.T) {
+	// Zero-weight plateaus are the classic way to break forwarding tables
+	// (cycles); the settle-wave must keep them acyclic in both directions.
+	g := ZeroWeightGraph(GenOptions{N: 14, Seed: 6, MaxWeight: 6}, 42)
+	r, err := RunWithRouting(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < g.N(); x++ {
+		for tt := 0; tt < g.N(); tt++ {
+			if x != tt && r.Dist[x][tt] < Inf && r.Route(x, tt) == nil {
+				t.Fatalf("forwarding cycle or hole at (%d,%d)", x, tt)
+			}
+		}
+	}
+}
+
+func TestRunUnweighted(t *testing.T) {
+	g := RingGraph(GenOptions{N: 12, Seed: 7, MaxWeight: 99})
+	r, err := RunUnweighted(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hops[0][6] != 6 {
+		t.Errorf("hops(0,6) = %d, want 6 (weights must be ignored)", r.Hops[0][6])
+	}
+	if r.Rounds <= 0 || r.Rounds > 8*g.N()+64 {
+		t.Errorf("rounds = %d, want O(n)", r.Rounds)
+	}
+}
+
+func TestRunFromSourcesExact(t *testing.T) {
+	g := RandomGraph(GenOptions{N: 20, Directed: true, Seed: 12, MaxWeight: 9}, 70)
+	sources := []int{2, 9, 17}
+	res, err := RunFromSources(g, sources, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.FloydWarshall(g.g)
+	if len(res.Dist) != len(sources) {
+		t.Fatalf("%d rows, want %d", len(res.Dist), len(sources))
+	}
+	for i, x := range sources {
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[i][v] != want[x][v] {
+				t.Fatalf("dist(%d,%d) = %d, want %d", x, v, res.Dist[i][v], want[x][v])
+			}
+		}
+	}
+}
+
+func TestRunFromSourcesCheaperStep7(t *testing.T) {
+	g := RandomGraph(GenOptions{N: 24, Seed: 13, MaxWeight: 9}, 72)
+	full, err := Run(g, Options{SkipLastHops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := RunFromSources(g, []int{0, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Stats.Steps.Step7Extend >= full.Stats.Steps.Step7Extend {
+		t.Errorf("partial step7 %d not cheaper than full %d",
+			part.Stats.Steps.Step7Extend, full.Stats.Steps.Step7Extend)
+	}
+}
+
+func TestRunFromSourcesValidation(t *testing.T) {
+	g := RingGraph(GenOptions{N: 8, Seed: 14, MaxWeight: 5})
+	if _, err := RunFromSources(g, []int{99}, Options{}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
