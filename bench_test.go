@@ -328,7 +328,7 @@ func BenchmarkSimulatorRound(b *testing.B) {
 
 // BenchmarkDistributedBellmanFord measures one h-hop SSSP on the simulator.
 func BenchmarkDistributedBellmanFord(b *testing.B) {
-	for _, n := range []int{32, 64} {
+	for _, n := range []int{32, 64, 512} {
 		g := benchGraph(n)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			nw, err := congest.NewNetwork(g, 1)

@@ -34,13 +34,14 @@ func main() {
 	sizesFlag := flag.String("sizes", "16,24,32,48,64", "comma-separated node counts")
 	seeds := flag.Int("seeds", 2, "seeds per configuration (results averaged)")
 	verify := flag.Bool("verify", true, "cross-check distances against Floyd-Warshall")
+	parallel := flag.Bool("parallel", false, "run the simulator's sharded step/delivery phases (bit-identical results)")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	h := harness{sizes: sizes, seeds: *seeds, verify: *verify}
+	h := harness{sizes: sizes, seeds: *seeds, verify: *verify, parallel: *parallel}
 
 	all := map[string]func(){
 		"table1":         h.table1,
@@ -82,9 +83,10 @@ func parseSizes(s string) ([]int, error) {
 }
 
 type harness struct {
-	sizes  []int
-	seeds  int
-	verify bool
+	sizes    []int
+	seeds    int
+	verify   bool
+	parallel bool
 }
 
 func (h harness) graphFor(n int, seed int64) *graph.Graph {
@@ -109,7 +111,7 @@ func fitExponent(xs []int, ys []float64) float64 {
 }
 
 func (h harness) runVariant(g *graph.Graph, v core.Variant, seed int64) *core.Result {
-	res, err := core.Run(g, core.Options{Variant: v, Seed: seed, SkipLastEdges: true})
+	res, err := core.Run(g, core.Options{Variant: v, Seed: seed, SkipLastEdges: true, Parallel: h.parallel})
 	if err != nil {
 		log.Fatalf("%v on n=%d: %v", v, g.N, err)
 	}
@@ -503,7 +505,7 @@ func (h harness) hSweep() {
 	fmt.Println("|--:|--:|--:|--:|--:|--:|--:|")
 	maxH := int(math.Ceil(math.Sqrt(float64(n)))) + 2
 	for hp := 2; hp <= maxH; hp += 2 {
-		res, err := core.Run(g, core.Options{Variant: core.Det43, H: hp, SkipLastEdges: true})
+		res, err := core.Run(g, core.Options{Variant: core.Det43, H: hp, SkipLastEdges: true, Parallel: h.parallel})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -527,7 +529,7 @@ func (h harness) bandwidthSweep() {
 	fmt.Println("| bandwidth | rounds | step2 blocker | step6 qsink | step1+7 BF |")
 	fmt.Println("|--:|--:|--:|--:|--:|")
 	for _, bw := range []int{1, 2, 4, 8} {
-		res, err := core.Run(g, core.Options{Variant: core.Det43, Bandwidth: bw, SkipLastEdges: true})
+		res, err := core.Run(g, core.Options{Variant: core.Det43, Bandwidth: bw, SkipLastEdges: true, Parallel: h.parallel})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"congestapsp/internal/bford"
+	"congestapsp/internal/broadcast"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/graph"
+)
+
+// TestParallelDeterminism is the engine's bit-identical-execution property
+// test: for random graphs (directed and undirected, several densities),
+// running Bellman-Ford and the broadcast primitives with Parallel on and
+// off must produce identical congest.Stats, identical final distance
+// vectors, and identical gathered item streams. This pins the contract the
+// sharded delivery path promises: per-shard accumulators merged at round
+// end are indistinguishable from sequential execution.
+func TestParallelDeterminism(t *testing.T) {
+	type scenario struct {
+		n        int
+		extra    int // edges beyond the connecting spine
+		directed bool
+		seed     int64
+	}
+	var cases []scenario
+	for _, n := range []int{24, 61, 128} {
+		for _, density := range []int{1, 4, 10} {
+			for _, directed := range []bool{false, true} {
+				cases = append(cases, scenario{n: n, extra: density * n, directed: directed, seed: int64(7*n + density)})
+			}
+		}
+	}
+	for _, sc := range cases {
+		sc := sc
+		name := fmt.Sprintf("n=%d/m=%d/directed=%v", sc.n, sc.extra, sc.directed)
+		t.Run(name, func(t *testing.T) {
+			g := graph.RandomConnected(graph.GenConfig{
+				N: sc.n, Directed: sc.directed, Seed: sc.seed, MaxWeight: 40,
+			}, sc.extra)
+			h := sc.n/4 + 2
+
+			type outcome struct {
+				stats congest.Stats
+				dist  []int64
+				hops  []int
+				items []broadcast.Item
+			}
+			run := func(parallel bool) outcome {
+				nw, err := congest.NewNetwork(g, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nw.Parallel = parallel
+				res, err := bford.Run(nw, g, int(sc.seed)%sc.n, h, bford.Out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tree, err := broadcast.BuildBFS(nw, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				perNode := make([][]broadcast.Item, sc.n)
+				for v := 0; v < sc.n; v++ {
+					perNode[v] = []broadcast.Item{{A: int64(v), B: res.Dist[v], C: int64(res.Hops[v])}}
+				}
+				all, err := broadcast.AllToAll(nw, tree, perNode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return outcome{stats: nw.Stats, dist: res.Dist, hops: res.Hops, items: all}
+			}
+
+			seq := run(false)
+			par := run(true)
+
+			if seq.stats.Rounds != par.stats.Rounds ||
+				seq.stats.Messages != par.stats.Messages ||
+				seq.stats.Words != par.stats.Words {
+				t.Fatalf("stats diverge:\n  seq: rounds=%d msgs=%d words=%d\n  par: rounds=%d msgs=%d words=%d",
+					seq.stats.Rounds, seq.stats.Messages, seq.stats.Words,
+					par.stats.Rounds, par.stats.Messages, par.stats.Words)
+			}
+			for v := range seq.stats.WordsByNode {
+				if seq.stats.WordsByNode[v] != par.stats.WordsByNode[v] {
+					t.Fatalf("WordsByNode[%d]: seq %d, par %d", v, seq.stats.WordsByNode[v], par.stats.WordsByNode[v])
+				}
+			}
+			for v := 0; v < sc.n; v++ {
+				if seq.dist[v] != par.dist[v] || seq.hops[v] != par.hops[v] {
+					t.Fatalf("node %d: seq (dist=%d hops=%d), par (dist=%d hops=%d)",
+						v, seq.dist[v], seq.hops[v], par.dist[v], par.hops[v])
+				}
+			}
+			if len(seq.items) != len(par.items) {
+				t.Fatalf("gathered %d items sequentially, %d in parallel", len(seq.items), len(par.items))
+			}
+			for i := range seq.items {
+				if seq.items[i] != par.items[i] {
+					t.Fatalf("item %d: seq %+v, par %+v", i, seq.items[i], par.items[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module congestapsp
+
+go 1.24

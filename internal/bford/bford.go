@@ -20,6 +20,8 @@ package bford
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 
 	"congestapsp/internal/congest"
 	"congestapsp/internal/graph"
@@ -66,53 +68,149 @@ type Result struct {
 	Confirmed []bool
 }
 
-// relAdj describes, for the chosen mode, the relaxation structure:
-// rel[v] lists (u, w) such that dist(v) can improve to dist(u)+w, and
-// notify[u] lists the nodes v that must hear about u's label changes.
+// relAdj describes, for the chosen mode, the relaxation structure in CSR
+// form: row v of (relOff, relNbr, relW) lists the arcs (u, w) such that
+// dist(v) can improve to dist(u)+w, sorted by u for binary-searched lookup,
+// and row u of (ntfOff, ntf) lists the nodes v that must hear about u's
+// label changes, sorted by v. Parallel edges are collapsed to their minimum
+// weight: a node learns a neighbor's label once per round and applies its
+// locally known minimum incident edge weight.
 type relAdj struct {
-	rel    [][]arc
-	notify [][]int
+	relOff []int32
+	relNbr []int32
+	relW   []int64
+	ntfOff []int32
+	ntf    []int32
 }
 
-type arc struct {
-	nbr int
-	w   int64
+// weight returns the relaxation weight of arc u~>v, or -1 when v has no
+// relaxation arc from u.
+func (ra *relAdj) weight(v, u int) int64 {
+	if i := ra.arcIndex(v, u); i >= 0 {
+		return ra.relW[i]
+	}
+	return -1
 }
 
-// buildRelAdj collapses parallel edges to their minimum weight: a node
-// learns a neighbor's label once per round and applies its locally known
-// minimum incident edge weight.
+// arcIndex returns the absolute index of arc u~>v in relNbr/relW, or -1.
+func (ra *relAdj) arcIndex(v, u int) int {
+	off := int(ra.relOff[v])
+	if i, ok := slices.BinarySearch(ra.relNbr[off:ra.relOff[v+1]], int32(u)); ok {
+		return off + i
+	}
+	return -1
+}
+
+// notify returns the nodes that must hear about v's label changes.
+func (ra *relAdj) notify(v int) []int32 {
+	return ra.ntf[ra.ntfOff[v]:ra.ntfOff[v+1]]
+}
+
+type relArc struct {
+	v, u int32
+	w    int64
+}
+
 func buildRelAdj(g *graph.Graph, mode Mode) *relAdj {
 	n := g.N
-	minW := make([]map[int]int64, n) // minW[v][u] = min weight of a relaxation arc u~>v
-	for v := 0; v < n; v++ {
-		minW[v] = map[int]int64{}
-	}
-	record := func(v, u int, w int64) {
-		if old, ok := minW[v][u]; !ok || w < old {
-			minW[v][u] = w
-		}
-	}
+	pairs := make([]relArc, 0, 2*g.M())
 	for _, e := range g.Edges() {
 		switch {
 		case mode == Out && g.Directed:
-			record(e.V, e.U, e.W) // dist(e.V) <- dist(e.U) + w
+			pairs = append(pairs, relArc{int32(e.V), int32(e.U), e.W}) // dist(e.V) <- dist(e.U) + w
 		case mode == In && g.Directed:
-			record(e.U, e.V, e.W) // dist(e.U) <- dist(e.V) + w   (path e.U -> e.V -> ... -> root)
+			pairs = append(pairs, relArc{int32(e.U), int32(e.V), e.W}) // dist(e.U) <- dist(e.V) + w
 		default: // undirected: both
-			record(e.V, e.U, e.W)
-			record(e.U, e.V, e.W)
+			pairs = append(pairs, relArc{int32(e.V), int32(e.U), e.W}, relArc{int32(e.U), int32(e.V), e.W})
 		}
 	}
-	ra := &relAdj{rel: make([][]arc, n), notify: make([][]int, n)}
+	slices.SortFunc(pairs, func(a, b relArc) int {
+		if a.v != b.v {
+			return int(a.v - b.v)
+		}
+		if a.u != b.u {
+			return int(a.u - b.u)
+		}
+		switch {
+		case a.w < b.w:
+			return -1
+		case a.w > b.w:
+			return 1
+		}
+		return 0
+	})
+	// Collapse parallel arcs: after the sort the minimum weight comes first.
+	w := 0
+	for i := range pairs {
+		if i == 0 || pairs[i].v != pairs[w-1].v || pairs[i].u != pairs[w-1].u {
+			pairs[w] = pairs[i]
+			w++
+		}
+	}
+	pairs = pairs[:w]
+
+	ra := &relAdj{
+		relOff: make([]int32, n+1),
+		relNbr: make([]int32, w),
+		relW:   make([]int64, w),
+		ntfOff: make([]int32, n+1),
+		ntf:    make([]int32, w),
+	}
+	for _, p := range pairs {
+		ra.relOff[p.v+1]++
+		ra.ntfOff[p.u+1]++
+	}
 	for v := 0; v < n; v++ {
-		for u := 0; u < n; u++ {
-			if w, ok := minW[v][u]; ok {
-				ra.rel[v] = append(ra.rel[v], arc{u, w})
-				ra.notify[u] = append(ra.notify[u], v)
-			}
-		}
+		ra.relOff[v+1] += ra.relOff[v]
+		ra.ntfOff[v+1] += ra.ntfOff[v]
 	}
+	relFill := append([]int32(nil), ra.relOff[:n]...)
+	ntfFill := append([]int32(nil), ra.ntfOff[:n]...)
+	// pairs are sorted by (v, u), so both fills emit sorted rows.
+	for _, p := range pairs {
+		ra.relNbr[relFill[p.v]] = p.u
+		ra.relW[relFill[p.v]] = p.w
+		relFill[p.v]++
+		ra.ntf[ntfFill[p.u]] = p.v
+		ntfFill[p.u]++
+	}
+	return ra
+}
+
+// The relaxation structure depends only on (graph, mode) and is rebuilt for
+// every SSSP otherwise — Step 1 alone runs n of them on the same graph — so
+// a small cache keyed by graph identity pays for itself immediately. The
+// edge count is part of the key: graphs only grow (AddEdge appends), so a
+// stale entry can never be confused with the current topology. Note the
+// pointer keys pin the cached graphs (and their CSR arenas) until eviction;
+// the cache is kept small so a process churning through many transient
+// graphs retains at most a handful of them.
+type adjKey struct {
+	g    *graph.Graph
+	mode Mode
+	n, m int
+}
+
+var (
+	adjMu    sync.Mutex
+	adjCache = map[adjKey]*relAdj{}
+)
+
+func getRelAdj(g *graph.Graph, mode Mode) *relAdj {
+	key := adjKey{g, mode, g.N, g.M()}
+	adjMu.Lock()
+	ra, ok := adjCache[key]
+	adjMu.Unlock()
+	if ok {
+		return ra
+	}
+	ra = buildRelAdj(g, mode)
+	adjMu.Lock()
+	if len(adjCache) >= 8 {
+		clear(adjCache) // bound retained memory; entries rebuild on demand
+	}
+	adjCache[key] = ra
+	adjMu.Unlock()
 	return ra
 }
 
@@ -170,7 +268,7 @@ func runBF(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mod
 	if len(init) != g.N {
 		return nil, fmt.Errorf("bford: init length %d != n %d", len(init), g.N)
 	}
-	ra := buildRelAdj(g, mode)
+	ra := getRelAdj(g, mode)
 	n := g.N
 	res := &Result{
 		Root:   -1,
@@ -200,13 +298,7 @@ func runBF(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mod
 			if m.Kind != kindLabel {
 				continue
 			}
-			var w int64 = -1
-			for _, a := range ra.rel[v] {
-				if a.nbr == m.From {
-					w = a.w
-					break
-				}
-			}
+			w := ra.weight(v, m.From)
 			if w < 0 {
 				continue // label from a neighbor with no relaxation arc to v
 			}
@@ -217,8 +309,8 @@ func runBF(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mod
 			}
 		}
 		if improved && round < hops {
-			for _, u := range ra.notify[v] {
-				send(congest.Message{To: u, Kind: kindLabel, A: res.Dist[v], B: int64(res.Hops[v])})
+			for _, u := range ra.notify(v) {
+				send(congest.Message{To: int(u), Kind: kindLabel, A: res.Dist[v], B: int64(res.Hops[v])})
 			}
 		}
 		return round >= hops
@@ -251,31 +343,26 @@ func runBF(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mod
 		kindConfirm uint8 = 9
 	)
 	res.Confirmed = make([]bool, n)
-	nbrLabel := make([]map[int][2]int64, n)
-	for v := range nbrLabel {
-		nbrLabel[v] = map[int][2]int64{}
-	}
+	// Neighbor labels are stored per relaxation arc in a flat arena aligned
+	// with ra.relNbr (the sender of a kindFinal/kindConfirm message always
+	// has an arc into the receiver: that is exactly who notify() reaches).
+	nbrLabel := make([][2]int64, len(ra.relNbr))
+	haveLabel := make([]bool, len(ra.relNbr))
 	wave := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
 		for _, m := range in {
 			switch m.Kind {
 			case kindFinal:
-				nbrLabel[v][m.From] = [2]int64{m.A, m.B}
+				if ai := ra.arcIndex(v, m.From); ai >= 0 {
+					nbrLabel[ai] = [2]int64{m.A, m.B}
+					haveLabel[ai] = true
+				}
 			case kindConfirm:
 				if res.Hops[v] == round-1 {
-					lbl, ok := nbrLabel[v][m.From]
-					if !ok {
+					ai := ra.arcIndex(v, m.From)
+					if ai < 0 || !haveLabel[ai] {
 						continue
 					}
-					var w int64 = -1
-					for _, a := range ra.rel[v] {
-						if a.nbr == m.From {
-							w = a.w
-							break
-						}
-					}
-					if w < 0 {
-						continue
-					}
+					lbl, w := nbrLabel[ai], ra.relW[ai]
 					if lbl[0]+w == res.Dist[v] && int(lbl[1])+1 == res.Hops[v] {
 						if !res.Confirmed[v] || m.From < res.Parent[v] {
 							res.Confirmed[v] = true
@@ -291,19 +378,19 @@ func runBF(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mod
 		switch {
 		case round == 0:
 			if res.Hops[v] >= 0 {
-				for _, u := range ra.notify[v] {
-					send(congest.Message{To: u, Kind: kindFinal, A: res.Dist[v], B: int64(res.Hops[v])})
+				for _, u := range ra.notify(v) {
+					send(congest.Message{To: int(u), Kind: kindFinal, A: res.Dist[v], B: int64(res.Hops[v])})
 				}
 			}
 		case round == 1 && res.Hops[v] == 0:
 			res.Confirmed[v] = true
 			res.Parent[v] = -1
-			for _, u := range ra.notify[v] {
-				send(congest.Message{To: u, Kind: kindConfirm})
+			for _, u := range ra.notify(v) {
+				send(congest.Message{To: int(u), Kind: kindConfirm})
 			}
 		case round >= 2 && res.Confirmed[v] && res.Hops[v] == round-1:
-			for _, u := range ra.notify[v] {
-				send(congest.Message{To: u, Kind: kindConfirm})
+			for _, u := range ra.notify(v) {
+				send(congest.Message{To: int(u), Kind: kindConfirm})
 			}
 		}
 		return round >= hops+1

@@ -33,12 +33,11 @@ func collectAncestors(nw *congest.Network, coll *csssp.Collection, i int) ([][]i
 	root := coll.Sources[i]
 	ch := coll.Children(i)
 	anc := make([][]int32, n)
-	pending := make([][]int32, n) // ids received, not yet forwarded
+	fwd := make([]int, n) // ids forwarded so far: anc[v][:fwd[v]] (FIFO cursor)
 	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
 		for _, m := range in {
 			if m.Kind == kindAncestor {
 				anc[v] = append(anc[v], int32(m.A))
-				pending[v] = append(pending[v], int32(m.A))
 			}
 		}
 		if coll.InTree(i, v) && round <= h {
@@ -48,9 +47,9 @@ func collectAncestors(nw *congest.Network, coll *csssp.Collection, i int) ([][]i
 				for _, c := range ch[v] {
 					send(congest.Message{To: c, Kind: kindAncestor, A: int64(v)})
 				}
-			} else if len(pending[v]) > 0 {
-				id := pending[v][0]
-				pending[v] = pending[v][1:]
+			} else if fwd[v] < len(anc[v]) {
+				id := anc[v][fwd[v]]
+				fwd[v]++
 				for _, c := range ch[v] {
 					send(congest.Message{To: c, Kind: kindAncestor, A: int64(id)})
 				}

@@ -126,6 +126,7 @@ func BuildBFS(nw *congest.Network, root int) (*Tree, error) {
 func Gather(nw *congest.Network, t *Tree, perNode [][]Item) ([]Item, error) {
 	n := nw.N()
 	queue := make([][]Item, n)
+	head := make([]int, n)       // first unsent index in queue[v] (FIFO cursor)
 	totalBelow := make([]int, n) // items that must pass through v (own + strict descendants)
 	for v := 0; v < n; v++ {
 		queue[v] = append(queue[v], perNode[v]...)
@@ -161,9 +162,9 @@ func Gather(nw *congest.Network, t *Tree, perNode [][]Item) ([]Item, error) {
 			return len(collected) >= totalBelow[v]-len(perNode[v])
 		}
 		b := nw.Bandwidth
-		for b > 0 && len(queue[v]) > 0 {
-			it := queue[v][0]
-			queue[v] = queue[v][1:]
+		for b > 0 && head[v] < len(queue[v]) {
+			it := queue[v][head[v]]
+			head[v]++
 			send(congest.Message{To: t.Parent[v], Kind: kindGather, A: it.A, B: it.B, C: it.C})
 			sent[v]++
 			b--

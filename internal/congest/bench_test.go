@@ -1,0 +1,118 @@
+package congest
+
+import (
+	"fmt"
+	"testing"
+
+	"congestapsp/internal/graph"
+)
+
+func benchNet(b *testing.B, n, m int, parallel bool) *Network {
+	b.Helper()
+	g := graph.RandomConnected(graph.GenConfig{N: n, Directed: true, Seed: int64(n), MaxWeight: 50}, m)
+	nw, err := NewNetwork(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw.Parallel = parallel
+	return nw
+}
+
+// BenchmarkEngineRoundIdle measures the per-round overhead of the engine
+// with every node live but silent: the step loop plus the (empty) delivery
+// phase. The steady-state loop must not allocate.
+func BenchmarkEngineRoundIdle(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			nw := benchNet(b, n, 4*n, false)
+			idle := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+				return false
+			})
+			if _, err := nw.Run(idle, 8); err == nil { // warm the engine scratch
+				b.Fatal("idle protocol unexpectedly terminated")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := nw.Run(idle, b.N); err == nil {
+				b.Fatal("idle protocol unexpectedly terminated")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineDelivery measures a round in which every node sends one
+// word to each neighbor: the counting-sort delivery path. Steady-state cost
+// must be 0 allocs/op per delivered message.
+func BenchmarkEngineDelivery(b *testing.B) {
+	for _, cfg := range []struct {
+		name     string
+		parallel bool
+	}{{"seq", false}, {"par", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			nw := benchNet(b, 256, 1024, cfg.parallel)
+			chatter := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+				for _, u := range nw.Neighbors(v) {
+					send(Message{To: u, Kind: 1, A: int64(round)})
+				}
+				return false
+			})
+			if _, err := nw.Run(chatter, 8); err == nil { // warm arenas to steady state
+				b.Fatal("chatter protocol unexpectedly terminated")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := nw.Run(chatter, b.N); err == nil {
+				b.Fatal("chatter protocol unexpectedly terminated")
+			}
+			b.StopTimer()
+			delivered := nw.Stats.Messages
+			b.ReportMetric(float64(delivered)/float64(b.N), "msgs/round")
+		})
+	}
+}
+
+// BenchmarkEngineActiveSet measures a workload where almost every node is
+// quiescent: two nodes ping-pong while n-2 terminated nodes sit idle. The
+// active-set scheduler must make the round cost independent of n.
+func BenchmarkEngineActiveSet(b *testing.B) {
+	for _, n := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			nw := benchNet(b, n, 4*n, false)
+			a := nw.Neighbors(0)[0]
+			pong := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+				if round == 0 && v == 0 {
+					send(Message{To: a, Kind: 1})
+				}
+				for _, m := range in {
+					send(Message{To: m.From, Kind: 1})
+				}
+				return true
+			})
+			if _, err := nw.Run(pong, 8); err == nil {
+				b.Fatal("ping-pong unexpectedly terminated")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := nw.Run(pong, b.N); err == nil {
+				b.Fatal("ping-pong unexpectedly terminated")
+			}
+		})
+	}
+}
+
+// BenchmarkLinkIndex measures the CSR link lookup that replaced the
+// per-node neighbor maps.
+func BenchmarkLinkIndex(b *testing.B) {
+	nw := benchNet(b, 1024, 8192, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		v := i & 1023
+		ns := nw.Neighbors(v)
+		acc += nw.LinkIndex(v, ns[i%len(ns)])
+	}
+	if acc < 0 {
+		b.Fatal("unexpected negative index")
+	}
+}

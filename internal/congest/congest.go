@@ -17,11 +17,21 @@
 // configured bandwidth. Violations are reported as errors rather than being
 // silently absorbed, so tests can assert that an algorithm never overdrives
 // an edge.
+//
+// The data plane is built for scale (see DESIGN.md): the adjacency is a
+// CSR-style flat arena with binary-searched link lookup (no maps), message
+// delivery moves double-buffered flat message arenas through a two-pass
+// counting sort keyed on receiver (zero allocations per message in steady
+// state), rounds step only the active nodes (non-terminated or with a
+// non-empty inbox), and both the step and delivery phases shard across a
+// worker pool when Parallel is set, with per-shard statistics merged at
+// round end so results are bit-identical to sequential execution.
 package congest
 
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 
 	"congestapsp/internal/graph"
@@ -50,13 +60,22 @@ func (m Message) cost() int {
 
 // Proto is a distributed protocol expressed as a per-node step function.
 //
-// Step is invoked exactly once per node per round, in increasing round
-// order. in holds the messages delivered to v this round (sent in the
-// previous round), in a deterministic order (sorted by sender id, then by
-// send order at the sender). send queues a message for delivery next round;
-// the From field is filled in by the engine. Step returns true when node v
-// has terminated; the protocol as a whole terminates when every node has
-// returned true and no messages remain in flight.
+// Step is invoked once per node per round, in increasing round order. in
+// holds the messages delivered to v this round (sent in the previous round),
+// in a deterministic order (sorted by sender id, then by send order at the
+// sender); the slice aliases an engine arena and must not be retained past
+// the call. send queues a message for delivery next round; the From field is
+// filled in by the engine. Step returns true when node v has terminated; the
+// protocol as a whole terminates when every node has returned true and no
+// messages remain in flight.
+//
+// The engine schedules actively: a node that returned true and has an empty
+// inbox may be skipped in subsequent rounds until a message arrives for it
+// (it is always woken by an incoming message, and skipped nodes never miss
+// one). A node that must act spontaneously at a future round — without
+// being triggered by a message — must keep returning false until that round
+// has passed. Every protocol in this repository already follows that
+// discipline; it is the natural reading of "returns true when terminated".
 //
 // Step for node v must only read and write state belonging to v (protocols
 // keep per-node state in slices indexed by node id); the engine may execute
@@ -106,9 +125,10 @@ type Network struct {
 	// constant number of ids/weights/distances per edge per round.
 	Bandwidth int
 
-	// Parallel selects concurrent execution of node steps within a round
-	// using a worker pool (the natural goroutine mapping of synchronous
-	// rounds). Results are bit-identical to sequential execution.
+	// Parallel selects concurrent execution of node steps and message
+	// delivery within a round using a worker pool (the natural goroutine
+	// mapping of synchronous rounds). Results are bit-identical to
+	// sequential execution.
 	Parallel bool
 
 	// OnRound, when set, is invoked after every simulated round with a
@@ -123,11 +143,13 @@ type Network struct {
 
 	Stats Stats
 
-	// neighbor[v] is the sorted set of v's neighbors in UG; linkIdx[v] maps
-	// neighbor id -> dense link index used by the per-round bandwidth
-	// accounting.
-	neighbor [][]int
-	linkIdx  []map[int]int
+	// CSR adjacency of UG: nbrs[nbrOff[v]:nbrOff[v+1]] is the sorted,
+	// deduplicated neighbor set of v. Link lookup is a binary search in
+	// that range, so validation and bandwidth accounting are map-free.
+	nbrOff []int32
+	nbrs   []int
+
+	eng engine // reusable per-run scratch (see run)
 }
 
 // NewNetwork builds a network for input graph g with the given per-link
@@ -140,33 +162,43 @@ func NewNetwork(g *graph.Graph, bandwidth int) (*Network, error) {
 		return nil, err
 	}
 	ug := g.UnderlyingUndirected()
+	n := g.N
 	nw := &Network{
 		G:         g,
 		UG:        ug,
 		Bandwidth: bandwidth,
-		neighbor:  make([][]int, g.N),
-		linkIdx:   make([]map[int]int, g.N),
+		nbrOff:    make([]int32, n+1),
 	}
-	nw.Stats.WordsByNode = make([]int64, g.N)
-	for v := 0; v < g.N; v++ {
-		seen := map[int]bool{}
+	nw.Stats.WordsByNode = make([]int64, n)
+
+	// Build the CSR arena: fill with an upper bound per node (incident edge
+	// count), then sort and dedup each range in place, compacting as we go.
+	offs := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offs[v+1] = offs[v] + int32(ug.OutDegree(v))
+	}
+	arena := make([]int, offs[n])
+	fill := make([]int32, n)
+	copy(fill, offs[:n])
+	for v := 0; v < n; v++ {
 		ug.OutNeighbors(v, func(u int, _ int64) {
-			if !seen[u] {
-				seen[u] = true
-				nw.neighbor[v] = append(nw.neighbor[v], u)
-			}
+			arena[fill[v]] = u
+			fill[v]++
 		})
-		ns := nw.neighbor[v]
-		for i := 1; i < len(ns); i++ {
-			for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
-				ns[j], ns[j-1] = ns[j-1], ns[j]
+	}
+	w := int32(0)
+	for v := 0; v < n; v++ {
+		rng := arena[offs[v]:fill[v]]
+		slices.Sort(rng)
+		for i, u := range rng {
+			if i == 0 || u != rng[i-1] {
+				arena[w] = u
+				w++
 			}
 		}
-		nw.linkIdx[v] = make(map[int]int, len(ns))
-		for i, u := range ns {
-			nw.linkIdx[v][u] = i
-		}
+		nw.nbrOff[v+1] = w
 	}
+	nw.nbrs = arena[:w:w]
 	return nw, nil
 }
 
@@ -174,13 +206,29 @@ func NewNetwork(g *graph.Graph, bandwidth int) (*Network, error) {
 func (nw *Network) N() int { return nw.G.N }
 
 // Neighbors returns v's neighbors in the communication graph, sorted by id.
-// The returned slice must not be modified.
-func (nw *Network) Neighbors(v int) []int { return nw.neighbor[v] }
+// The returned slice aliases the adjacency arena and must not be modified.
+func (nw *Network) Neighbors(v int) []int {
+	return nw.nbrs[nw.nbrOff[v]:nw.nbrOff[v+1]]
+}
+
+// Degree returns the number of communication links incident to v.
+func (nw *Network) Degree(v int) int {
+	return int(nw.nbrOff[v+1] - nw.nbrOff[v])
+}
+
+// LinkIndex returns the dense per-node index of the link {v,u} at v — the
+// position of u in Neighbors(v) — or -1 when no such link exists. Protocols
+// use it to keep per-link state in flat slices parallel to Neighbors(v).
+func (nw *Network) LinkIndex(v, u int) int {
+	if i, ok := slices.BinarySearch(nw.nbrs[nw.nbrOff[v]:nw.nbrOff[v+1]], u); ok {
+		return i
+	}
+	return -1
+}
 
 // IsLink reports whether {u,v} is a communication link.
 func (nw *Network) IsLink(u, v int) bool {
-	_, ok := nw.linkIdx[u][v]
-	return ok
+	return nw.LinkIndex(u, v) >= 0
 }
 
 // ResetStats zeroes the accumulated statistics.
@@ -218,150 +266,398 @@ func (e *ErrNotALink) Error() string {
 	return fmt.Sprintf("congest: node %d sent to %d at round %d but they share no link", e.From, e.To, e.Round)
 }
 
+// shard is one worker's slice of the engine state. Senders are partitioned
+// across shards in contiguous id ranges, so everything written here during
+// a round is owned by exactly one goroutine.
+type shard struct {
+	lo, hi int // range of indices into the active list this round
+
+	// out is this shard's half of the double-buffered message arenas: node
+	// v's sends land in out[outStart[i]:outEnd[i]] for v = active[i]. The
+	// arena is reset (not freed) every round, so steady-state rounds do not
+	// allocate per message.
+	out  []Message
+	from int // node currently stepping (stamped into Message.From)
+	send func(Message)
+
+	// Counting-sort state: cnt[r] is, during pass 1, the number of messages
+	// this shard sends to receiver r (valid when cstamp[r] is current), and
+	// after the merge, the next arena slot this shard writes for r.
+	cnt     []int32
+	cstamp  []uint64
+	touched []int32 // receivers this shard counted this round
+
+	// Per-shard Stats accumulators, merged into Network.Stats at round end.
+	msgs  int64
+	words int64
+	vio   error
+}
+
+func (s *shard) doSend(m Message) {
+	m.From = s.from
+	s.out = append(s.out, m)
+}
+
+// engine is the reusable scratch of run: allocated once per (n, workers)
+// configuration and reused across rounds and across Run calls, so the
+// steady-state round loop performs no allocations.
+type engine struct {
+	n       int
+	workers int
+
+	done   []bool
+	active []int32 // sorted ids stepped this round
+	next   []int32 // active list under construction for next round
+
+	// Inbox views into inArena: node v's inbox this round is
+	// inArena[inStart[v]:inEnd[v]], valid iff inStamp[v] == stamp.
+	inArena []Message
+	inStart []int32
+	inEnd   []int32
+	inStamp []uint64
+	stamp   uint64
+
+	// outStart/outEnd[i] delimit active[i]'s sends within its shard's out
+	// arena.
+	outStart []int32
+	outEnd   []int32
+
+	used    []int32 // per-link words used this round, indexed like nbrs
+	shards  []shard
+	touched []int32 // deduplicated receivers this round, in shard order
+}
+
+func (e *engine) ensure(n, links, workers int) {
+	if e.n != n || len(e.used) != links {
+		e.n = n
+		e.done = make([]bool, n)
+		e.active = make([]int32, 0, n)
+		e.next = make([]int32, 0, n)
+		e.inStart = make([]int32, n)
+		e.inEnd = make([]int32, n)
+		e.inStamp = make([]uint64, n)
+		e.outStart = make([]int32, n)
+		e.outEnd = make([]int32, n)
+		e.used = make([]int32, links)
+		e.touched = make([]int32, 0, n)
+		e.shards = nil
+		e.stamp = 0
+	}
+	if len(e.shards) < workers {
+		old := len(e.shards)
+		e.shards = append(e.shards, make([]shard, workers-old)...)
+		for w := old; w < workers; w++ {
+			sh := &e.shards[w]
+			sh.cnt = make([]int32, n)
+			sh.cstamp = make([]uint64, n)
+			sh.send = sh.doSend
+		}
+	}
+	e.workers = workers
+}
+
 // Run executes p until global termination or until maxRounds rounds have
 // elapsed, whichever is first. It returns the number of rounds executed.
 // Statistics accumulate into nw.Stats across calls, so a sequence of Run
 // calls models the paper's "Step k takes ... rounds" composition.
+//
+// A Network supports one execution at a time: Run and RunFor reuse per-run
+// scratch state owned by the network, so they must not be called
+// concurrently on the same Network or reentrantly from an OnRound hook or a
+// protocol Step. Build one Network per goroutine for concurrent experiments.
 func (nw *Network) Run(p Proto, maxRounds int) (int, error) {
+	return nw.run(p, maxRounds, -1)
+}
+
+// run is the engine proper. Sends made in round dropRound are validated but
+// neither delivered nor counted (RunFor's final-round drop); -1 disables
+// dropping. A Network supports one run at a time.
+func (nw *Network) run(p Proto, maxRounds, dropRound int) (int, error) {
 	n := nw.G.N
-	inbox := make([][]Message, n)
-	outbox := make([][]Message, n)
-	done := make([]bool, n)
-	used := make([][]int, n) // per-link words used this round, reset lazily
-	for v := 0; v < n; v++ {
-		used[v] = make([]int, len(nw.neighbor[v]))
-	}
-
-	var violation error
-	var vioMu sync.Mutex
-
 	workers := 1
 	if nw.Parallel {
 		workers = runtime.GOMAXPROCS(0)
 		if workers > n {
 			workers = n
 		}
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	e := &nw.eng
+	e.ensure(n, len(nw.nbrs), workers)
+	e.stamp++ // invalidate inbox views from any previous run
+	for v := range e.done {
+		e.done[v] = false
+	}
+	e.active = e.active[:0]
+	for v := 0; v < n; v++ {
+		e.active = append(e.active, int32(v))
 	}
 
 	rounds := 0
 	for round := 0; round < maxRounds; round++ {
-		// Termination check: all nodes done after the previous round and no
-		// messages awaiting delivery.
-		if round > 0 {
-			allDone := true
-			for v := 0; v < n && allDone; v++ {
-				if !done[v] || len(inbox[v]) > 0 {
-					allDone = false
-				}
-			}
-			if allDone {
-				return rounds, nil
-			}
+		// Global termination: no node is live and no message is in flight.
+		if len(e.active) == 0 {
+			return rounds, nil
 		}
-		// Step phase: every node steps once; sends accumulate in its outbox.
-		step := func(v int) {
-			out := outbox[v][:0]
-			sendFn := func(m Message) {
-				m.From = v
-				out = append(out, m)
-			}
-			done[v] = p.Step(v, round, inbox[v], sendFn)
-			outbox[v] = out
+		nA := len(e.active)
+		W := workers
+		if W > nA {
+			W = nA
 		}
-		if workers == 1 {
-			for v := 0; v < n; v++ {
-				step(v)
-			}
+		chunk := (nA + W - 1) / W
+		for w := 0; w < W; w++ {
+			sh := &e.shards[w]
+			sh.lo = w * chunk
+			sh.hi = min((w+1)*chunk, nA)
+		}
+
+		// Step phase: each active node steps once; sends accumulate in its
+		// shard's out arena.
+		if W == 1 {
+			nw.stepShard(p, &e.shards[0], round)
 		} else {
 			var wg sync.WaitGroup
-			chunk := (n + workers - 1) / workers
-			for w := 0; w < workers; w++ {
-				lo, hi := w*chunk, (w+1)*chunk
-				if hi > n {
-					hi = n
-				}
-				if lo >= hi {
-					break
-				}
+			for w := 0; w < W; w++ {
 				wg.Add(1)
-				go func(lo, hi int) {
+				go func(sh *shard, r int) {
 					defer wg.Done()
-					for v := lo; v < hi; v++ {
-						step(v)
-					}
-				}(lo, hi)
+					nw.stepShard(p, sh, r)
+				}(&e.shards[w], round)
 			}
 			wg.Wait()
 		}
 		rounds++
 		nw.Stats.Rounds++
 
-		// Delivery phase: validate links and bandwidth, move outboxes into
-		// next-round inboxes. Iterating senders in node-id order makes
-		// inbox contents deterministic.
-		for v := 0; v < n; v++ {
-			inbox[v] = inbox[v][:0]
+		// Delivery phase, pass 1: validate links and bandwidth, count
+		// messages per receiver, accumulate per-shard stats.
+		e.stamp++
+		deliver := round != dropRound
+		if W == 1 {
+			nw.countShard(&e.shards[0], round, deliver)
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < W; w++ {
+				wg.Add(1)
+				go func(sh *shard, r int, d bool) {
+					defer wg.Done()
+					nw.countShard(sh, r, d)
+				}(&e.shards[w], round, deliver)
+			}
+			wg.Wait()
 		}
-		for v := 0; v < n; v++ {
-			if len(outbox[v]) == 0 {
-				continue
+
+		// Merge: stats, first violation in global sender order, receiver
+		// arena layout (contiguous per-receiver segments; within a segment,
+		// shard order == sender-id order because shards are contiguous
+		// ranges of the sorted active list).
+		var violation error
+		e.touched = e.touched[:0]
+		total := int32(0)
+		for w := 0; w < W; w++ {
+			sh := &e.shards[w]
+			nw.Stats.Messages += sh.msgs
+			nw.Stats.Words += sh.words
+			if violation == nil {
+				violation = sh.vio
 			}
-			for i := range used[v] {
-				used[v][i] = 0
-			}
-			for _, m := range outbox[v] {
-				li, ok := nw.linkIdx[v][m.To]
-				if !ok {
-					vioMu.Lock()
-					if violation == nil {
-						violation = &ErrNotALink{Round: round, From: v, To: m.To}
-					}
-					vioMu.Unlock()
-					continue
+			for _, r := range sh.touched {
+				if e.inStamp[r] != e.stamp {
+					e.inStamp[r] = e.stamp
+					e.touched = append(e.touched, r)
 				}
-				used[v][li] += m.cost()
-				if used[v][li] > nw.Bandwidth && violation == nil {
-					violation = &ErrBandwidth{Round: round, From: v, To: m.To, Words: used[v][li], Limit: nw.Bandwidth}
-				}
-				inbox[m.To] = append(inbox[m.To], m)
-				nw.Stats.Messages++
-				nw.Stats.Words += int64(m.cost())
-				nw.Stats.WordsByNode[v] += int64(m.cost())
 			}
-			outbox[v] = outbox[v][:0]
+		}
+		for _, r := range e.touched {
+			e.inStart[r] = total
+			for w := 0; w < W; w++ {
+				sh := &e.shards[w]
+				if sh.cstamp[r] == e.stamp {
+					c := sh.cnt[r]
+					sh.cnt[r] = total // becomes the shard's write cursor
+					total += c
+				}
+			}
+			e.inEnd[r] = total
+		}
+
+		// Pass 2: place every message into its receiver's arena segment.
+		// Slots are disjoint across shards, so placement parallelizes with
+		// a bit-identical result.
+		if total > 0 {
+			if cap(e.inArena) < int(total) {
+				e.inArena = make([]Message, total, total+total/2)
+			} else {
+				e.inArena = e.inArena[:total]
+			}
+			if W == 1 {
+				placeShard(e, &e.shards[0])
+			} else {
+				var wg sync.WaitGroup
+				for w := 0; w < W; w++ {
+					wg.Add(1)
+					go func(sh *shard) {
+						defer wg.Done()
+						placeShard(e, sh)
+					}(&e.shards[w])
+				}
+				wg.Wait()
+			}
 		}
 		if violation != nil {
 			return rounds, violation
 		}
 		if nw.OnRound != nil {
-			delivered := 0
-			for v := 0; v < n; v++ {
-				delivered += len(inbox[v])
-			}
-			nw.OnRound(nw.roundSeq, delivered)
+			nw.OnRound(nw.roundSeq, int(total))
 		}
 		nw.roundSeq++
-	}
-	// Final check: terminated exactly at the budget boundary?
-	allDone := true
-	for v := 0; v < n && allDone; v++ {
-		if !done[v] || len(inbox[v]) > 0 {
-			allDone = false
+
+		// Active set for the next round: live (not-done) nodes plus every
+		// message receiver, sorted and deduplicated. Nodes that terminated
+		// with an empty inbox are skipped until a message wakes them.
+		e.next = e.next[:0]
+		for _, v := range e.active {
+			if !e.done[v] {
+				e.next = append(e.next, v)
+			}
+		}
+		live := len(e.next)
+		if len(e.touched) > 0 {
+			e.next = append(e.next, e.touched...)
+			slices.Sort(e.next[live:])
+			e.active = mergeDedup(e.next, live, e.active[:0])
+		} else {
+			e.active, e.next = e.next, e.active
 		}
 	}
-	if allDone {
+	if len(e.active) == 0 {
 		return rounds, nil
 	}
 	return rounds, fmt.Errorf("congest: protocol did not terminate within %d rounds", maxRounds)
 }
 
+// mergeDedup merges the two sorted runs buf[:mid] and buf[mid:] into out
+// (which must be empty with adequate capacity), dropping duplicates.
+func mergeDedup(buf []int32, mid int, out []int32) []int32 {
+	i, j := 0, mid
+	last := int32(-1)
+	for i < mid || j < len(buf) {
+		var v int32
+		if j >= len(buf) || (i < mid && buf[i] <= buf[j]) {
+			v = buf[i]
+			i++
+		} else {
+			v = buf[j]
+			j++
+		}
+		if v != last {
+			out = append(out, v)
+			last = v
+		}
+	}
+	return out
+}
+
+// stepShard steps the shard's range of the active list.
+func (nw *Network) stepShard(p Proto, sh *shard, round int) {
+	e := &nw.eng
+	sh.out = sh.out[:0]
+	for i := sh.lo; i < sh.hi; i++ {
+		v := int(e.active[i])
+		var in []Message
+		if e.inStamp[v] == e.stamp {
+			in = e.inArena[e.inStart[v]:e.inEnd[v]]
+		}
+		sh.from = v
+		e.outStart[i] = int32(len(sh.out))
+		e.done[v] = p.Step(v, round, in, sh.send)
+		e.outEnd[i] = int32(len(sh.out))
+	}
+}
+
+// countShard is delivery pass 1 for one shard: for every message sent by
+// the shard's senders (in id order), validate the link, account bandwidth,
+// and count the message toward its receiver. Messages on non-links are
+// marked dropped (To = -1) and reported as the first violation in scan
+// order. With deliver == false (RunFor's final round) the schedule is over:
+// sends are still validated, but not counted or delivered.
+func (nw *Network) countShard(sh *shard, round int, deliver bool) {
+	e := &nw.eng
+	sh.msgs, sh.words, sh.vio = 0, 0, nil
+	sh.touched = sh.touched[:0]
+	bw := int32(nw.Bandwidth)
+	for i := sh.lo; i < sh.hi; i++ {
+		seg := sh.out[e.outStart[i]:e.outEnd[i]]
+		if len(seg) == 0 {
+			continue
+		}
+		v := int(e.active[i])
+		off := nw.nbrOff[v]
+		for j := off; j < nw.nbrOff[v+1]; j++ {
+			e.used[j] = 0
+		}
+		for k := range seg {
+			m := &seg[k]
+			li := nw.LinkIndex(v, m.To)
+			if li < 0 {
+				if sh.vio == nil {
+					sh.vio = &ErrNotALink{Round: round, From: v, To: m.To}
+				}
+				m.To = -1 // dropped; skipped by placement
+				continue
+			}
+			c := int32(m.cost())
+			slot := off + int32(li)
+			e.used[slot] += c
+			if e.used[slot] > bw && sh.vio == nil {
+				sh.vio = &ErrBandwidth{Round: round, From: v, To: m.To, Words: int(e.used[slot]), Limit: nw.Bandwidth}
+			}
+			if !deliver {
+				continue
+			}
+			sh.msgs++
+			sh.words += int64(c)
+			nw.Stats.WordsByNode[v] += int64(c) // senders are shard-partitioned
+			to := int32(m.To)
+			if sh.cstamp[to] != e.stamp {
+				sh.cstamp[to] = e.stamp
+				sh.cnt[to] = 0
+				sh.touched = append(sh.touched, to)
+			}
+			sh.cnt[to]++
+		}
+	}
+}
+
+// placeShard is delivery pass 2 for one shard: copy the shard's messages
+// into the receiver-keyed inbox arena. sh.cnt[r] was rewritten by the merge
+// into this shard's first slot for receiver r; senders are visited in id
+// order, preserving the deterministic (sender id, send order) inbox order.
+func placeShard(e *engine, sh *shard) {
+	for i := sh.lo; i < sh.hi; i++ {
+		seg := sh.out[e.outStart[i]:e.outEnd[i]]
+		for k := range seg {
+			if seg[k].To < 0 {
+				continue
+			}
+			to := int32(seg[k].To)
+			slot := sh.cnt[to]
+			sh.cnt[to] = slot + 1
+			e.inArena[slot] = seg[k]
+		}
+	}
+}
+
 // RunFor executes p for exactly k rounds (protocols with fixed round
 // budgets). Early global termination still stops the run, and messages sent
-// in the final round are dropped (the schedule is over), but exactly k
-// rounds are charged either way, matching the fixed schedules in the paper.
+// in the final round are dropped by the schedule — they are validated but
+// neither delivered nor counted in Stats — but exactly k rounds are charged
+// either way, matching the fixed schedules in the paper.
 func (nw *Network) RunFor(p Proto, k int) error {
 	before := nw.Stats.Rounds
-	_, err := nw.Run(&cappedProto{p: p, budget: k}, k+1)
+	_, err := nw.run(&cappedProto{p: p, budget: k}, k+1, k-1)
 	if err != nil {
 		return err
 	}

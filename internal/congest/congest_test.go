@@ -223,6 +223,187 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestRunForDropsFinalRoundSends(t *testing.T) {
+	// Sends made in the final round of a fixed schedule are dropped by the
+	// schedule: they must not be delivered and must not count in Stats.
+	nw, _ := NewNetwork(path3(), 1)
+	var sent, got int
+	p := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+		got += len(in)
+		if v == 0 {
+			send(Message{To: 1, Kind: 1})
+			sent++
+		}
+		return false
+	})
+	if err := nw.RunFor(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	if sent != 3 {
+		t.Fatalf("node 0 stepped %d times, want 3", sent)
+	}
+	// Sends at rounds 0 and 1 are delivered (into rounds 1 and 2); the
+	// round-2 send is dropped.
+	if got != 2 {
+		t.Errorf("delivered %d messages, want 2", got)
+	}
+	if nw.Stats.Messages != 2 || nw.Stats.Words != 2 {
+		t.Errorf("Stats = %d msgs / %d words, want 2/2 (final-round send dropped)",
+			nw.Stats.Messages, nw.Stats.Words)
+	}
+	if nw.Stats.WordsByNode[0] != 2 {
+		t.Errorf("WordsByNode[0] = %d, want 2", nw.Stats.WordsByNode[0])
+	}
+	if nw.Stats.Rounds != 3 {
+		t.Errorf("Rounds = %d, want 3", nw.Stats.Rounds)
+	}
+}
+
+func TestRunForFinalRoundSendStillValidated(t *testing.T) {
+	// Dropped or not, a send along a non-link is a protocol bug and must
+	// still be reported.
+	nw, _ := NewNetwork(path3(), 1)
+	p := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+		if v == 0 && round == 1 {
+			send(Message{To: 2, Kind: 1}) // 0-2 is not a link; round 1 is the final RunFor(2) round
+		}
+		return false
+	})
+	err := nw.RunFor(p, 2)
+	var nl *ErrNotALink
+	if !errors.As(err, &nl) {
+		t.Fatalf("err = %v, want ErrNotALink", err)
+	}
+}
+
+func TestDoneNodeWokenByMessage(t *testing.T) {
+	// A node that terminated with an empty inbox may be skipped by the
+	// active-set scheduler, but an incoming message must always wake it.
+	nw, _ := NewNetwork(path3(), 1)
+	wokeAt := -1
+	p := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+		switch v {
+		case 0:
+			// Quiet until round 5, then poke node 1 (done long before).
+			if round == 5 {
+				send(Message{To: 1, Kind: 2})
+			}
+			return round >= 5
+		case 1:
+			for _, m := range in {
+				if m.Kind == 2 {
+					wokeAt = round
+				}
+			}
+			return true // done from round 0; must still be woken
+		default:
+			return true
+		}
+	})
+	if _, err := nw.Run(p, 20); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != 6 {
+		t.Errorf("node 1 woke at round %d, want 6", wokeAt)
+	}
+}
+
+func TestLinkIndexAndDegree(t *testing.T) {
+	g := graph.New(5, true)
+	g.MustAddEdge(2, 0, 1)
+	g.MustAddEdge(2, 4, 1)
+	g.MustAddEdge(3, 2, 1)
+	g.MustAddEdge(3, 2, 7) // parallel edge: collapsed in UG
+	nw, err := NewNetwork(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := nw.Degree(2); d != 3 {
+		t.Errorf("Degree(2) = %d, want 3", d)
+	}
+	want := map[int]int{0: 0, 3: 1, 4: 2}
+	for u, idx := range want {
+		if li := nw.LinkIndex(2, u); li != idx {
+			t.Errorf("LinkIndex(2, %d) = %d, want %d", u, li, idx)
+		}
+	}
+	if li := nw.LinkIndex(2, 1); li != -1 {
+		t.Errorf("LinkIndex(2, 1) = %d, want -1", li)
+	}
+	if li := nw.LinkIndex(0, 4); li != -1 {
+		t.Errorf("LinkIndex(0, 4) = %d, want -1", li)
+	}
+}
+
+func TestParallelStatsIdentical(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 80, Seed: 3, MaxWeight: 9}, 240)
+	run := func(parallel bool) (Stats, []int64) {
+		nw, err := NewNetwork(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.Parallel = parallel
+		f := &flooder{nw: nw, best: make([]int64, g.N)}
+		if err := nw.RunFor(f, 21); err != nil {
+			t.Fatal(err)
+		}
+		return nw.Stats, f.best
+	}
+	seq, seqBest := run(false)
+	par, parBest := run(true)
+	if seq.Rounds != par.Rounds || seq.Messages != par.Messages || seq.Words != par.Words {
+		t.Fatalf("stats differ: seq %+v par %+v", seq, par)
+	}
+	for v := range seq.WordsByNode {
+		if seq.WordsByNode[v] != par.WordsByNode[v] {
+			t.Fatalf("WordsByNode[%d]: seq %d par %d", v, seq.WordsByNode[v], par.WordsByNode[v])
+		}
+	}
+	for v := range seqBest {
+		if seqBest[v] != parBest[v] {
+			t.Fatalf("state[%d]: seq %d par %d", v, seqBest[v], parBest[v])
+		}
+	}
+}
+
+func TestInboxSenderOrderDeterministic(t *testing.T) {
+	// Inboxes must be ordered by (sender id, send order) under both
+	// execution modes.
+	g := graph.New(5, false)
+	for _, u := range []int{0, 1, 2, 4} {
+		g.MustAddEdge(u, 3, 1)
+	}
+	for _, parallel := range []bool{false, true} {
+		nw, _ := NewNetwork(g, 2)
+		nw.Parallel = parallel
+		var order []int64
+		p := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
+			if round == 0 && v != 3 {
+				send(Message{To: 3, Kind: 1, A: int64(10 * v)})
+				send(Message{To: 3, Kind: 1, A: int64(10*v + 1)})
+			}
+			if v == 3 {
+				for _, m := range in {
+					order = append(order, m.A)
+				}
+			}
+			return round >= 1
+		})
+		if _, err := nw.Run(p, 5); err != nil {
+			t.Fatal(err)
+		}
+		want := []int64{0, 1, 10, 11, 20, 21, 40, 41}
+		if len(order) != len(want) {
+			t.Fatalf("parallel=%v: inbox %v, want %v", parallel, order, want)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("parallel=%v: inbox %v, want %v", parallel, order, want)
+			}
+		}
+	}
+}
+
 func TestChargeRounds(t *testing.T) {
 	nw, _ := NewNetwork(path3(), 1)
 	nw.ChargeRounds(100)

@@ -394,15 +394,21 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 			lh[x][t] = -1
 		}
 	}
-	// minimum weight per ordered neighbor pair (parallel edges collapsed)
-	wmin := make([]map[int]int64, n) // wmin[t][u] = min weight of u->t
+	// Minimum weight per ordered neighbor pair (parallel edges collapsed),
+	// stored per link position so lookups follow nw.LinkIndex instead of a
+	// map: wmin[t][i] is the min weight of u->t for u = nw.Neighbors(t)[i],
+	// or graph.Inf when no such directed edge exists.
+	wmin := make([][]int64, n)
 	for t := 0; t < n; t++ {
-		wmin[t] = map[int]int64{}
+		wmin[t] = make([]int64, nw.Degree(t))
+		for i := range wmin[t] {
+			wmin[t][i] = graph.Inf
+		}
 	}
 	for _, e := range g.Edges() {
 		rec := func(u, t int, w int64) {
-			if old, ok := wmin[t][u]; !ok || w < old {
-				wmin[t][u] = w
+			if i := nw.LinkIndex(t, u); i >= 0 && w < wmin[t][i] {
+				wmin[t][i] = w
 			}
 		}
 		rec(e.U, e.V, e.W)
@@ -421,18 +427,18 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 		kindCol    uint8 = 50
 		kindSettle uint8 = 51
 	)
-	nbrDist := make([]map[int][]int64, n) // nbrDist[t][u][x]
-	settled := make([][]bool, n)          // settled[t][x]
-	var queue [][]int32                   // queue[t]: sources to announce
+	nbrDist := make([][][]int64, n) // nbrDist[t][link index of u][x]
+	settled := make([][]bool, n)    // settled[t][x]
+	var queue [][]int32             // queue[t]: sources to announce
 	queue = make([][]int32, n)
 	for t := 0; t < n; t++ {
-		nbrDist[t] = map[int][]int64{}
-		for _, u := range nw.Neighbors(t) {
+		nbrDist[t] = make([][]int64, nw.Degree(t))
+		for i := range nbrDist[t] {
 			col := make([]int64, n)
-			for i := range col {
-				col[i] = graph.Inf
+			for x := range col {
+				col[x] = graph.Inf
 			}
-			nbrDist[t][u] = col
+			nbrDist[t][i] = col
 		}
 		settled[t] = make([]bool, n)
 	}
@@ -451,7 +457,7 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 		for _, m := range in {
 			switch m.Kind {
 			case kindCol:
-				nbrDist[t][m.From][int(m.A)] = m.B
+				nbrDist[t][nw.LinkIndex(t, m.From)][int(m.A)] = m.B
 				lastCol = int(m.A)
 			case kindSettle:
 				annX = append(annX, int(m.A))
@@ -463,9 +469,10 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 			if settled[t][x] || dist[x][t] >= graph.Inf {
 				continue
 			}
-			w, ok := wmin[t][u]
-			du := nbrDist[t][u][x]
-			if !ok || du >= graph.Inf || du+w != dist[x][t] {
+			li := nw.LinkIndex(t, u)
+			w := wmin[t][li]
+			du := nbrDist[t][li][x]
+			if w >= graph.Inf || du >= graph.Inf || du+w != dist[x][t] {
 				continue
 			}
 			best := u
@@ -473,10 +480,10 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 				if annX[k2] != x || annFrom[k2] >= best {
 					continue
 				}
-				u2 := annFrom[k2]
-				if w2, ok2 := wmin[t][u2]; ok2 {
-					if d2 := nbrDist[t][u2][x]; d2 < graph.Inf && d2+w2 == dist[x][t] {
-						best = u2
+				l2 := nw.LinkIndex(t, annFrom[k2])
+				if w2 := wmin[t][l2]; w2 < graph.Inf {
+					if d2 := nbrDist[t][l2][x]; d2 < graph.Inf && d2+w2 == dist[x][t] {
+						best = annFrom[k2]
 					}
 				}
 			}
@@ -489,12 +496,12 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 				settle(t, x, -1)
 			} else if dist[x][t] < graph.Inf {
 				best := -1
-				for _, u := range nw.Neighbors(t) {
-					w, ok := wmin[t][u]
-					if !ok || w == 0 {
+				for i, u := range nw.Neighbors(t) {
+					w := wmin[t][i]
+					if w >= graph.Inf || w == 0 {
 						continue
 					}
-					du := nbrDist[t][u][x]
+					du := nbrDist[t][i][x]
 					if du < graph.Inf && du+w == dist[x][t] && (best == -1 || u < best) {
 						best = u
 					}

@@ -101,11 +101,16 @@ type pipeMsg struct {
 
 const kindPipe uint8 = 40
 
-// pipeState is the shared plumbing of the two schedulers.
+// pipeState is the shared plumbing of the two schedulers. Queues are FIFO
+// with an explicit head cursor: dequeuing advances heads[v][ci] instead of
+// re-slicing, so the hot forwarding path never copies slice headers, and a
+// fully drained queue resets to its start so its backing array is reused by
+// later appends instead of growing without bound.
 type pipeState struct {
 	cq      *csssp.Collection
 	Q       []int
-	queues  [][][]pipeMsg // queues[v][ci]: unsent messages at v for blocker ci
+	queues  [][][]pipeMsg // queues[v][ci]: messages at v for blocker ci
+	heads   [][]int32     // heads[v][ci]: first unsent index in queues[v][ci]
 	pending []int64       // total unsent messages at v
 	total   int64
 	deliver func(ci, x int, val int64)
@@ -118,12 +123,14 @@ func newPipeState(cq *csssp.Collection, Q []int, delta [][]int64, deliver func(c
 		cq:      cq,
 		Q:       Q,
 		queues:  make([][][]pipeMsg, n),
+		heads:   make([][]int32, n),
 		pending: make([]int64, n),
 		deliver: deliver,
 		sent:    make([]int64, n),
 	}
 	for v := 0; v < n; v++ {
 		ps.queues[v] = make([][]pipeMsg, len(Q))
+		ps.heads[v] = make([]int32, len(Q))
 	}
 	// Seed: every alive node x in pruned tree T_ci sends its own value.
 	for ci := range Q {
@@ -158,11 +165,22 @@ func (ps *pipeState) receive(v int, in []congest.Message) {
 	}
 }
 
+// queued returns the number of unsent messages at v for blocker ci.
+func (ps *pipeState) queued(v, ci int) int {
+	return len(ps.queues[v][ci]) - int(ps.heads[v][ci])
+}
+
 // forward emits the head message of queue ci at v toward Q[ci]'s tree
 // parent.
 func (ps *pipeState) forward(v, ci int, send func(congest.Message)) {
-	msg := ps.queues[v][ci][0]
-	ps.queues[v][ci] = ps.queues[v][ci][1:]
+	h := ps.heads[v][ci]
+	msg := ps.queues[v][ci][h]
+	if int(h)+1 == len(ps.queues[v][ci]) {
+		ps.queues[v][ci] = ps.queues[v][ci][:0]
+		ps.heads[v][ci] = 0
+	} else {
+		ps.heads[v][ci] = h + 1
+	}
 	ps.pending[v]--
 	send(congest.Message{To: ps.cq.Parent[ci][v], Kind: kindPipe, A: int64(msg.x), B: int64(msg.ci), C: msg.dist})
 	ps.sent[v]++
@@ -190,7 +208,7 @@ func runRoundRobin(nw *congest.Network, cq *csssp.Collection, Q []int, delta [][
 			// Advance the cyclic cursor to the next blocker with traffic.
 			for k := 0; k < len(Q); k++ {
 				ci := (cursor[v] + k) % len(Q)
-				if len(ps.queues[v][ci]) > 0 {
+				if ps.queued(v, ci) > 0 {
 					ps.forward(v, ci, send)
 					cursor[v] = (ci + 1) % len(Q)
 					break
@@ -237,7 +255,7 @@ func runFrames(nw *congest.Network, cq *csssp.Collection, Q []int, delta [][]int
 		maxQvi := 0
 		for v := 0; v < n; v++ {
 			for ci := range Q {
-				if len(ps.queues[v][ci]) > 0 {
+				if ps.queued(v, ci) > 0 {
 					qvi[v] = append(qvi[v], ci)
 				}
 			}
@@ -269,7 +287,7 @@ func runFrames(nw *congest.Network, cq *csssp.Collection, Q []int, delta [][]int
 				slot := round % maxQvi
 				if slot < len(qvi[v]) {
 					ci := qvi[v][slot]
-					if len(ps.queues[v][ci]) > 0 {
+					if ps.queued(v, ci) > 0 {
 						ps.forward(v, ci, send)
 					}
 				}

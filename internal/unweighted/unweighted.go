@@ -15,6 +15,7 @@ package unweighted
 
 import (
 	"fmt"
+	"slices"
 
 	"congestapsp/internal/broadcast"
 	"congestapsp/internal/congest"
@@ -59,17 +60,16 @@ func Run(nw *congest.Network, g *graph.Graph) (*Result, error) {
 	}
 	lastStart := 2 * (len(order) - 1)
 
-	// out[v] lists the neighbors to announce to (forward edges).
+	// out[v] lists the neighbors to announce to (forward edges), sorted and
+	// deduplicated so that the forward-edge check on receipt is a binary
+	// search instead of an adjacency scan per message.
 	out := make([][]int, n)
-	seen := make([]map[int]bool, n)
 	for v := 0; v < n; v++ {
-		seen[v] = map[int]bool{}
 		g.OutNeighbors(v, func(u int, _ int64) {
-			if !seen[v][u] {
-				seen[v][u] = true
-				out[v] = append(out[v], u)
-			}
+			out[v] = append(out[v], u)
 		})
+		slices.Sort(out[v])
+		out[v] = slices.Compact(out[v])
 	}
 
 	dist := make([][]int64, n)
@@ -97,7 +97,7 @@ func Run(nw *congest.Network, g *graph.Graph) (*Result, error) {
 			src, d := int(m.A), m.B+1
 			// The receiver relaxes along the edge it heard the label on
 			// only if the sender is a forward in-neighbor.
-			if !isForwardEdge(g, m.From, v) {
+			if _, fwd := slices.BinarySearch(out[m.From], v); !fwd {
 				continue
 			}
 			if d < dist[src][v] {
@@ -123,16 +123,6 @@ func Run(nw *congest.Network, g *graph.Graph) (*Result, error) {
 		return nil, fmt.Errorf("unweighted: %w", err)
 	}
 	return &Result{Dist: dist, Rounds: nw.Stats.Rounds - roundsBefore}, nil
-}
-
-func isForwardEdge(g *graph.Graph, from, to int) bool {
-	ok := false
-	g.OutNeighbors(from, func(u int, _ int64) {
-		if u == to {
-			ok = true
-		}
-	})
-	return ok
 }
 
 // dfsOrder returns the first-visit order of a depth-first walk of the tree

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the engine-critical benchmarks and emit BENCH_engine.json,
+# the machine-readable perf trajectory consumed by CI dashboards and PR
+# descriptions. Run from the repo root:
+#
+#   scripts/bench.sh [benchtime]
+#
+# benchtime defaults to 2s per benchmark.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-2s}"
+OUT="BENCH_engine.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkSimulatorRound|BenchmarkDistributedBellmanFord' \
+  -benchtime="$BENCHTIME" -benchmem . | tee "$RAW"
+
+go test -run '^$' -bench 'BenchmarkEngine' -benchtime="$BENCHTIME" \
+  ./internal/congest/ | tee -a "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip -GOMAXPROCS suffix
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+      if ($(i) == "ns/op")     ns = $(i - 1)
+      if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns != "") {
+      if (count++) printf ",\n"
+      printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+      if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+      printf "}"
+    }
+  }
+  BEGIN {
+    printf "{\n  \"suite\": \"engine\",\n  \"benchtime\": \"%s\",\n  \"results\": [\n", benchtime
+  }
+  END { printf "\n  ]\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
