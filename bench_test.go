@@ -17,8 +17,10 @@ import (
 	"congestapsp/internal/core"
 	"congestapsp/internal/csssp"
 	"congestapsp/internal/graph"
+	"congestapsp/internal/mat"
 	"congestapsp/internal/qsink"
 	"congestapsp/internal/unweighted"
+	"congestapsp/pkg/apsp"
 )
 
 var benchSizes = []int{16, 24, 32}
@@ -163,19 +165,16 @@ func BenchmarkBlockerRounds(b *testing.B) {
 	}
 }
 
-func oracleDelta(g *graph.Graph, Q []int) [][]int64 {
+func oracleDelta(g *graph.Graph, Q []int) *mat.Matrix {
 	rev := g
 	if g.Directed {
 		rev = g.Reverse()
 	}
-	delta := make([][]int64, g.N)
-	for x := range delta {
-		delta[x] = make([]int64, len(Q))
-	}
+	delta := mat.New(g.N, len(Q))
 	for ci, c := range Q {
 		d := graph.Dijkstra(rev, c)
 		for x := 0; x < g.N; x++ {
-			delta[x][ci] = d[x]
+			delta.Set(x, ci, d[x])
 		}
 	}
 	return delta
@@ -416,5 +415,33 @@ func BenchmarkBandwidthSweep(b *testing.B) {
 			}
 			b.ReportMetric(rounds, "rounds")
 		})
+	}
+}
+
+// BenchmarkAPSPPipeline measures the full apsp.Run wall clock (and
+// allocations) at production-leaning sizes, sequential vs source-sharded —
+// the headline number of the sharded execution layer. scripts/bench.sh
+// turns these into BENCH_apsp.json so the perf trajectory covers the whole
+// pipeline, not just the engine.
+func BenchmarkAPSPPipeline(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		g := apsp.RandomGraph(apsp.GenOptions{N: n, Directed: true, Seed: int64(n), MaxWeight: 50}, 4*n)
+		for _, m := range []struct {
+			name     string
+			parallel bool
+		}{{"seq", false}, {"sharded", true}} {
+			b.Run(fmt.Sprintf("%s/n=%d", m.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				var rounds float64
+				for i := 0; i < b.N; i++ {
+					res, err := apsp.Run(g, apsp.Options{SkipLastHops: true, Parallel: m.parallel})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = float64(res.Stats.Rounds)
+				}
+				b.ReportMetric(rounds, "rounds")
+			})
+		}
 	}
 }

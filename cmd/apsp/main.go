@@ -31,6 +31,7 @@ func main() {
 		maxW      = flag.Int64("maxweight", 100, "maximum edge weight")
 		algorithm = flag.String("algorithm", "det43", "det43|det32|rand43|bcast6")
 		hopParam  = flag.Int("h", 0, "hop parameter override (0 = default)")
+		parallel  = flag.Bool("parallel", false, "source-sharded worker-pool execution (bit-identical results; ignored with -trace)")
 		printMat  = flag.Bool("print", false, "print the distance matrix")
 		pathFrom  = flag.Int("from", -1, "print a shortest path from this node")
 		pathTo    = flag.Int("to", -1, "... to this node")
@@ -58,7 +59,7 @@ func main() {
 		log.Fatalf("unknown algorithm %q", *algorithm)
 	}
 
-	opts := apsp.Options{Algorithm: alg, HopParam: *hopParam, Seed: *seed}
+	opts := apsp.Options{Algorithm: alg, HopParam: *hopParam, Seed: *seed, Parallel: *parallel}
 	var closer func() error
 	if *traceFile != "" {
 		var err error

@@ -25,6 +25,7 @@ import (
 	"congestapsp/internal/core"
 	"congestapsp/internal/csssp"
 	"congestapsp/internal/graph"
+	"congestapsp/internal/mat"
 	"congestapsp/internal/qsink"
 	"congestapsp/internal/unweighted"
 )
@@ -333,19 +334,16 @@ func (h harness) qsinkRounds() {
 	fmt.Println()
 }
 
-func oracleDelta(g *graph.Graph, Q []int) [][]int64 {
+func oracleDelta(g *graph.Graph, Q []int) *mat.Matrix {
 	rev := g
 	if g.Directed {
 		rev = g.Reverse()
 	}
-	delta := make([][]int64, g.N)
-	for x := range delta {
-		delta[x] = make([]int64, len(Q))
-	}
+	delta := mat.New(g.N, len(Q))
 	for ci, c := range Q {
 		d := graph.Dijkstra(rev, c)
 		for x := 0; x < g.N; x++ {
-			delta[x][ci] = d[x]
+			delta.Set(x, ci, d[x])
 		}
 	}
 	return delta
@@ -355,7 +353,7 @@ func checkQsink(g *graph.Graph, Q []int, res *qsink.Result) {
 	want := oracleDelta(g, Q)
 	for ci := range Q {
 		for x := 0; x < g.N; x++ {
-			got, exp := res.AtBlocker[ci][x], want[x][ci]
+			got, exp := res.AtBlocker[ci][x], want.At(x, ci)
 			if exp >= graph.Inf {
 				exp = graph.Inf
 			}

@@ -2,12 +2,16 @@ package bench
 
 import (
 	"fmt"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"congestapsp/internal/bford"
 	"congestapsp/internal/broadcast"
 	"congestapsp/internal/congest"
+	"congestapsp/internal/core"
 	"congestapsp/internal/graph"
+	"congestapsp/internal/qsink"
 )
 
 // TestParallelDeterminism is the engine's bit-identical-execution property
@@ -53,6 +57,7 @@ func TestParallelDeterminism(t *testing.T) {
 					t.Fatal(err)
 				}
 				nw.Parallel = parallel
+				nw.MinShardNodes = 1 // force in-round sharding below the adaptive threshold
 				res, err := bford.Run(nw, g, int(sc.seed)%sc.n, h, bford.Out)
 				if err != nil {
 					t.Fatal(err)
@@ -100,6 +105,160 @@ func TestParallelDeterminism(t *testing.T) {
 				if seq.items[i] != par.items[i] {
 					t.Fatalf("item %d: seq %+v, par %+v", i, seq.items[i], par.items[i])
 				}
+			}
+		})
+	}
+}
+
+// forceWorkers raises GOMAXPROCS to at least 4 for the duration of a test
+// (returning the restore func), so the source-sharded path — which falls
+// back to sequential execution at GOMAXPROCS 1 — is genuinely exercised
+// even on single-core CI shards; -race then certifies the worker-clone
+// ownership discipline regardless of the host.
+func forceWorkers(t *testing.T) func() {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	if prev >= 4 {
+		return func() {}
+	}
+	runtime.GOMAXPROCS(4)
+	return func() { runtime.GOMAXPROCS(prev) }
+}
+
+// TestPipelineShardedDeterminism is the full-pipeline property test for the
+// source-sharded execution layer: for every Algorithm profile and several
+// random graph families, core.Run with Parallel on (per-source sub-runs of
+// Steps 1/3/7 and the q-sink SSSPs sharded across worker clones, plus the
+// engine's in-round sharding) must be bit-identical to the sequential
+// schedule in Dist, LastHop, and every Stats field — rounds, messages,
+// words, per-step decomposition, blocker stats, q-sink stats, and the
+// max-node-congestion derived from the merged per-node word vectors. CI
+// runs this under -race, which also certifies the worker-clone ownership
+// discipline (matrix rows, per-source slots, the shared bford relaxation
+// cache).
+func TestPipelineShardedDeterminism(t *testing.T) {
+	defer forceWorkers(t)()
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"random-undir", graph.RandomConnected(graph.GenConfig{N: 30, Seed: 3, MaxWeight: 30}, 90)},
+		{"random-dir", graph.RandomConnected(graph.GenConfig{N: 28, Directed: true, Seed: 4, MaxWeight: 30}, 110)},
+		{"star", graph.Star(graph.GenConfig{N: 26, Seed: 5, MaxWeight: 15})},
+		{"zeromix", graph.ZeroWeightMix(graph.GenConfig{N: 24, Seed: 6, MaxWeight: 9}, 70)},
+	}
+	variants := []core.Variant{core.Det43, core.Det32, core.Rand43, core.BroadcastStep6}
+	for _, gc := range graphs {
+		for _, v := range variants {
+			t.Run(fmt.Sprintf("%s/%v", gc.name, v), func(t *testing.T) {
+				run := func(parallel bool, minShard int) *core.Result {
+					res, err := core.Run(gc.g, core.Options{Variant: v, Seed: 11, Parallel: parallel, MinShardNodes: minShard})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				seq := run(false, 0)
+				// Source-sharded only (small graphs stay below the in-round
+				// threshold), then with in-round sharding forced for every
+				// round, so -race also covers every protocol family under
+				// the engine's intra-round worker pool.
+				for _, par := range []*core.Result{run(true, 0), run(true, 1)} {
+					if !reflect.DeepEqual(seq.Stats, par.Stats) {
+						t.Fatalf("stats diverge:\n  seq: %+v\n  par: %+v", seq.Stats, par.Stats)
+					}
+					if !reflect.DeepEqual(seq.Dist, par.Dist) {
+						t.Fatal("distance matrices diverge")
+					}
+					if !reflect.DeepEqual(seq.LastHop, par.LastHop) {
+						t.Fatal("last-hop matrices diverge")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPartialAPSPShardedDeterminism extends the property to partial runs:
+// restricted (deduplicated) source sets must produce identical rows and
+// stats under sharded and sequential execution, and non-source rows stay
+// nil.
+func TestPartialAPSPShardedDeterminism(t *testing.T) {
+	defer forceWorkers(t)()
+	g := graph.RandomConnected(graph.GenConfig{N: 30, Directed: true, Seed: 9, MaxWeight: 25}, 100)
+	sources := []int{17, 3, 17, 8, 3} // duplicates must be dropped, not double-charged
+	run := func(parallel bool) *core.Result {
+		res, err := core.Run(g, core.Options{Variant: core.Det43, Sources: sources, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(false)
+	par := run(true)
+	if !reflect.DeepEqual(seq.Stats, par.Stats) {
+		t.Fatalf("stats diverge:\n  seq: %+v\n  par: %+v", seq.Stats, par.Stats)
+	}
+	if !reflect.DeepEqual(seq.Dist, par.Dist) {
+		t.Fatal("distance rows diverge")
+	}
+	for x := 0; x < g.N; x++ {
+		want := x == 17 || x == 3 || x == 8
+		if got := seq.Dist[x] != nil; got != want {
+			t.Fatalf("row %d presence = %v, want %v", x, got, want)
+		}
+	}
+	// A deduplicated run must charge exactly what a pre-deduplicated one
+	// does (the satellite bug: duplicates used to run Step 7 twice).
+	clean, err := core.Run(g, core.Options{Variant: core.Det43, Sources: []int{17, 3, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Stats.Rounds != seq.Stats.Rounds || clean.Stats.Words != seq.Stats.Words {
+		t.Fatalf("duplicate sources changed the charge: rounds %d vs %d, words %d vs %d",
+			seq.Stats.Rounds, clean.Stats.Rounds, seq.Stats.Words, clean.Stats.Words)
+	}
+}
+
+// TestQSinkInRoundParallelDeterminism pins the engine's in-round sharded
+// execution of the q-sink delivery protocols, forced below the adaptive
+// MinShardNodes threshold (full pipelines at small n no longer shard
+// individual rounds, so without forcing, this protocol family would lose
+// its -race coverage — it is the one whose global undelivered-message
+// counter had to become atomic).
+func TestQSinkInRoundParallelDeterminism(t *testing.T) {
+	defer forceWorkers(t)()
+	g := graph.RandomConnected(graph.GenConfig{N: 36, Seed: 31, MaxWeight: 9}, 120)
+	var Q []int
+	for v := 0; v < g.N; v += 3 {
+		Q = append(Q, v)
+	}
+	delta := oracleDelta(g, Q)
+	for _, sch := range []qsink.Scheduler{qsink.RoundRobin, qsink.Frames, qsink.BroadcastAll} {
+		t.Run(sch.String(), func(t *testing.T) {
+			run := func(parallel bool) (*qsink.Result, congest.Stats) {
+				nw, err := congest.NewNetwork(g, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nw.Parallel = parallel
+				nw.MinShardNodes = 1
+				res, err := qsink.Run(nw, g, Q, delta, qsink.Params{Scheduler: sch})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, nw.Stats
+			}
+			seqRes, seqStats := run(false)
+			parRes, parStats := run(true)
+			if !reflect.DeepEqual(seqStats, parStats) {
+				t.Fatalf("network stats diverge:\n  seq: %+v\n  par: %+v", seqStats, parStats)
+			}
+			if !reflect.DeepEqual(seqRes.Stats, parRes.Stats) {
+				t.Fatalf("qsink stats diverge:\n  seq: %+v\n  par: %+v", seqRes.Stats, parRes.Stats)
+			}
+			if !reflect.DeepEqual(seqRes.AtBlocker, parRes.AtBlocker) {
+				t.Fatal("AtBlocker matrices diverge")
 			}
 		})
 	}

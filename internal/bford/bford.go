@@ -191,26 +191,34 @@ type adjKey struct {
 	n, m int
 }
 
+// The cache is shared by the source-sharded pipeline: every worker clone
+// running an SSSP on the same (graph, mode) resolves to the same immutable
+// relAdj, so the CSR relaxation structure is built once and read
+// concurrently. The read path takes only an RLock; a miss upgrades to the
+// write lock and re-checks, so concurrent first touches build at most once.
 var (
-	adjMu    sync.Mutex
+	adjMu    sync.RWMutex
 	adjCache = map[adjKey]*relAdj{}
 )
 
 func getRelAdj(g *graph.Graph, mode Mode) *relAdj {
 	key := adjKey{g, mode, g.N, g.M()}
-	adjMu.Lock()
+	adjMu.RLock()
 	ra, ok := adjCache[key]
-	adjMu.Unlock()
+	adjMu.RUnlock()
 	if ok {
 		return ra
 	}
-	ra = buildRelAdj(g, mode)
 	adjMu.Lock()
+	defer adjMu.Unlock()
+	if ra, ok = adjCache[key]; ok {
+		return ra // raced with another builder; reuse its structure
+	}
+	ra = buildRelAdj(g, mode)
 	if len(adjCache) >= 8 {
 		clear(adjCache) // bound retained memory; entries rebuild on demand
 	}
 	adjCache[key] = ra
-	adjMu.Unlock()
 	return ra
 }
 

@@ -159,13 +159,20 @@ func computeSetCover(nw *congest.Network, coll *csssp.Collection, par Params) (*
 	}
 	// Step 1 of Algorithm 7: every node collects the ids on each of its
 	// tree paths (pipelined Ancestors of [2]; O(|S|*h) rounds). Removals
-	// only delete whole paths, so the lists stay valid throughout.
+	// only delete whole paths, so the lists stay valid throughout. The
+	// per-tree protocols are independent and source-shard across worker
+	// clones (each index owns st.anc[i]).
 	st.anc = make([][][]int32, coll.NumTrees())
-	for i := range coll.Sources {
-		st.anc[i], err = collectAncestors(nw, coll, i)
+	err = nw.ShardRuns(coll.NumTrees(), func(w *congest.Network, i int) error {
+		a, err := collectAncestors(w, coll, i)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		st.anc[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Step 1 of Algorithm 2: compute score(v) ([2], O(|S|*h) rounds), then
 	// broadcast all scores so V_i construction is local at every stage
@@ -266,27 +273,37 @@ func (st *state) rebuildVi(lo float64) bool {
 }
 
 // recomputeScores runs the per-tree subtree-count upcasts ([2]'s score
-// algorithm; O(|S|*h) rounds) and broadcasts all scores (O(n)).
+// algorithm; O(|S|*h) rounds) and broadcasts all scores (O(n)). The
+// upcasts are independent per-tree protocols: they source-shard across
+// worker clones, each writing only its tree's count vector, and the score
+// accumulation happens afterwards in tree order (int64 sums are exact, so
+// the result is bit-identical to the sequential loop).
 func (st *state) recomputeScores() error {
 	n := st.n
-	score := make([]int64, n)
-	init := make([]int64, n)
-	for i := range st.coll.Sources {
-		for v := 0; v < n; v++ {
-			if st.coll.InTree(i, v) && st.coll.Depth[i][v] == st.h {
+	counts := make([][]int64, st.coll.NumTrees())
+	err := st.nw.ShardRuns(st.coll.NumTrees(), func(w *congest.Network, i int) error {
+		init := make([]int64, n)
+		for _, v := range st.coll.HLeaves(i) {
+			if !st.coll.Removed[i][v] {
 				init[v] = 1
-			} else {
-				init[v] = 0
 			}
 		}
-		counts, err := st.coll.UpcastSum(st.nw, i, init)
+		c, err := st.coll.UpcastSum(w, i, init)
 		if err != nil {
 			return err
 		}
+		counts[i] = c
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	score := make([]int64, n)
+	for i := range st.coll.Sources {
 		root := st.coll.Sources[i]
 		for v := 0; v < n; v++ {
 			if v != root && st.coll.InTree(i, v) {
-				score[v] += counts[v]
+				score[v] += counts[i][v]
 			}
 		}
 	}
@@ -308,20 +325,32 @@ func (st *state) recomputeScores() error {
 // Compute-Pij downcast per tree, then shares the per-leaf values by one
 // all-to-all broadcast so every node can evaluate any |P_ij| locally.
 func (st *state) refreshBetas() error {
+	// Per-tree downcasts, source-sharded (index i owns leafBeta[i]); the
+	// broadcast item lists are then assembled sequentially in tree order so
+	// each leaf's item sequence matches the sequential schedule exactly.
 	st.leafBeta = make([][]int64, st.coll.NumTrees())
-	items := make([][]broadcast.Item, st.n)
-	for i := range st.coll.Sources {
-		beta, err := computePijDowncast(st.nw, st.coll, i, st.inVi)
+	err := st.nw.ShardRuns(st.coll.NumTrees(), func(w *congest.Network, i int) error {
+		beta, err := computePijDowncast(w, st.coll, i, st.inVi)
 		if err != nil {
 			return err
 		}
-		st.leafBeta[i] = make([]int64, st.n)
-		for v := 0; v < st.n; v++ {
-			if st.coll.InTree(i, v) && st.coll.Depth[i][v] == st.h {
-				st.leafBeta[i][v] = beta[v]
-				if beta[v] > 0 {
-					items[v] = append(items[v], broadcast.Item{A: int64(v), B: int64(i), C: beta[v]})
-				}
+		lb := make([]int64, st.n)
+		for _, v := range st.coll.HLeaves(i) {
+			if !st.coll.Removed[i][v] {
+				lb[v] = beta[v]
+			}
+		}
+		st.leafBeta[i] = lb
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	items := make([][]broadcast.Item, st.n)
+	for i := range st.coll.Sources {
+		for _, v := range st.coll.HLeaves(i) {
+			if b := st.leafBeta[i][v]; b > 0 {
+				items[v] = append(items[v], broadcast.Item{A: int64(v), B: int64(i), C: b})
 			}
 		}
 	}
@@ -340,8 +369,8 @@ func (st *state) pijLeaves(phaseLo float64) ([][]bool, int) {
 	size := 0
 	for i := range st.coll.Sources {
 		out[i] = make([]bool, st.n)
-		for v := 0; v < st.n; v++ {
-			if st.coll.InTree(i, v) && st.coll.Depth[i][v] == st.h && float64(st.leafBeta[i][v]) >= phaseLo {
+		for _, v := range st.coll.HLeaves(i) {
+			if !st.coll.Removed[i][v] && float64(st.leafBeta[i][v]) >= phaseLo {
 				out[i][v] = true
 				size++
 			}
@@ -354,30 +383,43 @@ func (st *state) pijLeaves(phaseLo float64) ([][]bool, int) {
 // upcast per tree (a result from [2], Step 8 of Algorithm 2), then
 // broadcasts the values (O(n)).
 func (st *state) computeScoreij(pijLeaf [][]bool) ([]int64, error) {
+	// Same sharding shape as recomputeScores: independent per-tree upcasts
+	// into per-tree slots, accumulated in tree order afterwards. Trees with
+	// no P_ij leaf skip their upcast (and its round charge) exactly as the
+	// sequential loop did.
 	n := st.n
-	scoreij := make([]int64, n)
-	init := make([]int64, n)
-	for i := range st.coll.Sources {
+	counts := make([][]int64, st.coll.NumTrees())
+	err := st.nw.ShardRuns(st.coll.NumTrees(), func(w *congest.Network, i int) error {
 		any := false
-		for v := 0; v < n; v++ {
+		init := make([]int64, n)
+		for _, v := range st.coll.HLeaves(i) {
 			if pijLeaf[i][v] {
 				init[v] = 1
 				any = true
-			} else {
-				init[v] = 0
 			}
 		}
 		if !any {
-			continue
+			return nil
 		}
-		counts, err := st.coll.UpcastSum(st.nw, i, init)
+		c, err := st.coll.UpcastSum(w, i, init)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		counts[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	scoreij := make([]int64, n)
+	for i := range st.coll.Sources {
+		if counts[i] == nil {
+			continue
 		}
 		root := st.coll.Sources[i]
 		for v := 0; v < n; v++ {
 			if v != root && st.coll.InTree(i, v) {
-				scoreij[v] += counts[v]
+				scoreij[v] += counts[i][v]
 			}
 		}
 	}

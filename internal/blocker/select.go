@@ -53,8 +53,9 @@ func (st *state) selectGoodSet(stage, phase int, stageHi float64, pijLeaf [][]bo
 		nuPij[v] = make([]int64, m)
 	}
 	for i := range st.coll.Sources {
-		for v := 0; v < st.n; v++ {
-			if !st.coll.InTree(i, v) || st.coll.Depth[i][v] != st.h {
+		for _, v32 := range st.coll.HLeaves(i) {
+			v := int(v32)
+			if st.coll.Removed[i][v] {
 				continue
 			}
 			inPi := st.leafBeta[i][v] > 0
@@ -151,8 +152,9 @@ func (st *state) selectGoodSetRandomized(space *pairwise.AffineSpace, stageHi fl
 			inA[v] = true
 		}
 		for i := range st.coll.Sources {
-			for v := 0; v < st.n; v++ {
-				if !st.coll.InTree(i, v) || st.coll.Depth[i][v] != st.h {
+			for _, v32 := range st.coll.HLeaves(i) {
+				v := int(v32)
+				if st.coll.Removed[i][v] {
 					continue
 				}
 				inPi := st.leafBeta[i][v] > 0

@@ -125,15 +125,12 @@ func BuildBFS(nw *congest.Network, root int) (*Tree, error) {
 // canonically. Rounds consumed: O(height + K/bandwidth), K total items.
 func Gather(nw *congest.Network, t *Tree, perNode [][]Item) ([]Item, error) {
 	n := nw.N()
-	queue := make([][]Item, n)
-	head := make([]int, n)       // first unsent index in queue[v] (FIFO cursor)
-	totalBelow := make([]int, n) // items that must pass through v (own + strict descendants)
-	for v := 0; v < n; v++ {
-		queue[v] = append(queue[v], perNode[v]...)
-	}
 	// Compute per-node totals bottom-up (local knowledge in a real system
 	// would be a convergecast of counts; the schedule below does not depend
-	// on these values, they only drive the done flags).
+	// on these values, they only drive the done flags and presize the
+	// queues — every item passing through v is known up front, so the hot
+	// loop never regrows a queue).
+	totalBelow := make([]int, n) // items that must pass through v (own + strict descendants)
 	order := byDepthDesc(t)
 	for _, v := range order {
 		totalBelow[v] += len(perNode[v])
@@ -141,8 +138,15 @@ func Gather(nw *congest.Network, t *Tree, perNode [][]Item) ([]Item, error) {
 			totalBelow[t.Parent[v]] += totalBelow[v]
 		}
 	}
+	queue := make([][]Item, n)
+	head := make([]int, n) // first unsent index in queue[v] (FIFO cursor)
+	for v := 0; v < n; v++ {
+		if v != t.Root && totalBelow[v] > 0 {
+			queue[v] = append(make([]Item, 0, totalBelow[v]), perNode[v]...)
+		}
+	}
 	sent := make([]int, n)
-	var collected []Item
+	collected := make([]Item, 0, totalBelow[t.Root])
 
 	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
 		for _, m := range in {
@@ -188,7 +192,19 @@ func Gather(nw *congest.Network, t *Tree, perNode [][]Item) ([]Item, error) {
 func Broadcast(nw *congest.Network, t *Tree, items []Item) ([]Item, error) {
 	n := nw.N()
 	k := len(items)
+	// Every non-root node receives exactly k items; one arena sliced into
+	// capacity-capped per-node views keeps the flood's hot loop free of
+	// append regrowth (and of n separate allocations).
 	recvd := make([][]Item, n)
+	if k > 0 {
+		arena := make([]Item, n*k)
+		for v := 0; v < n; v++ {
+			if v != t.Root {
+				off := v * k
+				recvd[v] = arena[off:off : off+k]
+			}
+		}
+	}
 	fwd := make([]int, n) // next index to forward to children
 
 	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {

@@ -50,6 +50,7 @@ func BenchmarkEngineDelivery(b *testing.B) {
 	}{{"seq", false}, {"par", true}} {
 		b.Run(cfg.name, func(b *testing.B) {
 			nw := benchNet(b, 256, 1024, cfg.parallel)
+			nw.MinShardNodes = 1 // measure the sharded path below the adaptive threshold
 			chatter := ProtoFunc(func(v, round int, in []Message, send func(Message)) bool {
 				for _, u := range nw.Neighbors(v) {
 					send(Message{To: u, Kind: 1, A: int64(round)})

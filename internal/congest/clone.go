@@ -1,0 +1,117 @@
+package congest
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements the source-sharding substrate: cheap Network clones
+// that share the immutable CSR topology, additive Stats merging, and the
+// ShardRuns scheduler that partitions independent sub-runs (one CONGEST
+// protocol execution per source) across a worker pool. See DESIGN.md §2.5.
+
+// Clone returns a Network over the same communication topology with fresh,
+// zeroed statistics and its own engine scratch. The input graph, underlying
+// undirected graph and CSR adjacency arenas are shared (they are immutable
+// for the lifetime of a run), so a clone costs O(n) — the per-node stats
+// vector — not O(n + m).
+//
+// The clone starts with Parallel unset (worker clones run the sequential
+// engine; the parallelism lives one level up, across sources) and no
+// OnRound hook. Bandwidth is inherited.
+func (nw *Network) Clone() *Network {
+	c := &Network{
+		G:         nw.G,
+		UG:        nw.UG,
+		Bandwidth: nw.Bandwidth,
+		nbrOff:    nw.nbrOff,
+		nbrs:      nw.nbrs,
+	}
+	c.Stats.WordsByNode = make([]int64, nw.G.N)
+	return c
+}
+
+// Add accumulates o into s: every counter is additive, including the
+// per-node word vector, so summing per-worker Stats in sub-run order
+// reproduces the sequential totals bit for bit (integer addition is exact).
+func (s *Stats) Add(o *Stats) {
+	s.Rounds += o.Rounds
+	s.Messages += o.Messages
+	s.Words += o.Words
+	if len(s.WordsByNode) < len(o.WordsByNode) {
+		grown := make([]int64, len(o.WordsByNode))
+		copy(grown, s.WordsByNode)
+		s.WordsByNode = grown
+	}
+	for v, w := range o.WordsByNode {
+		s.WordsByNode[v] += w
+	}
+}
+
+// ShardRuns executes fn(w, i) for every i in [0, count), where each
+// invocation is one complete, independent protocol execution (e.g. one
+// per-source Bellman-Ford). Sequentially — when Parallel is unset, an
+// OnRound hook is installed (traces must observe the serial schedule), or
+// count < 2 — every call receives nw itself, exactly as if the caller had
+// looped. Otherwise the index range is split into contiguous chunks across
+// min(GOMAXPROCS, count) workers, each owning a Clone of nw; fn must write
+// only state owned by index i (a matrix row, a slot in a per-source slice).
+//
+// After the workers join, per-clone Stats are added into nw.Stats in worker
+// order. Workers own contiguous index ranges, so worker order equals
+// sub-run index order and the merged rounds/messages/words/WordsByNode are
+// bit-identical to the sequential schedule. The first error in index order
+// wins; later chunks may have partially executed by then, but callers
+// abort on error so the partial stats are never observed as a result.
+func (nw *Network) ShardRuns(count int, fn func(w *Network, i int) error) error {
+	workers := 1
+	if nw.Parallel && nw.OnRound == nil {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > count {
+			workers = count
+		}
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			if err := fn(nw, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	chunk := (count + workers - 1) / workers
+	clones := make([]*Network, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, count)
+		if lo >= hi {
+			break
+		}
+		cl := nw.Clone()
+		clones[w] = cl
+		wg.Add(1)
+		go func(w int, cl *Network, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if err := fn(cl, i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, cl, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if clones[w] != nil {
+			nw.Stats.Add(&clones[w].Stats)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -58,6 +58,13 @@ func (m Message) cost() int {
 	return 1
 }
 
+// defaultMinShardNodes is the default in-round sharding threshold: stepping
+// a node costs tens to hundreds of nanoseconds (more when the round also
+// delivers a message per node, as the pipelined broadcasts do) while
+// dispatching a round to the worker pool costs a few microseconds, so
+// sharding starts paying off around 512 active nodes per round.
+const defaultMinShardNodes = 512
+
 // Proto is a distributed protocol expressed as a per-node step function.
 //
 // Step is invoked once per node per round, in increasing round order. in
@@ -125,11 +132,22 @@ type Network struct {
 	// constant number of ids/weights/distances per edge per round.
 	Bandwidth int
 
-	// Parallel selects concurrent execution of node steps and message
-	// delivery within a round using a worker pool (the natural goroutine
-	// mapping of synchronous rounds). Results are bit-identical to
-	// sequential execution.
+	// Parallel selects worker-pool execution. Two independent mechanisms
+	// key off it: ShardRuns partitions whole sub-runs (one per source)
+	// across cloned networks, and the engine shards the step and delivery
+	// phases of a single round — but only when the round's active set is at
+	// least MinShardNodes, since spawning workers for a small round costs
+	// more than it saves. Results are bit-identical to sequential execution
+	// either way.
 	Parallel bool
+
+	// MinShardNodes is the minimum active-set size at which a Parallel
+	// round is actually sharded across workers (0 = the package default,
+	// defaultMinShardNodes). Smaller rounds run on one worker; per-round
+	// goroutine dispatch costs a few microseconds, which dominates the
+	// sub-microsecond step loops of small simulations. Tests set 1 to force
+	// the sharded path.
+	MinShardNodes int
 
 	// OnRound, when set, is invoked after every simulated round with a
 	// monotonically increasing round sequence number and the number of
@@ -395,6 +413,11 @@ func (nw *Network) run(p Proto, maxRounds, dropRound int) (int, error) {
 		e.active = append(e.active, int32(v))
 	}
 
+	minShard := nw.MinShardNodes
+	if minShard == 0 {
+		minShard = defaultMinShardNodes
+	}
+
 	rounds := 0
 	for round := 0; round < maxRounds; round++ {
 		// Global termination: no node is live and no message is in flight.
@@ -403,7 +426,9 @@ func (nw *Network) run(p Proto, maxRounds, dropRound int) (int, error) {
 		}
 		nA := len(e.active)
 		W := workers
-		if W > nA {
+		if nA < minShard {
+			W = 1 // too small to amortize worker dispatch this round
+		} else if W > nA {
 			W = nA
 		}
 		chunk := (nA + W - 1) / W

@@ -36,6 +36,7 @@ import (
 	"congestapsp/internal/congest"
 	"congestapsp/internal/csssp"
 	"congestapsp/internal/graph"
+	"congestapsp/internal/mat"
 	"congestapsp/internal/qsink"
 )
 
@@ -74,8 +75,14 @@ type Options struct {
 	H int
 	// Bandwidth is the CONGEST per-link words-per-round budget (default 1).
 	Bandwidth int
-	// Parallel enables the simulator's worker-pool execution.
+	// Parallel enables the simulator's worker-pool execution: independent
+	// per-source sub-runs shard across cloned networks, and large rounds
+	// shard internally across workers.
 	Parallel bool
+	// MinShardNodes overrides the engine's in-round sharding threshold
+	// (congest.Network.MinShardNodes; 0 = the engine default). Tests set 1
+	// to force every round through the sharded path.
+	MinShardNodes int
 	// Seed drives the randomized variants.
 	Seed int64
 	// BlockerParams tunes the blocker construction. For the Det43 and
@@ -91,7 +98,9 @@ type Options struct {
 	// these sources (partial APSP): Step 7's per-source extension runs only
 	// for them, saving (n - |Sources|) * h rounds. Steps 1-6 are unchanged
 	// (the blocker machinery needs the full collection either way), and
-	// Dist rows for non-sources are nil. Implies SkipLastEdges.
+	// Dist rows for non-sources are nil. Out-of-range sources are an error;
+	// duplicates are dropped (each source's extension runs — and is charged
+	// — once). Implies SkipLastEdges.
 	Sources []int
 }
 
@@ -120,7 +129,9 @@ type Stats struct {
 }
 
 // Result is the APSP output: exact distances (and last edges) for every
-// ordered pair, as known distributedly at the target nodes.
+// ordered pair, as known distributedly at the target nodes. The row slices
+// are zero-copy views of flat row-major matrices (internal/mat); rows for
+// non-sources are nil when Options.Sources restricted the run.
 type Result struct {
 	// Dist[x][t] = delta(x, t); graph.Inf when t is unreachable from x.
 	Dist [][]int64
@@ -144,6 +155,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 	nw.Parallel = opt.Parallel
+	nw.MinShardNodes = opt.MinShardNodes
 	nw.OnRound = opt.OnRound
 
 	h := opt.H
@@ -202,15 +214,21 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	mark(&st.Steps.Step2Blocker)
 
 	// Step 3: h-hop in-SSSP per blocker node: node x learns
-	// deltaH[ci][x] = delta_h(x, Q[ci]). (Label distances: min weight over
-	// <= h hops.)
-	deltaH := make([][]int64, len(Q))
-	for ci, c := range Q {
-		res, err := bford.RunLabels(nw, g, c, h, bford.In)
+	// deltaH row ci at column x = delta_h(x, Q[ci]). (Label distances: min
+	// weight over <= h hops.) The |Q| runs are independent, so they
+	// source-shard across worker clones; each run owns one matrix row.
+	q := len(Q)
+	deltaH := mat.New(q, n)
+	err = sourceShard(nw, q, func(w *congest.Network, ci int) error {
+		res, err := bford.RunLabels(w, g, Q[ci], h, bford.In)
 		if err != nil {
-			return nil, fmt.Errorf("core: step 3: %w", err)
+			return fmt.Errorf("core: step 3: %w", err)
 		}
-		deltaH[ci] = res.Dist
+		copy(deltaH.Row(ci), res.Dist)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	mark(&st.Steps.Step3InSSSP)
 
@@ -223,7 +241,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	items := make([][]broadcast.Item, n)
 	for ci, c := range Q {
 		for cj := range Q {
-			if d := deltaH[cj][c]; d < graph.Inf {
+			if d := deltaH.At(cj, c); d < graph.Inf {
 				items[c] = append(items[c], broadcast.Item{A: int64(ci), B: int64(cj), C: d})
 			}
 		}
@@ -236,50 +254,47 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 
 	// Step 5 (local): min-plus closure over the Q x Q matrix, then
 	// delta(x, c) = min(delta_h(x, c), min_c1 delta_h(x, c1) + dQ(c1, c)).
-	q := len(Q)
-	dQ := make([][]int64, q)
-	for i := range dQ {
-		dQ[i] = make([]int64, q)
-		for j := range dQ[i] {
-			if i == j {
-				dQ[i][j] = 0
-			} else {
-				dQ[i][j] = graph.Inf
-			}
-		}
+	dQ := mat.NewFilled(q, q, graph.Inf)
+	for i := 0; i < q; i++ {
+		dQ.Set(i, i, 0)
 	}
 	for _, it := range all {
 		ci, cj, d := int(it.A), int(it.B), it.C
-		if d < dQ[ci][cj] {
-			dQ[ci][cj] = d
+		if d < dQ.At(ci, cj) {
+			dQ.Set(ci, cj, d)
 		}
 	}
 	for k := 0; k < q; k++ {
+		rowK := dQ.Row(k)
 		for i := 0; i < q; i++ {
-			if dQ[i][k] >= graph.Inf {
+			dik := dQ.At(i, k)
+			if dik >= graph.Inf {
 				continue
 			}
+			rowI := dQ.Row(i)
 			for j := 0; j < q; j++ {
-				if nd := dQ[i][k] + dQ[k][j]; nd < dQ[i][j] {
-					dQ[i][j] = nd
+				if nd := dik + rowK[j]; nd < rowI[j] {
+					rowI[j] = nd
 				}
 			}
 		}
 	}
-	// delta[x][ci], the Step-5 value known at x.
-	delta := make([][]int64, n)
+	// delta row x at column ci: the Step-5 value known at x.
+	delta := mat.New(n, q)
 	for x := 0; x < n; x++ {
-		delta[x] = make([]int64, q)
+		row := delta.Row(x)
 		for ci := 0; ci < q; ci++ {
-			best := deltaH[ci][x]
+			best := deltaH.At(ci, x)
 			for c1 := 0; c1 < q; c1++ {
-				if deltaH[c1][x] < graph.Inf && dQ[c1][ci] < graph.Inf {
-					if nd := deltaH[c1][x] + dQ[c1][ci]; nd < best {
-						best = nd
+				if dH := deltaH.At(c1, x); dH < graph.Inf {
+					if dq := dQ.At(c1, ci); dq < graph.Inf {
+						if nd := dH + dq; nd < best {
+							best = nd
+						}
 					}
 				}
 			}
-			delta[x][ci] = best
+			row[ci] = best
 		}
 	}
 
@@ -299,33 +314,47 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	mark(&st.Steps.Step6QSink)
 
 	// Step 7: per source x, extended h-hop Bellman-Ford seeded with the
-	// Step-1 labels everywhere and the exact delta(x, c) at blockers.
+	// Step-1 labels everywhere and the exact delta(x, c) at blockers. The
+	// per-source extensions are independent, so they source-shard across
+	// worker clones like Step 3; each source owns one row of the flat
+	// distance matrix.
 	step7Sources := sources
 	if opt.Sources != nil {
-		for _, x := range opt.Sources {
-			if x < 0 || x >= n {
-				return nil, fmt.Errorf("core: source %d out of range", x)
-			}
+		step7Sources, err = validateSources(opt.Sources, n)
+		if err != nil {
+			return nil, err
 		}
-		step7Sources = opt.Sources
 		opt.SkipLastEdges = true
 	}
-	dist := make([][]int64, n)
-	for _, x := range step7Sources {
-		xi := x // Step 1 built one tree per node, indexed by id
-		init := append([]int64(nil), coll.Label[xi]...)
+	// One flat row per requested source (not n x n: partial runs with few
+	// sources must not pay the full matrix).
+	distM := mat.New(len(step7Sources), n)
+	err = sourceShard(nw, len(step7Sources), func(w *congest.Network, k int) error {
+		x := step7Sources[k] // Step 1 built one tree per node, indexed by id
+		init := append([]int64(nil), coll.Label[x]...)
 		for ci := range Q {
 			if v := qres.AtBlocker[ci][x]; v < init[Q[ci]] {
 				init[Q[ci]] = v
 			}
 		}
-		res, err := bford.RunLabelsWithInit(nw, g, init, h, bford.Out)
+		res, err := bford.RunLabelsWithInit(w, g, init, h, bford.Out)
 		if err != nil {
-			return nil, fmt.Errorf("core: step 7: %w", err)
+			return fmt.Errorf("core: step 7: %w", err)
 		}
-		dist[x] = res.Dist
+		copy(distM.Row(k), res.Dist)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	mark(&st.Steps.Step7Extend)
+
+	// The public surface stays [][]int64: rows are zero-copy views of the
+	// flat matrix, nil for sources Step 7 did not run.
+	dist := make([][]int64, n)
+	for k, x := range step7Sources {
+		dist[x] = distM.Row(k)
+	}
 
 	out := &Result{Dist: dist}
 
@@ -353,8 +382,11 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 
 // BlockerOnly builds just the h-hop CSSSP collection for all sources and a
 // blocker set over it; it exists for the public BlockerSet API and the
-// blocker experiments. mode is the integer value of blocker.Mode.
-func BlockerOnly(g *graph.Graph, h int, mode int, seed int64) ([]int, blocker.Stats, error) {
+// blocker experiments. mode is the integer value of blocker.Mode. With
+// parallel set, the collection's per-source SSSPs run source-sharded (the
+// blocker construction itself follows the sequential schedule either way,
+// and the result is bit-identical).
+func BlockerOnly(g *graph.Graph, h int, mode int, seed int64, parallel bool) ([]int, blocker.Stats, error) {
 	if h < 1 {
 		h = int(math.Ceil(math.Pow(float64(g.N), 1.0/3)))
 	}
@@ -362,6 +394,7 @@ func BlockerOnly(g *graph.Graph, h int, mode int, seed int64) ([]int, blocker.St
 	if err != nil {
 		return nil, blocker.Stats{}, err
 	}
+	nw.Parallel = parallel
 	sources := make([]int, g.N)
 	for i := range sources {
 		sources[i] = i
@@ -377,6 +410,32 @@ func BlockerOnly(g *graph.Graph, h int, mode int, seed int64) ([]int, blocker.St
 	return res.Q, res.Stats, nil
 }
 
+// sourceShard names the pipeline's source-sharded runner for Steps 3 and
+// 7: each independent per-source sub-run executes on a worker-owned
+// Network clone with stats merged in source-id order (the contract lives
+// on congest.Network.ShardRuns; fn writes only row/slot i).
+func sourceShard(nw *congest.Network, count int, fn func(w *congest.Network, i int) error) error {
+	return nw.ShardRuns(count, fn)
+}
+
+// validateSources bounds-checks a partial-APSP source list and drops
+// duplicates (preserving first-occurrence order), so each requested source
+// runs — and is charged for — exactly one Step-7 extension.
+func validateSources(sources []int, n int) ([]int, error) {
+	seen := make(map[int]bool, len(sources))
+	out := make([]int, 0, len(sources))
+	for _, x := range sources {
+		if x < 0 || x >= n {
+			return nil, fmt.Errorf("core: source %d out of range [0, %d)", x, n)
+		}
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out, nil
+}
+
 func sumSteps(s *StepRounds) int {
 	return s.Step1CSSSP + s.Step2Blocker + s.Step3InSSSP + s.Step4Bcast +
 		s.Step6QSink + s.Step7Extend + s.Step8LastEdge
@@ -387,13 +446,8 @@ func sumSteps(s *StepRounds) int {
 // each t combines the received columns with its incident edge weights.
 func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]int, error) {
 	n := g.N
-	lh := make([][]int, n)
-	for x := range lh {
-		lh[x] = make([]int, n)
-		for t := range lh[x] {
-			lh[x][t] = -1
-		}
-	}
+	lhM := mat.NewIntFilled(n, n, -1)
+	lh := lhM.RowViews()
 	// Minimum weight per ordered neighbor pair (parallel edges collapsed),
 	// stored per link position so lookups follow nw.LinkIndex instead of a
 	// map: wmin[t][i] is the min weight of u->t for u = nw.Neighbors(t)[i],

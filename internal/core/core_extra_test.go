@@ -10,7 +10,7 @@ import (
 func TestBlockerOnly(t *testing.T) {
 	g := graph.Ring(graph.GenConfig{N: 18, Seed: 3, MaxWeight: 5})
 	for _, mode := range []blocker.Mode{blocker.Deterministic, blocker.Greedy, blocker.RandomSample} {
-		q, stats, err := BlockerOnly(g, 3, int(mode), 7)
+		q, stats, err := BlockerOnly(g, 3, int(mode), 7, false)
 		if err != nil {
 			t.Fatalf("mode %v: %v", mode, err)
 		}
@@ -22,7 +22,7 @@ func TestBlockerOnly(t *testing.T) {
 		}
 	}
 	// h = 0 selects the default ceil(n^(1/3)).
-	if _, _, err := BlockerOnly(g, 0, int(blocker.Deterministic), 0); err != nil {
+	if _, _, err := BlockerOnly(g, 0, int(blocker.Deterministic), 0, false); err != nil {
 		t.Errorf("default h: %v", err)
 	}
 }

@@ -50,12 +50,18 @@ type Collection struct {
 	// Removed[i][v] marks nodes pruned by RemoveSubtrees.
 	Removed [][]bool
 
-	children [][][]int // children[i][v], built lazily
+	hLeaves [][]int32 // depth-H nodes per tree (static), see HLeaves
 }
 
 // Build constructs the h-CSSSP collection for the given sources by running
-// a 2h-hop Bellman-Ford per source in sequence and truncating each tree to
-// height h (the construction of [1]; O(|S|*h) rounds total, Lemma A.4).
+// a 2h-hop Bellman-Ford per source and truncating each tree to height h
+// (the construction of [1]; O(|S|*h) rounds total, Lemma A.4).
+//
+// The per-source SSSPs are independent protocol executions, so when
+// nw.Parallel is set they are source-sharded across a worker pool
+// (congest.ShardRuns): each worker owns a clone of nw and fills only the
+// per-source slots of its indices, and the merged statistics — and the
+// collection itself — are bit-identical to the sequential schedule.
 func Build(nw *congest.Network, g *graph.Graph, sources []int, h int, mode bford.Mode) (*Collection, error) {
 	if h < 1 {
 		return nil, fmt.Errorf("csssp: hop bound must be >= 1, got %d", h)
@@ -71,10 +77,11 @@ func Build(nw *congest.Network, g *graph.Graph, sources []int, h int, mode bford
 		Parent:  make([][]int, len(sources)),
 		Removed: make([][]bool, len(sources)),
 	}
-	for i, src := range sources {
-		res, err := bford.Run(nw, g, src, 2*h, mode)
+	err := nw.ShardRuns(len(sources), func(w *congest.Network, i int) error {
+		src := sources[i]
+		res, err := bford.Run(w, g, src, 2*h, mode)
 		if err != nil {
-			return nil, fmt.Errorf("csssp: source %d: %w", src, err)
+			return fmt.Errorf("csssp: source %d: %w", src, err)
 		}
 		n := g.N
 		c.Dist[i] = make([]int64, n)
@@ -93,6 +100,16 @@ func Build(nw *congest.Network, g *graph.Graph, sources []int, h int, mode bford
 				c.Parent[i][v] = -1
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Eagerly materialize the static per-tree leaf lists: consumers (the
+	// blocker construction) read them from sharded workers, and the lazy
+	// build is not safe under concurrent first touch.
+	for i := range c.Sources {
+		c.HLeaves(i)
 	}
 	return c, nil
 }
@@ -137,14 +154,36 @@ func (c *Collection) PathToRoot(i, v int) []int {
 	return path
 }
 
+// HLeaves returns the ids of the nodes at depth exactly H in tree i as
+// built, ignoring removals (depths never change after Build, so the list
+// is computed once and cached). Scans over "every full-length leaf of
+// every tree" — the blocker construction runs thousands of them — iterate
+// these lists and test only the dynamic Removed bit, instead of scanning
+// all n nodes per tree. The returned slice must not be modified.
+func (c *Collection) HLeaves(i int) []int32 {
+	if c.hLeaves == nil {
+		c.hLeaves = make([][]int32, len(c.Sources))
+	}
+	if c.hLeaves[i] == nil {
+		out := []int32{}
+		for v := 0; v < c.G.N; v++ {
+			if c.Depth[i][v] == c.H {
+				out = append(out, int32(v))
+			}
+		}
+		c.hLeaves[i] = out
+	}
+	return c.hLeaves[i]
+}
+
 // FullLengthLeaves returns the nodes at depth exactly H in tree i (not
 // removed): the leaves of the root-to-leaf paths of length H that a blocker
 // set must cover (Definition 2.2).
 func (c *Collection) FullLengthLeaves(i int) []int {
 	var out []int
-	for v := 0; v < c.G.N; v++ {
-		if c.InTree(i, v) && c.Depth[i][v] == c.H {
-			out = append(out, v)
+	for _, v := range c.HLeaves(i) {
+		if !c.Removed[i][v] {
+			out = append(out, int(v))
 		}
 	}
 	return out
@@ -171,9 +210,13 @@ func (c *Collection) PathVertices(i, leaf int) []int {
 // blocker node covers none of its own tree's paths and that tree must stay
 // coverable); the bottleneck elimination of Algorithm 9 removes the whole
 // tree (messages destined to that root are already handled via z).
+//
+// The per-tree floods are independent (tree i's flood reads and writes only
+// Removed[i]), so they source-shard across worker clones when nw.Parallel
+// is set, with stats merged in tree order.
 func (c *Collection) RemoveSubtrees(nw *congest.Network, inZ []bool, excludeRoots bool) error {
 	const kindRemove uint8 = 11
-	for i := range c.Sources {
+	return nw.ShardRuns(len(c.Sources), func(w *congest.Network, i int) error {
 		ch := c.Children(i)
 		root := c.Sources[i]
 		p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
@@ -197,11 +240,11 @@ func (c *Collection) RemoveSubtrees(nw *congest.Network, inZ []bool, excludeRoot
 			}
 			return true
 		})
-		if err := nw.RunFor(p, c.H+1); err != nil {
+		if err := w.RunFor(p, c.H+1); err != nil {
 			return fmt.Errorf("csssp: remove-subtrees tree %d: %w", i, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // UpcastSum runs the Compute-Count convergecast of Algorithm 14

@@ -1,6 +1,10 @@
 package graph
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"congestapsp/internal/mat"
+)
 
 // This file contains the sequential reference ("oracle") shortest-path
 // algorithms against which the distributed algorithms are validated.
@@ -82,38 +86,31 @@ func BellmanFordHops(g *Graph, src, h int) []int64 {
 	return cur
 }
 
-// FloydWarshall returns the full n x n distance matrix; D[u][v] is the
-// shortest-path distance from u to v (Inf if unreachable, 0 on the
-// diagonal).
+// FloydWarshall returns the full n x n distance matrix as row views of one
+// flat row-major matrix; D[u][v] is the shortest-path distance from u to v
+// (Inf if unreachable, 0 on the diagonal).
 func FloydWarshall(g *Graph) [][]int64 {
 	n := g.N
-	d := make([][]int64, n)
-	for i := range d {
-		d[i] = make([]int64, n)
-		for j := range d[i] {
-			if i == j {
-				d[i][j] = 0
-			} else {
-				d[i][j] = Inf
-			}
-		}
+	m := mat.NewFilled(n, n, Inf)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 0)
 	}
 	for _, e := range g.edges {
-		if e.W < d[e.U][e.V] {
-			d[e.U][e.V] = e.W
+		if e.W < m.At(e.U, e.V) {
+			m.Set(e.U, e.V, e.W)
 		}
-		if !g.Directed && e.W < d[e.V][e.U] {
-			d[e.V][e.U] = e.W
+		if !g.Directed && e.W < m.At(e.V, e.U) {
+			m.Set(e.V, e.U, e.W)
 		}
 	}
 	for k := 0; k < n; k++ {
-		dk := d[k]
+		dk := m.Row(k)
 		for i := 0; i < n; i++ {
-			dik := d[i][k]
+			dik := m.At(i, k)
 			if dik >= Inf {
 				continue
 			}
-			di := d[i]
+			di := m.Row(i)
 			for j := 0; j < n; j++ {
 				if nd := dik + dk[j]; nd < di[j] {
 					di[j] = nd
@@ -121,7 +118,7 @@ func FloydWarshall(g *Graph) [][]int64 {
 			}
 		}
 	}
-	return d
+	return m.RowViews()
 }
 
 // HopsOnShortestPath returns, for each vertex v, the minimum number of edges

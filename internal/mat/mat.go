@@ -1,0 +1,154 @@
+// Package mat provides the flat row-major matrix storage used for all of
+// the pipeline's n x n and n x |Q| state (distance matrices, last-hop
+// tables, the Step-3/Step-5 blocker matrices, the q-sink result, and the
+// sequential oracles).
+//
+// A Matrix is one contiguous backing slice; Row(i) returns a zero-copy,
+// capacity-capped view of row i. The layout buys three things over
+// [][]T-of-separate-allocations:
+//
+//   - one allocation and one pointer indirection instead of rows+1, so the
+//     min-plus closures and row scans in core.Run walk memory linearly;
+//   - disjoint-row writes are safe from concurrent goroutines, which is what
+//     lets the source-sharded pipeline write Dist/deltaH rows from worker
+//     clones without locks (each source owns exactly one row);
+//   - row views can be handed out as a [][]T surface (RowViews) without
+//     copying, which is how pkg/apsp keeps its public [][]int64 contract.
+//
+// Invariants: Row(i) aliases the backing slice but is capacity-capped to the
+// row, so appends to a view can never spill into the next row; a Matrix is
+// never resized after construction.
+package mat
+
+import "fmt"
+
+// Matrix is a flat row-major rows x cols matrix of int64.
+type Matrix struct {
+	rows, cols int
+	data       []int64
+}
+
+// New returns a zero-filled rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]int64, rows*cols)}
+}
+
+// NewFilled returns a rows x cols matrix with every element set to fill.
+func NewFilled(rows, cols int, fill int64) *Matrix {
+	m := New(rows, cols)
+	if fill != 0 {
+		m.Fill(fill)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Row returns a zero-copy view of row i, capacity-capped to the row so an
+// append can never overwrite the next row. Distinct rows may be written
+// concurrently.
+func (m *Matrix) Row(i int) []int64 {
+	off := i * m.cols
+	return m.data[off : off+m.cols : off+m.cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) int64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v int64) { m.data[i*m.cols+j] = v }
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v int64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// RowViews materializes the [][]int64 surface: a slice of zero-copy row
+// views. Mutating an element through a view mutates the matrix.
+func (m *Matrix) RowViews() [][]int64 {
+	out := make([][]int64, m.rows)
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+// FromRows copies a [][]int64 (all rows the same length) into a fresh
+// Matrix. It exists for callers bridging legacy row-slice data into the
+// flat layout.
+func FromRows(rows [][]int64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("mat: ragged input: row %d has %d cols, want %d", i, len(r), cols)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// Int is a flat row-major rows x cols matrix of int (last-hop and parent
+// tables).
+type Int struct {
+	rows, cols int
+	data       []int
+}
+
+// NewInt returns a zero-filled rows x cols int matrix.
+func NewInt(rows, cols int) *Int {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Int{rows: rows, cols: cols, data: make([]int, rows*cols)}
+}
+
+// NewIntFilled returns a rows x cols int matrix with every element fill.
+func NewIntFilled(rows, cols int, fill int) *Int {
+	m := NewInt(rows, cols)
+	if fill != 0 {
+		for i := range m.data {
+			m.data[i] = fill
+		}
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Int) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Int) Cols() int { return m.cols }
+
+// Row returns a zero-copy, capacity-capped view of row i.
+func (m *Int) Row(i int) []int {
+	off := i * m.cols
+	return m.data[off : off+m.cols : off+m.cols]
+}
+
+// At returns element (i, j).
+func (m *Int) At(i, j int) int { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Int) Set(i, j int, v int) { m.data[i*m.cols+j] = v }
+
+// RowViews materializes the [][]int surface of zero-copy row views.
+func (m *Int) RowViews() [][]int {
+	out := make([][]int, m.rows)
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}

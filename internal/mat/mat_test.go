@@ -1,0 +1,113 @@
+package mat
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewFilled(3, 4, 7)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("dims = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 7 {
+				t.Fatalf("At(%d,%d) = %d, want 7", i, j, m.At(i, j))
+			}
+		}
+	}
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Fatalf("Set/At round trip failed")
+	}
+	if m.Row(1)[2] != 42 {
+		t.Fatalf("Row view does not alias the backing store")
+	}
+	m.Row(2)[0] = -1
+	if m.At(2, 0) != -1 {
+		t.Fatalf("write through Row view not visible via At")
+	}
+}
+
+func TestRowViewsAliasAndCap(t *testing.T) {
+	m := New(2, 3)
+	rows := m.RowViews()
+	rows[0][1] = 5
+	if m.At(0, 1) != 5 {
+		t.Fatalf("RowViews rows must alias the matrix")
+	}
+	r0 := m.Row(0)
+	if cap(r0) != 3 {
+		t.Fatalf("row view cap = %d, want 3 (capacity-capped)", cap(r0))
+	}
+	// An append to a full row view must reallocate, never spill into row 1.
+	r0 = append(r0, 99)
+	if m.At(1, 0) != 0 {
+		t.Fatalf("append to a row view overwrote the next row: %d", m.At(1, 0))
+	}
+	_ = r0
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]int64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1 || m.At(1, 1) != 4 {
+		t.Fatalf("FromRows copied wrong values: %v", m.data)
+	}
+	if _, err := FromRows([][]int64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged FromRows must error")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Fatalf("empty FromRows: %v, rows=%d", err, empty.Rows())
+	}
+}
+
+func TestIntMatrix(t *testing.T) {
+	m := NewIntFilled(2, 2, -1)
+	if m.At(0, 0) != -1 || m.At(1, 1) != -1 {
+		t.Fatal("NewIntFilled did not fill")
+	}
+	m.Set(0, 1, 9)
+	if m.Row(0)[1] != 9 {
+		t.Fatal("Int Row view does not alias")
+	}
+	views := m.RowViews()
+	views[1][0] = 4
+	if m.At(1, 0) != 4 {
+		t.Fatal("Int RowViews must alias")
+	}
+	if c := cap(m.Row(0)); c != 2 {
+		t.Fatalf("Int row cap = %d, want 2", c)
+	}
+}
+
+// TestConcurrentDisjointRowWrites pins the invariant the source-sharded
+// pipeline relies on: goroutines writing disjoint rows of one Matrix never
+// race (run under -race in CI).
+func TestConcurrentDisjointRowWrites(t *testing.T) {
+	const rows, cols = 64, 128
+	m := New(rows, cols)
+	var wg sync.WaitGroup
+	for i := 0; i < rows; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := m.Row(i)
+			for j := range r {
+				r[j] = int64(i*cols + j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if m.At(i, j) != int64(i*cols+j) {
+				t.Fatalf("m[%d][%d] = %d, want %d", i, j, m.At(i, j), i*cols+j)
+			}
+		}
+	}
+}

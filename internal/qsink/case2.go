@@ -3,12 +3,13 @@ package qsink
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
-	"congestapsp/internal/bford"
 	"congestapsp/internal/broadcast"
 	"congestapsp/internal/congest"
 	"congestapsp/internal/csssp"
 	"congestapsp/internal/graph"
+	"congestapsp/internal/mat"
 )
 
 // runCase2 implements Algorithm 9: values for pairs with hops(x, c) <= h2
@@ -16,7 +17,7 @@ import (
 // schedule; values cut off by bottleneck removal are recovered through B
 // exactly as case (i) recovers through Q'.
 func runCase2(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *csssp.Collection,
-	Q []int, delta [][]int64, st *Stats, par Params, relax func(ci, x int, val int64)) error {
+	Q []int, delta *mat.Matrix, st *Stats, par Params, relax func(ci, x int, val int64)) error {
 
 	n := g.N
 	q := len(Q)
@@ -33,27 +34,18 @@ func runCase2(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *css
 	st.MaxLoadAfter = loadAfter
 
 	if len(B) > 0 {
-		// Step 2: in-SSSP and out-SSSP per bottleneck node.
-		inD := make([][]int64, len(B))
-		outD := make([][]int64, len(B))
-		for k, b := range B {
-			rin, err := bford.Run(nw, g, b, n-1, bford.In)
-			if err != nil {
-				return err
-			}
-			inD[k] = rin.Dist
-			rout, err := bford.Run(nw, g, b, n-1, bford.Out)
-			if err != nil {
-				return err
-			}
-			outD[k] = rout.Dist
+		// Step 2: in-SSSP and out-SSSP per bottleneck node (independent
+		// runs; source-sharded when nw.Parallel is set).
+		inD, outD, err := pairedSSSPs(nw, g, B)
+		if err != nil {
+			return err
 		}
 		// Step 3: every x broadcasts delta(x, b) for each b in B.
 		items := make([][]broadcast.Item, n)
 		for x := 0; x < n; x++ {
 			for k := range B {
-				if inD[k][x] < graph.Inf {
-					items[x] = append(items[x], broadcast.Item{A: int64(x), B: int64(k), C: inD[k][x]})
+				if d := inD.At(k, x); d < graph.Inf {
+					items[x] = append(items[x], broadcast.Item{A: int64(x), B: int64(k), C: d})
 				}
 			}
 		}
@@ -65,9 +57,10 @@ func runCase2(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *css
 		// delta(b, c).
 		for _, it := range all {
 			x, k, dxb := int(it.A), int(it.B), it.C
+			row := outD.Row(int(k))
 			for ci, c := range Q {
-				if outD[k][c] < graph.Inf {
-					relax(ci, x, dxb+outD[k][c])
+				if row[c] < graph.Inf {
+					relax(ci, x, dxb+row[c])
 				}
 			}
 		}
@@ -106,18 +99,26 @@ const kindPipe uint8 = 40
 // re-slicing, so the hot forwarding path never copies slice headers, and a
 // fully drained queue resets to its start so its backing array is reused by
 // later appends instead of growing without bound.
+//
+// All per-node state (queues, heads, pending, sent, the at-matrix rows the
+// deliver closure writes — row ci is only written by blocker node Q[ci])
+// is owned by exactly one node's Step, per the engine's parallel contract.
+// The one genuinely global value, the undelivered-message count, is an
+// atomic: blocker nodes on different engine shards decrement it in the
+// same round, and an atomic add is order-independent, so the value each
+// round boundary observes is bit-identical to sequential execution.
 type pipeState struct {
 	cq      *csssp.Collection
 	Q       []int
 	queues  [][][]pipeMsg // queues[v][ci]: messages at v for blocker ci
 	heads   [][]int32     // heads[v][ci]: first unsent index in queues[v][ci]
 	pending []int64       // total unsent messages at v
-	total   int64
+	total   atomic.Int64  // undelivered messages across all nodes
 	deliver func(ci, x int, val int64)
 	sent    []int64 // per-node forwarded count (congestion accounting)
 }
 
-func newPipeState(cq *csssp.Collection, Q []int, delta [][]int64, deliver func(ci, x int, val int64)) *pipeState {
+func newPipeState(cq *csssp.Collection, Q []int, delta *mat.Matrix, deliver func(ci, x int, val int64)) *pipeState {
 	n := cq.G.N
 	ps := &pipeState{
 		cq:      cq,
@@ -138,10 +139,10 @@ func newPipeState(cq *csssp.Collection, Q []int, delta [][]int64, deliver func(c
 			if x == Q[ci] || !cq.InTree(ci, x) {
 				continue
 			}
-			if delta[x][ci] < graph.Inf {
-				ps.queues[x][ci] = append(ps.queues[x][ci], pipeMsg{x: int32(x), ci: int32(ci), dist: delta[x][ci]})
+			if d := delta.At(x, ci); d < graph.Inf {
+				ps.queues[x][ci] = append(ps.queues[x][ci], pipeMsg{x: int32(x), ci: int32(ci), dist: d})
 				ps.pending[x]++
-				ps.total++
+				ps.total.Add(1)
 			}
 		}
 	}
@@ -157,7 +158,7 @@ func (ps *pipeState) receive(v int, in []congest.Message) {
 		ci := int(m.B)
 		if ps.Q[ci] == v {
 			ps.deliver(ci, int(m.A), m.C)
-			ps.total--
+			ps.total.Add(-1)
 			continue
 		}
 		ps.queues[v][ci] = append(ps.queues[v][ci], pipeMsg{x: int32(m.A), ci: int32(ci), dist: m.C})
@@ -189,19 +190,19 @@ func (ps *pipeState) forward(v, ci int, send func(congest.Message)) {
 // runRoundRobin is Steps 7-9 of Algorithm 9: the nodes cycle through the
 // blocker sequence O, forwarding one unsent message per round toward the
 // next blocker with pending traffic.
-func runRoundRobin(nw *congest.Network, cq *csssp.Collection, Q []int, delta [][]int64,
+func runRoundRobin(nw *congest.Network, cq *csssp.Collection, Q []int, delta *mat.Matrix,
 	st *Stats, relax func(ci, x int, val int64)) error {
 
 	n := cq.G.N
 	ps := newPipeState(cq, Q, delta, relax)
-	st.PipelineMessages = ps.total
-	if ps.total == 0 {
+	st.PipelineMessages = ps.total.Load()
+	if ps.total.Load() == 0 {
 		return nil
 	}
 	cursor := make([]int, n) // position in the cyclic order O per node
 
 	// Lemma 4.3 budget with slack; the protocol stops at global delivery.
-	budget := pipelineBudget(n, len(Q), ps.total)
+	budget := pipelineBudget(n, len(Q), ps.total.Load())
 	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
 		ps.receive(v, in)
 		if ps.pending[v] > 0 {
@@ -221,8 +222,8 @@ func runRoundRobin(nw *congest.Network, cq *csssp.Collection, Q []int, delta [][
 	if err != nil {
 		return fmt.Errorf("qsink: round-robin pipeline: %w", err)
 	}
-	if ps.total != 0 {
-		return fmt.Errorf("qsink: pipeline finished with %d undelivered messages", ps.total)
+	if left := ps.total.Load(); left != 0 {
+		return fmt.Errorf("qsink: pipeline finished with %d undelivered messages", left)
 	}
 	st.PipelineRounds = rounds
 	return nil
@@ -232,23 +233,23 @@ func runRoundRobin(nw *congest.Network, cq *csssp.Collection, Q []int, delta [][
 // the progress measure of Section 4.3: in stage i, each node serves the
 // blockers in Q_{v,i} (those it still has traffic for) one frame slot at a
 // time; Lemma 4.8 predicts |Q_{v,i}| shrinks geometrically with i.
-func runFrames(nw *congest.Network, cq *csssp.Collection, Q []int, delta [][]int64,
+func runFrames(nw *congest.Network, cq *csssp.Collection, Q []int, delta *mat.Matrix,
 	st *Stats, par Params, relax func(ci, x int, val int64)) error {
 
 	n := cq.G.N
 	ps := newPipeState(cq, Q, delta, relax)
-	st.PipelineMessages = ps.total
-	if ps.total == 0 {
+	st.PipelineMessages = ps.total.Load()
+	if ps.total.Load() == 0 {
 		return nil
 	}
-	budget := pipelineBudget(n, len(Q), ps.total)
+	budget := pipelineBudget(n, len(Q), ps.total.Load())
 	totalRounds := 0
 	logn := math.Log2(float64(n) + 1)
 	quotaScale := par.FrameQuotaScale
 	if quotaScale <= 0 {
 		quotaScale = 1
 	}
-	for stage := 0; ps.total > 0; stage++ {
+	for stage := 0; ps.total.Load() > 0; stage++ {
 		st.FrameStages = stage + 1
 		// Q_{v,i}: the blockers each node still serves, fixed per stage.
 		qvi := make([][]int, n)
@@ -277,7 +278,7 @@ func runFrames(nw *congest.Network, cq *csssp.Collection, Q []int, delta [][]int
 			stageRounds = budget - totalRounds
 		}
 		if stageRounds <= 0 {
-			return fmt.Errorf("qsink: frame scheduler exceeded budget with %d messages left", ps.total)
+			return fmt.Errorf("qsink: frame scheduler exceeded budget with %d messages left", ps.total.Load())
 		}
 		p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
 			ps.receive(v, in)
@@ -299,8 +300,8 @@ func runFrames(nw *congest.Network, cq *csssp.Collection, Q []int, delta [][]int
 			return fmt.Errorf("qsink: frame stage %d: %w", stage, err)
 		}
 		totalRounds += rounds
-		if ps.total > 0 && totalRounds >= budget {
-			return fmt.Errorf("qsink: frame scheduler: %d messages left at budget", ps.total)
+		if left := ps.total.Load(); left > 0 && totalRounds >= budget {
+			return fmt.Errorf("qsink: frame scheduler: %d messages left at budget", left)
 		}
 	}
 	st.PipelineRounds = totalRounds

@@ -33,6 +33,7 @@ import (
 	"congestapsp/internal/congest"
 	"congestapsp/internal/csssp"
 	"congestapsp/internal/graph"
+	"congestapsp/internal/mat"
 )
 
 // Scheduler selects the delivery discipline for case (ii).
@@ -107,26 +108,22 @@ type Stats struct {
 type Result struct {
 	// AtBlocker[ci][x] is the value blocker Q[ci] holds for source x
 	// (graph.Inf if nothing was received; unreachable pairs stay Inf).
+	// The rows are zero-copy views of one flat |Q| x n matrix.
 	AtBlocker [][]int64
 	Stats     Stats
 }
 
-// Run delivers delta[x][ci] (the Step-5 value at source x for blocker
-// Q[ci]) to the blocker nodes. delta must be exact for every pair with a
+// Run delivers delta(x, Q[ci]) — element (x, ci) of the n x |Q| Step-5
+// matrix — to the blocker nodes. delta must be exact for every pair with a
 // finite distance; unreachable pairs carry graph.Inf.
-func Run(nw *congest.Network, g *graph.Graph, Q []int, delta [][]int64, par Params) (*Result, error) {
+func Run(nw *congest.Network, g *graph.Graph, Q []int, delta *mat.Matrix, par Params) (*Result, error) {
 	n := g.N
 	q := len(Q)
 	if q == 0 {
 		return &Result{AtBlocker: nil}, nil
 	}
-	if len(delta) != n {
-		return nil, fmt.Errorf("qsink: delta has %d rows, want n=%d", len(delta), n)
-	}
-	for x := range delta {
-		if len(delta[x]) != q {
-			return nil, fmt.Errorf("qsink: delta[%d] has %d cols, want |Q|=%d", x, len(delta[x]), q)
-		}
+	if delta.Rows() != n || delta.Cols() != q {
+		return nil, fmt.Errorf("qsink: delta is %dx%d, want %dx%d", delta.Rows(), delta.Cols(), n, q)
 	}
 	st := Stats{QSize: q}
 	roundsBefore := nw.Stats.Rounds
@@ -140,17 +137,13 @@ func Run(nw *congest.Network, g *graph.Graph, Q []int, delta [][]int64, par Para
 		par.CongestionMult = 1
 	}
 
-	at := make([][]int64, q)
-	for ci := range at {
-		at[ci] = make([]int64, n)
-		for x := range at[ci] {
-			at[ci][x] = graph.Inf
-		}
-		at[ci][Q[ci]] = delta[Q[ci]][ci] // a blocker knows its own value
+	at := mat.NewFilled(q, n, graph.Inf)
+	for ci := range Q {
+		at.Set(ci, Q[ci], delta.At(Q[ci], ci)) // a blocker knows its own value
 	}
 	relax := func(ci, x int, val int64) {
-		if val < at[ci][x] {
-			at[ci][x] = val
+		if val < at.At(ci, x) {
+			at.Set(ci, x, val)
 		}
 	}
 
@@ -165,9 +158,10 @@ func Run(nw *congest.Network, g *graph.Graph, Q []int, delta [][]int64, par Para
 		// O~(n^(2/3))).
 		items := make([][]broadcast.Item, n)
 		for x := 0; x < n; x++ {
+			row := delta.Row(x)
 			for ci := 0; ci < q; ci++ {
-				if delta[x][ci] < graph.Inf {
-					items[x] = append(items[x], broadcast.Item{A: int64(x), B: int64(ci), C: delta[x][ci]})
+				if row[ci] < graph.Inf {
+					items[x] = append(items[x], broadcast.Item{A: int64(x), B: int64(ci), C: row[ci]})
 				}
 			}
 		}
@@ -179,7 +173,7 @@ func Run(nw *congest.Network, g *graph.Graph, Q []int, delta [][]int64, par Para
 			relax(int(it.B), int(it.A), it.C)
 		}
 		st.RoundsTotal = nw.Stats.Rounds - roundsBefore
-		return &Result{AtBlocker: at, Stats: st}, nil
+		return &Result{AtBlocker: at.RowViews(), Stats: st}, nil
 	}
 
 	// Shared substrate for both cases: the n^(2/3)-hop in-CSSSP collection
@@ -205,7 +199,7 @@ func Run(nw *congest.Network, g *graph.Graph, Q []int, delta [][]int64, par Para
 	}
 
 	st.RoundsTotal = nw.Stats.Rounds - roundsBefore
-	return &Result{AtBlocker: at, Stats: st}, nil
+	return &Result{AtBlocker: at.RowViews(), Stats: st}, nil
 }
 
 // runCase1 implements Algorithm 8. Exactness argument (Lemma 4.1): if the
@@ -215,7 +209,7 @@ func Run(nw *congest.Network, g *graph.Graph, Q []int, delta [][]int64, par Para
 // and the blocker Q' hits the tree path below it, placing some c' in Q' on
 // a shortest x->c path.
 func runCase1(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *csssp.Collection,
-	Q []int, delta [][]int64, st *Stats, par Params, relax func(ci, x int, val int64)) error {
+	Q []int, delta *mat.Matrix, st *Stats, par Params, relax func(ci, x int, val int64)) error {
 
 	n := g.N
 	// Step 2: second-level blocker set Q' over CQ.
@@ -230,20 +224,11 @@ func runCase1(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *css
 	}
 
 	// Step 3: full in-SSSP and out-SSSP per c' (Bellman-Ford, O(n) rounds
-	// each).
-	inD := make([][]int64, len(qp.Q))  // inD[k][x] = delta(x, c'_k)
-	outD := make([][]int64, len(qp.Q)) // outD[k][v] = delta(c'_k, v)
-	for k, cp := range qp.Q {
-		rin, err := bford.Run(nw, g, cp, n-1, bford.In)
-		if err != nil {
-			return err
-		}
-		inD[k] = rin.Dist
-		rout, err := bford.Run(nw, g, cp, n-1, bford.Out)
-		if err != nil {
-			return err
-		}
-		outD[k] = rout.Dist
+	// each). The 2|Q'| runs are independent, so they source-shard across
+	// worker clones; each index owns one row of each matrix.
+	inD, outD, err := pairedSSSPs(nw, g, qp.Q)
+	if err != nil {
+		return err
 	}
 
 	// Step 4: every x broadcasts (x, c', delta(x, c')) for each c' in Q'
@@ -251,8 +236,8 @@ func runCase1(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *css
 	items := make([][]broadcast.Item, n)
 	for x := 0; x < n; x++ {
 		for k := range qp.Q {
-			if inD[k][x] < graph.Inf {
-				items[x] = append(items[x], broadcast.Item{A: int64(x), B: int64(k), C: inD[k][x]})
+			if d := inD.At(k, x); d < graph.Inf {
+				items[x] = append(items[x], broadcast.Item{A: int64(x), B: int64(k), C: d})
 			}
 		}
 	}
@@ -265,11 +250,40 @@ func runCase1(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *css
 	// delta(c', c).
 	for _, it := range all {
 		x, k, dxc := int(it.A), int(it.B), it.C
+		row := outD.Row(int(k))
 		for ci, c := range Q {
-			if outD[k][c] < graph.Inf {
-				relax(ci, x, dxc+outD[k][c])
+			if row[c] < graph.Inf {
+				relax(ci, x, dxc+row[c])
 			}
 		}
 	}
 	return nil
+}
+
+// pairedSSSPs runs, for each node in set, a full in-SSSP and out-SSSP
+// (Bellman-Ford over n-1 hops each), source-sharded when nw.Parallel is
+// set. inD row k holds delta(., set[k]); outD row k holds delta(set[k], .).
+// Both Algorithm 8 (Q') and the bottleneck recovery of Algorithm 9 (B) use
+// this primitive.
+func pairedSSSPs(nw *congest.Network, g *graph.Graph, set []int) (inD, outD *mat.Matrix, err error) {
+	n := g.N
+	inD = mat.New(len(set), n)
+	outD = mat.New(len(set), n)
+	err = nw.ShardRuns(len(set), func(w *congest.Network, k int) error {
+		rin, err := bford.Run(w, g, set[k], n-1, bford.In)
+		if err != nil {
+			return err
+		}
+		copy(inD.Row(k), rin.Dist)
+		rout, err := bford.Run(w, g, set[k], n-1, bford.Out)
+		if err != nil {
+			return err
+		}
+		copy(outD.Row(k), rout.Dist)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return inD, outD, nil
 }

@@ -8,15 +8,13 @@ import (
 	"congestapsp/internal/congest"
 	"congestapsp/internal/csssp"
 	"congestapsp/internal/graph"
+	"congestapsp/internal/mat"
 )
 
-// makeDelta builds the exact Step-5 input: delta[x][ci] = dist(x, Q[ci]).
-func makeDelta(g *graph.Graph, Q []int) [][]int64 {
+// makeDelta builds the exact Step-5 input: element (x, ci) = dist(x, Q[ci]).
+func makeDelta(g *graph.Graph, Q []int) *mat.Matrix {
 	n := g.N
-	delta := make([][]int64, n)
-	for x := range delta {
-		delta[x] = make([]int64, len(Q))
-	}
+	delta := mat.New(n, len(Q))
 	rev := g
 	if g.Directed {
 		rev = g.Reverse()
@@ -25,7 +23,7 @@ func makeDelta(g *graph.Graph, Q []int) [][]int64 {
 		// dist(x, c) in g = dist(c, x) in reverse(g).
 		d := graph.Dijkstra(rev, c)
 		for x := 0; x < n; x++ {
-			delta[x][ci] = d[x]
+			delta.Set(x, ci, d[x])
 		}
 	}
 	return delta
@@ -36,7 +34,7 @@ func checkExact(t *testing.T, g *graph.Graph, Q []int, res *Result) {
 	delta := makeDelta(g, Q)
 	for ci := range Q {
 		for x := 0; x < g.N; x++ {
-			want := delta[x][ci]
+			want := delta.At(x, ci)
 			got := res.AtBlocker[ci][x]
 			if want >= graph.Inf {
 				if got < graph.Inf {
@@ -164,14 +162,10 @@ func TestEmptyQ(t *testing.T) {
 func TestInputValidation(t *testing.T) {
 	g := graph.Ring(graph.GenConfig{N: 8, Seed: 14, MaxWeight: 5})
 	nw, _ := congest.NewNetwork(g, 1)
-	if _, err := Run(nw, g, []int{1}, make([][]int64, 3), Params{}); err == nil {
+	if _, err := Run(nw, g, []int{1}, mat.New(3, 1), Params{}); err == nil {
 		t.Error("short delta accepted")
 	}
-	bad := make([][]int64, 8)
-	for i := range bad {
-		bad[i] = make([]int64, 5) // wrong |Q| width
-	}
-	if _, err := Run(nw, g, []int{1}, bad, Params{}); err == nil {
+	if _, err := Run(nw, g, []int{1}, mat.New(8, 5), Params{}); err == nil {
 		t.Error("wrong-width delta accepted")
 	}
 }

@@ -113,6 +113,12 @@ type Options struct {
 	// with the cumulative round index and the number of messages delivered
 	// that round (tracing/profiling hook).
 	OnRound func(round, delivered int)
+	// Sources, when non-nil, restricts the output to shortest paths FROM
+	// these sources (partial APSP): Dist rows for other vertices are nil,
+	// and last-hop resolution is skipped (LastHop is nil). Out-of-range
+	// sources are an error; duplicates are dropped. See also
+	// RunFromSources for a compact result shape.
+	Sources []int
 }
 
 // StepRounds breaks the round count down by Algorithm 1 step.
@@ -165,6 +171,7 @@ func Run(g *Graph, opt Options) (*Result, error) {
 		Seed:          opt.Seed,
 		SkipLastEdges: opt.SkipLastHops,
 		OnRound:       opt.OnRound,
+		Sources:       opt.Sources,
 	})
 	if err != nil {
 		return nil, err
@@ -188,9 +195,14 @@ func Run(g *Graph, opt Options) (*Result, error) {
 }
 
 // Path reconstructs a shortest x->t path from a Result computed with last
-// hops. It returns nil when t is unreachable from x.
+// hops. It returns nil when t is unreachable from x, when x or t is out of
+// range, or when the result carries no data for x (partial-APSP runs with
+// Options.Sources leave Dist/LastHop rows nil for non-sources).
 func (r *Result) Path(x, t int) []int {
-	if r.LastHop == nil || r.Dist[x][t] >= Inf {
+	if x < 0 || x >= len(r.Dist) || t < 0 || t >= len(r.Dist) {
+		return nil
+	}
+	if r.LastHop == nil || r.Dist[x] == nil || r.LastHop[x] == nil || r.Dist[x][t] >= Inf {
 		return nil
 	}
 	var rev []int
@@ -234,9 +246,11 @@ type BlockerStats struct {
 
 // BlockerSet computes an h-hop blocker set of g directly (a building block
 // exposed for experimentation): a vertex set hitting every h-hop shortest
-// path of the h-hop consistent SSSP collection of all sources.
-func BlockerSet(g *Graph, h int, mode BlockerMode, seed int64) ([]int, BlockerStats, error) {
-	q, stats, err := core.BlockerOnly(g.g, h, int(mode), seed)
+// path of the h-hop consistent SSSP collection of all sources. With
+// parallel set, the underlying per-source SSSPs run source-sharded across
+// a worker pool; the set, stats and charged rounds are bit-identical.
+func BlockerSet(g *Graph, h int, mode BlockerMode, seed int64, parallel bool) ([]int, BlockerStats, error) {
+	q, stats, err := core.BlockerOnly(g.g, h, int(mode), seed, parallel)
 	if err != nil {
 		return nil, BlockerStats{}, err
 	}

@@ -1,16 +1,50 @@
 #!/usr/bin/env bash
-# bench.sh — run the engine-critical benchmarks and emit BENCH_engine.json,
-# the machine-readable perf trajectory consumed by CI dashboards and PR
-# descriptions. Run from the repo root:
+# bench.sh — run the perf-trajectory benchmarks and emit machine-readable
+# JSON consumed by CI dashboards and PR descriptions:
+#
+#   BENCH_engine.json  engine-critical microbenchmarks (ns/op, allocs/op)
+#   BENCH_apsp.json    full-pipeline apsp.Run wall-clock + allocs at
+#                      n in {128, 256, 512}, sequential vs source-sharded
+#
+# Run from the repo root:
 #
 #   scripts/bench.sh [benchtime]
 #
-# benchtime defaults to 2s per benchmark.
+# benchtime defaults to 2s per engine benchmark; the full-pipeline suite
+# always runs one iteration per configuration (a single n=512 run takes
+# tens of seconds of simulated work). The host's core count is recorded in
+# the JSON: the sharded/sequential ratio is only meaningful on multi-core.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-2s}"
-OUT="BENCH_engine.json"
+CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+
+emit_json() { # emit_json suite benchtime raw_file out_file
+  awk -v suite="$1" -v benchtime="$2" -v cores="$CORES" '
+    /^Benchmark/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name) # strip -GOMAXPROCS suffix
+      ns = ""; allocs = ""
+      for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+      }
+      if (ns != "") {
+        if (count++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        printf "}"
+      }
+    }
+    BEGIN {
+      printf "{\n  \"suite\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"cores\": %s,\n  \"results\": [\n", suite, benchtime, cores
+    }
+    END { printf "\n  ]\n}\n" }
+  ' "$3" > "$4"
+  echo "wrote $4"
+}
+
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -21,26 +55,9 @@ go test -run '^$' \
 go test -run '^$' -bench 'BenchmarkEngine' -benchtime="$BENCHTIME" \
   ./internal/congest/ | tee -a "$RAW"
 
-awk -v benchtime="$BENCHTIME" '
-  /^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name) # strip -GOMAXPROCS suffix
-    ns = ""; allocs = ""
-    for (i = 2; i <= NF; i++) {
-      if ($(i) == "ns/op")     ns = $(i - 1)
-      if ($(i) == "allocs/op") allocs = $(i - 1)
-    }
-    if (ns != "") {
-      if (count++) printf ",\n"
-      printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
-      if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-      printf "}"
-    }
-  }
-  BEGIN {
-    printf "{\n  \"suite\": \"engine\",\n  \"benchtime\": \"%s\",\n  \"results\": [\n", benchtime
-  }
-  END { printf "\n  ]\n}\n" }
-' "$RAW" > "$OUT"
+emit_json engine "$BENCHTIME" "$RAW" BENCH_engine.json
 
-echo "wrote $OUT"
+: > "$RAW"
+go test -run '^$' -bench 'BenchmarkAPSPPipeline' -benchtime=1x -timeout 60m . | tee "$RAW"
+
+emit_json apsp 1x "$RAW" BENCH_apsp.json
