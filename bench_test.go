@@ -17,7 +17,6 @@ import (
 	"congestapsp/internal/core"
 	"congestapsp/internal/csssp"
 	"congestapsp/internal/graph"
-	"congestapsp/internal/mat"
 	"congestapsp/internal/qsink"
 	"congestapsp/internal/unweighted"
 	"congestapsp/pkg/apsp"
@@ -165,21 +164,6 @@ func BenchmarkBlockerRounds(b *testing.B) {
 	}
 }
 
-func oracleDelta(g *graph.Graph, Q []int) *mat.Matrix {
-	rev := g
-	if g.Directed {
-		rev = g.Reverse()
-	}
-	delta := mat.New(g.N, len(Q))
-	for ci, c := range Q {
-		d := graph.Dijkstra(rev, c)
-		for x := 0; x < g.N; x++ {
-			delta.Set(x, ci, d[x])
-		}
-	}
-	return delta
-}
-
 // BenchmarkQSinkRounds is experiment E5 (Lemmas 4.1/4.5): the reversed
 // q-sink delivery under each scheduler, including the trivial broadcast
 // baseline whose O~(n^(5/3)) cost Section 4 beats.
@@ -190,7 +174,7 @@ func BenchmarkQSinkRounds(b *testing.B) {
 		for v := 0; v < n; v += 3 {
 			Q = append(Q, v)
 		}
-		delta := oracleDelta(g, Q)
+		delta := graph.BlockerDelta(g, Q)
 		for _, sch := range []qsink.Scheduler{qsink.RoundRobin, qsink.Frames, qsink.BroadcastAll} {
 			b.Run(fmt.Sprintf("%v/n=%d", sch, n), func(b *testing.B) {
 				var rounds, msgs float64
@@ -222,7 +206,7 @@ func BenchmarkBottleneck(b *testing.B) {
 		for v := 0; v < n; v += 4 {
 			Q = append(Q, v)
 		}
-		delta := oracleDelta(g, Q)
+		delta := graph.BlockerDelta(g, Q)
 		b.Run(fmt.Sprintf("star/n=%d", n), func(b *testing.B) {
 			var bc, before, after float64
 			for i := 0; i < b.N; i++ {
@@ -282,7 +266,7 @@ func BenchmarkFrameShrinkage(b *testing.B) {
 		for v := 0; v < n; v += 3 {
 			Q = append(Q, v)
 		}
-		delta := oracleDelta(g, Q)
+		delta := graph.BlockerDelta(g, Q)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var stages, first, last float64
 			for i := 0; i < b.N; i++ {

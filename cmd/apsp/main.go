@@ -5,7 +5,9 @@
 //
 //	apsp -graph random -n 32 -m 128 -algorithm det43
 //	apsp -graph grid -rows 5 -cols 6 -algorithm det32 -print
-//	apsp -edges edges.txt -directed       (file lines: "u v w")
+//	apsp -scenario powerlaw-n128-s7            (named workload corpus)
+//	apsp -load roads.gr                        (DIMACS/TSV/gob by extension)
+//	apsp -graph ring -n 64 -save ring.gob      (snapshot the generated graph)
 package main
 
 import (
@@ -21,13 +23,13 @@ import (
 
 func main() {
 	var (
-		gtype     = flag.String("graph", "random", "random|ring|grid|layered|star|zeromix (ignored with -edges)")
+		gtype     = flag.String("graph", "random", "random|ring|grid|layered|star|zeromix (conflicts with -load/-edges/-scenario)")
 		n         = flag.Int("n", 32, "number of nodes")
 		m         = flag.Int("m", 0, "edge target for random graphs (default 4n)")
 		rows      = flag.Int("rows", 5, "grid rows / layered layers")
 		cols      = flag.Int("cols", 6, "grid cols / layered width")
 		directed  = flag.Bool("directed", false, "directed edges")
-		seed      = flag.Int64("seed", 1, "generator / algorithm seed")
+		seed      = flag.Int64("seed", 1, "generator / algorithm seed (a -scenario name overrides it)")
 		maxW      = flag.Int64("maxweight", 100, "maximum edge weight")
 		algorithm = flag.String("algorithm", "det43", "det43|det32|rand43|bcast6")
 		hopParam  = flag.Int("h", 0, "hop parameter override (0 = default)")
@@ -35,28 +37,71 @@ func main() {
 		printMat  = flag.Bool("print", false, "print the distance matrix")
 		pathFrom  = flag.Int("from", -1, "print a shortest path from this node")
 		pathTo    = flag.Int("to", -1, "... to this node")
-		edgesFile = flag.String("edges", "", "read edges from file (lines: u v w)")
+		edgesFile = flag.String("edges", "", "read edges from file; alias of -load: recognized extensions parse as that format, others as headerless \"u v w\" lists")
+		loadFile  = flag.String("load", "", "load a graph file (.gr/.dimacs, .tsv/.txt/.el/.edges, .gob/.snap)")
+		saveFile  = flag.String("save", "", "save the input graph to this file before running (format by extension)")
+		noRun     = flag.Bool("norun", false, "exit after building/saving the graph without running APSP (format conversion)")
+		scenario  = flag.String("scenario", "", "build a named workload scenario, e.g. powerlaw-n128-s7 (overrides -graph)")
 		traceFile = flag.String("trace", "", "write a per-round CSV trace (round,delivered) to this file")
 	)
 	flag.Parse()
 
-	g, err := buildGraph(*edgesFile, *gtype, *n, *m, *rows, *cols, *directed, *seed, *maxW)
+	if *loadFile != "" && *edgesFile != "" {
+		log.Fatal("use -load or -edges, not both")
+	}
+	fromEdges := *edgesFile != ""
+	if *loadFile == "" {
+		*loadFile = *edgesFile
+	}
+	var g *apsp.Graph
+	var err error
+	switch {
+	case *scenario != "":
+		if *loadFile != "" {
+			log.Fatal("use -scenario or -load/-edges, not both")
+		}
+		// A scenario fully determines its graph; generator flags that it
+		// would silently override are conflicts, not no-ops.
+		rejectFlagConflicts("-scenario (the scenario name fixes the graph)",
+			"directed", "maxweight", "seed", "n", "m", "rows", "cols", "graph")
+		sc, perr := apsp.ParseScenario(*scenario)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		// A scenario name pins the generator AND algorithm seed: rand43
+		// runs must be regenerable from the name alone, matching the rows
+		// cmd/experiment records.
+		*seed = sc.Seed
+		g, err = sc.Build()
+	case *loadFile != "":
+		// Same principle for loaded files; -directed is legitimately
+		// consumed (headerless reinterpretation) and -seed drives the
+		// randomized algorithm profiles, so both stay allowed.
+		rejectFlagConflicts("-load/-edges (the file fixes the graph)",
+			"maxweight", "n", "m", "rows", "cols", "graph")
+		g, err = loadGraphCLI(*loadFile, *directed, fromEdges)
+	default:
+		g, err = buildGraph(*gtype, *n, *m, *rows, *cols, *directed, *seed, *maxW)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *saveFile != "" {
+		if err := apsp.SaveGraph(*saveFile, g); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("graph written to %s\n", *saveFile)
+	}
+	if *noRun {
+		// Format conversion (`apsp -load big.gr -save big.gob -norun`)
+		// must not pay for a full APSP simulation.
+		fmt.Printf("graph: n=%d m=%d directed=%v (no run)\n", g.N(), g.M(), g.Directed())
+		return
+	}
 
-	var alg apsp.Algorithm
-	switch *algorithm {
-	case "det43":
-		alg = apsp.Deterministic43
-	case "det32":
-		alg = apsp.Deterministic32
-	case "rand43":
-		alg = apsp.Randomized43
-	case "bcast6":
-		alg = apsp.BroadcastStep6
-	default:
-		log.Fatalf("unknown algorithm %q", *algorithm)
+	alg, err := apsp.ParseAlgorithm(*algorithm)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	opts := apsp.Options{Algorithm: alg, HopParam: *hopParam, Seed: *seed, Parallel: *parallel}
@@ -105,9 +150,24 @@ func main() {
 		}
 	}
 	if *pathFrom >= 0 && *pathTo >= 0 {
+		if *pathFrom >= g.N() || *pathTo >= g.N() {
+			log.Fatalf("-from/-to out of range: graph has vertices 0..%d", g.N()-1)
+		}
 		fmt.Printf("path %d -> %d: %v (distance %d)\n",
 			*pathFrom, *pathTo, res.Path(*pathFrom, *pathTo), res.Dist[*pathFrom][*pathTo])
 	}
+}
+
+// rejectFlagConflicts aborts when any of the named flags was explicitly
+// set: the graph source named in `with` would silently override it.
+func rejectFlagConflicts(with string, names ...string) {
+	flag.Visit(func(f *flag.Flag) {
+		for _, n := range names {
+			if f.Name == n {
+				log.Fatalf("-%s conflicts with %s", f.Name, with)
+			}
+		}
+	})
 }
 
 // csvTracer returns an OnRound hook streaming "round,delivered" lines.
@@ -130,10 +190,7 @@ func csvTracer(path string) (func(round, delivered int), func() error, error) {
 	return hook, closer, nil
 }
 
-func buildGraph(edgesFile, gtype string, n, m, rows, cols int, directed bool, seed, maxW int64) (*apsp.Graph, error) {
-	if edgesFile != "" {
-		return readEdges(edgesFile, directed)
-	}
+func buildGraph(gtype string, n, m, rows, cols int, directed bool, seed, maxW int64) (*apsp.Graph, error) {
 	o := apsp.GenOptions{N: n, Directed: directed, Seed: seed, MaxWeight: maxW}
 	if m == 0 {
 		m = 4 * n
@@ -155,46 +212,48 @@ func buildGraph(edgesFile, gtype string, n, m, rows, cols int, directed bool, se
 	return nil, fmt.Errorf("unknown graph type %q", gtype)
 }
 
-func readEdges(path string, directed bool) (*apsp.Graph, error) {
+// loadGraphCLI loads a graph file for -load/-edges. For -edges
+// (fromEdges), unrecognized extensions fall back to the historical
+// headerless "u v w" edge-list shape — now strictly validated: exactly
+// three fields per line, so annotated lines that the old reader silently
+// truncated fail loudly with the offending line number. -load requires a
+// recognized extension. The -directed flag reinterprets each line of a
+// *headerless* list as a one-way arc (again the historical semantics);
+// self-describing files — DIMACS, gob, TSV with a metadata header —
+// carry their own directedness and win over the flag.
+func loadGraphCLI(path string, directed, fromEdges bool) (*apsp.Graph, error) {
+	format, err := apsp.DetectGraphFormat(path)
+	if err != nil {
+		if !fromEdges {
+			return nil, err
+		}
+		format = apsp.FormatTSV // historical -edges contract
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	type edge struct {
-		u, v int
-		w    int64
+	g, meta, err := apsp.ReadGraphWithMeta(f, format)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	var edges []edge
-	maxID := -1
-	sc := bufio.NewScanner(f)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		var e edge
-		if _, err := fmt.Sscanf(text, "%d %d %d", &e.u, &e.v, &e.w); err != nil {
-			return nil, fmt.Errorf("%s:%d: %q: %w", path, line, text, err)
-		}
-		edges = append(edges, e)
-		if e.u > maxID {
-			maxID = e.u
-		}
-		if e.v > maxID {
-			maxID = e.v
-		}
+	if !directed || g.Directed() {
+		return g, nil
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	if meta.SelfDescribed {
+		log.Printf("%s declares itself undirected; ignoring -directed", path)
+		return g, nil
 	}
-	g := apsp.NewGraph(maxID+1, directed)
-	for _, e := range edges {
-		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
-			return nil, err
+	dg := apsp.NewGraph(g.N(), true)
+	var addErr error
+	g.Edges(func(u, v int, w int64) {
+		if err := dg.AddEdge(u, v, w); err != nil && addErr == nil {
+			addErr = err
 		}
+	})
+	if addErr != nil {
+		return nil, addErr
 	}
-	return g, nil
+	return dg, nil
 }

@@ -25,7 +25,6 @@ import (
 	"congestapsp/internal/core"
 	"congestapsp/internal/csssp"
 	"congestapsp/internal/graph"
-	"congestapsp/internal/mat"
 	"congestapsp/internal/qsink"
 	"congestapsp/internal/unweighted"
 )
@@ -310,7 +309,7 @@ func (h harness) qsinkRounds() {
 		if len(Q) == 0 {
 			continue
 		}
-		delta := oracleDelta(g, Q)
+		delta := graph.BlockerDelta(g, Q)
 		row := make(map[qsink.Scheduler]*qsink.Stats)
 		for _, sch := range []qsink.Scheduler{qsink.RoundRobin, qsink.Frames, qsink.BroadcastAll} {
 			nw, err := congest.NewNetwork(g, 1)
@@ -334,23 +333,8 @@ func (h harness) qsinkRounds() {
 	fmt.Println()
 }
 
-func oracleDelta(g *graph.Graph, Q []int) *mat.Matrix {
-	rev := g
-	if g.Directed {
-		rev = g.Reverse()
-	}
-	delta := mat.New(g.N, len(Q))
-	for ci, c := range Q {
-		d := graph.Dijkstra(rev, c)
-		for x := 0; x < g.N; x++ {
-			delta.Set(x, ci, d[x])
-		}
-	}
-	return delta
-}
-
 func checkQsink(g *graph.Graph, Q []int, res *qsink.Result) {
-	want := oracleDelta(g, Q)
+	want := graph.BlockerDelta(g, Q)
 	for ci := range Q {
 		for x := 0; x < g.N; x++ {
 			got, exp := res.AtBlocker[ci][x], want.At(x, ci)
@@ -389,7 +373,7 @@ func (h harness) bottleneck() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				res, err := qsink.Run(nw, wl.g, Q, oracleDelta(wl.g, Q), qsink.Params{Scheduler: qsink.RoundRobin, CongestionMult: mult})
+				res, err := qsink.Run(nw, wl.g, Q, graph.BlockerDelta(wl.g, Q), qsink.Params{Scheduler: qsink.RoundRobin, CongestionMult: mult})
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -471,7 +455,7 @@ func (h harness) frames() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := qsink.Run(nw, g, Q, oracleDelta(g, Q), qsink.Params{Scheduler: qsink.Frames, FrameQuotaScale: scale})
+			res, err := qsink.Run(nw, g, Q, graph.BlockerDelta(g, Q), qsink.Params{Scheduler: qsink.Frames, FrameQuotaScale: scale})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,392 @@
+// Command experiment is the systematic sweep runner of the workload layer:
+// it crosses a scenario corpus (named generator families at fixed sizes and
+// seeds) with every algorithm profile and both execution modes, runs each
+// cell through apsp.Run, and emits one row per cell to EXPERIMENTS.json
+// (and optionally CSV) — the empirical, regenerable counterpart of the
+// paper's Table 1.
+//
+// Each row records the distributed cost (rounds, messages, words, max node
+// congestion, blocker-set size) and the host cost (wall-clock, allocations)
+// of one cell; -check additionally validates every distance matrix against
+// the sequential Floyd-Warshall oracle. "sharded" execution uses the
+// source-sharded worker pool (apsp.Options.Parallel, DESIGN.md §2.5), whose
+// results are bit-identical to sequential execution; whenever a sweep runs
+// both modes, the runner asserts the distributed columns (rounds, messages,
+// words, congestion, |Q|, h) of the seq and sharded rows match and aborts
+// on divergence.
+//
+// Examples:
+//
+//	experiment                                   # default corpus, EXPERIMENTS.json
+//	experiment -sizes 64,128 -check              # acceptance sweep with oracle check
+//	experiment -scenarios powerlaw,expander -algorithms det43 -csv out.csv
+//	experiment -scenarios powerlaw-n96-s3        # one explicit scenario
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"congestapsp/internal/graph"
+	"congestapsp/pkg/apsp"
+)
+
+func main() {
+	var (
+		scenariosFlag  = flag.String("scenarios", "random,grid,powerlaw,geometric,expander,ktree", "comma-separated scenario families or explicit names (e.g. powerlaw-n128-s7)")
+		sizesFlag      = flag.String("sizes", "64,128", "comma-separated vertex counts (ignored for explicit scenario names)")
+		seedsFlag      = flag.String("seeds", "1", "comma-separated generator seeds (ignored for explicit scenario names)")
+		algorithmsFlag = flag.String("algorithms", "det43,det32,rand43,bcast6", "comma-separated algorithm profiles")
+		execFlag       = flag.String("exec", "seq,sharded", "execution modes: seq, sharded (source-sharded worker pool)")
+		check          = flag.Bool("check", false, "validate every distance matrix against the Floyd-Warshall oracle")
+		jsonPath       = flag.String("json", "EXPERIMENTS.json", "JSON output path (empty to skip)")
+		csvPath        = flag.String("csv", "", "CSV output path (empty to skip)")
+		quiet          = flag.Bool("q", false, "suppress per-cell progress on stderr")
+	)
+	flag.Parse()
+
+	scenarios, err := expandScenarios(*scenariosFlag, *sizesFlag, *seedsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	algorithms, err := parseAlgorithms(*algorithmsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	execModes, err := parseExecModes(*execFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var rows []row
+	for _, sc := range scenarios {
+		g, err := sc.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var oracle [][]int64
+		if *check {
+			oracle = oracleDist(g)
+		}
+		for _, alg := range algorithms {
+			byMode := make(map[string]row, len(execModes))
+			for _, mode := range execModes {
+				r, err := runCell(sc, g, alg, mode, oracle)
+				if err != nil {
+					log.Fatalf("%s %v %s: %v", sc.Name(), alg, mode, err)
+				}
+				byMode[mode] = r
+				rows = append(rows, r)
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "%-24s %-18s %-8s rounds=%-7d wall=%.0fms\n",
+						sc.Name(), alg, mode, r.Rounds, r.WallMS)
+				}
+			}
+			// Source-sharded execution must be bit-identical to sequential
+			// on every distributed column (DESIGN.md §2.5); whenever the
+			// sweep ran both modes, enforce it.
+			if seq, ok := byMode["seq"]; ok {
+				if sharded, ok := byMode["sharded"]; ok {
+					if err := diffDistributedColumns(seq, sharded); err != nil {
+						log.Fatalf("%s %v: sharded execution diverged from seq: %v", sc.Name(), alg, err)
+					}
+				}
+			}
+		}
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, rows, *check); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *jsonPath, len(rows))
+	}
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, rows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *csvPath, len(rows))
+	}
+}
+
+// row is one sweep cell: scenario x algorithm x execution mode.
+type row struct {
+	Scenario          string  `json:"scenario"`
+	Family            string  `json:"family"`
+	N                 int     `json:"n"`
+	M                 int     `json:"m"`
+	Seed              int64   `json:"seed"`
+	Algorithm         string  `json:"algorithm"`
+	Exec              string  `json:"exec"`
+	H                 int     `json:"h"`
+	BlockerSetSize    int     `json:"blocker_set_size"`
+	Rounds            int     `json:"rounds"`
+	Messages          int64   `json:"messages"`
+	Words             int64   `json:"words"`
+	MaxNodeCongestion int64   `json:"max_node_congestion"`
+	WallMS            float64 `json:"wall_ms"`
+	Allocs            uint64  `json:"allocs"`
+	AllocBytes        uint64  `json:"alloc_bytes"`
+	Checked           bool    `json:"checked"`
+}
+
+// runCell executes one sweep cell and, when oracle is non-nil, validates
+// the full distance matrix against it.
+func runCell(sc apsp.Scenario, g *apsp.Graph, alg apsp.Algorithm, mode string, oracle [][]int64) (row, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := apsp.Run(g, apsp.Options{
+		Algorithm: alg,
+		Parallel:  mode == "sharded",
+		Seed:      sc.Seed,
+	})
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return row{}, err
+	}
+	checked := false
+	if oracle != nil {
+		for x := range oracle {
+			for t := range oracle[x] {
+				if res.Dist[x][t] != oracle[x][t] {
+					return row{}, fmt.Errorf("distance mismatch at (%d,%d): got %d, oracle %d",
+						x, t, res.Dist[x][t], oracle[x][t])
+				}
+			}
+		}
+		checked = true
+	}
+	s := res.Stats
+	return row{
+		Scenario:          sc.Name(),
+		Family:            sc.Family,
+		N:                 s.N,
+		M:                 s.M,
+		Seed:              sc.Seed,
+		Algorithm:         alg.String(),
+		Exec:              mode,
+		H:                 s.H,
+		BlockerSetSize:    s.BlockerSetSize,
+		Rounds:            s.Rounds,
+		Messages:          s.Messages,
+		Words:             s.Words,
+		MaxNodeCongestion: s.MaxNodeCongestion,
+		WallMS:            float64(wall.Microseconds()) / 1000,
+		Allocs:            after.Mallocs - before.Mallocs,
+		AllocBytes:        after.TotalAlloc - before.TotalAlloc,
+		Checked:           checked,
+	}, nil
+}
+
+// diffDistributedColumns compares the columns that must not depend on the
+// execution mode.
+func diffDistributedColumns(seq, sharded row) error {
+	cols := []struct {
+		name string
+		a, b int64
+	}{
+		{"rounds", int64(seq.Rounds), int64(sharded.Rounds)},
+		{"messages", seq.Messages, sharded.Messages},
+		{"words", seq.Words, sharded.Words},
+		{"max_node_congestion", seq.MaxNodeCongestion, sharded.MaxNodeCongestion},
+		{"blocker_set_size", int64(seq.BlockerSetSize), int64(sharded.BlockerSetSize)},
+		{"h", int64(seq.H), int64(sharded.H)},
+	}
+	for _, c := range cols {
+		if c.a != c.b {
+			return fmt.Errorf("%s: seq %d vs sharded %d", c.name, c.a, c.b)
+		}
+	}
+	return nil
+}
+
+// oracleDist rebuilds the scenario graph in the sequential substrate and
+// runs Floyd-Warshall on it (exact, all pairs).
+func oracleDist(g *apsp.Graph) [][]int64 {
+	og := graph.New(g.N(), g.Directed())
+	g.Edges(func(u, v int, w int64) { og.MustAddEdge(u, v, w) })
+	return graph.FloydWarshall(og)
+}
+
+// expandScenarios turns the -scenarios/-sizes/-seeds flags into the corpus:
+// explicit scenario names pass through, family names cross with every size
+// and seed.
+func expandScenarios(scenarios, sizes, seeds string) ([]apsp.Scenario, error) {
+	sizeList, err := parseInts(sizes, "size")
+	if err != nil {
+		return nil, err
+	}
+	seedList, err := parseSeeds(seeds)
+	if err != nil {
+		return nil, err
+	}
+	var out []apsp.Scenario
+	for _, tok := range splitList(scenarios) {
+		if strings.Contains(tok, "-n") {
+			sc, err := apsp.ParseScenario(tok)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sc)
+			continue
+		}
+		if apsp.FamilyDescription(tok) == "" {
+			return nil, fmt.Errorf("unknown scenario family %q (have %v)", tok, apsp.Families())
+		}
+		for _, n := range sizeList {
+			for _, s := range seedList {
+				out = append(out, apsp.Scenario{Family: tok, N: n, Seed: s})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty scenario list")
+	}
+	return out, nil
+}
+
+func parseAlgorithms(s string) ([]apsp.Algorithm, error) {
+	var out []apsp.Algorithm
+	for _, tok := range splitList(s) {
+		a, err := apsp.ParseAlgorithm(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty algorithm list")
+	}
+	return out, nil
+}
+
+func parseExecModes(s string) ([]string, error) {
+	var out []string
+	for _, tok := range splitList(s) {
+		if tok != "seq" && tok != "sharded" {
+			return nil, fmt.Errorf("unknown exec mode %q (want seq|sharded)", tok)
+		}
+		out = append(out, tok)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty exec-mode list")
+	}
+	return out, nil
+}
+
+// parseSeeds parses a comma-separated seed list; unlike sizes, seeds may
+// be negative (scenario names round-trip them as "s-3").
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, tok := range splitList(s) {
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", tok)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty seed list")
+	}
+	return out, nil
+}
+
+func parseInts(s, what string) ([]int, error) {
+	var out []int
+	for _, tok := range splitList(s) {
+		v, err := strconv.Atoi(tok)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad %s %q", what, tok)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty %s list", what)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// report is the EXPERIMENTS.json envelope. It deliberately carries no
+// timestamp: apart from the host-cost columns (wall_ms, allocs), a
+// regenerated sweep should diff clean against the committed artifact.
+type report struct {
+	Suite   string `json:"suite"`
+	Cores   int    `json:"cores"`
+	Go      string `json:"go"`
+	Checked bool   `json:"checked"`
+	Rows    []row  `json:"rows"`
+}
+
+func writeJSON(path string, rows []row, checked bool) error {
+	rep := report{
+		Suite:   "experiment",
+		Cores:   runtime.NumCPU(),
+		Go:      runtime.Version(),
+		Checked: checked,
+		Rows:    rows,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func writeCSV(path string, rows []row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	header := []string{"scenario", "family", "n", "m", "seed", "algorithm", "exec", "h",
+		"blocker_set_size", "rounds", "messages", "words", "max_node_congestion",
+		"wall_ms", "allocs", "alloc_bytes", "checked"}
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Scenario, r.Family,
+			strconv.Itoa(r.N), strconv.Itoa(r.M),
+			strconv.FormatInt(r.Seed, 10),
+			r.Algorithm, r.Exec,
+			strconv.Itoa(r.H), strconv.Itoa(r.BlockerSetSize), strconv.Itoa(r.Rounds),
+			strconv.FormatInt(r.Messages, 10), strconv.FormatInt(r.Words, 10),
+			strconv.FormatInt(r.MaxNodeCongestion, 10),
+			strconv.FormatFloat(r.WallMS, 'f', 3, 64),
+			strconv.FormatUint(r.Allocs, 10), strconv.FormatUint(r.AllocBytes, 10),
+			strconv.FormatBool(r.Checked),
+		}
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -233,7 +233,7 @@ func TestQSinkInRoundParallelDeterminism(t *testing.T) {
 	for v := 0; v < g.N; v += 3 {
 		Q = append(Q, v)
 	}
-	delta := oracleDelta(g, Q)
+	delta := graph.BlockerDelta(g, Q)
 	for _, sch := range []qsink.Scheduler{qsink.RoundRobin, qsink.Frames, qsink.BroadcastAll} {
 		t.Run(sch.String(), func(t *testing.T) {
 			run := func(parallel bool) (*qsink.Result, congest.Stats) {

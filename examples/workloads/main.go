@@ -1,0 +1,62 @@
+// Example workloads tours the workload layer: build a named scenario from
+// the corpus, snapshot it to disk in all three formats, reload it, and
+// compare the APSP cost of one scenario per family at a fixed size — the
+// miniature version of what cmd/experiment automates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"congestapsp/pkg/apsp"
+)
+
+func main() {
+	// A scenario name is a complete, reproducible workload description.
+	sc, err := apsp.ParseScenario("powerlaw-n64-s7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := sc.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: n=%d m=%d (%s)\n", sc.Name(), g.N(), g.M(), apsp.FamilyDescription(sc.Family))
+
+	// Round-trip the graph through every on-disk format.
+	dir, err := os.MkdirTemp("", "workloads")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	for _, name := range []string{"graph.gr", "graph.tsv", "graph.gob"} {
+		path := filepath.Join(dir, name)
+		if err := apsp.SaveGraph(path, g); err != nil {
+			log.Fatal(err)
+		}
+		loaded, err := apsp.LoadGraph(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, _ := os.Stat(path)
+		fmt.Printf("  %-10s %6d bytes  reload: n=%d m=%d\n", name, info.Size(), loaded.N(), loaded.M())
+	}
+
+	// One corpus row per family: how topology shapes the round count.
+	fmt.Printf("\n%-20s %8s %8s %8s %6s\n", "scenario", "rounds", "messages", "words", "|Q|")
+	for _, family := range apsp.Families() {
+		fsc := apsp.Scenario{Family: family, N: 64, Seed: 7}
+		fg, err := fsc.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := apsp.Run(fg, apsp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Stats
+		fmt.Printf("%-20s %8d %8d %8d %6d\n", fsc.Name(), s.Rounds, s.Messages, s.Words, s.BlockerSetSize)
+	}
+}

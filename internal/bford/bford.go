@@ -37,6 +37,7 @@ const (
 	In
 )
 
+// String names the relaxation direction for logs and errors.
 func (m Mode) String() string {
 	if m == In {
 		return "in"

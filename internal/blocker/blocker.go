@@ -31,6 +31,7 @@ const (
 	RandomSample
 )
 
+// String names the mode as it appears in benchmark tables and logs.
 func (m Mode) String() string {
 	switch m {
 	case Deterministic:

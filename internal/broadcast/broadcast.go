@@ -201,7 +201,7 @@ func Broadcast(nw *congest.Network, t *Tree, items []Item) ([]Item, error) {
 		for v := 0; v < n; v++ {
 			if v != t.Root {
 				off := v * k
-				recvd[v] = arena[off:off : off+k]
+				recvd[v] = arena[off : off : off+k]
 			}
 		}
 	}

@@ -269,6 +269,7 @@ type ErrBandwidth struct {
 	Limit    int
 }
 
+// Error describes which link exceeded its per-round word budget.
 func (e *ErrBandwidth) Error() string {
 	return fmt.Sprintf("congest: bandwidth violation at round %d on link %d->%d: %d words > limit %d",
 		e.Round, e.From, e.To, e.Words, e.Limit)
@@ -280,6 +281,7 @@ type ErrNotALink struct {
 	From, To int
 }
 
+// Error describes the nonexistent link a node tried to send on.
 func (e *ErrNotALink) Error() string {
 	return fmt.Sprintf("congest: node %d sent to %d at round %d but they share no link", e.From, e.To, e.Round)
 }

@@ -54,6 +54,7 @@ const (
 	BroadcastStep6
 )
 
+// String names the variant as it appears in experiment tables.
 func (v Variant) String() string {
 	switch v {
 	case Det43:

@@ -192,3 +192,22 @@ func IsConnectedUG(g *Graph) bool {
 	}
 	return true
 }
+
+// BlockerDelta builds the exact Step-5 input of the q-sink machinery:
+// element (x, ci) = dist(x, Q[ci]) in g, computed as dist(Q[ci], x) in the
+// reversed graph. It is the shared oracle of the qsink tests, benchmarks,
+// and cmd/congestbench.
+func BlockerDelta(g *Graph, Q []int) *mat.Matrix {
+	rev := g
+	if g.Directed {
+		rev = g.Reverse()
+	}
+	delta := mat.New(g.N, len(Q))
+	for ci, c := range Q {
+		d := Dijkstra(rev, c)
+		for x := 0; x < g.N; x++ {
+			delta.Set(x, ci, d[x])
+		}
+	}
+	return delta
+}

@@ -1,0 +1,119 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"congestapsp/internal/graph"
+)
+
+// undirectedMarker is the comment the DIMACS writer emits (before the
+// problem line) for undirected graphs. Plain DIMACS .gr files describe
+// directed arcs, so files without the marker read back as directed.
+const undirectedMarker = "congestapsp undirected"
+
+// readDIMACS streams a DIMACS shortest-path file: "c" comment lines, one
+// "p sp <n> <m>" problem line, then <m> "a <u> <v> <w>" arc lines with
+// 1-indexed endpoints.
+func readDIMACS(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var g *graph.Graph
+	directed := true
+	declaredM := -1
+	arcs := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "c":
+			// Exactly the marker comment the writer emits — a comment
+			// merely *mentioning* the phrase must not flip directedness.
+			if len(fields) == 3 && fields[1]+" "+fields[2] == undirectedMarker {
+				if g != nil {
+					return nil, fmt.Errorf("dimacs line %d: %q marker must precede the p line", line, undirectedMarker)
+				}
+				directed = false
+			}
+		case "p":
+			if g != nil {
+				return nil, fmt.Errorf("dimacs line %d: duplicate problem line", line)
+			}
+			if len(fields) != 4 || fields[1] != "sp" {
+				return nil, fmt.Errorf("dimacs line %d: malformed problem line %q (want \"p sp <n> <m>\")", line, text)
+			}
+			n, err1 := strconv.Atoi(fields[2])
+			m, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || n < 0 || m < 0 {
+				return nil, fmt.Errorf("dimacs line %d: bad problem-line counts %q", line, text)
+			}
+			if n > maxVertices {
+				return nil, fmt.Errorf("dimacs line %d: implausible vertex count %d (max %d)", line, n, maxVertices)
+			}
+			if m > maxEdges {
+				return nil, fmt.Errorf("dimacs line %d: implausible arc count %d (max %d)", line, m, maxEdges)
+			}
+			g = graph.New(n, directed)
+			declaredM = m
+		case "a":
+			if g == nil {
+				return nil, fmt.Errorf("dimacs line %d: arc before problem line", line)
+			}
+			if arcs >= declaredM {
+				// Fail at the first excess arc: a corrupt file must not
+				// stream unbounded edges into memory before the EOF
+				// count check.
+				return nil, fmt.Errorf("dimacs line %d: more arcs than the declared %d", line, declaredM)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("dimacs line %d: malformed arc %q (want \"a <u> <v> <w>\")", line, text)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("dimacs line %d: bad arc %q", line, text)
+			}
+			if err := checkWeight(w); err != nil {
+				return nil, fmt.Errorf("dimacs line %d: %w", line, err)
+			}
+			if err := g.AddEdge(u-1, v-1, w); err != nil {
+				return nil, fmt.Errorf("dimacs line %d: %w", line, err)
+			}
+			arcs++
+		default:
+			return nil, fmt.Errorf("dimacs line %d: unknown record %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("dimacs: no problem line")
+	}
+	if arcs != declaredM {
+		return nil, fmt.Errorf("dimacs: problem line declares %d arcs, file has %d", declaredM, arcs)
+	}
+	return g, nil
+}
+
+// writeDIMACS emits g in DIMACS .gr form, edges in insertion order.
+func writeDIMACS(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if !g.Directed {
+		fmt.Fprintf(bw, "c %s\n", undirectedMarker)
+	}
+	fmt.Fprintf(bw, "p sp %d %d\n", g.N, g.M())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "a %d %d %d\n", e.U+1, e.V+1, e.W)
+	}
+	return bw.Flush()
+}

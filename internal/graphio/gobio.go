@@ -1,0 +1,78 @@
+package graphio
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"congestapsp/internal/graph"
+)
+
+// snapshotVersion guards against decoding snapshots written by an
+// incompatible layout; bump it when gobSnapshot changes.
+const snapshotVersion = 1
+
+// gobSnapshot is the compact columnar on-disk form: int32 endpoint columns
+// plus an int64 weight column, ~16 bytes/edge before gob framing.
+type gobSnapshot struct {
+	Version  int
+	N        int
+	Directed bool
+	U, V     []int32
+	W        []int64
+}
+
+// readGob decodes a snapshot and rebuilds the graph through the same
+// validation path as the text readers (range, self-loop, weight checks).
+func readGob(r io.Reader) (*graph.Graph, error) {
+	var snap gobSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("gob: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("gob: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if snap.N < 0 || snap.N > maxVertices {
+		// The upper bound turns a corrupt/hostile N (graph.New allocates
+		// O(N)) into a validation error instead of an out-of-memory abort.
+		return nil, fmt.Errorf("gob: implausible vertex count %d (max %d)", snap.N, maxVertices)
+	}
+	if len(snap.U) != len(snap.V) || len(snap.U) != len(snap.W) {
+		return nil, fmt.Errorf("gob: ragged edge columns (%d/%d/%d)", len(snap.U), len(snap.V), len(snap.W))
+	}
+	if len(snap.U) > maxEdges {
+		return nil, fmt.Errorf("gob: implausible edge count %d (max %d)", len(snap.U), maxEdges)
+	}
+	g := graph.New(snap.N, snap.Directed)
+	for i := range snap.U {
+		if err := checkWeight(snap.W[i]); err != nil {
+			return nil, fmt.Errorf("gob edge %d: %w", i, err)
+		}
+		if err := g.AddEdge(int(snap.U[i]), int(snap.V[i]), snap.W[i]); err != nil {
+			return nil, fmt.Errorf("gob edge %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+// writeGob encodes g as a snapshot, edges in insertion order.
+func writeGob(w io.Writer, g *graph.Graph) error {
+	if g.N > maxVertices {
+		return fmt.Errorf("gob: %d vertices exceed the snapshot cap %d", g.N, maxVertices)
+	}
+	edges := g.Edges()
+	snap := gobSnapshot{
+		Version:  snapshotVersion,
+		N:        g.N,
+		Directed: g.Directed,
+		U:        make([]int32, len(edges)),
+		V:        make([]int32, len(edges)),
+		W:        make([]int64, len(edges)),
+	}
+	for i, e := range edges {
+		snap.U[i] = int32(e.U)
+		snap.V[i] = int32(e.V)
+		snap.W[i] = e.W
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}

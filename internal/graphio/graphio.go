@@ -1,0 +1,219 @@
+// Package graphio reads and writes the weighted graphs of the workload
+// layer in three interchangeable formats:
+//
+//   - DIMACS ".gr" (the 9th DIMACS shortest-path challenge format:
+//     "p sp n m" header plus 1-indexed "a u v w" arc lines),
+//   - whitespace edge-list TSV ("u v w" per line, 0-indexed, with an
+//     optional "# congestapsp ..." metadata header), and
+//   - a compact gob binary snapshot for fast reload of large graphs.
+//
+// All readers stream (bufio line scanning / gob decoding; headerless TSV
+// buffers its edge records — bounded by the same edge-count cap as every
+// reader — until EOF fixes the vertex count), validate every record
+// (vertex range, self-loops, negative weights, count mismatches) with
+// the offending line in the error, and
+// preserve edge order, so a load→save→load cycle reproduces the input
+// byte-for-byte for files written by this package. Writers emit edges in
+// insertion order, which makes snapshots of the deterministic generators
+// themselves deterministic.
+//
+// Directedness travels with the file: the DIMACS writer marks undirected
+// graphs with a "c congestapsp undirected" comment (plain DIMACS files,
+// which list arcs, read back as directed), the TSV writer with the
+// metadata header, and the gob snapshot stores it natively.
+package graphio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"congestapsp/internal/graph"
+)
+
+// maxVertices bounds the vertex count any reader accepts (2^28 ≈ 268M
+// vertices, far beyond any single-host simulation): every format
+// allocates O(n) at graph construction, so an unbounded count from a
+// corrupt or hostile file would abort the process on allocation instead
+// of returning the validation error this package promises.
+const maxVertices = 1 << 28
+
+// maxEdges bounds the edge count any reader accepts (2^28, matching
+// maxVertices): edges accumulate in memory as a file streams, so an
+// unbounded count from a hostile or corrupt file would OOM-abort before
+// any validation error could be returned.
+const maxEdges = 1 << 28
+
+// maxWeight bounds the edge weight any reader accepts. The engine's
+// distance arithmetic treats graph.Inf (MaxInt64/4) as unreachable and
+// sums up to maxVertices-1 weights along a path; capping weights at 2^32
+// keeps every simple-path sum below Inf ((2^28)·(2^32) = 2^60 < 2^61),
+// so a loaded file can never cause silent int64 overflow or forge the
+// Inf sentinel.
+const maxWeight = 1 << 32
+
+// checkWeight validates an edge weight against the overflow bound
+// (negative weights are rejected downstream by graph.AddEdge).
+func checkWeight(w int64) error {
+	if w > maxWeight {
+		return fmt.Errorf("weight %d exceeds the supported maximum %d", w, int64(maxWeight))
+	}
+	return nil
+}
+
+// Format identifies a serialization format.
+type Format int
+
+const (
+	// FormatUnknown is the zero Format; Read and Write reject it.
+	FormatUnknown Format = iota
+	// FormatDIMACS is the DIMACS shortest-path ".gr" text format.
+	FormatDIMACS
+	// FormatTSV is a whitespace-separated edge list ("u v w" per line).
+	FormatTSV
+	// FormatGob is the compact binary snapshot (encoding/gob).
+	FormatGob
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatDIMACS:
+		return "dimacs"
+	case FormatTSV:
+		return "tsv"
+	case FormatGob:
+		return "gob"
+	}
+	return "unknown"
+}
+
+// DetectFormat maps a file name to a Format by extension: ".gr"/".dimacs"
+// → DIMACS, ".tsv"/".txt"/".el"/".edges" → TSV, ".gob"/".snap" → gob.
+func DetectFormat(path string) (Format, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".gr", ".dimacs":
+		return FormatDIMACS, nil
+	case ".tsv", ".txt", ".el", ".edges":
+		return FormatTSV, nil
+	case ".gob", ".snap":
+		return FormatGob, nil
+	}
+	return FormatUnknown, fmt.Errorf("graphio: cannot infer format from %q (want .gr/.dimacs, .tsv/.txt/.el/.edges, or .gob/.snap)", path)
+}
+
+// Meta reports how a parsed stream described its graph.
+type Meta struct {
+	// SelfDescribed reports whether the stream declared its own
+	// directedness: DIMACS and gob always do, TSV only when the
+	// "# congestapsp ..." metadata header is present. Callers use it to
+	// decide whether a file's directedness is authoritative or merely the
+	// headerless default.
+	SelfDescribed bool
+}
+
+// Read parses a graph from r in the given format.
+func Read(r io.Reader, f Format) (*graph.Graph, error) {
+	g, _, err := ReadWithMeta(r, f)
+	return g, err
+}
+
+// ReadWithMeta is Read plus provenance about the stream itself.
+func ReadWithMeta(r io.Reader, f Format) (*graph.Graph, Meta, error) {
+	switch f {
+	case FormatDIMACS:
+		g, err := readDIMACS(r)
+		return g, Meta{SelfDescribed: true}, err
+	case FormatTSV:
+		g, hasHeader, err := readTSV(r)
+		return g, Meta{SelfDescribed: hasHeader}, err
+	case FormatGob:
+		g, err := readGob(r)
+		return g, Meta{SelfDescribed: true}, err
+	}
+	return nil, Meta{}, fmt.Errorf("graphio: read: unsupported format %v", f)
+}
+
+// Write serializes g to w in the given format. Graphs that could not be
+// read back (weights beyond the overflow bound) are rejected up front so
+// every written file round-trips.
+func Write(w io.Writer, g *graph.Graph, f Format) error {
+	if g == nil {
+		return fmt.Errorf("graphio: write: nil graph")
+	}
+	for i, e := range g.Edges() {
+		if err := checkWeight(e.W); err != nil {
+			return fmt.Errorf("graphio: write: edge %d: %w", i, err)
+		}
+	}
+	switch f {
+	case FormatDIMACS:
+		return writeDIMACS(w, g)
+	case FormatTSV:
+		return writeTSV(w, g)
+	case FormatGob:
+		return writeGob(w, g)
+	}
+	return fmt.Errorf("graphio: write: unsupported format %v", f)
+}
+
+// Load reads a graph from path, inferring the format from the extension.
+func Load(path string) (*graph.Graph, error) {
+	f, err := DetectFormat(path)
+	if err != nil {
+		return nil, err
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	g, err := Read(file, f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Save writes g to path, inferring the format from the extension. The
+// write goes to a temporary file in the destination directory and renames
+// over path on success, so a failed or interrupted save never leaves a
+// truncated file behind (a short TSV would otherwise reload silently as a
+// smaller graph — TSV carries no edge count).
+func Save(path string, g *graph.Graph) error {
+	f, err := DetectFormat(path)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".graphio-*")
+	if err != nil {
+		return err
+	}
+	if err := Write(tmp, g, f); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	// CreateTemp hardcodes 0600. Preserve an existing destination's
+	// permissions (overwriting must neither widen nor narrow them);
+	// otherwise use the conventional data-file mode so saved datasets
+	// stay shareable across users/CI steps.
+	mode := os.FileMode(0o644)
+	if info, statErr := os.Stat(path); statErr == nil {
+		mode = info.Mode().Perm()
+	}
+	if err := os.Chmod(tmp.Name(), mode); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

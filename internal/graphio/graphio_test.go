@@ -1,0 +1,307 @@
+package graphio
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"congestapsp/internal/graph"
+)
+
+// corpus returns representative graphs: directed and undirected, zero
+// weights, heavy-tailed degrees, a single-edge graph.
+func corpus() map[string]*graph.Graph {
+	tiny := graph.New(2, false)
+	tiny.MustAddEdge(0, 1, 42)
+	return map[string]*graph.Graph{
+		"undirected-random": graph.RandomConnected(graph.GenConfig{N: 40, Seed: 3, MaxWeight: 50}, 160),
+		"directed-random":   graph.RandomConnected(graph.GenConfig{N: 30, Directed: true, Seed: 4, MaxWeight: 9}, 120),
+		"zero-weights":      graph.ZeroWeightMix(graph.GenConfig{N: 25, Seed: 5, MaxWeight: 7}, 80),
+		"powerlaw":          graph.PowerLaw(graph.GenConfig{N: 50, Seed: 6, MaxWeight: 100}, 3),
+		"tiny":              tiny,
+	}
+}
+
+func graphsEqual(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.N != b.N || a.Directed != b.Directed || a.M() != b.M() {
+		t.Fatalf("shape differs: (n=%d directed=%v m=%d) vs (n=%d directed=%v m=%d)",
+			a.N, a.Directed, a.M(), b.N, b.Directed, b.M())
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ae[i], be[i])
+		}
+	}
+}
+
+// TestRoundTrip: for every corpus graph and format, write→read must
+// reproduce the graph exactly, and a second write must reproduce the first
+// byte stream exactly (the bit-identical round-trip guarantee).
+func TestRoundTrip(t *testing.T) {
+	for name, g := range corpus() {
+		for _, f := range []Format{FormatDIMACS, FormatTSV, FormatGob} {
+			t.Run(name+"/"+f.String(), func(t *testing.T) {
+				var first bytes.Buffer
+				if err := Write(&first, g, f); err != nil {
+					t.Fatal(err)
+				}
+				got, err := Read(bytes.NewReader(first.Bytes()), f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				graphsEqual(t, g, got)
+				var second bytes.Buffer
+				if err := Write(&second, got, f); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(first.Bytes(), second.Bytes()) {
+					t.Fatalf("second serialization differs from first (%d vs %d bytes)",
+						first.Len(), second.Len())
+				}
+			})
+		}
+	}
+}
+
+func TestLoadSaveFiles(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.RandomConnected(graph.GenConfig{N: 20, Seed: 9, MaxWeight: 30}, 60)
+	for _, ext := range []string{".gr", ".tsv", ".gob"} {
+		path := filepath.Join(dir, "g"+ext)
+		if err := Save(path, g); err != nil {
+			t.Fatalf("%s: %v", ext, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", ext, err)
+		}
+		graphsEqual(t, g, got)
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := map[string]Format{
+		"a.gr": FormatDIMACS, "b.DIMACS": FormatDIMACS,
+		"c.tsv": FormatTSV, "d.txt": FormatTSV, "e.el": FormatTSV, "f.edges": FormatTSV,
+		"g.gob": FormatGob, "h.snap": FormatGob,
+	}
+	for path, want := range cases {
+		got, err := DetectFormat(path)
+		if err != nil || got != want {
+			t.Fatalf("DetectFormat(%q) = %v, %v; want %v", path, got, err, want)
+		}
+	}
+	if _, err := DetectFormat("graph.xyz"); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+}
+
+// TestHeaderlessTSV: plain edge lists (no metadata header) infer n from
+// the max id and default to undirected.
+func TestHeaderlessTSV(t *testing.T) {
+	in := "# a comment\n0 1 5\n1 2 3\n\n2 0 1\n"
+	g, err := Read(strings.NewReader(in), FormatTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.Directed || g.M() != 3 {
+		t.Fatalf("got n=%d directed=%v m=%d", g.N, g.Directed, g.M())
+	}
+}
+
+// TestTSVHeaderAfterComments: the metadata header may follow plain
+// comment lines (it must only precede the first edge).
+func TestTSVHeaderAfterComments(t *testing.T) {
+	in := "# exported by tool\n# congestapsp n=5 directed=true\n0 1 2\n"
+	g, err := Read(strings.NewReader(in), FormatTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 5 || !g.Directed || g.M() != 1 {
+		t.Fatalf("got n=%d directed=%v m=%d", g.N, g.Directed, g.M())
+	}
+}
+
+func TestReadWithMetaSelfDescribed(t *testing.T) {
+	cases := []struct {
+		format Format
+		input  string
+		want   bool
+	}{
+		{FormatTSV, "# congestapsp n=3 directed=true\n0 1 2\n", true},
+		{FormatTSV, "# exported\n# congestapsp n=3 directed=true\n0 1 2\n", true},
+		{FormatTSV, "#congestapsp n=3 directed=true\n0 1 2\n", true},
+		{FormatTSV, "# just a comment\n0 1 2\n", false},
+		{FormatTSV, "# congestapsp edge list exported 2026\n0 1 2\n", false},
+		{FormatTSV, "# congestapspX n=3 directed=false\n0 1 2\n", false},
+		{FormatTSV, "0 1 2\n", false},
+		{FormatDIMACS, "p sp 3 1\na 1 2 4\n", true},
+	}
+	for _, tc := range cases {
+		_, meta, err := ReadWithMeta(strings.NewReader(tc.input), tc.format)
+		if err != nil || meta.SelfDescribed != tc.want {
+			t.Fatalf("ReadWithMeta(%q, %v) meta=%+v err=%v; want SelfDescribed=%v",
+				tc.input, tc.format, meta, err, tc.want)
+		}
+	}
+}
+
+// TestPlainDIMACSIsDirected: files without the undirected marker read as
+// directed arc lists (standard DIMACS semantics).
+func TestPlainDIMACSIsDirected(t *testing.T) {
+	in := "c road network\np sp 3 2\na 1 2 10\na 2 3 4\n"
+	g, err := Read(strings.NewReader(in), FormatDIMACS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed || g.N != 3 || g.M() != 2 {
+		t.Fatalf("got n=%d directed=%v m=%d", g.N, g.Directed, g.M())
+	}
+	if e := g.Edges()[0]; e.U != 0 || e.V != 1 || e.W != 10 {
+		t.Fatalf("1-indexed conversion broken: %+v", e)
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name   string
+		format Format
+		input  string
+		substr string // expected error fragment
+	}{
+		{"dimacs-no-p-line", FormatDIMACS, "c only comments\n", "no problem line"},
+		{"dimacs-arc-before-p", FormatDIMACS, "a 1 2 3\np sp 2 1\n", "arc before problem line"},
+		{"dimacs-duplicate-p", FormatDIMACS, "p sp 2 1\np sp 2 1\na 1 2 3\n", "duplicate problem line"},
+		{"dimacs-count-mismatch", FormatDIMACS, "p sp 2 2\na 1 2 3\n", "declares 2 arcs, file has 1"},
+		{"dimacs-excess-arcs", FormatDIMACS, "p sp 2 1\na 1 2 3\na 2 1 3\n", "more arcs than the declared 1"},
+		{"dimacs-out-of-range", FormatDIMACS, "p sp 2 1\na 1 5 3\n", "out of range"},
+		{"dimacs-self-loop", FormatDIMACS, "p sp 2 1\na 1 1 3\n", "self-loop"},
+		{"dimacs-negative-weight", FormatDIMACS, "p sp 2 1\na 1 2 -3\n", "negative weight"},
+		{"dimacs-bad-arc", FormatDIMACS, "p sp 2 1\na 1 two 3\n", "bad arc"},
+		{"dimacs-short-arc", FormatDIMACS, "p sp 2 1\na 1 2\n", "malformed arc"},
+		{"dimacs-unknown-record", FormatDIMACS, "p sp 2 1\nz 1 2 3\n", "unknown record"},
+		{"dimacs-bad-p", FormatDIMACS, "p max 2 1\n", "malformed problem line"},
+		{"dimacs-huge-n", FormatDIMACS, "p sp 9000000000000000000 0\n", "implausible vertex count"},
+		{"dimacs-overflow-n", FormatDIMACS, "p sp 99999999999999999999 0\n", "bad problem-line counts"},
+		{"dimacs-implausible-n", FormatDIMACS, "p sp 999999999 0\n", "implausible vertex count"},
+		{"tsv-implausible-n", FormatTSV, "# congestapsp n=999999999 directed=false\n", "implausible vertex count"},
+		{"tsv-headerless-implausible-id", FormatTSV, "0 999999999 1\n", "implausible vertex id"},
+		{"dimacs-late-marker", FormatDIMACS, "p sp 2 1\nc congestapsp undirected\na 1 2 3\n", "must precede"},
+		{"tsv-short-line", FormatTSV, "0 1\n", "malformed edge"},
+		{"tsv-headerless-late-self-loop", FormatTSV, "# comment\n0 1 2\n\n3 3 1\n", "tsv line 4"},
+		{"tsv-bad-weight", FormatTSV, "0 1 x\n", "bad edge"},
+		{"tsv-self-loop", FormatTSV, "# congestapsp n=2 directed=false\n0 0 1\n", "self-loop"},
+		{"tsv-out-of-range", FormatTSV, "# congestapsp n=2 directed=false\n0 7 1\n", "out of range"},
+		{"tsv-negative-id", FormatTSV, "-1 1 1\n", "negative vertex id"},
+		{"tsv-late-header", FormatTSV, "0 1 1\n# congestapsp n=2 directed=false\n", "first record"},
+		{"tsv-bad-header-n", FormatTSV, "# congestapsp n=x directed=false\n", "bad header field"},
+		{"tsv-header-missing-n", FormatTSV, "# congestapsp directed=false\n", "missing n="},
+		{"tsv-header-typo-field", FormatTSV, "# congestapsp n=4 direction=true\n0 1 2\n", "unknown header field"},
+		{"gob-garbage", FormatGob, "this is not gob", "gob"},
+		{"dimacs-overflow-weight", FormatDIMACS, "p sp 2 1\na 1 2 4611686018427387904\n", "exceeds the supported maximum"},
+		{"dimacs-implausible-m", FormatDIMACS, "p sp 4 999999999999\n", "implausible arc count"},
+		{"tsv-overflow-weight", FormatTSV, "0 1 4611686018427387904\n", "exceeds the supported maximum"},
+		{"tsv-near-header-rejected-fields", FormatTSV, "# congestapsp n=x directed=false\n0 1 2\n", "bad header field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.input), tc.format)
+			if err == nil {
+				t.Fatalf("malformed input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("error %q does not mention %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+// TestGobVersionGuard: a snapshot with a foreign version must be rejected.
+func TestGobVersionGuard(t *testing.T) {
+	g := graph.New(2, false)
+	g.MustAddEdge(0, 1, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, g, FormatGob); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode with a bumped version by decoding into the raw struct.
+	var snap gobSnapshot
+	if err := gob.NewDecoder(&buf).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = snapshotVersion + 1
+	var tampered bytes.Buffer
+	if err := gob.NewEncoder(&tampered).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&tampered, FormatGob); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("tampered version accepted: %v", err)
+	}
+}
+
+func TestGobRaggedColumns(t *testing.T) {
+	snap := gobSnapshot{Version: snapshotVersion, N: 3, U: []int32{0}, V: []int32{1, 2}, W: []int64{1}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf, FormatGob); err == nil || !strings.Contains(err.Error(), "ragged") {
+		t.Fatalf("ragged columns accepted: %v", err)
+	}
+}
+
+// TestGobImplausibleN: a corrupt vertex count must error, not abort on
+// allocation.
+func TestGobImplausibleN(t *testing.T) {
+	snap := gobSnapshot{Version: snapshotVersion, N: 1 << 40}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf, FormatGob); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("implausible N accepted: %v", err)
+	}
+}
+
+// TestTSVNearMissComments: comments that merely mention the tool name
+// stay comments — the file parses headerless.
+func TestTSVNearMissComments(t *testing.T) {
+	in := "# congestapsp edge list exported 2026\n0 1 2\n"
+	g, err := Read(strings.NewReader(in), FormatTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 2 || g.Directed || g.M() != 1 {
+		t.Fatalf("got n=%d directed=%v m=%d", g.N, g.Directed, g.M())
+	}
+}
+
+// TestSavePreservesMode: overwriting an existing file keeps its
+// permissions; fresh files get the conventional 0644.
+func TestSavePreservesMode(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New(2, false)
+	g.MustAddEdge(0, 1, 3)
+	private := filepath.Join(dir, "private.tsv")
+	if err := os.WriteFile(private, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(private, g); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := os.Stat(private); info.Mode().Perm() != 0o600 {
+		t.Fatalf("existing 0600 file widened to %v", info.Mode().Perm())
+	}
+	fresh := filepath.Join(dir, "fresh.tsv")
+	if err := Save(fresh, g); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := os.Stat(fresh); info.Mode().Perm() != 0o644 {
+		t.Fatalf("fresh file mode %v, want 0644", info.Mode().Perm())
+	}
+}

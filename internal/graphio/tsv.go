@@ -1,0 +1,174 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"congestapsp/internal/graph"
+)
+
+// TSVHeaderPrefix introduces the metadata header the TSV writer emits.
+// Files without it are accepted (plain edge lists are common in the wild):
+// n is then inferred as maxID+1 and the graph defaults to undirected —
+// Meta.SelfDescribed reports which case a read hit.
+const TSVHeaderPrefix = "# congestapsp"
+
+// readTSV streams a whitespace-separated edge list: "u v w" per line with
+// 0-indexed endpoints, '#'-prefixed comments, and an optional
+// "# congestapsp n=<n> directed=<bool>" metadata header (which may follow
+// plain comments but must precede the first edge). hasHeader reports
+// whether the header was present — i.e. whether the file's directedness
+// is self-described rather than the headerless default.
+func readTSV(r io.Reader) (g *graph.Graph, hasHeader bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	// Headerless fallback: buffer edges (with their source lines for
+	// error reporting) until EOF fixes n.
+	type edge struct {
+		u, v, line int
+		w          int64
+	}
+	var pending []edge
+	maxID := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if isTSVHeader(text) {
+				if hasHeader || maxID >= 0 {
+					return nil, false, fmt.Errorf("tsv line %d: metadata header must be the first record", line)
+				}
+				n, directed, err := parseTSVHeader(text)
+				if err != nil {
+					return nil, false, fmt.Errorf("tsv line %d: %w", line, err)
+				}
+				g = graph.New(n, directed)
+				hasHeader = true
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, false, fmt.Errorf("tsv line %d: malformed edge %q (want \"u v w\")", line, text)
+		}
+		if (g != nil && g.M() >= maxEdges) || len(pending) >= maxEdges {
+			return nil, false, fmt.Errorf("tsv line %d: more than %d edges", line, maxEdges)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		w, err3 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, false, fmt.Errorf("tsv line %d: bad edge %q", line, text)
+		}
+		if err := checkWeight(w); err != nil {
+			return nil, false, fmt.Errorf("tsv line %d: %w", line, err)
+		}
+		if g != nil {
+			if err := g.AddEdge(u, v, w); err != nil {
+				return nil, false, fmt.Errorf("tsv line %d: %w", line, err)
+			}
+			continue
+		}
+		if u < 0 || v < 0 {
+			return nil, false, fmt.Errorf("tsv line %d: negative vertex id in %q", line, text)
+		}
+		if u >= maxVertices || v >= maxVertices {
+			// Headerless n is inferred as maxID+1, so the id bound IS the
+			// vertex-count bound here.
+			return nil, false, fmt.Errorf("tsv line %d: implausible vertex id in %q (max %d)", line, text, maxVertices-1)
+		}
+		pending = append(pending, edge{u: u, v: v, line: line, w: w})
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, false, err
+	}
+	if g == nil {
+		g = graph.New(maxID+1, false)
+		for _, e := range pending {
+			if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+				return nil, false, fmt.Errorf("tsv line %d: %w", e.line, err)
+			}
+		}
+	}
+	return g, hasHeader, nil
+}
+
+// isTSVHeader recognizes the metadata header by its exact "congestapsp"
+// token (with or without a space after '#' — hand-authored headers drop
+// it) plus at least one metadata field — a comment that merely mentions
+// the word (or a foreign "congestapspX" token) stays a plain comment
+// rather than hijacking or failing the parse.
+func isTSVHeader(text string) bool {
+	fields := strings.Fields(text)
+	var rest []string
+	switch {
+	case len(fields) >= 2 && fields[0] == "#" && fields[1] == "congestapsp":
+		rest = fields[2:]
+	case len(fields) >= 1 && fields[0] == "#congestapsp":
+		rest = fields[1:]
+	default:
+		return false
+	}
+	for _, f := range rest {
+		if strings.HasPrefix(f, "n=") || strings.HasPrefix(f, "directed=") {
+			return true
+		}
+	}
+	return false
+}
+
+func parseTSVHeader(text string) (n int, directed bool, err error) {
+	n = -1
+	for _, field := range strings.Fields(strings.TrimPrefix(text, "#")) {
+		switch {
+		case field == "congestapsp":
+			// the marker token itself
+		case strings.HasPrefix(field, "n="):
+			n, err = strconv.Atoi(field[2:])
+			if err != nil || n < 0 {
+				return 0, false, fmt.Errorf("bad header field %q", field)
+			}
+			if n > maxVertices {
+				return 0, false, fmt.Errorf("implausible vertex count %d (max %d)", n, maxVertices)
+			}
+		case strings.HasPrefix(field, "directed="):
+			directed, err = strconv.ParseBool(field[len("directed="):])
+			if err != nil {
+				return 0, false, fmt.Errorf("bad header field %q", field)
+			}
+		default:
+			// This package is the header's only writer, so an unknown
+			// key is always a mistake (e.g. a typo'd "direction=") that
+			// would otherwise silently change graph semantics.
+			return 0, false, fmt.Errorf("unknown header field %q", field)
+		}
+	}
+	if n < 0 {
+		return 0, false, fmt.Errorf("header %q missing n=<count>", text)
+	}
+	return n, directed, nil
+}
+
+// writeTSV emits g as a tab-separated edge list preceded by the metadata
+// header, edges in insertion order.
+func writeTSV(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s n=%d directed=%v\n", TSVHeaderPrefix, g.N, g.Directed)
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d\t%d\t%d\n", e.U, e.V, e.W)
+	}
+	return bw.Flush()
+}

@@ -13,7 +13,7 @@ func TestFrameQuotaScaleForcesStages(t *testing.T) {
 	for v := 0; v < g.N; v += 3 {
 		Q = append(Q, v)
 	}
-	delta := makeDelta(g, Q)
+	delta := graph.BlockerDelta(g, Q)
 	run := func(scale float64) *Result {
 		nw, err := congest.NewNetwork(g, 1)
 		if err != nil {
@@ -62,7 +62,7 @@ func TestSingleBlocker(t *testing.T) {
 func TestHigherBandwidth(t *testing.T) {
 	g := graph.RandomConnected(graph.GenConfig{N: 24, Seed: 24, MaxWeight: 9}, 72)
 	Q := []int{1, 8, 15, 22}
-	delta := makeDelta(g, Q)
+	delta := graph.BlockerDelta(g, Q)
 	rounds := func(bw int) int {
 		nw, err := congest.NewNetwork(g, bw)
 		if err != nil {
@@ -92,7 +92,7 @@ func TestPipelineCongestionAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(nw, g, Q, makeDelta(g, Q), Params{Scheduler: RoundRobin, SkipCase1: true, H2: g.N})
+	res, err := Run(nw, g, Q, graph.BlockerDelta(g, Q), Params{Scheduler: RoundRobin, SkipCase1: true, H2: g.N})
 	if err != nil {
 		t.Fatal(err)
 	}

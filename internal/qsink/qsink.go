@@ -53,6 +53,7 @@ const (
 	BroadcastAll
 )
 
+// String names the scheduler as it appears in experiment tables.
 func (s Scheduler) String() string {
 	switch s {
 	case RoundRobin:

@@ -11,27 +11,9 @@ import (
 	"congestapsp/internal/mat"
 )
 
-// makeDelta builds the exact Step-5 input: element (x, ci) = dist(x, Q[ci]).
-func makeDelta(g *graph.Graph, Q []int) *mat.Matrix {
-	n := g.N
-	delta := mat.New(n, len(Q))
-	rev := g
-	if g.Directed {
-		rev = g.Reverse()
-	}
-	for ci, c := range Q {
-		// dist(x, c) in g = dist(c, x) in reverse(g).
-		d := graph.Dijkstra(rev, c)
-		for x := 0; x < n; x++ {
-			delta.Set(x, ci, d[x])
-		}
-	}
-	return delta
-}
-
 func checkExact(t *testing.T, g *graph.Graph, Q []int, res *Result) {
 	t.Helper()
-	delta := makeDelta(g, Q)
+	delta := graph.BlockerDelta(g, Q)
 	for ci := range Q {
 		for x := 0; x < g.N; x++ {
 			want := delta.At(x, ci)
@@ -55,7 +37,7 @@ func run(t *testing.T, g *graph.Graph, Q []int, par Params) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(nw, g, Q, makeDelta(g, Q), par)
+	res, err := Run(nw, g, Q, graph.BlockerDelta(g, Q), par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +132,7 @@ func TestBottleneckLoadBound(t *testing.T) {
 func TestEmptyQ(t *testing.T) {
 	g := graph.Ring(graph.GenConfig{N: 8, Seed: 13, MaxWeight: 5})
 	nw, _ := congest.NewNetwork(g, 1)
-	res, err := Run(nw, g, nil, makeDelta(g, nil), Params{})
+	res, err := Run(nw, g, nil, graph.BlockerDelta(g, nil), Params{})
 	if err != nil {
 		t.Fatal(err)
 	}

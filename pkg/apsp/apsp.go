@@ -92,6 +92,23 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("algorithm(%d)", int(a))
 }
 
+// ParseAlgorithm maps a profile name to its Algorithm. It accepts both
+// the short CLI spellings (det43, det32, rand43, bcast6) and the long
+// String() forms, so flags and recorded artifacts round-trip.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "det43", "deterministic-n43":
+		return Deterministic43, nil
+	case "det32", "deterministic-n32":
+		return Deterministic32, nil
+	case "rand43", "randomized-n43":
+		return Randomized43, nil
+	case "bcast6", "broadcast-step6":
+		return BroadcastStep6, nil
+	}
+	return 0, fmt.Errorf("apsp: unknown algorithm %q (want det43|det32|rand43|bcast6)", name)
+}
+
 // Options configures a run. The zero value selects the paper's algorithm
 // with its default parameters.
 type Options struct {

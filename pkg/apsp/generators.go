@@ -50,3 +50,31 @@ func StarGraph(o GenOptions) *Graph {
 func ZeroWeightGraph(o GenOptions, m int) *Graph {
 	return &Graph{g: graph.ZeroWeightMix(o.cfg(), m)}
 }
+
+// PowerLawGraph generates a Barabási–Albert preferential-attachment graph
+// with `attach` edges per new vertex: a heavy-tailed degree sequence whose
+// hubs stress the bottleneck-elimination machinery on realistic topologies.
+func PowerLawGraph(o GenOptions, attach int) *Graph {
+	return &Graph{g: graph.PowerLaw(o.cfg(), attach)}
+}
+
+// GeometricGraph generates a random geometric graph: points in the unit
+// square joined within `radius`, weights proportional to Euclidean distance
+// (road-like). radius <= 0 selects the connectivity-threshold radius.
+func GeometricGraph(o GenOptions, radius float64) *Graph {
+	return &Graph{g: graph.RandomGeometric(o.cfg(), radius)}
+}
+
+// ExpanderGraph generates the union of `cycles` random Hamiltonian cycles:
+// a sparse low-diameter expander (shallow broadcast trees, small blocker
+// sets).
+func ExpanderGraph(o GenOptions, cycles int) *Graph {
+	return &Graph{g: graph.Expander(o.cfg(), cycles)}
+}
+
+// KTreeGraph generates a k-tree, the maximal graphs of treewidth k: a
+// bounded-separator family that is the structured counterpoint to the
+// expander workload.
+func KTreeGraph(o GenOptions, k int) *Graph {
+	return &Graph{g: graph.KTree(o.cfg(), k)}
+}

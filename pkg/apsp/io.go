@@ -1,0 +1,82 @@
+package apsp
+
+import (
+	"fmt"
+	"io"
+
+	"congestapsp/internal/graphio"
+)
+
+// GraphFormat identifies an on-disk graph serialization format.
+type GraphFormat = graphio.Format
+
+// Supported graph formats. See internal/graphio for the format details.
+const (
+	// FormatDIMACS is the DIMACS shortest-path ".gr" text format
+	// ("p sp n m" header, 1-indexed "a u v w" arcs).
+	FormatDIMACS = graphio.FormatDIMACS
+	// FormatTSV is a whitespace edge list ("u v w" per line, 0-indexed)
+	// with an optional "# congestapsp ..." metadata header.
+	FormatTSV = graphio.FormatTSV
+	// FormatGob is a compact binary snapshot for fast reload.
+	FormatGob = graphio.FormatGob
+)
+
+// DetectGraphFormat maps a file name to its GraphFormat by extension
+// (.gr/.dimacs, .tsv/.txt/.el/.edges, .gob/.snap).
+func DetectGraphFormat(path string) (GraphFormat, error) {
+	return graphio.DetectFormat(path)
+}
+
+// LoadGraph reads a graph from path, inferring the format from the file
+// extension (.gr/.dimacs, .tsv/.txt/.el/.edges, .gob/.snap). Files written
+// by SaveGraph round-trip exactly: vertex count, directedness, edge order
+// and weights are all preserved.
+func LoadGraph(path string) (*Graph, error) {
+	g, err := graphio.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// SaveGraph writes g to path, inferring the format from the file extension.
+func SaveGraph(path string, g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("apsp: SaveGraph: nil graph")
+	}
+	return graphio.Save(path, g.g)
+}
+
+// ReadGraph parses a graph from r in the given format.
+func ReadGraph(r io.Reader, f GraphFormat) (*Graph, error) {
+	g, err := graphio.Read(r, f)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// GraphFileMeta reports how a graph file described itself; see
+// ReadGraphWithMeta.
+type GraphFileMeta = graphio.Meta
+
+// ReadGraphWithMeta is ReadGraph plus provenance: Meta.SelfDescribed
+// reports whether the stream declared its own directedness (DIMACS and
+// gob always do, TSV only with the metadata header), letting callers
+// decide whether a headerless default may be reinterpreted.
+func ReadGraphWithMeta(r io.Reader, f GraphFormat) (*Graph, GraphFileMeta, error) {
+	g, meta, err := graphio.ReadWithMeta(r, f)
+	if err != nil {
+		return nil, meta, err
+	}
+	return &Graph{g: g}, meta, nil
+}
+
+// WriteGraph serializes g to w in the given format.
+func WriteGraph(w io.Writer, g *Graph, f GraphFormat) error {
+	if g == nil {
+		return fmt.Errorf("apsp: WriteGraph: nil graph")
+	}
+	return graphio.Write(w, g.g, f)
+}

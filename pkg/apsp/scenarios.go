@@ -1,0 +1,167 @@
+package apsp
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// A Scenario is one named, reproducible workload: a generator family
+// instantiated at a size and seed. Its Name — e.g. "powerlaw-n512-s7" — is
+// the stable identifier used by cmd/experiment, benchmark artifacts, and
+// issue reports, so a number in EXPERIMENTS.json can always be regenerated
+// bit-identically from its scenario name alone.
+type Scenario struct {
+	// Family is a registered generator family (see Families).
+	Family string
+	// N is the requested vertex count. Shape-constrained families (grid,
+	// layered) round it to the nearest feasible shape; Build's result is
+	// authoritative.
+	N int
+	// Seed drives the family's deterministic generator.
+	Seed int64
+}
+
+// scenarioMaxWeight is the corpus-wide weight cap: every scenario draws
+// integer weights in [0/1, 50] so round counts are comparable across
+// families.
+const scenarioMaxWeight = 50
+
+// familySpec describes one registered generator family.
+type familySpec struct {
+	desc  string
+	build func(o GenOptions) *Graph
+}
+
+// families is the scenario registry. All corpus graphs are undirected
+// (the CONGEST communication topology) with weights in [0/1, 50].
+var families = map[string]familySpec{
+	"random": {
+		desc:  "connected uniform random graph, m = 4n",
+		build: func(o GenOptions) *Graph { return RandomGraph(o, 4*o.N) },
+	},
+	"ring": {
+		desc:  "weighted cycle (diameter n/2, hop-bound stress)",
+		build: func(o GenOptions) *Graph { return RingGraph(o) },
+	},
+	"grid": {
+		desc:  "near-square grid (road-style mesh; n rounded to rows*cols)",
+		build: func(o GenOptions) *Graph { r, c := gridShape(o.N); return GridGraph(r, c, o) },
+	},
+	"layered": {
+		desc:  "deep layered graph, width 8 (max full-length h-hop paths)",
+		build: func(o GenOptions) *Graph { l, w := layeredShape(o.N); return LayeredGraph(l, w, o) },
+	},
+	"star": {
+		desc:  "hub-and-spoke (max relay congestion)",
+		build: func(o GenOptions) *Graph { return StarGraph(o) },
+	},
+	"zeromix": {
+		desc:  "random graph with ~half zero-weight edges, m = 4n",
+		build: func(o GenOptions) *Graph { return ZeroWeightGraph(o, 4*o.N) },
+	},
+	"powerlaw": {
+		desc:  "Barabási–Albert preferential attachment, 3 edges/vertex",
+		build: func(o GenOptions) *Graph { return PowerLawGraph(o, 3) },
+	},
+	"geometric": {
+		desc:  "random geometric graph at the connectivity-threshold radius (road-like)",
+		build: func(o GenOptions) *Graph { return GeometricGraph(o, 0) },
+	},
+	"expander": {
+		desc:  "union of 3 random Hamiltonian cycles (6-regular expander)",
+		build: func(o GenOptions) *Graph { return ExpanderGraph(o, 3) },
+	},
+	"ktree": {
+		desc:  "4-tree (treewidth 4, bounded separators)",
+		build: func(o GenOptions) *Graph { return KTreeGraph(o, 4) },
+	},
+}
+
+// gridShape rounds n to the nearest rows x cols factorization with rows =
+// floor(sqrt(n)).
+func gridShape(n int) (rows, cols int) {
+	rows = int(math.Sqrt(float64(n)))
+	if rows < 2 {
+		rows = 2
+	}
+	cols = (n + rows - 1) / rows
+	if cols < 2 {
+		cols = 2
+	}
+	return rows, cols
+}
+
+// layeredShape rounds n to layers x width with width 8 (or smaller for
+// tiny n).
+func layeredShape(n int) (layers, width int) {
+	width = 8
+	for width > 2 && n/width < 2 {
+		width /= 2
+	}
+	layers = n / width
+	if layers < 2 {
+		layers = 2
+	}
+	return layers, width
+}
+
+// Families returns the registered scenario family names, sorted.
+func Families() []string {
+	out := make([]string, 0, len(families))
+	for name := range families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FamilyDescription returns a one-line description of a registered family
+// ("" for unknown families).
+func FamilyDescription(family string) string {
+	return families[family].desc
+}
+
+// Name returns the scenario's stable identifier, "<family>-n<N>-s<Seed>".
+func (s Scenario) Name() string {
+	return fmt.Sprintf("%s-n%d-s%d", s.Family, s.N, s.Seed)
+}
+
+var scenarioNameRE = regexp.MustCompile(`^([a-z][a-z0-9]*)-n([0-9]+)-s(-?[0-9]+)$`)
+
+// ParseScenario parses a scenario name produced by Scenario.Name. The
+// family must be registered.
+func ParseScenario(name string) (Scenario, error) {
+	m := scenarioNameRE.FindStringSubmatch(name)
+	if m == nil {
+		return Scenario{}, fmt.Errorf("apsp: scenario name %q does not match <family>-n<N>-s<seed>", name)
+	}
+	if _, ok := families[m[1]]; !ok {
+		return Scenario{}, fmt.Errorf("apsp: unknown scenario family %q (have %v)", m[1], Families())
+	}
+	n, err := strconv.Atoi(m[2])
+	if err != nil || n < 2 {
+		return Scenario{}, fmt.Errorf("apsp: bad scenario size in %q", name)
+	}
+	seed, err := strconv.ParseInt(m[3], 10, 64)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("apsp: bad scenario seed in %q", name)
+	}
+	return Scenario{Family: m[1], N: n, Seed: seed}, nil
+}
+
+// Build generates the scenario's graph. Identical scenarios build
+// identical graphs (same vertex count, edge order, and weights) on every
+// host and Go version that shares math/rand's generator.
+func (s Scenario) Build() (*Graph, error) {
+	spec, ok := families[s.Family]
+	if !ok {
+		return nil, fmt.Errorf("apsp: unknown scenario family %q (have %v)", s.Family, Families())
+	}
+	if s.N < 2 {
+		return nil, fmt.Errorf("apsp: scenario %s: need n >= 2", s.Name())
+	}
+	return spec.build(GenOptions{N: s.N, Seed: s.Seed, MaxWeight: scenarioMaxWeight}), nil
+}

@@ -5,6 +5,9 @@
 #   BENCH_engine.json  engine-critical microbenchmarks (ns/op, allocs/op)
 #   BENCH_apsp.json    full-pipeline apsp.Run wall-clock + allocs at
 #                      n in {128, 256, 512}, sequential vs source-sharded
+#   EXPERIMENTS.json   the scenario-corpus sweep (cmd/experiment): every
+#                      registered family x all 4 algorithm profiles x
+#                      seq/sharded at n in {64, 128}, oracle-checked
 #
 # Run from the repo root:
 #
@@ -61,3 +64,7 @@ emit_json engine "$BENCHTIME" "$RAW" BENCH_engine.json
 go test -run '^$' -bench 'BenchmarkAPSPPipeline' -benchtime=1x -timeout 60m . | tee "$RAW"
 
 emit_json apsp 1x "$RAW" BENCH_apsp.json
+
+go run ./cmd/experiment \
+  -scenarios random,ring,grid,layered,star,zeromix,powerlaw,geometric,expander,ktree \
+  -sizes 64,128 -check -json EXPERIMENTS.json -q
