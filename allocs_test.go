@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"testing"
+
+	"congestapsp/internal/bford"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/graph"
+	"congestapsp/internal/qsink"
+	"congestapsp/internal/unweighted"
+	"congestapsp/pkg/apsp"
+)
+
+// Steady-state allocation budgets (DESIGN.md §7). The pooled scratch
+// subsystem promises that repeated protocol runs on a warm Network reuse
+// their footprint; these tests pin that promise with testing.AllocsPerRun
+// so an accidental make() in a protocol hot path fails loudly instead of
+// showing up as a 100x allocs/op regression two benches later.
+//
+// AllocsPerRun performs one warm-up call before measuring, which is
+// exactly the pooling contract: the first run on a fresh Network grows the
+// arenas, every later run reuses them.
+
+// TestBfordWarmNetworkAllocs: a warm-network h-hop SSSP re-run is
+// allocation-free — result vectors, per-arc labels and both protocol
+// objects are pooled, and the relaxation CSR is cached per (graph, mode).
+func TestBfordWarmNetworkAllocs(t *testing.T) {
+	g := benchGraph(64)
+	nw, err := congest.NewNetwork(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hopParam(64)
+	for name, run := range map[string]func() error{
+		"Run": func() error {
+			_, err := bford.Run(nw, g, 3, h, bford.Out)
+			return err
+		},
+		"RunLabels-in": func() error {
+			_, err := bford.RunLabels(nw, g, 5, h, bford.In)
+			return err
+		},
+	} {
+		if err := run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(5, func() {
+			if err := run(); err != nil {
+				t.Fatal(err)
+			}
+		}); got > 0 {
+			t.Errorf("%s: %v allocs per warm re-run, want 0", name, got)
+		}
+	}
+}
+
+// TestUnweightedWarmNetworkAllocs: the pipelined-BFS APSP re-run on a warm
+// Network stays within a tiny constant budget (the forward-neighbor
+// callback closures; every vector, queue and the distance matrix are
+// pooled).
+func TestUnweightedWarmNetworkAllocs(t *testing.T) {
+	g := benchGraph(48)
+	nw, err := congest.NewNetwork(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := unweighted.Run(nw, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	const budget = 8
+	if got := testing.AllocsPerRun(3, run); got > budget {
+		t.Errorf("unweighted.Run: %v allocs per warm re-run, budget %d", got, budget)
+	}
+}
+
+// TestQSinkWarmNetworkAllocs: a warm-network q-sink re-run allocates O(1)
+// with respect to the message volume. It cannot be literally zero — each
+// run hands the caller a freshly built CSSSP collection and a result
+// matrix — but the former O(n*|Q|) queue/spine churn is pooled, so the
+// budget is a small constant independent of how many values the pipeline
+// moves.
+func TestQSinkWarmNetworkAllocs(t *testing.T) {
+	n := 48
+	g := benchGraph(n)
+	var Q []int
+	for v := 0; v < n; v += 3 {
+		Q = append(Q, v)
+	}
+	delta := graph.BlockerDelta(g, Q)
+	nw, err := congest.NewNetwork(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := qsink.Run(nw, g, Q, delta, qsink.Params{Scheduler: qsink.RoundRobin}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	const budget = 256
+	if got := testing.AllocsPerRun(3, run); got > budget {
+		t.Errorf("qsink.Run: %v allocs per warm re-run, budget %d", got, budget)
+	}
+}
+
+// TestPipelineAllocsCeiling guards the end-to-end allocs/op of the full
+// APSP pipeline at n=128 (the BenchmarkAPSPPipeline configuration CI
+// smokes). The pre-arena pipeline spent ~499k allocs here; the pooled
+// steady state is ~7k, and the ceiling leaves room for noise while still
+// failing loudly if a protocol layer regresses to per-run allocation.
+func TestPipelineAllocsCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full n=128 pipeline run")
+	}
+	g := apsp.RandomGraph(apsp.GenOptions{N: 128, Directed: true, Seed: 128, MaxWeight: 50}, 4*128)
+	run := func() {
+		if _, err := apsp.Run(g, apsp.Options{SkipLastHops: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const ceiling = 50000
+	if got := testing.AllocsPerRun(1, run); got > ceiling {
+		t.Errorf("apsp.Run n=128: %v allocs/op, ceiling %d", got, ceiling)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"congestapsp/internal/core"
 	"congestapsp/internal/csssp"
 	"congestapsp/internal/graph"
+	"congestapsp/internal/profiling"
 	"congestapsp/internal/qsink"
 	"congestapsp/internal/unweighted"
 )
@@ -35,7 +36,19 @@ func main() {
 	seeds := flag.Int("seeds", 2, "seeds per configuration (results averaged)")
 	verify := flag.Bool("verify", true, "cross-check distances against Floyd-Warshall")
 	parallel := flag.Bool("parallel", false, "run the simulator's sharded step/delivery phases (bit-identical results)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"congestapsp/internal/graph"
+	"congestapsp/internal/profiling"
 	"congestapsp/pkg/apsp"
 )
 
@@ -50,8 +51,15 @@ func main() {
 		jsonPath       = flag.String("json", "EXPERIMENTS.json", "JSON output path (empty to skip)")
 		csvPath        = flag.String("csv", "", "CSV output path (empty to skip)")
 		quiet          = flag.Bool("q", false, "suppress per-cell progress on stderr")
+		cpuProfile     = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProfile     = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	scenarios, err := expandScenarios(*scenariosFlag, *sizesFlag, *seedsFlag)
 	if err != nil {
@@ -114,6 +122,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d rows)\n", *csvPath, len(rows))
+	}
+	if err := stopProfiles(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -31,10 +31,10 @@ func main() {
 	}
 	fmt.Printf("%-32s %6s %10s %10s %10s\n", "construction", "|Q|", "rounds", "selections", "goodsets")
 	for _, m := range modes {
-		// parallel=true: the underlying per-source SSSPs are source-sharded
+		// Parallel: the underlying per-source SSSPs are source-sharded
 		// across a worker pool; sizes and round counts are bit-identical to
 		// a sequential run.
-		q, stats, err := apsp.BlockerSet(g, h, m.mode, 42, true)
+		q, stats, err := apsp.BlockerSet(g, apsp.BlockerOptions{HopParam: h, Mode: m.mode, Seed: 42, Parallel: true})
 		if err != nil {
 			log.Fatalf("%s: %v", m.name, err)
 		}

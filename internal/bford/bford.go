@@ -223,13 +223,54 @@ func getRelAdj(g *graph.Graph, mode Mode) *relAdj {
 	return ra
 }
 
+// stateKey keys the pooled per-network run state in the network's scratch
+// registry.
+type stateKey struct{}
+
+// runState is the reusable per-network state of runBF: the Result whose
+// vectors every run refills, the per-arc confirmation-wave labels, and the
+// two protocol objects. Pooling it takes a warm-network SSSP re-run to zero
+// allocations — the pipeline executes thousands of them per Network.
+type runState struct {
+	res       Result
+	confirmed []bool     // pooled Confirmed backing (nil in label-only runs)
+	nbrLabel  [][2]int64 // per-arc neighbor labels, aligned with ra.relNbr
+	haveLabel []bool
+	main      mainProto
+	wave      waveProto
+}
+
+func (rs *runState) ensure(n, arcs int) {
+	if len(rs.res.Dist) < n {
+		rs.res.Dist = make([]int64, n)
+		rs.res.Hops = make([]int, n)
+		rs.res.Parent = make([]int, n)
+		rs.confirmed = make([]bool, n)
+	}
+	rs.res.Dist = rs.res.Dist[:n]
+	rs.res.Hops = rs.res.Hops[:n]
+	rs.res.Parent = rs.res.Parent[:n]
+	rs.confirmed = rs.confirmed[:n]
+	if len(rs.nbrLabel) < arcs {
+		rs.nbrLabel = make([][2]int64, arcs)
+		rs.haveLabel = make([]bool, arcs)
+	}
+	rs.nbrLabel = rs.nbrLabel[:arcs]
+	rs.haveLabel = rs.haveLabel[:arcs]
+}
+
 // Run computes the h-hop SSSP rooted at root, consuming exactly hops rounds
 // on nw (the fixed schedule of Lemma A.4).
+//
+// The returned Result aliases per-network pooled storage: it is valid until
+// the next bford run on the same Network (or worker clone). Callers that
+// need the vectors longer copy them out, which every consumer in this
+// repository already does. Run also resets nw's scratch arena, so it must
+// not be called while slab checkouts from the same arena are still live;
+// the *WithInit variants leave the arena alone for exactly that reason.
 func Run(nw *congest.Network, g *graph.Graph, root, hops int, mode Mode) (*Result, error) {
-	init := make([]int64, g.N)
-	for i := range init {
-		init[i] = graph.Inf
-	}
+	nw.Scratch().Reset()
+	init := nw.Scratch().Int64sFilled(g.N, graph.Inf)
 	init[root] = 0
 	res, err := RunWithInit(nw, g, init, hops, mode)
 	if err != nil {
@@ -243,12 +284,11 @@ func Run(nw *congest.Network, g *graph.Graph, root, hops int, mode Mode) (*Resul
 // labels are guaranteed (Parent pointers may be stale near the hop
 // horizon, Confirmed is nil). Steps that consume distances but not tree
 // structure (the per-blocker in-SSSPs of Step 3, the extension SSSPs of
-// Step 7) use this cheaper schedule: hops+1 rounds.
+// Step 7) use this cheaper schedule: hops+1 rounds. The result lifetime
+// and scratch-reset behavior match Run.
 func RunLabels(nw *congest.Network, g *graph.Graph, root, hops int, mode Mode) (*Result, error) {
-	init := make([]int64, g.N)
-	for i := range init {
-		init[i] = graph.Inf
-	}
+	nw.Scratch().Reset()
+	init := nw.Scratch().Int64sFilled(g.N, graph.Inf)
 	init[root] = 0
 	res, err := RunLabelsWithInit(nw, g, init, hops, mode)
 	if err != nil {
@@ -263,6 +303,10 @@ func RunLabels(nw *congest.Network, g *graph.Graph, root, hops int, mode Mode) (
 // This is exactly the "extended h-hop shortest paths" primitive of Step 7
 // (Section 5): blocker nodes are seeded with delta(x, c) and Bellman-Ford
 // runs for the given number of hops. Root is -1 in the result.
+//
+// init may be backed by nw's scratch arena (the arena is not reset here),
+// and the returned Result aliases pooled per-network storage valid until
+// the next bford run on the same Network.
 func RunWithInit(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mode) (*Result, error) {
 	return runBF(nw, g, init, hops, mode, true)
 }
@@ -279,13 +323,12 @@ func runBF(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mod
 	}
 	ra := getRelAdj(g, mode)
 	n := g.N
-	res := &Result{
-		Root:   -1,
-		Mode:   mode,
-		Dist:   make([]int64, n),
-		Hops:   make([]int, n),
-		Parent: make([]int, n),
-	}
+	rs := congest.ScratchState(nw.Scratch(), stateKey{}, func() *runState { return new(runState) })
+	rs.ensure(n, len(ra.relNbr))
+	res := &rs.res
+	res.Root = -1
+	res.Mode = mode
+	res.Confirmed = nil
 	for v := 0; v < n; v++ {
 		res.Dist[v] = init[v]
 		res.Parent[v] = -1
@@ -296,37 +339,10 @@ func runBF(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mod
 		}
 	}
 
-	const kindLabel uint8 = 7
-	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
-		// Relax labels received this round (sent by neighbors last round),
-		// then forward our label in the same round if it improved, so each
-		// hop costs one round. Relaxation is order-independent; parent
-		// tie-breaks are resolved explicitly by (dist, hops, id).
-		improved := round == 0 && res.Hops[v] == 0 // seeds announce at round 0
-		for _, m := range in {
-			if m.Kind != kindLabel {
-				continue
-			}
-			w := ra.weight(v, m.From)
-			if w < 0 {
-				continue // label from a neighbor with no relaxation arc to v
-			}
-			nd, nh := m.A+w, int(m.B)+1
-			if better(nd, nh, m.From, res.Dist[v], res.Hops[v], res.Parent[v]) {
-				res.Dist[v], res.Hops[v], res.Parent[v] = nd, nh, m.From
-				improved = true
-			}
-		}
-		if improved && round < hops {
-			for _, u := range ra.notify(v) {
-				send(congest.Message{To: int(u), Kind: kindLabel, A: res.Dist[v], B: int64(res.Hops[v])})
-			}
-		}
-		return round >= hops
-	})
+	rs.main = mainProto{res: res, ra: ra, hops: hops}
 	// The schedule takes hops+1 rounds: seeds send at round 0, labels at hop
 	// distance r settle at round r, and the final round only receives.
-	if err := nw.RunFor(p, hops+1); err != nil {
+	if err := nw.RunFor(&rs.main, hops+1); err != nil {
 		return nil, fmt.Errorf("bford: %s-SSSP: %w", mode, err)
 	}
 	if !confirm {
@@ -347,64 +363,14 @@ func runBF(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mod
 	// is the containment property CSSSP needs; hop-limited fringe labels
 	// that no longer compose are left out of the tree (their Dist values
 	// remain valid hop-bounded distances).
-	const (
-		kindFinal   uint8 = 8
-		kindConfirm uint8 = 9
-	)
-	res.Confirmed = make([]bool, n)
+	res.Confirmed = rs.confirmed
+	clear(res.Confirmed)
 	// Neighbor labels are stored per relaxation arc in a flat arena aligned
 	// with ra.relNbr (the sender of a kindFinal/kindConfirm message always
 	// has an arc into the receiver: that is exactly who notify() reaches).
-	nbrLabel := make([][2]int64, len(ra.relNbr))
-	haveLabel := make([]bool, len(ra.relNbr))
-	wave := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
-		for _, m := range in {
-			switch m.Kind {
-			case kindFinal:
-				if ai := ra.arcIndex(v, m.From); ai >= 0 {
-					nbrLabel[ai] = [2]int64{m.A, m.B}
-					haveLabel[ai] = true
-				}
-			case kindConfirm:
-				if res.Hops[v] == round-1 {
-					ai := ra.arcIndex(v, m.From)
-					if ai < 0 || !haveLabel[ai] {
-						continue
-					}
-					lbl, w := nbrLabel[ai], ra.relW[ai]
-					if lbl[0]+w == res.Dist[v] && int(lbl[1])+1 == res.Hops[v] {
-						if !res.Confirmed[v] || m.From < res.Parent[v] {
-							res.Confirmed[v] = true
-							res.Parent[v] = m.From
-						}
-					}
-				}
-			}
-		}
-		// Messages within one round arrive together, so re-scan for the
-		// smallest-id confirming sender (the loop above may have set a
-		// larger id first); handled by the m.From < Parent check.
-		switch {
-		case round == 0:
-			if res.Hops[v] >= 0 {
-				for _, u := range ra.notify(v) {
-					send(congest.Message{To: int(u), Kind: kindFinal, A: res.Dist[v], B: int64(res.Hops[v])})
-				}
-			}
-		case round == 1 && res.Hops[v] == 0:
-			res.Confirmed[v] = true
-			res.Parent[v] = -1
-			for _, u := range ra.notify(v) {
-				send(congest.Message{To: int(u), Kind: kindConfirm})
-			}
-		case round >= 2 && res.Confirmed[v] && res.Hops[v] == round-1:
-			for _, u := range ra.notify(v) {
-				send(congest.Message{To: int(u), Kind: kindConfirm})
-			}
-		}
-		return round >= hops+1
-	})
-	if err := nw.RunFor(wave, hops+2); err != nil {
+	clear(rs.haveLabel)
+	rs.wave = waveProto{rs: rs, ra: ra, hops: hops}
+	if err := nw.RunFor(&rs.wave, hops+2); err != nil {
 		return nil, fmt.Errorf("bford: %s-SSSP confirmation wave: %w", mode, err)
 	}
 	for v := 0; v < n; v++ {
@@ -413,6 +379,108 @@ func runBF(nw *congest.Network, g *graph.Graph, init []int64, hops int, mode Mod
 		}
 	}
 	return res, nil
+}
+
+const (
+	kindLabel   uint8 = 7
+	kindFinal   uint8 = 8
+	kindConfirm uint8 = 9
+)
+
+// mainProto is the relaxation schedule of runBF as a reusable protocol
+// object (one per pooled runState, so repeated runs allocate nothing).
+type mainProto struct {
+	res  *Result
+	ra   *relAdj
+	hops int
+}
+
+// Step implements congest.Proto: relax labels received this round (sent by
+// neighbors last round), then forward our label in the same round if it
+// improved, so each hop costs one round. Relaxation is order-independent;
+// parent tie-breaks are resolved explicitly by (dist, hops, id).
+func (p *mainProto) Step(v, round int, in []congest.Message, send func(congest.Message)) bool {
+	res, ra := p.res, p.ra
+	improved := round == 0 && res.Hops[v] == 0 // seeds announce at round 0
+	for _, m := range in {
+		if m.Kind != kindLabel {
+			continue
+		}
+		w := ra.weight(v, m.From)
+		if w < 0 {
+			continue // label from a neighbor with no relaxation arc to v
+		}
+		nd, nh := m.A+w, int(m.B)+1
+		if better(nd, nh, m.From, res.Dist[v], res.Hops[v], res.Parent[v]) {
+			res.Dist[v], res.Hops[v], res.Parent[v] = nd, nh, m.From
+			improved = true
+		}
+	}
+	if improved && round < p.hops {
+		for _, u := range ra.notify(v) {
+			send(congest.Message{To: int(u), Kind: kindLabel, A: res.Dist[v], B: int64(res.Hops[v])})
+		}
+	}
+	return round >= p.hops
+}
+
+// waveProto is the tree-confirmation wave of runBF (see the comment in
+// runBF for the protocol's correctness argument).
+type waveProto struct {
+	rs   *runState
+	ra   *relAdj
+	hops int
+}
+
+// Step implements congest.Proto.
+func (p *waveProto) Step(v, round int, in []congest.Message, send func(congest.Message)) bool {
+	rs, ra := p.rs, p.ra
+	res := &rs.res
+	for _, m := range in {
+		switch m.Kind {
+		case kindFinal:
+			if ai := ra.arcIndex(v, m.From); ai >= 0 {
+				rs.nbrLabel[ai] = [2]int64{m.A, m.B}
+				rs.haveLabel[ai] = true
+			}
+		case kindConfirm:
+			if res.Hops[v] == round-1 {
+				ai := ra.arcIndex(v, m.From)
+				if ai < 0 || !rs.haveLabel[ai] {
+					continue
+				}
+				lbl, w := rs.nbrLabel[ai], ra.relW[ai]
+				if lbl[0]+w == res.Dist[v] && int(lbl[1])+1 == res.Hops[v] {
+					if !res.Confirmed[v] || m.From < res.Parent[v] {
+						res.Confirmed[v] = true
+						res.Parent[v] = m.From
+					}
+				}
+			}
+		}
+	}
+	// Messages within one round arrive together, so re-scan for the
+	// smallest-id confirming sender (the loop above may have set a
+	// larger id first); handled by the m.From < Parent check.
+	switch {
+	case round == 0:
+		if res.Hops[v] >= 0 {
+			for _, u := range ra.notify(v) {
+				send(congest.Message{To: int(u), Kind: kindFinal, A: res.Dist[v], B: int64(res.Hops[v])})
+			}
+		}
+	case round == 1 && res.Hops[v] == 0:
+		res.Confirmed[v] = true
+		res.Parent[v] = -1
+		for _, u := range ra.notify(v) {
+			send(congest.Message{To: int(u), Kind: kindConfirm})
+		}
+	case round >= 2 && res.Confirmed[v] && res.Hops[v] == round-1:
+		for _, u := range ra.notify(v) {
+			send(congest.Message{To: int(u), Kind: kindConfirm})
+		}
+	}
+	return round >= p.hops+1
 }
 
 // better reports whether label (d1,h1) with parent p1 beats (d2,h2,p2)

@@ -118,6 +118,13 @@ func Compute(nw *congest.Network, coll *csssp.Collection, par Params) (*Result, 
 	}
 }
 
+// stateKey keys the pooled set-cover state in the network's scratch
+// registry: the selection loop runs per-tree protocol fleets and per-step
+// broadcasts hundreds of times, so its working vectors — V_i indicators,
+// upcast count matrices, per-leaf betas, broadcast item arenas — are pooled
+// on the Network and resized (never reallocated) per Compute call.
+type stateKey struct{}
+
 // state carries the shared knowledge of the set-cover algorithm. Fields
 // marked "global knowledge" are values that every node holds identical
 // copies of after the corresponding broadcast; keeping one copy is the
@@ -129,7 +136,12 @@ type state struct {
 	n, h int
 	tree *broadcast.Tree // BFS tree rooted at the leader (node 0)
 
-	anc [][][]int32 // anc[i][v]: proper ancestors of v in tree i, root excluded
+	// Ancestor CSR per tree (Step 1 of Algorithm 7): ancIds[i][ancOff[i][v]
+	// : ancOff[i][v+1]] lists the proper ancestors of v in tree i, root
+	// excluded, nearest-first. Removals only delete whole paths, so the
+	// lists stay valid throughout one Compute.
+	ancOff [][]int32
+	ancIds [][]int32
 
 	score    []int64 // global knowledge after broadcastScores
 	inVi     []bool  // current V_i (derived locally from score)
@@ -138,15 +150,101 @@ type state struct {
 	inQ      []bool
 	q        []int
 	stats    Stats
+
+	// Pooled work buffers (see ensure/reinit).
+	leafBetaBuf []int64            // flat backing of leafBeta
+	counts      []int64            // trees x n upcast results (one shared matrix)
+	countUsed   []bool             // per-tree: counts row was filled this pass
+	pijLeafBuf  []bool             // flat backing of pijLeaf
+	pijLeaf     [][]bool           // row views, rebuilt per ensure
+	scoreij     []int64            // per-step coverage scores
+	inZ         []bool             // commit scratch
+	items       [][]broadcast.Item // per-node broadcast item spine
+	itemBuf     []broadcast.Item   // flat arena carved into items
+	nuBuf       []int64            // 2 x n x m good-set aggregation backing
+	nuPi, nuPij [][]int64          // row views into nuBuf
+	members     []int              // selected good-set members
+}
+
+// reinit points the pooled state at a new (collection, params) pair and
+// sizes every buffer, clearing the ones whose previous contents could leak
+// into this run.
+func (st *state) reinit(nw *congest.Network, coll *csssp.Collection, par Params) {
+	st.nw, st.coll, st.par = nw, coll, par
+	st.n, st.h = nw.N(), coll.H
+	st.tree = nil
+	st.stats = Stats{}
+	n, trees := st.n, coll.NumTrees()
+
+	st.score = congest.Grow(st.score, n)
+	st.inVi = congest.Grow(st.inVi, n)
+	st.inQ = congest.Grow(st.inQ, n)
+	st.scoreij = congest.Grow(st.scoreij, n)
+	st.inZ = congest.Grow(st.inZ, n)
+	st.q = st.q[:0]
+
+	st.counts = congest.Grow(st.counts, trees*n)
+	st.countUsed = congest.Grow(st.countUsed, trees)
+	st.leafBetaBuf = congest.Grow(st.leafBetaBuf, trees*n)
+	st.pijLeafBuf = congest.Grow(st.pijLeafBuf, trees*n)
+	if cap(st.leafBeta) < trees {
+		st.leafBeta = make([][]int64, trees)
+		st.pijLeaf = make([][]bool, trees)
+	}
+	st.leafBeta = st.leafBeta[:trees]
+	st.pijLeaf = st.pijLeaf[:trees]
+	for i := 0; i < trees; i++ {
+		st.leafBeta[i] = st.leafBetaBuf[i*n : (i+1)*n : (i+1)*n]
+		st.pijLeaf[i] = st.pijLeafBuf[i*n : (i+1)*n : (i+1)*n]
+	}
+	if cap(st.ancOff) < trees {
+		st.ancOff = make([][]int32, trees)
+		st.ancIds = make([][]int32, trees)
+	}
+	st.ancOff = st.ancOff[:trees]
+	st.ancIds = st.ancIds[:trees]
+	if cap(st.items) < n {
+		st.items = make([][]broadcast.Item, n)
+	}
+	st.items = st.items[:n]
+}
+
+// countsRow returns row i of the pooled trees x n upcast matrix.
+func (st *state) countsRow(i int) []int64 {
+	return st.counts[i*st.n : (i+1)*st.n : (i+1)*st.n]
+}
+
+// ancRow returns the proper ancestors of v in tree i (root excluded,
+// nearest-first).
+func (st *state) ancRow(i, v int) []int32 {
+	off := st.ancOff[i]
+	return st.ancIds[i][off[v]:off[v+1]]
+}
+
+// singleItems populates the pooled per-node item lists with at most one
+// item per node: fill returns the item for v and whether v contributes.
+// The returned spine is valid until the next items-buffer use.
+func (st *state) singleItems(fill func(v int) (broadcast.Item, bool)) [][]broadcast.Item {
+	n := st.n
+	if cap(st.itemBuf) < n {
+		st.itemBuf = make([]broadcast.Item, n)
+	}
+	buf := st.itemBuf[:n]
+	for v := 0; v < n; v++ {
+		if it, ok := fill(v); ok {
+			buf[v] = it
+			st.items[v] = buf[v : v+1 : v+1]
+		} else {
+			st.items[v] = nil
+		}
+	}
+	return st.items
 }
 
 func computeSetCover(nw *congest.Network, coll *csssp.Collection, par Params) (*Result, error) {
-	n := nw.N()
-	st := &state{
-		nw: nw, coll: coll, par: par,
-		n: n, h: coll.H,
-		inQ: make([]bool, n),
-	}
+	st := congest.ScratchState(nw.Scratch(), stateKey{}, func() *state { return new(state) })
+	st.reinit(nw, coll, par)
+	n := st.n
 	maxSteps := par.MaxSelectionSteps
 	if maxSteps == 0 {
 		maxSteps = 16*n + 1024
@@ -162,14 +260,13 @@ func computeSetCover(nw *congest.Network, coll *csssp.Collection, par Params) (*
 	// tree paths (pipelined Ancestors of [2]; O(|S|*h) rounds). Removals
 	// only delete whole paths, so the lists stay valid throughout. The
 	// per-tree protocols are independent and source-shard across worker
-	// clones (each index owns st.anc[i]).
-	st.anc = make([][][]int32, coll.NumTrees())
+	// clones (each index owns st.ancOff[i]/ancIds[i]).
 	err = nw.ShardRuns(coll.NumTrees(), func(w *congest.Network, i int) error {
-		a, err := collectAncestors(w, coll, i)
+		off, ids, err := collectAncestors(w, coll, i)
 		if err != nil {
 			return err
 		}
-		st.anc[i] = a
+		st.ancOff[i], st.ancIds[i] = off, ids
 		return nil
 	})
 	if err != nil {
@@ -234,7 +331,8 @@ func computeSetCover(nw *congest.Network, coll *csssp.Collection, par Params) (*
 				}
 				var chosen []int
 				if best >= 0 && float64(bestVal) > thr {
-					chosen = []int{best} // Step 10
+					st.members = append(st.members[:0], best) // Step 10
+					chosen = st.members
 					st.stats.SingleSelections++
 				} else {
 					chosen, err = st.selectGoodSet(i, j, stageHi, pijLeaf, pijSize, scoreij, best)
@@ -256,18 +354,25 @@ func computeSetCover(nw *congest.Network, coll *csssp.Collection, par Params) (*
 	}
 	st.stats.Rounds = nw.Stats.Rounds - roundsBefore
 	sort.Ints(st.q)
-	return &Result{Q: st.q, InQ: st.inQ, Stats: st.stats}, nil
+	// Copy the set out of the pooled state: the caller retains Q/InQ for
+	// the rest of the pipeline while this state gets reused.
+	return &Result{
+		Q:     append([]int(nil), st.q...),
+		InQ:   append([]bool(nil), st.inQ...),
+		Stats: st.stats,
+	}, nil
 }
 
 // rebuildVi recomputes V_i = {v : score(v) >= lo} locally (scores are
 // global knowledge). It reports whether V_i is nonempty.
 func (st *state) rebuildVi(lo float64) bool {
-	st.inVi = make([]bool, st.n)
 	st.viSize = 0
 	for v := 0; v < st.n; v++ {
 		if float64(st.score[v]) >= lo {
 			st.inVi[v] = true
 			st.viSize++
+		} else {
+			st.inVi[v] = false
 		}
 	}
 	return st.viSize > 0
@@ -276,49 +381,42 @@ func (st *state) rebuildVi(lo float64) bool {
 // recomputeScores runs the per-tree subtree-count upcasts ([2]'s score
 // algorithm; O(|S|*h) rounds) and broadcasts all scores (O(n)). The
 // upcasts are independent per-tree protocols: they source-shard across
-// worker clones, each writing only its tree's count vector, and the score
-// accumulation happens afterwards in tree order (int64 sums are exact, so
-// the result is bit-identical to the sequential loop).
+// worker clones, each writing only its tree's row of the pooled count
+// matrix, and the score accumulation happens afterwards in tree order
+// (int64 sums are exact, so the result is bit-identical to the sequential
+// loop).
 func (st *state) recomputeScores() error {
 	n := st.n
-	counts := make([][]int64, st.coll.NumTrees())
 	err := st.nw.ShardRuns(st.coll.NumTrees(), func(w *congest.Network, i int) error {
-		init := make([]int64, n)
+		init := w.Scratch().Int64s(n)
 		for _, v := range st.coll.HLeaves(i) {
 			if !st.coll.Removed[i][v] {
 				init[v] = 1
 			}
 		}
-		c, err := st.coll.UpcastSum(w, i, init)
-		if err != nil {
-			return err
-		}
-		counts[i] = c
-		return nil
+		return st.coll.UpcastSumInto(w, i, init, st.countsRow(i))
 	})
 	if err != nil {
 		return err
 	}
-	score := make([]int64, n)
+	score := st.score
+	clear(score)
 	for i := range st.coll.Sources {
 		root := st.coll.Sources[i]
+		counts := st.countsRow(i)
 		for v := 0; v < n; v++ {
 			if v != root && st.coll.InTree(i, v) {
-				score[v] += counts[i][v]
+				score[v] += counts[v]
 			}
 		}
 	}
 	// All-to-all broadcast of (id, score) items: O(n) rounds (Lemma A.2).
-	perNode := make([][]broadcast.Item, n)
-	for v := 0; v < n; v++ {
-		if score[v] > 0 {
-			perNode[v] = []broadcast.Item{{A: int64(v), B: score[v]}}
-		}
-	}
+	perNode := st.singleItems(func(v int) (broadcast.Item, bool) {
+		return broadcast.Item{A: int64(v), B: score[v]}, score[v] > 0
+	})
 	if _, err := broadcast.AllToAll(st.nw, st.tree, perNode); err != nil {
 		return err
 	}
-	st.score = score
 	return nil
 }
 
@@ -329,107 +427,128 @@ func (st *state) refreshBetas() error {
 	// Per-tree downcasts, source-sharded (index i owns leafBeta[i]); the
 	// broadcast item lists are then assembled sequentially in tree order so
 	// each leaf's item sequence matches the sequential schedule exactly.
-	st.leafBeta = make([][]int64, st.coll.NumTrees())
 	err := st.nw.ShardRuns(st.coll.NumTrees(), func(w *congest.Network, i int) error {
-		beta, err := computePijDowncast(w, st.coll, i, st.inVi)
-		if err != nil {
+		beta := w.Scratch().Int64s(st.n)
+		if err := computePijDowncastInto(w, st.coll, i, st.inVi, beta); err != nil {
 			return err
 		}
-		lb := make([]int64, st.n)
+		lb := st.leafBeta[i]
+		clear(lb)
 		for _, v := range st.coll.HLeaves(i) {
 			if !st.coll.Removed[i][v] {
 				lb[v] = beta[v]
 			}
 		}
-		st.leafBeta[i] = lb
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	items := make([][]broadcast.Item, st.n)
+	// Per-leaf betas: at most one item per (leaf, tree) pair with a V_i
+	// node; the all-to-all is O(n + K) rounds for K items (Lemma A.2).
+	// Count, carve from the pooled arena, then fill in tree order (the
+	// per-leaf item sequence matches the sequential append schedule).
+	cnt := st.scoreij // borrow: rewritten by the next computeScoreij anyway
+	clear(cnt)
+	total := 0
 	for i := range st.coll.Sources {
 		for _, v := range st.coll.HLeaves(i) {
-			if b := st.leafBeta[i][v]; b > 0 {
-				items[v] = append(items[v], broadcast.Item{A: int64(v), B: int64(i), C: b})
+			if st.leafBeta[i][v] > 0 {
+				cnt[v]++
+				total++
 			}
 		}
 	}
-	// Per-leaf betas: at most one item per (leaf, tree) pair with a V_i
-	// node; the all-to-all is O(n + K) rounds for K items (Lemma A.2).
-	if _, err := broadcast.AllToAll(st.nw, st.tree, items); err != nil {
+	if cap(st.itemBuf) < total {
+		st.itemBuf = make([]broadcast.Item, total)
+	}
+	buf := st.itemBuf[:total]
+	off := 0
+	for v := 0; v < st.n; v++ {
+		if cnt[v] > 0 {
+			end := off + int(cnt[v])
+			st.items[v] = buf[off:off:end]
+			off = end
+		} else {
+			st.items[v] = nil
+		}
+	}
+	for i := range st.coll.Sources {
+		for _, v := range st.coll.HLeaves(i) {
+			if b := st.leafBeta[i][v]; b > 0 {
+				st.items[v] = append(st.items[v], broadcast.Item{A: int64(v), B: int64(i), C: b})
+			}
+		}
+	}
+	if _, err := broadcast.AllToAll(st.nw, st.tree, st.items); err != nil {
 		return err
 	}
 	return nil
 }
 
 // pijLeaves returns the indicator of alive full-length paths with at least
-// phaseLo V_i-nodes, keyed (tree, leaf), plus their count.
+// phaseLo V_i-nodes, keyed (tree, leaf), plus their count. The rows are
+// pooled and valid until the next pijLeaves call.
 func (st *state) pijLeaves(phaseLo float64) ([][]bool, int) {
-	out := make([][]bool, st.coll.NumTrees())
+	clear(st.pijLeafBuf)
 	size := 0
 	for i := range st.coll.Sources {
-		out[i] = make([]bool, st.n)
+		row := st.pijLeaf[i]
 		for _, v := range st.coll.HLeaves(i) {
 			if !st.coll.Removed[i][v] && float64(st.leafBeta[i][v]) >= phaseLo {
-				out[i][v] = true
+				row[v] = true
 				size++
 			}
 		}
 	}
-	return out, size
+	return st.pijLeaf, size
 }
 
 // computeScoreij computes scoreij(v) = #paths of P_ij containing v via one
 // upcast per tree (a result from [2], Step 8 of Algorithm 2), then
-// broadcasts the values (O(n)).
+// broadcasts the values (O(n)). The returned vector is pooled (valid until
+// the next computeScoreij call).
 func (st *state) computeScoreij(pijLeaf [][]bool) ([]int64, error) {
 	// Same sharding shape as recomputeScores: independent per-tree upcasts
-	// into per-tree slots, accumulated in tree order afterwards. Trees with
+	// into per-tree rows, accumulated in tree order afterwards. Trees with
 	// no P_ij leaf skip their upcast (and its round charge) exactly as the
 	// sequential loop did.
 	n := st.n
-	counts := make([][]int64, st.coll.NumTrees())
 	err := st.nw.ShardRuns(st.coll.NumTrees(), func(w *congest.Network, i int) error {
 		any := false
-		init := make([]int64, n)
+		init := w.Scratch().Int64s(n)
 		for _, v := range st.coll.HLeaves(i) {
 			if pijLeaf[i][v] {
 				init[v] = 1
 				any = true
 			}
 		}
+		st.countUsed[i] = any
 		if !any {
 			return nil
 		}
-		c, err := st.coll.UpcastSum(w, i, init)
-		if err != nil {
-			return err
-		}
-		counts[i] = c
-		return nil
+		return st.coll.UpcastSumInto(w, i, init, st.countsRow(i))
 	})
 	if err != nil {
 		return nil, err
 	}
-	scoreij := make([]int64, n)
+	scoreij := st.scoreij
+	clear(scoreij)
 	for i := range st.coll.Sources {
-		if counts[i] == nil {
+		if !st.countUsed[i] {
 			continue
 		}
 		root := st.coll.Sources[i]
+		counts := st.countsRow(i)
 		for v := 0; v < n; v++ {
 			if v != root && st.coll.InTree(i, v) {
-				scoreij[v] += counts[i][v]
+				scoreij[v] += counts[v]
 			}
 		}
 	}
-	perNode := make([][]broadcast.Item, n)
-	for v := 0; v < n; v++ {
-		if scoreij[v] > 0 {
-			perNode[v] = []broadcast.Item{{A: int64(v), B: scoreij[v]}}
-		}
-	}
+	perNode := st.singleItems(func(v int) (broadcast.Item, bool) {
+		return broadcast.Item{A: int64(v), B: scoreij[v]}, scoreij[v] > 0
+	})
 	if _, err := broadcast.AllToAll(st.nw, st.tree, perNode); err != nil {
 		return nil, err
 	}
@@ -442,15 +561,15 @@ func (st *state) commit(chosen []int) error {
 	if len(chosen) == 0 {
 		return fmt.Errorf("blocker: empty selection committed")
 	}
-	inZ := make([]bool, st.n)
+	clear(st.inZ)
 	for _, v := range chosen {
 		if !st.inQ[v] {
 			st.inQ[v] = true
 			st.q = append(st.q, v)
 		}
-		inZ[v] = true
+		st.inZ[v] = true
 	}
-	if err := st.coll.RemoveSubtrees(st.nw, inZ, true); err != nil {
+	if err := st.coll.RemoveSubtrees(st.nw, st.inZ, true); err != nil {
 		return err
 	}
 	return st.recomputeScores()
@@ -460,7 +579,11 @@ func (st *state) commit(chosen []int) error {
 func countFullPaths(coll *csssp.Collection) int {
 	total := 0
 	for i := range coll.Sources {
-		total += len(coll.FullLengthLeaves(i))
+		for _, v := range coll.HLeaves(i) {
+			if !coll.Removed[i][v] {
+				total++
+			}
+		}
 	}
 	return total
 }

@@ -27,81 +27,149 @@ const (
 // Algorithm 7) on tree i: every node learns the ids of its proper ancestors
 // up to but excluding the root, ordered nearest-first. Cost: H+1 rounds
 // (each node sends its own id at round 0 and forwards received ids FIFO).
-func collectAncestors(nw *congest.Network, coll *csssp.Collection, i int) ([][]int32, error) {
+//
+// The lists come back in CSR form (off, ids), presized exactly from the
+// tree depths: a node at depth d has d-1 proper non-root ancestors. The
+// protocol object is pooled per worker network, and the transient cursors
+// come from nw's scratch arena (the caller runs this under ShardRuns,
+// which resets it before every sub-run).
+func collectAncestors(nw *congest.Network, coll *csssp.Collection, i int) (off, ids []int32, err error) {
 	n := nw.N()
 	h := coll.H
-	root := coll.Sources[i]
-	ch := coll.Children(i)
-	anc := make([][]int32, n)
-	fwd := make([]int, n) // ids forwarded so far: anc[v][:fwd[v]] (FIFO cursor)
-	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
-		for _, m := range in {
-			if m.Kind == kindAncestor {
-				anc[v] = append(anc[v], int32(m.A))
-			}
+	sc := nw.Scratch()
+	proto := congest.ScratchState(sc, ancKey{}, func() *ancProto { return new(ancProto) })
+	off = make([]int32, n+1) // retained by the caller for the whole Compute
+	for v := 0; v < n; v++ {
+		if d := coll.Depth[i][v]; d > 1 {
+			off[v+1] = int32(d - 1)
 		}
-		if coll.InTree(i, v) && round <= h {
-			if round == 0 && v != root {
-				// Send own id to children (the root's id is excluded from
-				// ancestor lists: hyperedges drop the root).
-				for _, c := range ch[v] {
-					send(congest.Message{To: c, Kind: kindAncestor, A: int64(v)})
-				}
-			} else if fwd[v] < len(anc[v]) {
-				id := anc[v][fwd[v]]
-				fwd[v]++
-				for _, c := range ch[v] {
-					send(congest.Message{To: c, Kind: kindAncestor, A: int64(id)})
-				}
-			}
-		}
-		return round >= h
-	})
-	if err := nw.RunFor(p, h+1); err != nil {
-		return nil, fmt.Errorf("blocker: ancestors tree %d: %w", i, err)
 	}
-	return anc, nil
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	ids = make([]int32, off[n])
+	recv := sc.Int32s(n)
+	copy(recv, off[:n])
+	*proto = ancProto{coll: coll, i: i, root: coll.Sources[i], h: h, off: off, ids: ids, recv: recv, fwd: sc.Int32s(n)}
+	err = nw.RunFor(proto, h+1)
+	proto.coll, proto.off, proto.ids, proto.recv, proto.fwd = nil, nil, nil, nil, nil
+	if err != nil {
+		return nil, nil, fmt.Errorf("blocker: ancestors tree %d: %w", i, err)
+	}
+	return off, ids, nil
 }
 
-// computePijDowncast runs Compute-Pij (Algorithm 4): a downcast through
+type ancKey struct{}
+
+// ancProto is the pipelined Ancestors protocol as a reusable object.
+type ancProto struct {
+	coll     *csssp.Collection
+	i, root  int
+	h        int
+	off, ids []int32 // ancestor CSR under construction
+	recv     []int32 // next write slot in ids for v
+	fwd      []int32 // ids forwarded so far: ids[off[v]:off[v]+fwd[v]]
+}
+
+// Step implements congest.Proto. Children are walked via the collection's
+// static child CSR with a Removed filter; no removals happen while this
+// protocol runs, so the walk matches a materialized snapshot exactly.
+func (p *ancProto) Step(v, round int, in []congest.Message, send func(congest.Message)) bool {
+	coll, i := p.coll, p.i
+	for _, m := range in {
+		if m.Kind == kindAncestor {
+			p.ids[p.recv[v]] = int32(m.A)
+			p.recv[v]++
+		}
+	}
+	if coll.InTree(i, v) && round <= p.h {
+		if round == 0 && v != p.root {
+			// Send own id to children (the root's id is excluded from
+			// ancestor lists: hyperedges drop the root).
+			for _, c := range coll.ChildIDs(i, v) {
+				if !coll.Removed[i][c] {
+					send(congest.Message{To: int(c), Kind: kindAncestor, A: int64(v)})
+				}
+			}
+		} else if p.off[v]+p.fwd[v] < p.recv[v] {
+			id := p.ids[p.off[v]+p.fwd[v]]
+			p.fwd[v]++
+			for _, c := range coll.ChildIDs(i, v) {
+				if !coll.Removed[i][c] {
+					send(congest.Message{To: int(c), Kind: kindAncestor, A: int64(id)})
+				}
+			}
+		}
+	}
+	return round >= p.h
+}
+
+// computePijDowncastInto runs Compute-Pij (Algorithm 4): a downcast through
 // tree i accumulating the number of marked (in-Vi) nodes on each
-// root-to-node path, root excluded. It returns beta[v] for every tree node.
-// Compute-Pi (Algorithm 3) is the special case "beta >= 1". Cost: H+1
-// rounds.
+// root-to-node path, root excluded, written into beta (length n, zeroed by
+// the caller). Compute-Pi (Algorithm 3) is the special case "beta >= 1".
+// Cost: H+1 rounds. The protocol object is pooled per worker network.
+func computePijDowncastInto(nw *congest.Network, coll *csssp.Collection, i int, inVi []bool, beta []int64) error {
+	proto := congest.ScratchState(nw.Scratch(), pijKey{}, func() *pijProto { return new(pijProto) })
+	*proto = pijProto{coll: coll, i: i, root: coll.Sources[i], inVi: inVi, beta: beta, have: nw.Scratch().Bools(nw.N())}
+	err := nw.RunFor(proto, coll.H+1)
+	proto.coll, proto.inVi, proto.beta, proto.have = nil, nil, nil, nil
+	if err != nil {
+		return fmt.Errorf("blocker: compute-Pij tree %d: %w", i, err)
+	}
+	return nil
+}
+
+// computePijDowncast is computePijDowncastInto with freshly allocated
+// outputs, for callers outside the pooled set-cover loop (the random-sample
+// baseline's coverage check).
 func computePijDowncast(nw *congest.Network, coll *csssp.Collection, i int, inVi []bool) ([]int64, error) {
-	n := nw.N()
-	h := coll.H
-	root := coll.Sources[i]
-	ch := coll.Children(i)
-	beta := make([]int64, n)
-	have := make([]bool, n)
-	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
-		if round == 0 && v == root && coll.InTree(i, v) {
-			// The root's own membership is not counted (hyperedges exclude
-			// the root), so it forwards beta = 0.
-			have[v] = true
-			for _, c := range ch[v] {
-				send(congest.Message{To: c, Kind: kindBeta, A: 0})
-			}
-			return true
-		}
-		for _, m := range in {
-			if m.Kind != kindBeta || have[v] || !coll.InTree(i, v) {
-				continue
-			}
-			have[v] = true
-			beta[v] = m.A
-			if inVi[v] {
-				beta[v]++
-			}
-			for _, c := range ch[v] {
-				send(congest.Message{To: c, Kind: kindBeta, A: beta[v]})
-			}
-		}
-		return round >= 1 // runs until the fixed budget; done flags are advisory
-	})
-	if err := nw.RunFor(p, h+1); err != nil {
-		return nil, fmt.Errorf("blocker: compute-Pij tree %d: %w", i, err)
+	beta := make([]int64, nw.N())
+	if err := computePijDowncastInto(nw, coll, i, inVi, beta); err != nil {
+		return nil, err
 	}
 	return beta, nil
+}
+
+type pijKey struct{}
+
+// pijProto is the Compute-Pij downcast as a reusable protocol object.
+type pijProto struct {
+	coll    *csssp.Collection
+	i, root int
+	inVi    []bool
+	beta    []int64
+	have    []bool
+}
+
+// Step implements congest.Proto.
+func (p *pijProto) Step(v, round int, in []congest.Message, send func(congest.Message)) bool {
+	coll, i := p.coll, p.i
+	if round == 0 && v == p.root && coll.InTree(i, v) {
+		// The root's own membership is not counted (hyperedges exclude
+		// the root), so it forwards beta = 0.
+		p.have[v] = true
+		for _, c := range coll.ChildIDs(i, v) {
+			if !coll.Removed[i][c] {
+				send(congest.Message{To: int(c), Kind: kindBeta, A: 0})
+			}
+		}
+		return true
+	}
+	for _, m := range in {
+		if m.Kind != kindBeta || p.have[v] || !coll.InTree(i, v) {
+			continue
+		}
+		p.have[v] = true
+		p.beta[v] = m.A
+		if p.inVi[v] {
+			p.beta[v]++
+		}
+		for _, c := range coll.ChildIDs(i, v) {
+			if !coll.Removed[i][c] {
+				send(congest.Message{To: int(c), Kind: kindBeta, A: p.beta[v]})
+			}
+		}
+	}
+	return round >= 1 // runs until the fixed budget; done flags are advisory
 }

@@ -16,7 +16,8 @@ import (
 // stageHi is (1+eps)^i, the stage's score upper bound; fallbackBest is the
 // max-scoreij node used when no enumerated point is good (a progress
 // guarantee the enumerated linear slice of the space cannot give by itself;
-// see DESIGN.md).
+// see DESIGN.md). The returned slice is pooled (consumed by commit before
+// the next selection).
 func (st *state) selectGoodSet(stage, phase int, stageHi float64, pijLeaf [][]bool, pijSize int, scoreij []int64, fallbackBest int) ([]int, error) {
 	onePlusEps := 1 + st.par.Eps
 	prob := st.par.Delta
@@ -45,12 +46,22 @@ func (st *state) selectGoodSet(stage, phase int, stageHi float64, pijLeaf [][]bo
 	// for every sample point locally (free local computation), namely the
 	// number of its paths in P_i (resp. P_ij) covered by A_mu. Then the
 	// nu totals are aggregated at the leader by the pipelined Algorithms
-	// 11 and 12 (O(n + m) rounds each).
-	nuPi := make([][]int64, st.n)
-	nuPij := make([][]int64, st.n)
+	// 11 and 12 (O(n + m) rounds each). The two n x m count matrices live
+	// in one pooled arena, re-carved per call (m varies with the phase).
+	if cap(st.nuBuf) < 2*st.n*m {
+		st.nuBuf = make([]int64, 2*st.n*m)
+	}
+	st.nuBuf = st.nuBuf[:2*st.n*m]
+	clear(st.nuBuf)
+	if cap(st.nuPi) < st.n {
+		st.nuPi = make([][]int64, st.n)
+		st.nuPij = make([][]int64, st.n)
+	}
+	st.nuPi = st.nuPi[:st.n]
+	st.nuPij = st.nuPij[:st.n]
 	for v := 0; v < st.n; v++ {
-		nuPi[v] = make([]int64, m)
-		nuPij[v] = make([]int64, m)
+		st.nuPi[v] = st.nuBuf[v*m : (v+1)*m : (v+1)*m]
+		st.nuPij[v] = st.nuBuf[(st.n+v)*m : (st.n+v+1)*m : (st.n+v+1)*m]
 	}
 	for i := range st.coll.Sources {
 		for _, v32 := range st.coll.HLeaves(i) {
@@ -63,31 +74,33 @@ func (st *state) selectGoodSet(stage, phase int, stageHi float64, pijLeaf [][]bo
 			if !inPi && !inPij {
 				continue
 			}
-			verts := st.pathVerts(i, v)
+			anc := st.ancRow(i, v)
 			for mu, pt := range pts {
-				covered := false
-				for _, u := range verts {
-					if st.inVi[u] && space.Bit(u, pt.A, pt.B) {
-						covered = true
-						break
+				covered := st.inVi[v] && space.Bit(v, pt.A, pt.B)
+				if !covered {
+					for _, u := range anc {
+						if st.inVi[u] && space.Bit(int(u), pt.A, pt.B) {
+							covered = true
+							break
+						}
 					}
 				}
 				if covered {
 					if inPi {
-						nuPi[v][mu]++
+						st.nuPi[v][mu]++
 					}
 					if inPij {
-						nuPij[v][mu]++
+						st.nuPij[v][mu]++
 					}
 				}
 			}
 		}
 	}
-	totPi, err := broadcast.GatherSum(st.nw, st.tree, nuPi)
+	totPi, err := broadcast.GatherSum(st.nw, st.tree, st.nuPi)
 	if err != nil {
 		return nil, err
 	}
-	totPij, err := broadcast.GatherSum(st.nw, st.tree, nuPij)
+	totPij, err := broadcast.GatherSum(st.nw, st.tree, st.nuPij)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +129,7 @@ func (st *state) selectGoodSet(stage, phase int, stageHi float64, pijLeaf [][]bo
 		if fallbackBest < 0 {
 			return nil, fmt.Errorf("blocker: no good set and no fallback node")
 		}
-		return []int{fallbackBest}, nil
+		return append(st.members[:0], fallbackBest), nil
 	}
 	st.stats.GoodSetSelections++
 	return st.setMembers(space, pts[goodMu]), nil
@@ -134,22 +147,31 @@ func (st *state) selectGoodSetRandomized(space *pairwise.AffineSpace, stageHi fl
 		pt := pairwise.Point{A: rng.Uint64() % fieldSize, B: rng.Uint64() % fieldSize}
 		members := st.setMembers(space, pt)
 		// Step 13: members broadcast their ids (O(n) rounds, Lemma A.2).
-		items := make([][]broadcast.Item, st.n)
+		inA := st.inZ // borrow the commit scratch: rewritten there anyway
+		clear(inA)
 		for _, v := range members {
-			items[v] = []broadcast.Item{{A: int64(v)}}
+			inA[v] = true
 		}
+		items := st.singleItems(func(v int) (broadcast.Item, bool) {
+			return broadcast.Item{A: int64(v)}, inA[v]
+		})
 		if _, err := broadcast.AllToAll(st.nw, st.tree, items); err != nil {
 			return nil, err
 		}
 		// Goodness check: per-leaf coverage counts aggregated to the leader
 		// (two slots), verdict broadcast back.
-		cov := make([][]int64, st.n)
-		for v := 0; v < st.n; v++ {
-			cov[v] = make([]int64, 2)
+		if cap(st.nuBuf) < 2*st.n {
+			st.nuBuf = make([]int64, 2*st.n)
 		}
-		inA := make([]bool, st.n)
-		for _, v := range members {
-			inA[v] = true
+		st.nuBuf = st.nuBuf[:2*st.n]
+		clear(st.nuBuf)
+		if cap(st.nuPi) < st.n {
+			st.nuPi = make([][]int64, st.n)
+			st.nuPij = make([][]int64, st.n)
+		}
+		cov := st.nuPi[:st.n]
+		for v := 0; v < st.n; v++ {
+			cov[v] = st.nuBuf[2*v : 2*v+2 : 2*v+2]
 		}
 		for i := range st.coll.Sources {
 			for _, v32 := range st.coll.HLeaves(i) {
@@ -162,11 +184,13 @@ func (st *state) selectGoodSetRandomized(space *pairwise.AffineSpace, stageHi fl
 				if !inPi && !inPij {
 					continue
 				}
-				covered := false
-				for _, u := range st.pathVerts(i, v) {
-					if st.inVi[u] && inA[u] {
-						covered = true
-						break
+				covered := st.inVi[v] && inA[v]
+				if !covered {
+					for _, u := range st.ancRow(i, v) {
+						if st.inVi[u] && inA[u] {
+							covered = true
+							break
+						}
 					}
 				}
 				if covered {
@@ -201,7 +225,7 @@ func (st *state) selectGoodSetRandomized(space *pairwise.AffineSpace, stageHi fl
 	if fallbackBest < 0 {
 		return nil, fmt.Errorf("blocker: randomized selection exhausted retries with no fallback")
 	}
-	return []int{fallbackBest}, nil
+	return append(st.members[:0], fallbackBest), nil
 }
 
 // isGood evaluates Definition 3.1 for a set of size sz covering covPi
@@ -228,24 +252,15 @@ func (st *state) setSize(space *pairwise.AffineSpace, pt pairwise.Point) int {
 	return sz
 }
 
-// setMembers lists the V_i nodes selected by a sample point.
+// setMembers lists the V_i nodes selected by a sample point, into the
+// pooled members buffer (valid until the next selection).
 func (st *state) setMembers(space *pairwise.AffineSpace, pt pairwise.Point) []int {
-	var out []int
+	out := st.members[:0]
 	for v := 0; v < st.n; v++ {
 		if st.inVi[v] && space.Bit(v, pt.A, pt.B) {
 			out = append(out, v)
 		}
 	}
+	st.members = out
 	return out
-}
-
-// pathVerts returns the hyperedge vertices of path (tree i, leaf v): the
-// leaf itself plus its proper ancestors excluding the root.
-func (st *state) pathVerts(i, v int) []int {
-	verts := make([]int, 0, len(st.anc[i][v])+1)
-	verts = append(verts, v)
-	for _, u := range st.anc[i][v] {
-		verts = append(verts, int(u))
-	}
-	return verts
 }

@@ -47,196 +47,377 @@ const (
 // BuildBFS constructs a BFS spanning tree rooted at root by distributed
 // flooding. It consumes O(diameter) rounds on nw and returns the tree. An
 // error is returned if the communication graph is disconnected.
+//
+// The returned Tree aliases pooled per-network storage: it is valid until
+// the next BuildBFS on the same Network. Every consumer in this repository
+// builds one tree per network (or rebuilds the identical root-0 tree), so
+// the pipeline's repeated constructions reuse one footprint.
 func BuildBFS(nw *congest.Network, root int) (*Tree, error) {
 	n := nw.N()
-	parent := make([]int, n)
-	depth := make([]int, n)
-	joined := make([]bool, n)
-	for v := range parent {
-		parent[v] = -1
-		depth[v] = -1
+	st := getState(nw)
+	t := &st.tree
+	t.Root = root
+	t.Height = 0
+	if cap(t.Parent) < n {
+		t.Parent = make([]int, n)
+		t.Depth = make([]int, n)
+		t.Children = make([][]int, n)
 	}
-	joined[root] = true
-	depth[root] = 0
+	t.Parent = t.Parent[:n]
+	t.Depth = t.Depth[:n]
+	t.Children = t.Children[:n]
+	if cap(st.bfsJoined) < n {
+		st.bfsJoined = make([]bool, n)
+	}
+	st.bfsJoined = st.bfsJoined[:n]
+	clear(st.bfsJoined)
+	for v := 0; v < n; v++ {
+		t.Parent[v] = -1
+		t.Depth[v] = -1
+	}
+	st.bfsJoined[root] = true
+	t.Depth[root] = 0
 
-	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
-		if round == 0 {
-			if v == root {
-				for _, u := range nw.Neighbors(v) {
-					send(congest.Message{To: u, Kind: kindBFSExplore, A: int64(depth[v])})
-				}
-			}
-			return v != root
-		}
-		if joined[v] {
-			return true
-		}
-		// First round with an explore message: join under the smallest-id
-		// sender (deterministic), then propagate.
-		best := -1
-		var d int64
-		for _, m := range in {
-			if m.Kind != kindBFSExplore {
-				continue
-			}
-			if best == -1 || m.From < best {
-				best = m.From
-				d = m.A
-			}
-		}
-		if best == -1 {
-			return false
-		}
-		joined[v] = true
-		parent[v] = best
-		depth[v] = int(d) + 1
-		for _, u := range nw.Neighbors(v) {
-			if u != best {
-				send(congest.Message{To: u, Kind: kindBFSExplore, A: int64(depth[v])})
-			}
-		}
-		return true
-	})
-	if _, err := nw.Run(p, n+2); err != nil {
+	st.bfs = bfsProto{nw: nw, st: st, root: root}
+	if _, err := nw.Run(&st.bfs, n+2); err != nil {
 		return nil, fmt.Errorf("broadcast: BFS construction: %w", err)
 	}
-	t := &Tree{Root: root, Parent: parent, Depth: depth, Children: make([][]int, n)}
+	// Child lists come out of one pooled arena via a counting pass; rows
+	// are ascending because v ascends.
+	st.childFill = congest.Grow(st.childFill, n)
+	fill := st.childFill
 	for v := 0; v < n; v++ {
 		if v == root {
 			continue
 		}
-		if !joined[v] {
+		if !st.bfsJoined[v] {
 			return nil, fmt.Errorf("broadcast: node %d unreachable from root %d (communication graph disconnected)", v, root)
 		}
-		t.Children[parent[v]] = append(t.Children[parent[v]], v)
-		if depth[v] > t.Height {
-			t.Height = depth[v]
+		fill[t.Parent[v]]++
+		if t.Depth[v] > t.Height {
+			t.Height = t.Depth[v]
 		}
 	}
-	for v := range t.Children {
-		sort.Ints(t.Children[v])
+	if cap(st.childArena) < n {
+		st.childArena = make([]int, n)
+	}
+	arena := st.childArena[:n]
+	off := 0
+	for v := 0; v < n; v++ {
+		c := int(fill[v])
+		t.Children[v] = arena[off : off : off+c]
+		off += c
+	}
+	for v := 0; v < n; v++ {
+		if v != root {
+			p := t.Parent[v]
+			t.Children[p] = append(t.Children[p], v)
+		}
 	}
 	return t, nil
+}
+
+// bfsProto is the BFS flood of BuildBFS as a reusable protocol object.
+type bfsProto struct {
+	nw   *congest.Network
+	st   *bcastState
+	root int
+}
+
+// Step implements congest.Proto.
+func (p *bfsProto) Step(v, round int, in []congest.Message, send func(congest.Message)) bool {
+	nw, t := p.nw, &p.st.tree
+	if round == 0 {
+		if v == p.root {
+			for _, u := range nw.Neighbors(v) {
+				send(congest.Message{To: u, Kind: kindBFSExplore, A: int64(t.Depth[v])})
+			}
+		}
+		return v != p.root
+	}
+	if p.st.bfsJoined[v] {
+		return true
+	}
+	// First round with an explore message: join under the smallest-id
+	// sender (deterministic), then propagate.
+	best := -1
+	var d int64
+	for _, m := range in {
+		if m.Kind != kindBFSExplore {
+			continue
+		}
+		if best == -1 || m.From < best {
+			best = m.From
+			d = m.A
+		}
+	}
+	if best == -1 {
+		return false
+	}
+	p.st.bfsJoined[v] = true
+	t.Parent[v] = best
+	t.Depth[v] = int(d) + 1
+	for _, u := range nw.Neighbors(v) {
+		if u != best {
+			send(congest.Message{To: u, Kind: kindBFSExplore, A: int64(t.Depth[v])})
+		}
+	}
+	return true
+}
+
+// bcastKey keys the pooled per-network state of this package's primitives
+// in the network's scratch registry. The pipeline runs thousands of
+// gathers, floods and aggregation waves per Network; pooling their queue
+// arenas and protocol objects makes a steady-state call allocation-free.
+type bcastKey struct{}
+
+type bcastState struct {
+	// Gather state: per-node totals, depth-descending order (counting sort
+	// buckets), FIFO queue views carved from one grow-only item arena, and
+	// the result buffer.
+	totalBelow []int32
+	bucket     []int32
+	order      []int32
+	queue      [][]Item
+	arena      []Item
+	head, sent []int32
+	collected  []Item
+	gather     gatherProto
+
+	// Broadcast (flood) state: the per-node receive arena and views, plus
+	// the canonical-order result buffer (distinct from Gather's collected,
+	// whose contents are often this call's input).
+	recvd  [][]Item
+	flood  []Item
+	fwd    []int32
+	outBuf []Item
+	bcast  floodProto
+
+	// GatherSum state: the flat n x m accumulator.
+	acc []int64
+	sum sumProto
+
+	// BuildBFS state: the pooled tree (returned by pointer) and its
+	// construction scratch.
+	tree       Tree
+	bfsJoined  []bool
+	childArena []int
+	childFill  []int32
+	bfs        bfsProto
+}
+
+func getState(nw *congest.Network) *bcastState {
+	return congest.ScratchState(nw.Scratch(), bcastKey{}, func() *bcastState { return new(bcastState) })
+}
+
+// growItems returns buf with length exactly n, reallocating only when the
+// capacity has never been this large before.
+func growItems(buf []Item, n int) []Item {
+	if cap(buf) < n {
+		return make([]Item, n)
+	}
+	return buf[:n]
 }
 
 // Gather convergecasts all items to the tree root, pipelined at the
 // network bandwidth. perNode[v] is the list of items originating at v. The
 // returned slice is the collection now known at the root, sorted
-// canonically. Rounds consumed: O(height + K/bandwidth), K total items.
+// canonically; it aliases pooled per-network storage and is valid until
+// the next broadcast-package call on the same Network (callers consume it
+// immediately). Rounds consumed: O(height + K/bandwidth), K total items.
 func Gather(nw *congest.Network, t *Tree, perNode [][]Item) ([]Item, error) {
 	n := nw.N()
+	st := getState(nw)
 	// Compute per-node totals bottom-up (local knowledge in a real system
 	// would be a convergecast of counts; the schedule below does not depend
 	// on these values, they only drive the done flags and presize the
 	// queues — every item passing through v is known up front, so the hot
-	// loop never regrows a queue).
-	totalBelow := make([]int, n) // items that must pass through v (own + strict descendants)
-	order := byDepthDesc(t)
-	for _, v := range order {
-		totalBelow[v] += len(perNode[v])
+	// loop never regrows a queue). Nodes are ordered by decreasing depth
+	// with a pooled counting sort.
+	st.bucket = congest.Grow(st.bucket, t.Height+2)
+	bucket := st.bucket
+	for v := 0; v < n; v++ {
+		bucket[t.Height-t.Depth[v]+1]++
+	}
+	for d := 1; d < len(bucket); d++ {
+		bucket[d] += bucket[d-1]
+	}
+	st.order = congest.Grow(st.order, n)
+	order := st.order
+	for v := 0; v < n; v++ {
+		d := t.Height - t.Depth[v]
+		order[bucket[d]] = int32(v)
+		bucket[d]++
+	}
+	st.totalBelow = congest.Grow(st.totalBelow, n)
+	totalBelow := st.totalBelow
+	for _, v32 := range order {
+		v := int(v32)
+		totalBelow[v] += int32(len(perNode[v]))
 		if v != t.Root {
 			totalBelow[t.Parent[v]] += totalBelow[v]
 		}
 	}
-	queue := make([][]Item, n)
-	head := make([]int, n) // first unsent index in queue[v] (FIFO cursor)
+	// Carve the per-node FIFO queues out of one pooled arena; capacities
+	// are exact, so the hot loop never regrows a queue.
+	arenaLen := 0
 	for v := 0; v < n; v++ {
-		if v != t.Root && totalBelow[v] > 0 {
-			queue[v] = append(make([]Item, 0, totalBelow[v]), perNode[v]...)
+		if v != t.Root {
+			arenaLen += int(totalBelow[v])
 		}
 	}
-	sent := make([]int, n)
-	collected := make([]Item, 0, totalBelow[t.Root])
+	st.arena = growItems(st.arena, arenaLen)
+	if cap(st.queue) < n {
+		st.queue = make([][]Item, n)
+	}
+	st.queue = st.queue[:n]
+	off := 0
+	for v := 0; v < n; v++ {
+		st.queue[v] = nil
+		if v != t.Root && totalBelow[v] > 0 {
+			end := off + int(totalBelow[v])
+			st.queue[v] = append(st.arena[off:off:end], perNode[v]...)
+			off = end
+		}
+	}
+	st.head = congest.Grow(st.head, n)
+	st.sent = congest.Grow(st.sent, n)
+	total := int(totalBelow[t.Root])
+	if cap(st.collected) < total {
+		st.collected = make([]Item, 0, total)
+	}
+	st.collected = st.collected[:0]
 
-	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
-		for _, m := range in {
-			if m.Kind != kindGather {
-				continue
-			}
-			it := Item{m.A, m.B, m.C}
-			if v == t.Root {
-				collected = append(collected, it)
-			} else {
-				queue[v] = append(queue[v], it)
-			}
-		}
-		if v == t.Root {
-			// The root's own items never travel; it waits only for the
-			// strict-descendant items.
-			return len(collected) >= totalBelow[v]-len(perNode[v])
-		}
-		b := nw.Bandwidth
-		for b > 0 && head[v] < len(queue[v]) {
-			it := queue[v][head[v]]
-			head[v]++
-			send(congest.Message{To: t.Parent[v], Kind: kindGather, A: it.A, B: it.B, C: it.C})
-			sent[v]++
-			b--
-		}
-		return sent[v] >= totalBelow[v]
-	})
-	total := totalBelow[t.Root]
+	st.gather = gatherProto{nw: nw, t: t, st: st, rootOwn: len(perNode[t.Root])}
 	budget := t.Height + total + 4
-	if _, err := nw.Run(p, budget+n); err != nil {
+	_, err := nw.Run(&st.gather, budget+n)
+	if err != nil {
 		return nil, fmt.Errorf("broadcast: gather: %w", err)
 	}
-	collected = append(collected, perNode[t.Root]...)
-	sortItems(collected)
-	return collected, nil
+	st.collected = append(st.collected, perNode[t.Root]...)
+	sortItems(st.collected)
+	return st.collected, nil
+}
+
+// gatherProto is the pipelined convergecast of Gather as a reusable
+// protocol object.
+type gatherProto struct {
+	nw      *congest.Network
+	t       *Tree
+	st      *bcastState
+	rootOwn int
+}
+
+// Step implements congest.Proto.
+func (p *gatherProto) Step(v, round int, in []congest.Message, send func(congest.Message)) bool {
+	st, t := p.st, p.t
+	for _, m := range in {
+		if m.Kind != kindGather {
+			continue
+		}
+		it := Item{m.A, m.B, m.C}
+		if v == t.Root {
+			st.collected = append(st.collected, it)
+		} else {
+			st.queue[v] = append(st.queue[v], it)
+		}
+	}
+	if v == t.Root {
+		// The root's own items never travel; it waits only for the
+		// strict-descendant items.
+		return len(st.collected) >= int(st.totalBelow[v])-p.rootOwn
+	}
+	b := p.nw.Bandwidth
+	for b > 0 && int(st.head[v]) < len(st.queue[v]) {
+		it := st.queue[v][st.head[v]]
+		st.head[v]++
+		send(congest.Message{To: t.Parent[v], Kind: kindGather, A: it.A, B: it.B, C: it.C})
+		st.sent[v]++
+		b--
+	}
+	return st.sent[v] >= st.totalBelow[v]
 }
 
 // Broadcast floods the root's items to every node, pipelined. After it
 // returns, every node knows all items (Lemma A.1: O(n + k) rounds; with the
 // BFS tree it is O(height + k) here). The items are returned in canonical
-// order as the view every node now holds.
+// order as the view every node now holds; like Gather's result, the slice
+// aliases pooled per-network storage valid until the next broadcast call.
 func Broadcast(nw *congest.Network, t *Tree, items []Item) ([]Item, error) {
 	n := nw.N()
+	st := getState(nw)
 	k := len(items)
 	// Every non-root node receives exactly k items; one arena sliced into
 	// capacity-capped per-node views keeps the flood's hot loop free of
 	// append regrowth (and of n separate allocations).
-	recvd := make([][]Item, n)
+	if cap(st.recvd) < n {
+		st.recvd = make([][]Item, n)
+	}
+	st.recvd = st.recvd[:n]
+	for v := range st.recvd {
+		st.recvd[v] = nil
+	}
 	if k > 0 {
-		arena := make([]Item, n*k)
+		st.flood = growItems(st.flood, n*k)
 		for v := 0; v < n; v++ {
 			if v != t.Root {
 				off := v * k
-				recvd[v] = arena[off : off : off+k]
+				st.recvd[v] = st.flood[off : off : off+k]
 			}
 		}
 	}
-	fwd := make([]int, n) // next index to forward to children
+	st.fwd = congest.Grow(st.fwd, n)
 
-	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
-		for _, m := range in {
-			if m.Kind != kindFlood {
-				continue
-			}
-			recvd[v] = append(recvd[v], Item{m.A, m.B, m.C})
-		}
-		var src []Item
-		if v == t.Root {
-			src = items
-		} else {
-			src = recvd[v]
-		}
-		b := nw.Bandwidth
-		for b > 0 && fwd[v] < len(src) {
-			it := src[fwd[v]]
-			fwd[v]++
-			for _, c := range t.Children[v] {
-				send(congest.Message{To: c, Kind: kindFlood, A: it.A, B: it.B, C: it.C})
-			}
-			b--
-		}
-		return fwd[v] >= k && (v == t.Root || len(recvd[v]) >= k)
-	})
-	if _, err := nw.Run(p, t.Height+k+4+n); err != nil {
+	st.bcast = floodProto{nw: nw, t: t, st: st, items: items, k: k}
+	_, err := nw.Run(&st.bcast, t.Height+k+4+n)
+	st.bcast.items = nil
+	if err != nil {
 		return nil, fmt.Errorf("broadcast: broadcast: %w", err)
 	}
-	out := append([]Item(nil), items...)
+	if cap(st.outBuf) < k {
+		st.outBuf = make([]Item, 0, k)
+	}
+	out := append(st.outBuf[:0], items...)
+	st.outBuf = out
 	sortItems(out)
 	return out, nil
+}
+
+// floodProto is the pipelined flood of Broadcast as a reusable protocol
+// object.
+type floodProto struct {
+	nw    *congest.Network
+	t     *Tree
+	st    *bcastState
+	items []Item
+	k     int
+}
+
+// Step implements congest.Proto.
+func (p *floodProto) Step(v, round int, in []congest.Message, send func(congest.Message)) bool {
+	st, t := p.st, p.t
+	for _, m := range in {
+		if m.Kind != kindFlood {
+			continue
+		}
+		st.recvd[v] = append(st.recvd[v], Item{m.A, m.B, m.C})
+	}
+	var src []Item
+	if v == t.Root {
+		src = p.items
+	} else {
+		src = st.recvd[v]
+	}
+	b := p.nw.Bandwidth
+	for b > 0 && int(st.fwd[v]) < len(src) {
+		it := src[st.fwd[v]]
+		st.fwd[v]++
+		for _, c := range t.Children[v] {
+			send(congest.Message{To: c, Kind: kindFlood, A: it.A, B: it.B, C: it.C})
+		}
+		b--
+	}
+	return int(st.fwd[v]) >= p.k && (v == t.Root || len(st.recvd[v]) >= p.k)
 }
 
 // AllToAll implements Lemma A.2 generalized to multiple items per node:
@@ -252,13 +433,26 @@ func AllToAll(nw *congest.Network, t *Tree, perNode [][]Item) ([]Item, error) {
 	return Broadcast(nw, t, up)
 }
 
-func byDepthDesc(t *Tree) []int {
-	order := make([]int, len(t.Parent))
-	for i := range order {
-		order[i] = i
+// CarveItems builds per-node item lists with exact capacities carved from
+// one backing arena: cnt[v] is the number of items node v will append.
+// Callers count first, carve, then append — two allocations instead of one
+// per contributing node.
+func CarveItems(cnt []int32) [][]Item {
+	total := 0
+	for _, c := range cnt {
+		total += int(c)
 	}
-	sort.Slice(order, func(i, j int) bool { return t.Depth[order[i]] > t.Depth[order[j]] })
-	return order
+	arena := make([]Item, total)
+	out := make([][]Item, len(cnt))
+	off := 0
+	for v, c := range cnt {
+		if c > 0 {
+			end := off + int(c)
+			out[v] = arena[off:off:end]
+			off = end
+		}
+	}
+	return out
 }
 
 func sortItems(items []Item) {

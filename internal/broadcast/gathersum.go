@@ -28,30 +28,56 @@ func GatherSum(nw *congest.Network, t *Tree, vec [][]int64) ([]int64, error) {
 	if m == 0 {
 		return nil, nil
 	}
-	// acc[v] accumulates v's own values plus received partial sums.
-	acc := make([][]int64, n)
-	for v := 0; v < n; v++ {
-		acc[v] = make([]int64, m)
-		copy(acc[v], vec[v])
+	// acc row v accumulates v's own values plus received partial sums; the
+	// rows live in one pooled flat arena (n*m can be large — the good-set
+	// search aggregates one slot per sample point — so reallocating it per
+	// call was a top allocation site).
+	st := getState(nw)
+	if cap(st.acc) < n*m {
+		st.acc = make([]int64, n*m)
 	}
-	const kindSum uint8 = 13
-	h := t.Height
-	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
-		for _, msg := range in {
-			if msg.Kind == kindSum {
-				acc[v][int(msg.A)] += msg.B
-			}
-		}
-		if v != t.Root {
-			mu := round - (h - t.Depth[v])
-			if mu >= 0 && mu < m {
-				send(congest.Message{To: t.Parent[v], Kind: kindSum, A: int64(mu), B: acc[v][mu]})
-			}
-		}
-		return round >= h+m
-	})
-	if err := nw.RunFor(p, h+m+1); err != nil {
+	st.acc = st.acc[:n*m]
+	clear(st.acc)
+	for v := 0; v < n; v++ {
+		copy(st.acc[v*m:(v+1)*m], vec[v])
+	}
+	st.sum = sumProto{t: t, acc: st.acc, m: m}
+	err := nw.RunFor(&st.sum, t.Height+m+1)
+	st.sum.acc = nil
+	if err != nil {
 		return nil, fmt.Errorf("broadcast: GatherSum: %w", err)
 	}
-	return acc[t.Root], nil
+	// The root row is copied out: callers aggregate twice back to back (the
+	// nu_Pi / nu_Pij pair) and read both results together, so the returned
+	// slice must survive the next GatherSum on the same network.
+	out := make([]int64, m)
+	copy(out, st.acc[t.Root*m:(t.Root+1)*m])
+	return out, nil
+}
+
+const kindSum uint8 = 13
+
+// sumProto is the fixed-schedule aggregation of GatherSum as a reusable
+// protocol object: slot mu of node v lives at acc[v*m+mu].
+type sumProto struct {
+	t   *Tree
+	acc []int64
+	m   int
+}
+
+// Step implements congest.Proto.
+func (p *sumProto) Step(v, round int, in []congest.Message, send func(congest.Message)) bool {
+	t, m, h := p.t, p.m, p.t.Height
+	for _, msg := range in {
+		if msg.Kind == kindSum {
+			p.acc[v*m+int(msg.A)] += msg.B
+		}
+	}
+	if v != t.Root {
+		mu := round - (h - t.Depth[v])
+		if mu >= 0 && mu < m {
+			send(congest.Message{To: t.Parent[v], Kind: kindSum, A: int64(mu), B: p.acc[v*m+mu]})
+		}
+	}
+	return round >= h+m
 }

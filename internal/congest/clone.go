@@ -11,14 +11,16 @@ import (
 // protocol execution per source) across a worker pool. See DESIGN.md §2.5.
 
 // Clone returns a Network over the same communication topology with fresh,
-// zeroed statistics and its own engine scratch. The input graph, underlying
-// undirected graph and CSR adjacency arenas are shared (they are immutable
-// for the lifetime of a run), so a clone costs O(n) — the per-node stats
-// vector — not O(n + m).
+// zeroed statistics and its own engine and scratch arenas. The input graph,
+// underlying undirected graph and CSR adjacency arenas are shared (they are
+// immutable for the lifetime of a run), so a clone costs O(n) — the
+// per-node stats vector — not O(n + m).
 //
 // The clone starts with Parallel unset (worker clones run the sequential
 // engine; the parallelism lives one level up, across sources) and no
-// OnRound hook. Bandwidth is inherited.
+// OnRound hook. Bandwidth is inherited. The scratch arena is NOT shared:
+// each clone owns a private one, which is what lets a worker fleet run
+// allocation-free without locks.
 func (nw *Network) Clone() *Network {
 	c := &Network{
 		G:         nw.G,
@@ -63,6 +65,18 @@ func (s *Stats) Add(o *Stats) {
 // bit-identical to the sequential schedule. The first error in index order
 // wins; later chunks may have partially executed by then, but callers
 // abort on error so the partial stats are never observed as a result.
+//
+// Scratch discipline: the executing network's scratch arena is Reset before
+// every fn invocation (sequentially that is nw's own arena; in parallel each
+// worker resets its clone's). fn must therefore not retain arena-backed data
+// from one invocation to the next — copy anything that outlives the sub-run
+// into caller-owned storage, which every consumer in this repository already
+// does (each sub-run writes one matrix row or per-index slot).
+//
+// The worker clones themselves are cached on nw and reused by every later
+// ShardRuns call (Steps 3 and 7 of the pipeline, the q-sink SSSP pairs, the
+// per-commit blocker upcasts all share one fleet), so their engines and
+// scratch arenas stay warm: a steady-state sharded stage allocates nothing.
 func (nw *Network) ShardRuns(count int, fn func(w *Network, i int) error) error {
 	workers := 1
 	if nw.Parallel && nw.OnRound == nil {
@@ -72,7 +86,9 @@ func (nw *Network) ShardRuns(count int, fn func(w *Network, i int) error) error 
 		}
 	}
 	if workers <= 1 {
+		sc := nw.Scratch()
 		for i := 0; i < count; i++ {
+			sc.Reset()
 			if err := fn(nw, i); err != nil {
 				return err
 			}
@@ -81,7 +97,9 @@ func (nw *Network) ShardRuns(count int, fn func(w *Network, i int) error) error 
 	}
 
 	chunk := (count + workers - 1) / workers
-	clones := make([]*Network, workers)
+	for len(nw.fleet) < workers {
+		nw.fleet = append(nw.fleet, nw.Clone())
+	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -89,12 +107,14 @@ func (nw *Network) ShardRuns(count int, fn func(w *Network, i int) error) error 
 		if lo >= hi {
 			break
 		}
-		cl := nw.Clone()
-		clones[w] = cl
+		cl := nw.fleet[w]
+		cl.ResetStats()
 		wg.Add(1)
 		go func(w int, cl *Network, lo, hi int) {
 			defer wg.Done()
+			sc := cl.Scratch()
 			for i := lo; i < hi; i++ {
+				sc.Reset()
 				if err := fn(cl, i); err != nil {
 					errs[w] = err
 					return
@@ -104,8 +124,8 @@ func (nw *Network) ShardRuns(count int, fn func(w *Network, i int) error) error 
 	}
 	wg.Wait()
 	for w := 0; w < workers; w++ {
-		if clones[w] != nil {
-			nw.Stats.Add(&clones[w].Stats)
+		if w*chunk < count {
+			nw.Stats.Add(&nw.fleet[w].Stats)
 		}
 	}
 	for _, err := range errs {

@@ -167,7 +167,14 @@ type Network struct {
 	nbrOff []int32
 	nbrs   []int
 
-	eng engine // reusable per-run scratch (see run)
+	eng     engine  // reusable per-run engine state (see run)
+	scratch Scratch // pooled protocol scratch (see scratch.go / DESIGN.md §7)
+
+	// fleet caches the worker clones handed out by ShardRuns, so repeated
+	// source-sharded stages (Steps 1/3/7, the q-sink SSSPs, the per-commit
+	// blocker upcasts) reuse one clone fleet — and its warm engines and
+	// scratch arenas — instead of re-deriving per-stage state.
+	fleet []*Network
 }
 
 // NewNetwork builds a network for input graph g with the given per-link
@@ -249,9 +256,19 @@ func (nw *Network) IsLink(u, v int) bool {
 	return nw.LinkIndex(u, v) >= 0
 }
 
-// ResetStats zeroes the accumulated statistics.
+// Scratch returns the network's pooled scratch arena. It is owned by the
+// network's single-execution discipline: never share it across goroutines
+// (worker clones carry their own).
+func (nw *Network) Scratch() *Scratch { return &nw.scratch }
+
+// ResetStats zeroes the accumulated statistics in place.
 func (nw *Network) ResetStats() {
-	nw.Stats = Stats{WordsByNode: make([]int64, nw.G.N)}
+	s := &nw.Stats
+	s.Rounds, s.Messages, s.Words = 0, 0, 0
+	if len(s.WordsByNode) != nw.G.N {
+		s.WordsByNode = make([]int64, nw.G.N)
+	}
+	clear(s.WordsByNode)
 }
 
 // ChargeRounds adds k rounds to the running total without simulating them.
@@ -345,6 +362,8 @@ type engine struct {
 	used    []int32 // per-link words used this round, indexed like nbrs
 	shards  []shard
 	touched []int32 // deduplicated receivers this round, in shard order
+
+	capped cappedProto // reusable RunFor wrapper (avoids one alloc per run)
 }
 
 func (e *engine) ensure(n, links, workers int) {
@@ -684,7 +703,10 @@ func placeShard(e *engine, sh *shard) {
 // either way, matching the fixed schedules in the paper.
 func (nw *Network) RunFor(p Proto, k int) error {
 	before := nw.Stats.Rounds
-	_, err := nw.run(&cappedProto{p: p, budget: k}, k+1, k-1)
+	c := &nw.eng.capped
+	c.p, c.budget = p, k
+	_, err := nw.run(c, k+1, k-1)
+	c.p = nil // drop the protocol reference once the run is over
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,151 @@
+package congest
+
+// This file implements the pooled scratch-arena subsystem (DESIGN.md §7).
+// The engine itself reached a zero-allocation steady state in an earlier
+// pass (reusable engine struct, double-buffered message arenas); the next
+// allocation hot path was the protocol layer above it: every per-source
+// Bellman-Ford, upcast, downcast and broadcast re-made its O(n) result and
+// label vectors, and a full APSP pipeline executes thousands of such runs
+// on one Network. The Scratch arena gives those consumers reusable memory
+// with two complementary shapes:
+//
+//   - Typed grow-only slabs ([]int64, []int32, []int, []bool): flat
+//     checkouts that live until the arena is reset. The reset points are
+//     few and explicit — ShardRuns resets a worker's arena before every
+//     sub-run, and the self-contained protocol entry points (bford.Run /
+//     bford.RunLabels, unweighted.Run) reset on entry. Everything below a
+//     reset point only takes. Slabs never shrink, so a steady-state rerun
+//     of the same protocol performs no allocations.
+//
+//   - A keyed state registry (ScratchState): per-package pooled structures
+//     whose lifetime is "until the next call of the same routine on this
+//     Network" — irregular shapes (FIFO queues, item arenas, cached proto
+//     structs) that a flat slab cannot express. Each package owns its key
+//     and its ensure/rewind discipline, so registry users never interfere
+//     with slab users.
+//
+// A Scratch belongs to exactly one Network and inherits its concurrency
+// contract: one protocol execution at a time. Worker clones own private
+// arenas (Clone starts with a fresh one), which is what makes the
+// source-sharded fleet allocation-free in steady state.
+
+// slab is one typed grow-only arena. take returns views of the backing
+// array; grow replaces the backing array (outstanding views keep aliasing
+// the old one, which stays valid until its holders are done), and Reset
+// rewinds the cursor so the next run reuses the high-water footprint.
+type slab[T any] struct {
+	buf []T
+	off int
+}
+
+func (s *slab[T]) take(n int) []T {
+	if len(s.buf)-s.off < n {
+		grown := 2 * len(s.buf)
+		if grown < n {
+			grown = n
+		}
+		s.buf = make([]T, grown)
+		s.off = 0
+	}
+	out := s.buf[s.off : s.off+n : s.off+n]
+	s.off += n
+	return out
+}
+
+// Scratch is a per-Network arena of reusable protocol scratch memory. See
+// the file comment for the checkout/reset contract. A Scratch is not safe
+// for concurrent use; it is owned by its Network's single-execution
+// discipline.
+type Scratch struct {
+	i64   slab[int64]
+	i32   slab[int32]
+	ints  slab[int]
+	bools slab[bool]
+
+	states map[any]any
+}
+
+// Reset rewinds every slab cursor. Memory handed out earlier becomes free
+// for reuse: callers must not retain slab checkouts across a reset point
+// (copy anything that outlives the run). Registry state is unaffected —
+// each owner manages its own reuse.
+func (s *Scratch) Reset() {
+	s.i64.off, s.i32.off, s.ints.off, s.bools.off = 0, 0, 0, 0
+}
+
+// Int64s checks out a zeroed []int64 of length n.
+func (s *Scratch) Int64s(n int) []int64 {
+	out := s.i64.take(n)
+	clear(out)
+	return out
+}
+
+// Int64sFilled checks out a []int64 of length n with every element v
+// (distance vectors are typically graph.Inf-filled).
+func (s *Scratch) Int64sFilled(n int, v int64) []int64 {
+	out := s.i64.take(n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Int32s checks out a zeroed []int32 of length n.
+func (s *Scratch) Int32s(n int) []int32 {
+	out := s.i32.take(n)
+	clear(out)
+	return out
+}
+
+// Ints checks out a zeroed []int of length n.
+func (s *Scratch) Ints(n int) []int {
+	out := s.ints.take(n)
+	clear(out)
+	return out
+}
+
+// IntsFilled checks out a []int of length n with every element v (parent
+// vectors are typically -1-filled).
+func (s *Scratch) IntsFilled(n, v int) []int {
+	out := s.ints.take(n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Bools checks out a zeroed []bool of length n.
+func (s *Scratch) Bools(n int) []bool {
+	out := s.bools.take(n)
+	clear(out)
+	return out
+}
+
+// Grow returns buf with length exactly n and zeroed contents, reallocating
+// only when the capacity has never been this large. It is the ensure step
+// every registry-state owner applies to its pooled vectors.
+func Grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		buf = make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// ScratchState returns the keyed pooled state of sc, building it on first
+// use. Keys are package-scoped (an unexported zero-size type per owner), so
+// distinct packages never collide. The state persists for the lifetime of
+// the Network — owners size it with an ensure step per call and reuse it
+// across calls; Scratch.Reset does not touch it.
+func ScratchState[T any](sc *Scratch, key any, build func() T) T {
+	if v, ok := sc.states[key]; ok {
+		return v.(T)
+	}
+	if sc.states == nil {
+		sc.states = make(map[any]any)
+	}
+	v := build()
+	sc.states[key] = v
+	return v
+}

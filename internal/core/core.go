@@ -239,7 +239,15 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	items := make([][]broadcast.Item, n)
+	itemCnt := make([]int32, n)
+	for _, c := range Q {
+		for cj := range Q {
+			if deltaH.At(cj, c) < graph.Inf {
+				itemCnt[c]++
+			}
+		}
+	}
+	items := broadcast.CarveItems(itemCnt)
 	for ci, c := range Q {
 		for cj := range Q {
 			if d := deltaH.At(cj, c); d < graph.Inf {
@@ -332,7 +340,11 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	distM := mat.New(len(step7Sources), n)
 	err = sourceShard(nw, len(step7Sources), func(w *congest.Network, k int) error {
 		x := step7Sources[k] // Step 1 built one tree per node, indexed by id
-		init := append([]int64(nil), coll.Label[x]...)
+		// The seed vector comes from the worker's scratch arena (reset per
+		// sub-run by ShardRuns); RunLabelsWithInit is the non-resetting
+		// bford entry point, so the checkout stays live through the run.
+		init := w.Scratch().Int64s(n)
+		copy(init, coll.Label[x])
 		for ci := range Q {
 			if v := qres.AtBlocker[ci][x]; v < init[Q[ci]] {
 				init[Q[ci]] = v
@@ -381,13 +393,26 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	return out, nil
 }
 
+// BlockerOptions configures BlockerOnly. The zero value selects the
+// paper's deterministic construction with the default hop parameter.
+type BlockerOptions struct {
+	// H is the hop parameter (0 or negative = ceil(n^(1/3))).
+	H int
+	// Mode selects the construction algorithm.
+	Mode blocker.Mode
+	// Seed drives the randomized modes.
+	Seed int64
+	// Parallel source-shards the collection's per-source SSSPs across a
+	// worker pool (the blocker construction itself follows the sequential
+	// schedule either way, and the result is bit-identical).
+	Parallel bool
+}
+
 // BlockerOnly builds just the h-hop CSSSP collection for all sources and a
 // blocker set over it; it exists for the public BlockerSet API and the
-// blocker experiments. mode is the integer value of blocker.Mode. With
-// parallel set, the collection's per-source SSSPs run source-sharded (the
-// blocker construction itself follows the sequential schedule either way,
-// and the result is bit-identical).
-func BlockerOnly(g *graph.Graph, h int, mode int, seed int64, parallel bool) ([]int, blocker.Stats, error) {
+// blocker experiments.
+func BlockerOnly(g *graph.Graph, opt BlockerOptions) ([]int, blocker.Stats, error) {
+	h := opt.H
 	if h < 1 {
 		h = int(math.Ceil(math.Pow(float64(g.N), 1.0/3)))
 	}
@@ -395,7 +420,7 @@ func BlockerOnly(g *graph.Graph, h int, mode int, seed int64, parallel bool) ([]
 	if err != nil {
 		return nil, blocker.Stats{}, err
 	}
-	nw.Parallel = parallel
+	nw.Parallel = opt.Parallel
 	sources := make([]int, g.N)
 	for i := range sources {
 		sources[i] = i
@@ -404,7 +429,7 @@ func BlockerOnly(g *graph.Graph, h int, mode int, seed int64, parallel bool) ([]
 	if err != nil {
 		return nil, blocker.Stats{}, err
 	}
-	res, err := blocker.Compute(nw, coll, blocker.Params{Mode: blocker.Mode(mode), Seed: seed})
+	res, err := blocker.Compute(nw, coll, blocker.Params{Mode: opt.Mode, Seed: opt.Seed})
 	if err != nil {
 		return nil, blocker.Stats{}, err
 	}
@@ -449,21 +474,26 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 	n := g.N
 	lhM := mat.NewIntFilled(n, n, -1)
 	lh := lhM.RowViews()
+	// Per-link state is indexed by (node, link index) through one flat
+	// offset table, so the whole pass costs a handful of allocations
+	// instead of one per node and per link.
+	linkOff := make([]int32, n+1)
+	for t := 0; t < n; t++ {
+		linkOff[t+1] = linkOff[t] + int32(nw.Degree(t))
+	}
+	L := int(linkOff[n])
 	// Minimum weight per ordered neighbor pair (parallel edges collapsed),
 	// stored per link position so lookups follow nw.LinkIndex instead of a
-	// map: wmin[t][i] is the min weight of u->t for u = nw.Neighbors(t)[i],
-	// or graph.Inf when no such directed edge exists.
-	wmin := make([][]int64, n)
-	for t := 0; t < n; t++ {
-		wmin[t] = make([]int64, nw.Degree(t))
-		for i := range wmin[t] {
-			wmin[t][i] = graph.Inf
-		}
+	// map: wmin[linkOff[t]+i] is the min weight of u->t for u =
+	// nw.Neighbors(t)[i], or graph.Inf when no such directed edge exists.
+	wmin := make([]int64, L)
+	for i := range wmin {
+		wmin[i] = graph.Inf
 	}
 	for _, e := range g.Edges() {
 		rec := func(u, t int, w int64) {
-			if i := nw.LinkIndex(t, u); i >= 0 && w < wmin[t][i] {
-				wmin[t][i] = w
+			if i := nw.LinkIndex(t, u); i >= 0 && w < wmin[int(linkOff[t])+i] {
+				wmin[int(linkOff[t])+i] = w
 			}
 		}
 		rec(e.U, e.V, e.W)
@@ -482,20 +512,20 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 		kindCol    uint8 = 50
 		kindSettle uint8 = 51
 	)
-	nbrDist := make([][][]int64, n) // nbrDist[t][link index of u][x]
-	settled := make([][]bool, n)    // settled[t][x]
-	var queue [][]int32             // queue[t]: sources to announce
-	queue = make([][]int32, n)
+	// nbrDist[(linkOff[t]+i)*n + x]: delta(x, u) as received at t from its
+	// i-th neighbor u.
+	nbrDist := make([]int64, L*n)
+	for i := range nbrDist {
+		nbrDist[i] = graph.Inf
+	}
+	settledM := make([]bool, n*n) // settled[t*n+x]
+	settled := make([][]bool, n)
+	queueArena := make([]int32, n*n) // each t announces each source at most once
+	queue := make([][]int32, n)      // queue[t]: sources to announce
+	head := make([]int32, n)
 	for t := 0; t < n; t++ {
-		nbrDist[t] = make([][]int64, nw.Degree(t))
-		for i := range nbrDist[t] {
-			col := make([]int64, n)
-			for x := range col {
-				col[x] = graph.Inf
-			}
-			nbrDist[t][i] = col
-		}
-		settled[t] = make([]bool, n)
+		settled[t] = settledM[t*n : (t+1)*n : (t+1)*n]
+		queue[t] = queueArena[t*n : t*n : (t+1)*n]
 	}
 	settle := func(t, x int, pred int) {
 		settled[t][x] = true
@@ -506,13 +536,14 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 	}
 	p := congest.ProtoFunc(func(t, round int, in []congest.Message, send func(congest.Message)) bool {
 		lastCol := -1
+		base := int(linkOff[t])
 		// Gather this round's settle announcements first so the min-id
 		// composing announcer wins deterministically.
 		var annX, annFrom []int
 		for _, m := range in {
 			switch m.Kind {
 			case kindCol:
-				nbrDist[t][nw.LinkIndex(t, m.From)][int(m.A)] = m.B
+				nbrDist[(base+nw.LinkIndex(t, m.From))*n+int(m.A)] = m.B
 				lastCol = int(m.A)
 			case kindSettle:
 				annX = append(annX, int(m.A))
@@ -524,9 +555,9 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 			if settled[t][x] || dist[x][t] >= graph.Inf {
 				continue
 			}
-			li := nw.LinkIndex(t, u)
-			w := wmin[t][li]
-			du := nbrDist[t][li][x]
+			li := base + nw.LinkIndex(t, u)
+			w := wmin[li]
+			du := nbrDist[li*n+x]
 			if w >= graph.Inf || du >= graph.Inf || du+w != dist[x][t] {
 				continue
 			}
@@ -535,9 +566,9 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 				if annX[k2] != x || annFrom[k2] >= best {
 					continue
 				}
-				l2 := nw.LinkIndex(t, annFrom[k2])
-				if w2 := wmin[t][l2]; w2 < graph.Inf {
-					if d2 := nbrDist[t][l2][x]; d2 < graph.Inf && d2+w2 == dist[x][t] {
+				l2 := base + nw.LinkIndex(t, annFrom[k2])
+				if w2 := wmin[l2]; w2 < graph.Inf {
+					if d2 := nbrDist[l2*n+x]; d2 < graph.Inf && d2+w2 == dist[x][t] {
 						best = annFrom[k2]
 					}
 				}
@@ -552,11 +583,11 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 			} else if dist[x][t] < graph.Inf {
 				best := -1
 				for i, u := range nw.Neighbors(t) {
-					w := wmin[t][i]
+					w := wmin[base+i]
 					if w >= graph.Inf || w == 0 {
 						continue
 					}
-					du := nbrDist[t][i][x]
+					du := nbrDist[(base+i)*n+x]
 					if du < graph.Inf && du+w == dist[x][t] && (best == -1 || u < best) {
 						best = u
 					}
@@ -580,14 +611,14 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 				budgetWords--
 			}
 		}
-		if len(queue[t]) > 0 && budgetWords > 0 {
-			x := queue[t][0]
-			queue[t] = queue[t][1:]
+		if int(head[t]) < len(queue[t]) && budgetWords > 0 {
+			x := queue[t][head[t]]
+			head[t]++
 			for _, nb := range nw.Neighbors(t) {
 				send(congest.Message{To: nb, Kind: kindSettle, A: int64(x)})
 			}
 		}
-		return round >= n && len(queue[t]) == 0
+		return round >= n && int(head[t]) >= len(queue[t])
 	})
 	budget := 8*n + 64
 	if _, err := nw.Run(p, budget); err != nil {

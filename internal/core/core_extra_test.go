@@ -10,7 +10,7 @@ import (
 func TestBlockerOnly(t *testing.T) {
 	g := graph.Ring(graph.GenConfig{N: 18, Seed: 3, MaxWeight: 5})
 	for _, mode := range []blocker.Mode{blocker.Deterministic, blocker.Greedy, blocker.RandomSample} {
-		q, stats, err := BlockerOnly(g, 3, int(mode), 7, false)
+		q, stats, err := BlockerOnly(g, BlockerOptions{H: 3, Mode: mode, Seed: 7})
 		if err != nil {
 			t.Fatalf("mode %v: %v", mode, err)
 		}
@@ -21,8 +21,8 @@ func TestBlockerOnly(t *testing.T) {
 			t.Errorf("mode %v: no rounds", mode)
 		}
 	}
-	// h = 0 selects the default ceil(n^(1/3)).
-	if _, _, err := BlockerOnly(g, 0, int(blocker.Deterministic), 0, false); err != nil {
+	// H = 0 selects the default ceil(n^(1/3)).
+	if _, _, err := BlockerOnly(g, BlockerOptions{}); err != nil {
 		t.Errorf("default h: %v", err)
 	}
 }

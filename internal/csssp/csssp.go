@@ -19,6 +19,7 @@ import (
 	"congestapsp/internal/bford"
 	"congestapsp/internal/congest"
 	"congestapsp/internal/graph"
+	"congestapsp/internal/mat"
 )
 
 // Collection is an h-hop CSSSP collection: one height-<=h tree per source.
@@ -51,6 +52,15 @@ type Collection struct {
 	Removed [][]bool
 
 	hLeaves [][]int32 // depth-H nodes per tree (static), see HLeaves
+
+	// As-built child CSR per tree: chIds[i][chOff[i][v]:chOff[i][v+1]] is
+	// the ascending list of v's children in tree i as constructed, ignoring
+	// removals (tree shapes never change after Build; only the Removed bits
+	// do). Traversals filter the dynamic Removed state, so the collection's
+	// thousands of flood/upcast/downcast protocol runs walk this structure
+	// instead of re-materializing child lists. See ChildIDs.
+	chOff [][]int32
+	chIds [][]int32
 }
 
 // Build constructs the h-CSSSP collection for the given sources by running
@@ -66,29 +76,37 @@ func Build(nw *congest.Network, g *graph.Graph, sources []int, h int, mode bford
 	if h < 1 {
 		return nil, fmt.Errorf("csssp: hop bound must be >= 1, got %d", h)
 	}
+	ns := len(sources)
+	n := g.N
 	c := &Collection{
 		G:       g,
 		H:       h,
 		Mode:    mode,
 		Sources: append([]int(nil), sources...),
-		Dist:    make([][]int64, len(sources)),
-		Label:   make([][]int64, len(sources)),
-		Depth:   make([][]int, len(sources)),
-		Parent:  make([][]int, len(sources)),
-		Removed: make([][]bool, len(sources)),
 	}
-	err := nw.ShardRuns(len(sources), func(w *congest.Network, i int) error {
+	// Flat backing arenas: one allocation per field instead of one per
+	// tree. Rows are capacity-capped views written disjointly by the
+	// sharded sub-runs (sub-run i owns exactly the i-th row of each).
+	c.Dist = mat.New(ns, n).RowViews()
+	c.Label = mat.New(ns, n).RowViews()
+	c.Depth = mat.NewInt(ns, n).RowViews()
+	c.Parent = mat.NewInt(ns, n).RowViews()
+	c.Removed = make([][]bool, ns)
+	removedFlat := make([]bool, ns*n)
+	c.chOff = make([][]int32, ns)
+	c.chIds = make([][]int32, ns)
+	chOffFlat := make([]int32, ns*(n+1))
+	for i := 0; i < ns; i++ {
+		c.Removed[i] = removedFlat[i*n : (i+1)*n : (i+1)*n]
+		c.chOff[i] = chOffFlat[i*(n+1) : (i+1)*(n+1) : (i+1)*(n+1)]
+	}
+	err := nw.ShardRuns(ns, func(w *congest.Network, i int) error {
 		src := sources[i]
 		res, err := bford.Run(w, g, src, 2*h, mode)
 		if err != nil {
 			return fmt.Errorf("csssp: source %d: %w", src, err)
 		}
-		n := g.N
-		c.Dist[i] = make([]int64, n)
-		c.Label[i] = append([]int64(nil), res.Dist...)
-		c.Depth[i] = make([]int, n)
-		c.Parent[i] = make([]int, n)
-		c.Removed[i] = make([]bool, n)
+		copy(c.Label[i], res.Dist)
 		for v := 0; v < n; v++ {
 			if res.Confirmed[v] && res.Hops[v] >= 0 && res.Hops[v] <= h {
 				c.Dist[i][v] = res.Dist[v]
@@ -105,11 +123,50 @@ func Build(nw *congest.Network, g *graph.Graph, sources []int, h int, mode bford
 	if err != nil {
 		return nil, err
 	}
-	// Eagerly materialize the static per-tree leaf lists: consumers (the
-	// blocker construction) read them from sharded workers, and the lazy
-	// build is not safe under concurrent first touch.
-	for i := range c.Sources {
-		c.HLeaves(i)
+	// As-built child CSR per tree (two counting passes per tree; ascending
+	// child order because v ascends) and the static depth-H leaf lists,
+	// each carved from one flat arena. Consumers (the blocker construction)
+	// read both from sharded workers, so they are materialized eagerly —
+	// the lazy HLeaves build is not safe under concurrent first touch.
+	chTotal, leafTotal := 0, 0
+	for i := 0; i < ns; i++ {
+		off := c.chOff[i]
+		for v := 0; v < n; v++ {
+			if p := c.Parent[i][v]; p >= 0 {
+				off[p+1]++
+			}
+			if c.Depth[i][v] == h {
+				leafTotal++
+			}
+		}
+		for v := 0; v < n; v++ {
+			off[v+1] += off[v]
+		}
+		chTotal += int(off[n])
+	}
+	chIdsFlat := make([]int32, chTotal)
+	hlFlat := make([]int32, leafTotal)
+	c.hLeaves = make([][]int32, ns)
+	fill := make([]int32, n)
+	chBase, hlBase := 0, 0
+	for i := 0; i < ns; i++ {
+		off := c.chOff[i]
+		ids := chIdsFlat[chBase : chBase+int(off[n]) : chBase+int(off[n])]
+		chBase += int(off[n])
+		copy(fill, off[:n])
+		hl := hlFlat[hlBase:hlBase:leafTotal]
+		for v := 0; v < n; v++ {
+			if p := c.Parent[i][v]; p >= 0 {
+				ids[fill[p]] = int32(v)
+				fill[p]++
+			}
+			if c.Depth[i][v] == h {
+				hl = append(hl, int32(v))
+			}
+		}
+		hlBase += len(hl)
+		c.chIds[i] = ids
+		c.hLeaves[i] = hl
 	}
 	return c, nil
 }
@@ -123,7 +180,19 @@ func (c *Collection) InTree(i, v int) bool {
 	return c.Depth[i][v] >= 0 && !c.Removed[i][v]
 }
 
-// Children returns the child lists of tree i, respecting removals.
+// ChildIDs returns the as-built children of v in tree i, ascending,
+// ignoring removals (the tree shape is immutable after Build). Traversals
+// that must respect the current pruning state filter Removed[i] per child;
+// the returned slice aliases the collection's CSR arena and must not be
+// modified.
+func (c *Collection) ChildIDs(i, v int) []int32 {
+	off := c.chOff[i]
+	return c.chIds[i][off[v]:off[v+1]]
+}
+
+// Children materializes the child lists of tree i, respecting removals. It
+// allocates per call; protocol hot paths use ChildIDs plus a Removed check
+// instead.
 func (c *Collection) Children(i int) [][]int {
 	n := c.G.N
 	ch := make([][]int, n)
@@ -215,36 +284,85 @@ func (c *Collection) PathVertices(i, leaf int) []int {
 // Removed[i]), so they source-shard across worker clones when nw.Parallel
 // is set, with stats merged in tree order.
 func (c *Collection) RemoveSubtrees(nw *congest.Network, inZ []bool, excludeRoots bool) error {
-	const kindRemove uint8 = 11
 	return nw.ShardRuns(len(c.Sources), func(w *congest.Network, i int) error {
-		ch := c.Children(i)
-		root := c.Sources[i]
-		p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
-			if round == 0 {
-				if inZ[v] && c.InTree(i, v) && !(excludeRoots && v == root) {
-					c.Removed[i][v] = true
-					for _, w := range ch[v] {
-						send(congest.Message{To: w, Kind: kindRemove})
-					}
-				}
-				return !inZ[v]
-			}
-			for _, m := range in {
-				if m.Kind != kindRemove || c.Removed[i][v] {
-					continue
-				}
-				c.Removed[i][v] = true
-				for _, w := range ch[v] {
-					send(congest.Message{To: w, Kind: kindRemove})
+		// Snapshot the pre-flood (removal-filtered) child lists into the
+		// worker's arena: the flood marks removals while it runs, but — like
+		// the materialized lists it replaces — must keep flooding over the
+		// tree as it stood when the flood started.
+		sc := w.Scratch()
+		n := c.G.N
+		off := sc.Int32s(n + 1)
+		for v := 0; v < n; v++ {
+			if c.InTree(i, v) {
+				if p := c.Parent[i][v]; p >= 0 {
+					off[p+1]++
 				}
 			}
-			return true
-		})
-		if err := w.RunFor(p, c.H+1); err != nil {
+		}
+		for v := 0; v < n; v++ {
+			off[v+1] += off[v]
+		}
+		ids := sc.Int32s(int(off[n]))
+		fill := sc.Int32s(n)
+		copy(fill, off[:n])
+		for v := 0; v < n; v++ {
+			if c.InTree(i, v) {
+				if p := c.Parent[i][v]; p >= 0 {
+					ids[fill[p]] = int32(v)
+					fill[p]++
+				}
+			}
+		}
+		p := congest.ScratchState(sc, removeKey{}, func() *removeProto { return new(removeProto) })
+		p.c, p.i, p.root = c, i, c.Sources[i]
+		p.inZ, p.excludeRoots = inZ, excludeRoots
+		p.off, p.ids = off, ids
+		err := w.RunFor(p, c.H+1)
+		p.c, p.inZ, p.off, p.ids = nil, nil, nil, nil
+		if err != nil {
 			return fmt.Errorf("csssp: remove-subtrees tree %d: %w", i, err)
 		}
 		return nil
 	})
+}
+
+const kindRemove uint8 = 11
+
+type removeKey struct{}
+
+// removeProto is the Remove-Subtrees flood as a reusable per-network
+// protocol (pooled via congest.ScratchState), so the per-commit floods of
+// the blocker construction allocate nothing in steady state.
+type removeProto struct {
+	c            *Collection
+	i, root      int
+	inZ          []bool
+	excludeRoots bool
+	off, ids     []int32 // pre-flood child CSR snapshot
+}
+
+// Step implements congest.Proto.
+func (p *removeProto) Step(v, round int, in []congest.Message, send func(congest.Message)) bool {
+	c, i := p.c, p.i
+	if round == 0 {
+		if p.inZ[v] && c.InTree(i, v) && !(p.excludeRoots && v == p.root) {
+			c.Removed[i][v] = true
+			for _, w := range p.ids[p.off[v]:p.off[v+1]] {
+				send(congest.Message{To: int(w), Kind: kindRemove})
+			}
+		}
+		return !p.inZ[v]
+	}
+	for _, m := range in {
+		if m.Kind != kindRemove || c.Removed[i][v] {
+			continue
+		}
+		c.Removed[i][v] = true
+		for _, w := range p.ids[p.off[v]:p.off[v+1]] {
+			send(congest.Message{To: int(w), Kind: kindRemove})
+		}
+	}
+	return true
 }
 
 // UpcastSum runs the Compute-Count convergecast of Algorithm 14
@@ -254,32 +372,65 @@ func (c *Collection) RemoveSubtrees(nw *congest.Network, inZ []bool, excludeRoot
 // parent at round H-d, so the fixed schedule is H+1 rounds per tree
 // (Lemma A.18).
 func (c *Collection) UpcastSum(nw *congest.Network, i int, init []int64) ([]int64, error) {
+	acc := make([]int64, c.G.N)
+	if err := c.UpcastSumInto(nw, i, init, acc); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// UpcastSumInto is UpcastSum writing the per-node sums into acc (length n),
+// so callers that loop over trees — the blocker score recomputations run
+// one upcast per tree per commit — reuse their own storage instead of
+// allocating a fresh vector per tree. init and acc may be arena-backed.
+func (c *Collection) UpcastSumInto(nw *congest.Network, i int, init, acc []int64) error {
 	n := c.G.N
-	h := c.H
-	acc := make([]int64, n)
+	if len(acc) != n {
+		return fmt.Errorf("csssp: upcast tree %d: acc length %d != n %d", i, len(acc), n)
+	}
 	for v := 0; v < n; v++ {
 		if c.InTree(i, v) {
 			acc[v] = init[v]
+		} else {
+			acc[v] = 0
 		}
 	}
-	const kindCount uint8 = 12
-	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
-		for _, m := range in {
-			if m.Kind == kindCount {
-				acc[v] += m.A
-			}
-		}
-		if c.InTree(i, v) {
-			if d := c.Depth[i][v]; d > 0 && round == h-d {
-				send(congest.Message{To: c.Parent[i][v], Kind: kindCount, A: acc[v]})
-			}
-		}
-		return round >= h
-	})
-	if err := nw.RunFor(p, h+1); err != nil {
-		return nil, fmt.Errorf("csssp: upcast tree %d: %w", i, err)
+	p := congest.ScratchState(nw.Scratch(), upcastKey{}, func() *upcastProto { return new(upcastProto) })
+	p.c, p.i, p.acc = c, i, acc
+	err := nw.RunFor(p, c.H+1)
+	p.c, p.acc = nil, nil
+	if err != nil {
+		return fmt.Errorf("csssp: upcast tree %d: %w", i, err)
 	}
-	return acc, nil
+	return nil
+}
+
+const kindCount uint8 = 12
+
+type upcastKey struct{}
+
+// upcastProto is the Compute-Count convergecast as a reusable per-network
+// protocol (pooled via congest.ScratchState).
+type upcastProto struct {
+	c   *Collection
+	i   int
+	acc []int64
+}
+
+// Step implements congest.Proto.
+func (p *upcastProto) Step(v, round int, in []congest.Message, send func(congest.Message)) bool {
+	c, i, h := p.c, p.i, p.c.H
+	for _, m := range in {
+		if m.Kind == kindCount {
+			p.acc[v] += m.A
+		}
+	}
+	if c.InTree(i, v) {
+		if d := c.Depth[i][v]; d > 0 && round == h-d {
+			send(congest.Message{To: c.Parent[i][v], Kind: kindCount, A: p.acc[v]})
+		}
+	}
+	return round >= h
 }
 
 // ResetRemovals restores every tree to its as-built state (all removal
@@ -300,23 +451,29 @@ func (c *Collection) ResetRemovals() {
 // caller charges the appropriate rounds separately; see blocker.Greedy).
 func (c *Collection) RemoveSubtreesLocal(inZ []bool, excludeRoots bool) {
 	n := c.G.N
+	var stack []int32
 	for i := range c.Sources {
-		ch := c.Children(i)
 		root := c.Sources[i]
-		var stack []int
+		stack = stack[:0]
 		for v := 0; v < n; v++ {
 			if inZ[v] && c.InTree(i, v) && !(excludeRoots && v == root) {
-				stack = append(stack, v)
+				stack = append(stack, int32(v))
 			}
 		}
 		for len(stack) > 0 {
-			v := stack[len(stack)-1]
+			v := int(stack[len(stack)-1])
 			stack = stack[:len(stack)-1]
 			if c.Removed[i][v] {
 				continue
 			}
 			c.Removed[i][v] = true
-			stack = append(stack, ch[v]...)
+			// Children already removed (by this call or earlier) had their
+			// subtrees handled when they were removed.
+			for _, w := range c.ChildIDs(i, v) {
+				if !c.Removed[i][w] {
+					stack = append(stack, w)
+				}
+			}
 		}
 	}
 }

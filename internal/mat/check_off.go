@@ -1,0 +1,9 @@
+//go:build !matcheck
+
+package mat
+
+// checkEnabled gates the At/Set/Row bounds assertions. In the default
+// build it is a false constant, so the checks fold away entirely and the
+// accessors keep their raw-indexing cost. Build (or test) with
+// `-tags matcheck` to turn misindexed accesses into loud panics.
+const checkEnabled = false

@@ -1,0 +1,9 @@
+//go:build matcheck
+
+package mat
+
+// checkEnabled: this build carries the matcheck tag, so every At/Set/Row
+// asserts its indices and panics on a misindexed access instead of
+// silently touching a neighboring row. CI runs the race test suite with
+// this tag.
+const checkEnabled = true

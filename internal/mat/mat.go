@@ -18,9 +18,35 @@
 // Invariants: Row(i) aliases the backing slice but is capacity-capped to the
 // row, so appends to a view can never spill into the next row; a Matrix is
 // never resized after construction.
+//
+// Because the storage is flat, a misindexed At/Set/Row would silently read
+// or write a neighboring row where the old [][]int64 representation
+// panicked. Builds tagged `matcheck` (CI runs the race suite with it) turn
+// every access into a bounds-asserted one that fails loudly instead; the
+// default build keeps the checks compiled out of the hot loops.
 package mat
 
 import "fmt"
+
+// check panics when (i, j) is outside a rows x cols matrix; it compiles to
+// nothing unless the matcheck build tag is set.
+func check(i, j, rows, cols int) {
+	if checkEnabled {
+		if uint(i) >= uint(rows) || uint(j) >= uint(cols) {
+			panic(fmt.Sprintf("mat: index (%d, %d) out of range for %dx%d matrix", i, j, rows, cols))
+		}
+	}
+}
+
+// checkRow panics when i is not a valid row index; compiled out without
+// the matcheck build tag.
+func checkRow(i, rows int) {
+	if checkEnabled {
+		if uint(i) >= uint(rows) {
+			panic(fmt.Sprintf("mat: row %d out of range for %d rows", i, rows))
+		}
+	}
+}
 
 // Matrix is a flat row-major rows x cols matrix of int64.
 type Matrix struct {
@@ -55,15 +81,22 @@ func (m *Matrix) Cols() int { return m.cols }
 // append can never overwrite the next row. Distinct rows may be written
 // concurrently.
 func (m *Matrix) Row(i int) []int64 {
+	checkRow(i, m.rows)
 	off := i * m.cols
 	return m.data[off : off+m.cols : off+m.cols]
 }
 
 // At returns element (i, j).
-func (m *Matrix) At(i, j int) int64 { return m.data[i*m.cols+j] }
+func (m *Matrix) At(i, j int) int64 {
+	check(i, j, m.rows, m.cols)
+	return m.data[i*m.cols+j]
+}
 
 // Set assigns element (i, j).
-func (m *Matrix) Set(i, j int, v int64) { m.data[i*m.cols+j] = v }
+func (m *Matrix) Set(i, j int, v int64) {
+	check(i, j, m.rows, m.cols)
+	m.data[i*m.cols+j] = v
+}
 
 // Fill sets every element to v.
 func (m *Matrix) Fill(v int64) {
@@ -80,24 +113,6 @@ func (m *Matrix) RowViews() [][]int64 {
 		out[i] = m.Row(i)
 	}
 	return out
-}
-
-// FromRows copies a [][]int64 (all rows the same length) into a fresh
-// Matrix. It exists for callers bridging legacy row-slice data into the
-// flat layout.
-func FromRows(rows [][]int64) (*Matrix, error) {
-	if len(rows) == 0 {
-		return New(0, 0), nil
-	}
-	cols := len(rows[0])
-	m := New(len(rows), cols)
-	for i, r := range rows {
-		if len(r) != cols {
-			return nil, fmt.Errorf("mat: ragged input: row %d has %d cols, want %d", i, len(r), cols)
-		}
-		copy(m.Row(i), r)
-	}
-	return m, nil
 }
 
 // Int is a flat row-major rows x cols matrix of int (last-hop and parent
@@ -134,15 +149,22 @@ func (m *Int) Cols() int { return m.cols }
 
 // Row returns a zero-copy, capacity-capped view of row i.
 func (m *Int) Row(i int) []int {
+	checkRow(i, m.rows)
 	off := i * m.cols
 	return m.data[off : off+m.cols : off+m.cols]
 }
 
 // At returns element (i, j).
-func (m *Int) At(i, j int) int { return m.data[i*m.cols+j] }
+func (m *Int) At(i, j int) int {
+	check(i, j, m.rows, m.cols)
+	return m.data[i*m.cols+j]
+}
 
 // Set assigns element (i, j).
-func (m *Int) Set(i, j int, v int) { m.data[i*m.cols+j] = v }
+func (m *Int) Set(i, j int, v int) {
+	check(i, j, m.rows, m.cols)
+	m.data[i*m.cols+j] = v
+}
 
 // RowViews materializes the [][]int surface of zero-copy row views.
 func (m *Int) RowViews() [][]int {

@@ -49,23 +49,6 @@ func TestRowViewsAliasAndCap(t *testing.T) {
 	_ = r0
 }
 
-func TestFromRows(t *testing.T) {
-	m, err := FromRows([][]int64{{1, 2}, {3, 4}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m.At(0, 0) != 1 || m.At(1, 1) != 4 {
-		t.Fatalf("FromRows copied wrong values: %v", m.data)
-	}
-	if _, err := FromRows([][]int64{{1}, {2, 3}}); err == nil {
-		t.Fatal("ragged FromRows must error")
-	}
-	empty, err := FromRows(nil)
-	if err != nil || empty.Rows() != 0 {
-		t.Fatalf("empty FromRows: %v, rows=%d", err, empty.Rows())
-	}
-}
-
 func TestIntMatrix(t *testing.T) {
 	m := NewIntFilled(2, 2, -1)
 	if m.At(0, 0) != -1 || m.At(1, 1) != -1 {

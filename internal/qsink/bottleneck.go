@@ -23,15 +23,16 @@ func computeBottlenecks(nw *congest.Network, cq *csssp.Collection, tree *broadca
 	q := cq.NumTrees()
 
 	// Step 1: count_{v,c} for every tree (simulated convergecasts), summed
-	// into total_count_v locally (Step 2).
+	// into total_count_v locally (Step 2). The per-tree counts are consumed
+	// immediately, so one reused buffer serves all q upcasts.
 	ones := make([]int64, n)
 	for v := range ones {
 		ones[v] = 1
 	}
 	total := make([]int64, n)
+	counts := make([]int64, n)
 	for i := 0; i < q; i++ {
-		counts, err := cq.UpcastSum(nw, i, ones)
-		if err != nil {
+		if err := cq.UpcastSumInto(nw, i, ones, counts); err != nil {
 			return nil, 0, 0, err
 		}
 		root := cq.Sources[i]
@@ -44,14 +45,23 @@ func computeBottlenecks(nw *congest.Network, cq *csssp.Collection, tree *broadca
 	loadBefore = maxOf(total)
 	loadAfter = loadBefore
 
+	// Tree depths never change, so the decreasing-depth traversal order of
+	// each tree — which every post-pick local size recomputation walks — is
+	// computed once and shared across elimination rounds.
+	var orders [][]int32
+	itemBuf := make([]broadcast.Item, n)
+	items := make([][]broadcast.Item, n)
+
 	// Steps 3-6: eliminate until no node exceeds the bound.
 	for {
 		// Step 4: broadcast the load values (only overloaded nodes need to
 		// speak; O(n) rounds either way).
-		items := make([][]broadcast.Item, n)
 		for v := 0; v < n; v++ {
 			if total[v] > bound {
-				items[v] = []broadcast.Item{{A: int64(v), B: total[v]}}
+				itemBuf[v] = broadcast.Item{A: int64(v), B: total[v]}
+				items[v] = itemBuf[v : v+1 : v+1]
+			} else {
+				items[v] = nil
 			}
 		}
 		if _, err := broadcast.AllToAll(nw, tree, items); err != nil {
@@ -74,11 +84,12 @@ func computeBottlenecks(nw *congest.Network, cq *csssp.Collection, tree *broadca
 		inZ[best] = true
 		cq.RemoveSubtreesLocal(inZ, false)
 		nw.ChargeRounds(n)
-		for v := range total {
-			total[v] = 0
+		if orders == nil {
+			orders = depthOrders(cq)
 		}
+		clear(total)
 		for i := 0; i < q; i++ {
-			counts := subtreeSizesLocal(cq, i)
+			subtreeSizesInto(cq, i, orders[i], counts)
 			root := cq.Sources[i]
 			for v := 0; v < n; v++ {
 				if v != root && cq.InTree(i, v) {
@@ -95,35 +106,57 @@ func computeBottlenecks(nw *congest.Network, cq *csssp.Collection, tree *broadca
 	return B, loadBefore, loadAfter, nil
 }
 
-// subtreeSizesLocal computes, without network traffic, the current subtree
-// size of every node of tree i (the local mirror used inside the O(n)
-// charged update).
-func subtreeSizesLocal(cq *csssp.Collection, i int) []int64 {
+// depthOrders returns, per tree, the as-built tree nodes in decreasing
+// depth (children before parents), carved from one flat arena. Depths are
+// static, so the orders stay valid across removals; traversals filter the
+// dynamic InTree state.
+func depthOrders(cq *csssp.Collection) [][]int32 {
 	n := cq.G.N
-	size := make([]int64, n)
-	// Process nodes in decreasing depth so children accumulate first.
-	order := make([]int, 0, n)
-	for v := 0; v < n; v++ {
-		if cq.InTree(i, v) {
-			order = append(order, v)
-			size[v] = 1
-		}
-	}
-	// Simple counting sort by depth.
-	byDepth := make([][]int, cq.H+1)
-	for _, v := range order {
-		d := cq.Depth[i][v]
-		byDepth[d] = append(byDepth[d], v)
-	}
-	for d := cq.H; d >= 1; d-- {
-		for _, v := range byDepth[d] {
-			p := cq.Parent[i][v]
-			if p >= 0 && cq.InTree(i, p) {
-				size[p] += size[v]
+	q := cq.NumTrees()
+	sizes := 0
+	for i := 0; i < q; i++ {
+		for v := 0; v < n; v++ {
+			if cq.Depth[i][v] >= 0 {
+				sizes++
 			}
 		}
 	}
-	return size
+	flat := make([]int32, 0, sizes)
+	orders := make([][]int32, q)
+	for i := 0; i < q; i++ {
+		start := len(flat)
+		for d := cq.H; d >= 0; d-- {
+			for v := 0; v < n; v++ {
+				if cq.Depth[i][v] == d {
+					flat = append(flat, int32(v))
+				}
+			}
+		}
+		orders[i] = flat[start:len(flat):len(flat)]
+	}
+	return orders
+}
+
+// subtreeSizesInto computes, without network traffic, the current subtree
+// size of every node of tree i into size (the local mirror used inside the
+// O(n) charged update). order lists the tree's as-built nodes in
+// decreasing depth, so children accumulate before parents.
+func subtreeSizesInto(cq *csssp.Collection, i int, order []int32, size []int64) {
+	clear(size)
+	for _, v32 := range order {
+		if cq.InTree(i, int(v32)) {
+			size[v32] = 1
+		}
+	}
+	for _, v32 := range order {
+		v := int(v32)
+		if !cq.InTree(i, v) {
+			continue
+		}
+		if p := cq.Parent[i][v]; p >= 0 && cq.InTree(i, p) {
+			size[p] += size[v]
+		}
+	}
 }
 
 func maxOf(xs []int64) int64 {

@@ -41,7 +41,15 @@ func runCase2(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *css
 			return err
 		}
 		// Step 3: every x broadcasts delta(x, b) for each b in B.
-		items := make([][]broadcast.Item, n)
+		itemCnt := make([]int32, n)
+		for x := 0; x < n; x++ {
+			for k := range B {
+				if inD.At(k, x) < graph.Inf {
+					itemCnt[x]++
+				}
+			}
+		}
+		items := broadcast.CarveItems(itemCnt)
 		for x := 0; x < n; x++ {
 			for k := range B {
 				if d := inD.At(k, x); d < graph.Inf {
@@ -95,10 +103,15 @@ type pipeMsg struct {
 const kindPipe uint8 = 40
 
 // pipeState is the shared plumbing of the two schedulers. Queues are FIFO
-// with an explicit head cursor: dequeuing advances heads[v][ci] instead of
+// with an explicit head cursor: dequeuing advances heads[v*q+ci] instead of
 // re-slicing, so the hot forwarding path never copies slice headers, and a
 // fully drained queue resets to its start so its backing array is reused by
 // later appends instead of growing without bound.
+//
+// The whole structure is pooled on the Network (congest.ScratchState): the
+// spines are flat n*q arrays reallocated only when the shape grows, and the
+// per-queue backing arrays keep their grown capacity across runs, so a
+// warm re-run allocates almost nothing.
 //
 // All per-node state (queues, heads, pending, sent, the at-matrix rows the
 // deliver closure writes — row ci is only written by blocker node Q[ci])
@@ -110,29 +123,38 @@ const kindPipe uint8 = 40
 type pipeState struct {
 	cq      *csssp.Collection
 	Q       []int
-	queues  [][][]pipeMsg // queues[v][ci]: messages at v for blocker ci
-	heads   [][]int32     // heads[v][ci]: first unsent index in queues[v][ci]
-	pending []int64       // total unsent messages at v
-	total   atomic.Int64  // undelivered messages across all nodes
+	q       int          // len(Q); row stride of the flat spines
+	queues  [][]pipeMsg  // queues[v*q+ci]: messages at v for blocker ci
+	heads   []int32      // heads[v*q+ci]: first unsent index
+	pending []int64      // total unsent messages at v
+	total   atomic.Int64 // undelivered messages across all nodes
 	deliver func(ci, x int, val int64)
 	sent    []int64 // per-node forwarded count (congestion accounting)
+	cursor  []int32 // round-robin position in the cyclic order O per node
+
+	rr roundRobinProto
 }
 
-func newPipeState(cq *csssp.Collection, Q []int, delta *mat.Matrix, deliver func(ci, x int, val int64)) *pipeState {
+type pipeKey struct{}
+
+func newPipeState(nw *congest.Network, cq *csssp.Collection, Q []int, delta *mat.Matrix, deliver func(ci, x int, val int64)) *pipeState {
 	n := cq.G.N
-	ps := &pipeState{
-		cq:      cq,
-		Q:       Q,
-		queues:  make([][][]pipeMsg, n),
-		heads:   make([][]int32, n),
-		pending: make([]int64, n),
-		deliver: deliver,
-		sent:    make([]int64, n),
+	q := len(Q)
+	ps := congest.ScratchState(nw.Scratch(), pipeKey{}, func() *pipeState { return new(pipeState) })
+	ps.cq, ps.Q, ps.q, ps.deliver = cq, Q, q, deliver
+	if cap(ps.queues) < n*q {
+		ps.queues = make([][]pipeMsg, n*q)
+	} else {
+		ps.queues = ps.queues[:n*q]
+		for s := range ps.queues {
+			ps.queues[s] = ps.queues[s][:0]
+		}
 	}
-	for v := 0; v < n; v++ {
-		ps.queues[v] = make([][]pipeMsg, len(Q))
-		ps.heads[v] = make([]int32, len(Q))
-	}
+	ps.heads = congest.Grow(ps.heads, n*q)
+	ps.pending = congest.Grow(ps.pending, n)
+	ps.sent = congest.Grow(ps.sent, n)
+	ps.cursor = congest.Grow(ps.cursor, n)
+	ps.total.Store(0)
 	// Seed: every alive node x in pruned tree T_ci sends its own value.
 	for ci := range Q {
 		for x := 0; x < n; x++ {
@@ -140,7 +162,8 @@ func newPipeState(cq *csssp.Collection, Q []int, delta *mat.Matrix, deliver func
 				continue
 			}
 			if d := delta.At(x, ci); d < graph.Inf {
-				ps.queues[x][ci] = append(ps.queues[x][ci], pipeMsg{x: int32(x), ci: int32(ci), dist: d})
+				s := x*q + ci
+				ps.queues[s] = append(ps.queues[s], pipeMsg{x: int32(x), ci: int32(ci), dist: d})
 				ps.pending[x]++
 				ps.total.Add(1)
 			}
@@ -161,26 +184,29 @@ func (ps *pipeState) receive(v int, in []congest.Message) {
 			ps.total.Add(-1)
 			continue
 		}
-		ps.queues[v][ci] = append(ps.queues[v][ci], pipeMsg{x: int32(m.A), ci: int32(ci), dist: m.C})
+		s := v*ps.q + ci
+		ps.queues[s] = append(ps.queues[s], pipeMsg{x: int32(m.A), ci: int32(ci), dist: m.C})
 		ps.pending[v]++
 	}
 }
 
 // queued returns the number of unsent messages at v for blocker ci.
 func (ps *pipeState) queued(v, ci int) int {
-	return len(ps.queues[v][ci]) - int(ps.heads[v][ci])
+	s := v*ps.q + ci
+	return len(ps.queues[s]) - int(ps.heads[s])
 }
 
 // forward emits the head message of queue ci at v toward Q[ci]'s tree
 // parent.
 func (ps *pipeState) forward(v, ci int, send func(congest.Message)) {
-	h := ps.heads[v][ci]
-	msg := ps.queues[v][ci][h]
-	if int(h)+1 == len(ps.queues[v][ci]) {
-		ps.queues[v][ci] = ps.queues[v][ci][:0]
-		ps.heads[v][ci] = 0
+	s := v*ps.q + ci
+	h := ps.heads[s]
+	msg := ps.queues[s][h]
+	if int(h)+1 == len(ps.queues[s]) {
+		ps.queues[s] = ps.queues[s][:0]
+		ps.heads[s] = 0
 	} else {
-		ps.heads[v][ci] = h + 1
+		ps.heads[s] = h + 1
 	}
 	ps.pending[v]--
 	send(congest.Message{To: ps.cq.Parent[ci][v], Kind: kindPipe, A: int64(msg.x), B: int64(msg.ci), C: msg.dist})
@@ -194,31 +220,16 @@ func runRoundRobin(nw *congest.Network, cq *csssp.Collection, Q []int, delta *ma
 	st *Stats, relax func(ci, x int, val int64)) error {
 
 	n := cq.G.N
-	ps := newPipeState(cq, Q, delta, relax)
+	ps := newPipeState(nw, cq, Q, delta, relax)
 	st.PipelineMessages = ps.total.Load()
 	if ps.total.Load() == 0 {
 		return nil
 	}
-	cursor := make([]int, n) // position in the cyclic order O per node
 
 	// Lemma 4.3 budget with slack; the protocol stops at global delivery.
 	budget := pipelineBudget(n, len(Q), ps.total.Load())
-	p := congest.ProtoFunc(func(v, round int, in []congest.Message, send func(congest.Message)) bool {
-		ps.receive(v, in)
-		if ps.pending[v] > 0 {
-			// Advance the cyclic cursor to the next blocker with traffic.
-			for k := 0; k < len(Q); k++ {
-				ci := (cursor[v] + k) % len(Q)
-				if ps.queued(v, ci) > 0 {
-					ps.forward(v, ci, send)
-					cursor[v] = (ci + 1) % len(Q)
-					break
-				}
-			}
-		}
-		return ps.pending[v] == 0
-	})
-	rounds, err := nw.Run(p, budget)
+	ps.rr = roundRobinProto{ps: ps}
+	rounds, err := nw.Run(&ps.rr, budget)
 	if err != nil {
 		return fmt.Errorf("qsink: round-robin pipeline: %w", err)
 	}
@@ -229,6 +240,31 @@ func runRoundRobin(nw *congest.Network, cq *csssp.Collection, Q []int, delta *ma
 	return nil
 }
 
+// roundRobinProto is the Steps 7-9 forwarding discipline as a reusable
+// protocol object: each node advances its cyclic cursor to the next blocker
+// with pending traffic and forwards one message per round.
+type roundRobinProto struct {
+	ps *pipeState
+}
+
+// Step implements congest.Proto.
+func (p *roundRobinProto) Step(v, round int, in []congest.Message, send func(congest.Message)) bool {
+	ps := p.ps
+	ps.receive(v, in)
+	if ps.pending[v] > 0 {
+		q := ps.q
+		for k := 0; k < q; k++ {
+			ci := (int(ps.cursor[v]) + k) % q
+			if ps.queued(v, ci) > 0 {
+				ps.forward(v, ci, send)
+				ps.cursor[v] = int32((ci + 1) % q)
+				break
+			}
+		}
+	}
+	return ps.pending[v] == 0
+}
+
 // runFrames is the stage/frame scheduler of Algorithm 10, used to observe
 // the progress measure of Section 4.3: in stage i, each node serves the
 // blockers in Q_{v,i} (those it still has traffic for) one frame slot at a
@@ -237,7 +273,7 @@ func runFrames(nw *congest.Network, cq *csssp.Collection, Q []int, delta *mat.Ma
 	st *Stats, par Params, relax func(ci, x int, val int64)) error {
 
 	n := cq.G.N
-	ps := newPipeState(cq, Q, delta, relax)
+	ps := newPipeState(nw, cq, Q, delta, relax)
 	st.PipelineMessages = ps.total.Load()
 	if ps.total.Load() == 0 {
 		return nil

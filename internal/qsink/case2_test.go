@@ -116,12 +116,14 @@ func TestSubtreeSizesLocalMatchesUpcast(t *testing.T) {
 	for i := range ones {
 		ones[i] = 1
 	}
+	orders := depthOrders(cq)
 	for i := range cq.Sources {
 		viaNet, err := cq.UpcastSum(nw, i, ones)
 		if err != nil {
 			t.Fatal(err)
 		}
-		local := subtreeSizesLocal(cq, i)
+		local := make([]int64, g.N)
+		subtreeSizesInto(cq, i, orders[i], local)
 		for v := 0; v < g.N; v++ {
 			want := viaNet[v]
 			if !cq.InTree(i, v) {

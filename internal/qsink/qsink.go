@@ -157,7 +157,16 @@ func Run(nw *congest.Network, g *graph.Graph, Q []int, delta *mat.Matrix, par Pa
 		// Trivial baseline: every x broadcasts all |Q| values (Lemma A.2
 		// generalized: O(n + n|Q|) rounds = O~(n^(5/3)) for |Q| =
 		// O~(n^(2/3))).
-		items := make([][]broadcast.Item, n)
+		itemCnt := make([]int32, n)
+		for x := 0; x < n; x++ {
+			row := delta.Row(x)
+			for ci := 0; ci < q; ci++ {
+				if row[ci] < graph.Inf {
+					itemCnt[x]++
+				}
+			}
+		}
+		items := broadcast.CarveItems(itemCnt)
 		for x := 0; x < n; x++ {
 			row := delta.Row(x)
 			for ci := 0; ci < q; ci++ {
@@ -234,7 +243,15 @@ func runCase1(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *css
 
 	// Step 4: every x broadcasts (x, c', delta(x, c')) for each c' in Q'
 	// (n*|Q'| items, O(n + n|Q'|) rounds).
-	items := make([][]broadcast.Item, n)
+	itemCnt := make([]int32, n)
+	for x := 0; x < n; x++ {
+		for k := range qp.Q {
+			if inD.At(k, x) < graph.Inf {
+				itemCnt[x]++
+			}
+		}
+	}
+	items := broadcast.CarveItems(itemCnt)
 	for x := 0; x < n; x++ {
 		for k := range qp.Q {
 			if d := inD.At(k, x); d < graph.Inf {

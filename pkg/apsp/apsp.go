@@ -23,6 +23,7 @@ package apsp
 import (
 	"fmt"
 
+	"congestapsp/internal/blocker"
 	"congestapsp/internal/core"
 	"congestapsp/internal/graph"
 )
@@ -261,13 +262,32 @@ type BlockerStats struct {
 	Fallbacks      int
 }
 
+// BlockerOptions configures BlockerSet. The zero value selects the paper's
+// deterministic construction (Algorithm 2') with hop parameter
+// ceil(n^(1/3)).
+type BlockerOptions struct {
+	// HopParam is the hop parameter h (0 = ceil(n^(1/3))).
+	HopParam int
+	// Mode selects the construction algorithm.
+	Mode BlockerMode
+	// Seed drives the randomized modes.
+	Seed int64
+	// Parallel runs the underlying per-source SSSPs source-sharded across
+	// a worker pool; the set, stats and charged rounds are bit-identical
+	// to the sequential schedule.
+	Parallel bool
+}
+
 // BlockerSet computes an h-hop blocker set of g directly (a building block
 // exposed for experimentation): a vertex set hitting every h-hop shortest
-// path of the h-hop consistent SSSP collection of all sources. With
-// parallel set, the underlying per-source SSSPs run source-sharded across
-// a worker pool; the set, stats and charged rounds are bit-identical.
-func BlockerSet(g *Graph, h int, mode BlockerMode, seed int64, parallel bool) ([]int, BlockerStats, error) {
-	q, stats, err := core.BlockerOnly(g.g, h, int(mode), seed, parallel)
+// path of the h-hop consistent SSSP collection of all sources.
+func BlockerSet(g *Graph, opt BlockerOptions) ([]int, BlockerStats, error) {
+	q, stats, err := core.BlockerOnly(g.g, core.BlockerOptions{
+		H:        opt.HopParam,
+		Mode:     blocker.Mode(opt.Mode),
+		Seed:     opt.Seed,
+		Parallel: opt.Parallel,
+	})
 	if err != nil {
 		return nil, BlockerStats{}, err
 	}

@@ -147,7 +147,7 @@ func TestGeneratorsProduceRunnableGraphs(t *testing.T) {
 func TestBlockerSetAPI(t *testing.T) {
 	g := RingGraph(GenOptions{N: 16, Seed: 8, MaxWeight: 5})
 	for _, mode := range []BlockerMode{BlockerDeterministic, BlockerRandomized, BlockerGreedy, BlockerSampled} {
-		q, stats, err := BlockerSet(g, 3, mode, 9, true)
+		q, stats, err := BlockerSet(g, BlockerOptions{HopParam: 3, Mode: mode, Seed: 9, Parallel: true})
 		if err != nil {
 			t.Fatalf("mode %d: %v", mode, err)
 		}

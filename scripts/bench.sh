@@ -23,6 +23,20 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-2s}"
 CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
 
+# report_deltas old_json new_json: per-benchmark allocs_per_op deltas of a
+# regeneration versus the previously committed snapshot, so a bench refresh
+# shows at a glance what moved (scripts/check_allocs.sh gates the same
+# quantity in CI).
+report_deltas() {
+  command -v jq >/dev/null 2>&1 || return 0 # delta report is informational
+  [ -s "$1" ] || return 0
+  jq -r --slurpfile old "$1" '
+    ($old[0].results | map({(.name): .allocs_per_op}) | add) as $prev |
+    .results[] | select(.allocs_per_op != null) |
+    "\(.name) allocs/op: \($prev[.name] // "n/a") -> \(.allocs_per_op)"
+  ' "$2" | sed 's/^/  delta /'
+}
+
 emit_json() { # emit_json suite benchtime raw_file out_file
   awk -v suite="$1" -v benchtime="$2" -v cores="$CORES" '
     /^Benchmark/ {
@@ -49,7 +63,8 @@ emit_json() { # emit_json suite benchtime raw_file out_file
 }
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+OLD="$(mktemp)"
+trap 'rm -f "$RAW" "$OLD"' EXIT
 
 go test -run '^$' \
   -bench 'BenchmarkSimulatorRound|BenchmarkDistributedBellmanFord' \
@@ -58,12 +73,16 @@ go test -run '^$' \
 go test -run '^$' -bench 'BenchmarkEngine' -benchtime="$BENCHTIME" \
   ./internal/congest/ | tee -a "$RAW"
 
+cp BENCH_engine.json "$OLD" 2>/dev/null || : > "$OLD"
 emit_json engine "$BENCHTIME" "$RAW" BENCH_engine.json
+report_deltas "$OLD" BENCH_engine.json
 
 : > "$RAW"
-go test -run '^$' -bench 'BenchmarkAPSPPipeline' -benchtime=1x -timeout 60m . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkAPSPPipeline' -benchtime=1x -benchmem -timeout 60m . | tee "$RAW"
 
+cp BENCH_apsp.json "$OLD" 2>/dev/null || : > "$OLD"
 emit_json apsp 1x "$RAW" BENCH_apsp.json
+report_deltas "$OLD" BENCH_apsp.json
 
 go run ./cmd/experiment \
   -scenarios random,ring,grid,layered,star,zeromix,powerlaw,geometric,expander,ktree \
