@@ -106,6 +106,35 @@ func TestQSinkWarmNetworkAllocs(t *testing.T) {
 	}
 }
 
+// TestRunnerWarmRunAllocs pins the warm-session budget of apsp.Runner: a
+// second Run on the same Runner skips the network build and every arena
+// cold start, so it must stay within a small ceiling dominated by the
+// caller-owned result matrices (the cold n=128 run pays ~6.7k allocs; the
+// warm re-run measures ~1k). A regression here means per-run state leaked
+// out of the pooled subsystem.
+func TestRunnerWarmRunAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full n=128 pipeline runs")
+	}
+	g := apsp.RandomGraph(apsp.GenOptions{N: 128, Directed: true, Seed: 128, MaxWeight: 50}, 4*128)
+	r, err := apsp.NewRunner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := apsp.Options{SkipLastHops: true}
+	if _, err := r.Run(opt); err != nil {
+		t.Fatal(err)
+	}
+	const ceiling = 2500
+	if got := testing.AllocsPerRun(2, func() {
+		if _, err := r.Run(opt); err != nil {
+			t.Fatal(err)
+		}
+	}); got > ceiling {
+		t.Errorf("warm Runner.Run n=128: %v allocs/op, ceiling %d", got, ceiling)
+	}
+}
+
 // TestPipelineAllocsCeiling guards the end-to-end allocs/op of the full
 // APSP pipeline at n=128 (the BenchmarkAPSPPipeline configuration CI
 // smokes). The pre-arena pipeline spent ~499k allocs here; the pooled

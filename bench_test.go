@@ -406,7 +406,9 @@ func BenchmarkBandwidthSweep(b *testing.B) {
 // allocations) at production-leaning sizes, sequential vs source-sharded —
 // the headline number of the sharded execution layer. scripts/bench.sh
 // turns these into BENCH_apsp.json so the perf trajectory covers the whole
-// pipeline, not just the engine.
+// pipeline, not just the engine. Every iteration is a cold start (network
+// build + arena growth); BenchmarkAPSPPipelineWarm measures the same
+// configuration on a warm apsp.Runner for the cold-vs-warm comparison.
 func BenchmarkAPSPPipeline(b *testing.B) {
 	for _, n := range []int{128, 256, 512} {
 		g := apsp.RandomGraph(apsp.GenOptions{N: n, Directed: true, Seed: int64(n), MaxWeight: 50}, 4*n)
@@ -427,5 +429,38 @@ func BenchmarkAPSPPipeline(b *testing.B) {
 				b.ReportMetric(rounds, "rounds")
 			})
 		}
+	}
+}
+
+// BenchmarkAPSPPipelineWarm is the warm-session counterpart of
+// BenchmarkAPSPPipeline: the Runner (network, engine arenas, scratch,
+// worker fleet) is built and warmed outside the timer, so the measured
+// iterations are pure re-runs — the steady state a session serving
+// repeated traffic on one graph lives in. Compare against the cold
+// BenchmarkAPSPPipeline rows at the same n for the cold-start cost.
+func BenchmarkAPSPPipelineWarm(b *testing.B) {
+	for _, n := range []int{128, 256} {
+		g := apsp.RandomGraph(apsp.GenOptions{N: n, Directed: true, Seed: int64(n), MaxWeight: 50}, 4*n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r, err := apsp.NewRunner(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := apsp.Options{SkipLastHops: true}
+			if _, err := r.Run(opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var rounds float64
+			for i := 0; i < b.N; i++ {
+				res, err := r.Run(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = float64(res.Stats.Rounds)
+			}
+			b.ReportMetric(rounds, "rounds")
+		})
 	}
 }

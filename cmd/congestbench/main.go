@@ -123,8 +123,21 @@ func fitExponent(xs []int, ys []float64) float64 {
 	return (k*sxy - sx*sy) / (k*sxx - sx*sx)
 }
 
-func (h harness) runVariant(g *graph.Graph, v core.Variant, seed int64) *core.Result {
-	res, err := core.Run(g, core.Options{Variant: v, Seed: seed, SkipLastEdges: true, Parallel: h.parallel})
+// session builds a warm core.Session for g (the CLI analogue of
+// apsp.Runner). Callers keep it in a local scoped to the graph's lifetime
+// — every run on the same graph shares it, and the network (with its
+// grow-only arenas and clone fleet) is released with the graph instead of
+// being retained for the whole process.
+func (h harness) session(g *graph.Graph) *core.Session {
+	s, err := core.NewSession(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+func (h harness) runVariant(s *core.Session, g *graph.Graph, v core.Variant, seed int64) *core.Result {
+	res, err := s.Run(core.Options{Variant: v, Seed: seed, SkipLastEdges: true, Parallel: h.parallel})
 	if err != nil {
 		log.Fatalf("%v on n=%d: %v", v, g.N, err)
 	}
@@ -154,8 +167,9 @@ func (h harness) table1() {
 		var qsz float64
 		for s := 0; s < h.seeds; s++ {
 			g := h.graphFor(n, int64(n*1000+s))
+			sess := h.session(g) // all four variants share one warm session
 			for vi, v := range variants {
-				res := h.runVariant(g, v, int64(s))
+				res := h.runVariant(sess, g, v, int64(s))
 				avg[vi] += float64(res.Stats.Rounds) / float64(h.seeds)
 				if v == core.Det43 {
 					qsz += float64(res.Stats.QSize) / float64(h.seeds)
@@ -181,7 +195,7 @@ func (h harness) table1() {
 	var s1, s7 []float64
 	for _, n := range h.sizes {
 		g := h.graphFor(n, int64(n*1000))
-		res := h.runVariant(g, core.Det43, 0)
+		res := h.runVariant(h.session(g), g, core.Det43, 0)
 		st := res.Stats.Steps
 		fmt.Printf("| %d | %d | %d | %d | %d | %d | %d |\n", n,
 			st.Step1CSSSP, st.Step2Blocker, st.Step3InSSSP, st.Step4Bcast, st.Step6QSink, st.Step7Extend)
@@ -499,8 +513,9 @@ func (h harness) hSweep() {
 	fmt.Println("| h | rounds | |Q| | step1 | step2 blocker | step6 qsink | step7 |")
 	fmt.Println("|--:|--:|--:|--:|--:|--:|--:|")
 	maxH := int(math.Ceil(math.Sqrt(float64(n)))) + 2
+	sess := h.session(g) // the whole h sweep shares one warm session
 	for hp := 2; hp <= maxH; hp += 2 {
-		res, err := core.Run(g, core.Options{Variant: core.Det43, H: hp, SkipLastEdges: true, Parallel: h.parallel})
+		res, err := sess.Run(core.Options{Variant: core.Det43, H: hp, SkipLastEdges: true, Parallel: h.parallel})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -523,8 +538,9 @@ func (h harness) bandwidthSweep() {
 	fmt.Printf("(n = %d, deterministic n^4/3 profile)\n\n", n)
 	fmt.Println("| bandwidth | rounds | step2 blocker | step6 qsink | step1+7 BF |")
 	fmt.Println("|--:|--:|--:|--:|--:|")
+	sess := h.session(g) // SetBandwidth reaches the warm fleet between runs
 	for _, bw := range []int{1, 2, 4, 8} {
-		res, err := core.Run(g, core.Options{Variant: core.Det43, Bandwidth: bw, SkipLastEdges: true, Parallel: h.parallel})
+		res, err := sess.Run(core.Options{Variant: core.Det43, Bandwidth: bw, SkipLastEdges: true, Parallel: h.parallel})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -566,7 +582,7 @@ func (h harness) unweightedRounds() {
 				}
 			}
 		}
-		det := h.runVariant(g, core.Det43, 0)
+		det := h.runVariant(h.session(g), g, core.Det43, 0)
 		fmt.Printf("| %d | %d | %.1f | %d |\n", n, res.Rounds, float64(res.Rounds)/float64(n), det.Stats.Rounds)
 	}
 	fmt.Println()

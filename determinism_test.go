@@ -179,6 +179,48 @@ func TestPipelineShardedDeterminism(t *testing.T) {
 	}
 }
 
+// TestWorkStealingDeterminism is the scheduler-determinism property the
+// work-stealing dispatcher promises: across permuted worker counts (every
+// GOMAXPROCS in {2, 3, 4, 7} gives a different steal interleaving on a
+// skewed power-law workload), the merged Stats, the distance matrix and
+// the per-stage round decomposition must be bit-identical to the
+// sequential schedule — integer stat sums commute, and each sub-run
+// executes on exactly one deterministic engine. CI runs this under -race,
+// which also certifies the atomic dispatch counter and the clone
+// ownership discipline under genuine contention.
+func TestWorkStealingDeterminism(t *testing.T) {
+	g := graph.PowerLaw(graph.GenConfig{N: 48, Seed: 9, MaxWeight: 25}, 3)
+	run := func() *core.Result {
+		res, err := core.Run(g, core.Options{Variant: core.Det43, Parallel: runtime.GOMAXPROCS(0) > 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	seq := run()
+	for _, workers := range []int{2, 3, 4, 7} {
+		runtime.GOMAXPROCS(workers)
+		par := run()
+		if !reflect.DeepEqual(seq.Stats, par.Stats) {
+			t.Fatalf("workers=%d: stats diverge:\n  seq: %+v\n  par: %+v", workers, seq.Stats, par.Stats)
+		}
+		if !reflect.DeepEqual(seq.Dist, par.Dist) {
+			t.Fatalf("workers=%d: distance matrices diverge", workers)
+		}
+		if len(seq.Stages) != len(par.Stages) {
+			t.Fatalf("workers=%d: stage count diverges", workers)
+		}
+		for i := range seq.Stages {
+			if seq.Stages[i].Name != par.Stages[i].Name || seq.Stages[i].Rounds != par.Stages[i].Rounds {
+				t.Fatalf("workers=%d: stage %q rounds %d, seq %q %d", workers,
+					par.Stages[i].Name, par.Stages[i].Rounds, seq.Stages[i].Name, seq.Stages[i].Rounds)
+			}
+		}
+	}
+}
+
 // TestPartialAPSPShardedDeterminism extends the property to partial runs:
 // restricted (deduplicated) source sets must produce identical rows and
 // stats under sharded and sequential execution, and non-source rows stay

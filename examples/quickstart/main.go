@@ -1,6 +1,7 @@
 // Quickstart: build a small weighted graph, run the paper's deterministic
-// O~(n^(4/3)) APSP algorithm on the CONGEST simulator, and print distances,
-// a reconstructed path, and the distributed cost accounting.
+// O~(n^(4/3)) APSP algorithm on the CONGEST simulator through a warm
+// apsp.Runner session, and print distances, a reconstructed path, the
+// distributed cost accounting, and a warm re-run with a baseline profile.
 package main
 
 import (
@@ -27,7 +28,13 @@ func main() {
 		}
 	}
 
-	res, err := apsp.Run(g, apsp.Options{}) // default: Deterministic43
+	// A Runner pins a warm session to the graph: the simulation network is
+	// built once here and reused by every Run below.
+	r, err := apsp.NewRunner(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := r.Run(apsp.Options{}) // default: Deterministic43
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,4 +59,13 @@ func main() {
 	fmt.Printf("per-step rounds: CSSSP=%d blocker=%d inSSSP=%d bcast=%d qsink=%d extend=%d lastedge=%d\n",
 		s.Steps.Step1CSSSP, s.Steps.Step2Blocker, s.Steps.Step3InSSSP,
 		s.Steps.Step4Bcast, s.Steps.Step6QSink, s.Steps.Step7Extend, s.Steps.Step8LastEdge)
+
+	// Warm re-run on the same Runner with the PODC'18 baseline profile:
+	// same exact distances, different round complexity, no network rebuild.
+	base, err := r.Run(apsp.Options{Algorithm: apsp.Deterministic32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwarm re-run, O~(n^(3/2)) baseline: %d rounds (same distances: %v)\n",
+		base.Stats.Rounds, base.Dist[0][4] == res.Dist[0][4])
 }

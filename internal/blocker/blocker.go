@@ -259,8 +259,8 @@ func computeSetCover(nw *congest.Network, coll *csssp.Collection, par Params) (*
 	// Step 1 of Algorithm 7: every node collects the ids on each of its
 	// tree paths (pipelined Ancestors of [2]; O(|S|*h) rounds). Removals
 	// only delete whole paths, so the lists stay valid throughout. The
-	// per-tree protocols are independent and source-shard across worker
-	// clones (each index owns st.ancOff[i]/ancIds[i]).
+	// per-tree protocols are independent and dispatch across the
+	// work-stealing worker clones (each index owns st.ancOff[i]/ancIds[i]).
 	err = nw.ShardRuns(coll.NumTrees(), func(w *congest.Network, i int) error {
 		off, ids, err := collectAncestors(w, coll, i)
 		if err != nil {

@@ -3,12 +3,14 @@ package congest
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements the source-sharding substrate: cheap Network clones
 // that share the immutable CSR topology, additive Stats merging, and the
-// ShardRuns scheduler that partitions independent sub-runs (one CONGEST
-// protocol execution per source) across a worker pool. See DESIGN.md §2.5.
+// ShardRuns work-stealing scheduler that dispatches independent sub-runs
+// (one CONGEST protocol execution per source) across a worker pool. See
+// DESIGN.md §2.5.
 
 // Clone returns a Network over the same communication topology with fresh,
 // zeroed statistics and its own engine and scratch arenas. The input graph,
@@ -55,16 +57,32 @@ func (s *Stats) Add(o *Stats) {
 // per-source Bellman-Ford). Sequentially — when Parallel is unset, an
 // OnRound hook is installed (traces must observe the serial schedule), or
 // count < 2 — every call receives nw itself, exactly as if the caller had
-// looped. Otherwise the index range is split into contiguous chunks across
-// min(GOMAXPROCS, count) workers, each owning a Clone of nw; fn must write
-// only state owned by index i (a matrix row, a slot in a per-source slice).
+// looped. Otherwise min(GOMAXPROCS, count) workers, each owning a Clone of
+// nw, pull sub-run indices from a shared atomic counter (work stealing): a
+// worker that drew a cheap sub-run immediately pulls the next index instead
+// of idling at a chunk barrier, so skewed workloads — one expensive source
+// on a power-law hub, the rest trivial — keep every worker busy until the
+// queue drains. fn must write only state owned by index i (a matrix row, a
+// slot in a per-source slice).
 //
-// After the workers join, per-clone Stats are added into nw.Stats in worker
-// order. Workers own contiguous index ranges, so worker order equals
-// sub-run index order and the merged rounds/messages/words/WordsByNode are
-// bit-identical to the sequential schedule. The first error in index order
-// wins; later chunks may have partially executed by then, but callers
-// abort on error so the partial stats are never observed as a result.
+// After the workers join, per-clone Stats are added into nw.Stats. Which
+// clone executed which sub-run depends on the interleaving, but every
+// counter (rounds, messages, words, the per-node WordsByNode vector) is an
+// exact integer sum over per-sub-run contributions, and integer addition is
+// commutative and associative — so the merged totals are bit-identical to
+// the sequential schedule regardless of how the indices were distributed.
+// Each sub-run itself executes on exactly one clone, whose engine is
+// deterministic, so per-index results never depend on the interleaving
+// either.
+//
+// On error the scheduler stops handing out new indices (in-flight sub-runs
+// finish) and the recorded error with the lowest sub-run index wins. For a
+// deterministic fn that is the lowest failing index overall: indices are
+// dispatched in increasing order, so the lowest failing index is always
+// dispatched before any other failing one, and a dispatched sub-run
+// completes and records its error before the scheduler returns. Which
+// higher indices also ran is interleaving-dependent, but callers abort on
+// error, so the partial stats are never observed as a result.
 //
 // Scratch discipline: the executing network's scratch arena is Reset before
 // every fn invocation (sequentially that is nw's own arena; in parallel each
@@ -96,42 +114,49 @@ func (nw *Network) ShardRuns(count int, fn func(w *Network, i int) error) error 
 		return nil
 	}
 
-	chunk := (count + workers - 1) / workers
 	for len(nw.fleet) < workers {
 		nw.fleet = append(nw.fleet, nw.Clone())
 	}
+	var (
+		next   atomic.Int64 // next undispatched sub-run index
+		failed atomic.Bool  // stops dispatch once any sub-run errs
+		wg     sync.WaitGroup
+	)
 	errs := make([]error, workers)
-	var wg sync.WaitGroup
+	errIdx := make([]int, workers)
 	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, min((w+1)*chunk, count)
-		if lo >= hi {
-			break
-		}
 		cl := nw.fleet[w]
 		cl.ResetStats()
 		wg.Add(1)
-		go func(w int, cl *Network, lo, hi int) {
+		go func(w int, cl *Network) {
 			defer wg.Done()
 			sc := cl.Scratch()
-			for i := lo; i < hi; i++ {
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= count {
+					return
+				}
 				sc.Reset()
 				if err := fn(cl, i); err != nil {
-					errs[w] = err
+					errs[w], errIdx[w] = err, i
+					failed.Store(true)
 					return
 				}
 			}
-		}(w, cl, lo, hi)
+		}(w, cl)
 	}
 	wg.Wait()
 	for w := 0; w < workers; w++ {
-		if w*chunk < count {
-			nw.Stats.Add(&nw.fleet[w].Stats)
+		nw.Stats.Add(&nw.fleet[w].Stats)
+	}
+	best := -1
+	for w := range errs {
+		if errs[w] != nil && (best == -1 || errIdx[w] < errIdx[best]) {
+			best = w
 		}
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if best >= 0 {
+		return errs[best]
 	}
 	return nil
 }

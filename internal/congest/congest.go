@@ -261,7 +261,9 @@ func (nw *Network) IsLink(u, v int) bool {
 // (worker clones carry their own).
 func (nw *Network) Scratch() *Scratch { return &nw.scratch }
 
-// ResetStats zeroes the accumulated statistics in place.
+// ResetStats zeroes the accumulated statistics (and the OnRound trace
+// sequence number) in place, so a warm network can start a fresh logical
+// run — the reset point of a session's Run-after-Run reuse.
 func (nw *Network) ResetStats() {
 	s := &nw.Stats
 	s.Rounds, s.Messages, s.Words = 0, 0, 0
@@ -269,6 +271,21 @@ func (nw *Network) ResetStats() {
 		s.WordsByNode = make([]int64, nw.G.N)
 	}
 	clear(s.WordsByNode)
+	nw.roundSeq = 0
+}
+
+// SetBandwidth reconfigures the per-link word budget on nw and on its
+// cached worker-clone fleet (clones inherit Bandwidth when created, so a
+// warm session that changes bandwidth between runs must reach them too).
+func (nw *Network) SetBandwidth(b int) error {
+	if b < 1 {
+		return fmt.Errorf("congest: bandwidth must be >= 1, got %d", b)
+	}
+	nw.Bandwidth = b
+	for _, cl := range nw.fleet {
+		cl.Bandwidth = b
+	}
+	return nil
 }
 
 // ChargeRounds adds k rounds to the running total without simulating them.
@@ -383,12 +400,18 @@ func (e *engine) ensure(n, links, workers int) {
 		e.stamp = 0
 	}
 	if len(e.shards) < workers {
-		old := len(e.shards)
-		e.shards = append(e.shards, make([]shard, workers-old)...)
-		for w := old; w < workers; w++ {
+		e.shards = append(e.shards, make([]shard, workers-len(e.shards))...)
+		// Rebind EVERY shard's send closure, not just the new ones: append
+		// may have moved the backing array, and a send bound to a shard's
+		// old address would append into a ghost struct — sends from a warm
+		// engine whose worker count just grew (a session toggling Parallel
+		// between runs) would silently vanish.
+		for w := range e.shards {
 			sh := &e.shards[w]
-			sh.cnt = make([]int32, n)
-			sh.cstamp = make([]uint64, n)
+			if sh.cnt == nil {
+				sh.cnt = make([]int32, n)
+				sh.cstamp = make([]uint64, n)
+			}
 			sh.send = sh.doSend
 		}
 	}

@@ -28,13 +28,9 @@ package core
 
 import (
 	"fmt"
-	"math"
 
-	"congestapsp/internal/bford"
 	"congestapsp/internal/blocker"
-	"congestapsp/internal/broadcast"
 	"congestapsp/internal/congest"
-	"congestapsp/internal/csssp"
 	"congestapsp/internal/graph"
 	"congestapsp/internal/mat"
 	"congestapsp/internal/qsink"
@@ -77,8 +73,9 @@ type Options struct {
 	// Bandwidth is the CONGEST per-link words-per-round budget (default 1).
 	Bandwidth int
 	// Parallel enables the simulator's worker-pool execution: independent
-	// per-source sub-runs shard across cloned networks, and large rounds
-	// shard internally across workers.
+	// per-source sub-runs dispatch across cloned networks via the
+	// work-stealing scheduler, and large rounds shard internally across
+	// workers.
 	Parallel bool
 	// MinShardNodes overrides the engine's in-round sharding threshold
 	// (congest.Network.MinShardNodes; 0 = the engine default). Tests set 1
@@ -132,7 +129,8 @@ type Stats struct {
 // Result is the APSP output: exact distances (and last edges) for every
 // ordered pair, as known distributedly at the target nodes. The row slices
 // are zero-copy views of flat row-major matrices (internal/mat); rows for
-// non-sources are nil when Options.Sources restricted the run.
+// non-sources are nil when Options.Sources restricted the run. A Result is
+// caller-owned — it stays valid after later runs on the same Session.
 type Result struct {
 	// Dist[x][t] = delta(x, t); graph.Inf when t is unreachable from x.
 	Dist [][]int64
@@ -140,257 +138,21 @@ type Result struct {
 	// for t == x, unreachable pairs, or when SkipLastEdges was set).
 	LastHop [][]int
 	Stats   Stats
+	// Stages is the per-stage cost breakdown recorded by the staged
+	// pipeline executor, in execution order (skipped stages are absent).
+	Stages []StageTiming
 }
 
-// Run executes the selected APSP variant on g.
+// Run executes the selected APSP variant on g with a one-shot session.
+// Callers that run the same graph repeatedly should hold a Session (or the
+// public apsp.Runner) instead: it reuses the network, engine arenas and
+// worker-clone fleet across runs.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
-	n := g.N
-	if n == 0 {
-		return &Result{}, nil
-	}
-	if opt.Bandwidth == 0 {
-		opt.Bandwidth = 1
-	}
-	nw, err := congest.NewNetwork(g, opt.Bandwidth)
+	s, err := NewSession(g)
 	if err != nil {
 		return nil, err
 	}
-	nw.Parallel = opt.Parallel
-	nw.MinShardNodes = opt.MinShardNodes
-	nw.OnRound = opt.OnRound
-
-	h := opt.H
-	if h == 0 {
-		switch opt.Variant {
-		case Det32:
-			h = int(math.Ceil(math.Sqrt(float64(n))))
-		default:
-			h = int(math.Ceil(math.Pow(float64(n), 1.0/3)))
-		}
-	}
-	if h < 1 {
-		h = 1
-	}
-
-	st := Stats{N: n, M: g.M(), H: h}
-	mark := func(dst *int) {
-		*dst = nw.Stats.Rounds - sumSteps(&st.Steps)
-	}
-
-	// Step 1: h-hop CSSSP collection for V (out-trees).
-	sources := make([]int, n)
-	for i := range sources {
-		sources[i] = i
-	}
-	coll, err := csssp.Build(nw, g, sources, h, bford.Out)
-	if err != nil {
-		return nil, fmt.Errorf("core: step 1: %w", err)
-	}
-	mark(&st.Steps.Step1CSSSP)
-
-	// Step 2: blocker set Q for the collection. The variant picks the
-	// construction; an explicit BlockerParams.Mode (e.g. the
-	// pairwise-independent randomized Algorithm 2) wins over the Det43
-	// default so ablations can drive the full pipeline with any blocker.
-	bp := opt.BlockerParams
-	switch opt.Variant {
-	case Det32:
-		bp.Mode = blocker.Greedy
-	case Rand43:
-		bp.Mode = blocker.RandomSample
-		bp.Seed = opt.Seed
-	default:
-		if bp.Mode != blocker.Deterministic {
-			bp.Seed = opt.Seed
-		}
-	}
-	bres, err := blocker.Compute(nw, coll, bp)
-	if err != nil {
-		return nil, fmt.Errorf("core: step 2: %w", err)
-	}
-	coll.ResetRemovals() // the blocker construction pruned the trees
-	Q := bres.Q
-	st.QSize = len(Q)
-	st.Blocker = bres.Stats
-	mark(&st.Steps.Step2Blocker)
-
-	// Step 3: h-hop in-SSSP per blocker node: node x learns
-	// deltaH row ci at column x = delta_h(x, Q[ci]). (Label distances: min
-	// weight over <= h hops.) The |Q| runs are independent, so they
-	// source-shard across worker clones; each run owns one matrix row.
-	q := len(Q)
-	deltaH := mat.New(q, n)
-	err = sourceShard(nw, q, func(w *congest.Network, ci int) error {
-		res, err := bford.RunLabels(w, g, Q[ci], h, bford.In)
-		if err != nil {
-			return fmt.Errorf("core: step 3: %w", err)
-		}
-		copy(deltaH.Row(ci), res.Dist)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	mark(&st.Steps.Step3InSSSP)
-
-	// Step 4: every blocker c broadcasts delta_h(c, c') for all c' in Q
-	// (|Q|^2 values; O(n + |Q|^2) rounds, Lemma A.2/A.1).
-	tree, err := broadcast.BuildBFS(nw, 0)
-	if err != nil {
-		return nil, err
-	}
-	itemCnt := make([]int32, n)
-	for _, c := range Q {
-		for cj := range Q {
-			if deltaH.At(cj, c) < graph.Inf {
-				itemCnt[c]++
-			}
-		}
-	}
-	items := broadcast.CarveItems(itemCnt)
-	for ci, c := range Q {
-		for cj := range Q {
-			if d := deltaH.At(cj, c); d < graph.Inf {
-				items[c] = append(items[c], broadcast.Item{A: int64(ci), B: int64(cj), C: d})
-			}
-		}
-	}
-	all, err := broadcast.AllToAll(nw, tree, items)
-	if err != nil {
-		return nil, fmt.Errorf("core: step 4: %w", err)
-	}
-	mark(&st.Steps.Step4Bcast)
-
-	// Step 5 (local): min-plus closure over the Q x Q matrix, then
-	// delta(x, c) = min(delta_h(x, c), min_c1 delta_h(x, c1) + dQ(c1, c)).
-	dQ := mat.NewFilled(q, q, graph.Inf)
-	for i := 0; i < q; i++ {
-		dQ.Set(i, i, 0)
-	}
-	for _, it := range all {
-		ci, cj, d := int(it.A), int(it.B), it.C
-		if d < dQ.At(ci, cj) {
-			dQ.Set(ci, cj, d)
-		}
-	}
-	for k := 0; k < q; k++ {
-		rowK := dQ.Row(k)
-		for i := 0; i < q; i++ {
-			dik := dQ.At(i, k)
-			if dik >= graph.Inf {
-				continue
-			}
-			rowI := dQ.Row(i)
-			for j := 0; j < q; j++ {
-				if nd := dik + rowK[j]; nd < rowI[j] {
-					rowI[j] = nd
-				}
-			}
-		}
-	}
-	// delta row x at column ci: the Step-5 value known at x.
-	delta := mat.New(n, q)
-	for x := 0; x < n; x++ {
-		row := delta.Row(x)
-		for ci := 0; ci < q; ci++ {
-			best := deltaH.At(ci, x)
-			for c1 := 0; c1 < q; c1++ {
-				if dH := deltaH.At(c1, x); dH < graph.Inf {
-					if dq := dQ.At(c1, ci); dq < graph.Inf {
-						if nd := dH + dq; nd < best {
-							best = nd
-						}
-					}
-				}
-			}
-			row[ci] = best
-		}
-	}
-
-	// Step 6: reversed q-sink delivery.
-	qp := qsink.Params{Scheduler: qsink.RoundRobin, Blocker: blocker.Params{Mode: blocker.Deterministic}}
-	switch opt.Variant {
-	case Det32, BroadcastStep6:
-		qp.Scheduler = qsink.BroadcastAll
-	case Rand43:
-		qp.Blocker = blocker.Params{Mode: blocker.RandomSample, Seed: opt.Seed + 1}
-	}
-	qres, err := qsink.Run(nw, g, Q, delta, qp)
-	if err != nil {
-		return nil, fmt.Errorf("core: step 6: %w", err)
-	}
-	st.QSink = qres.Stats
-	mark(&st.Steps.Step6QSink)
-
-	// Step 7: per source x, extended h-hop Bellman-Ford seeded with the
-	// Step-1 labels everywhere and the exact delta(x, c) at blockers. The
-	// per-source extensions are independent, so they source-shard across
-	// worker clones like Step 3; each source owns one row of the flat
-	// distance matrix.
-	step7Sources := sources
-	if opt.Sources != nil {
-		step7Sources, err = validateSources(opt.Sources, n)
-		if err != nil {
-			return nil, err
-		}
-		opt.SkipLastEdges = true
-	}
-	// One flat row per requested source (not n x n: partial runs with few
-	// sources must not pay the full matrix).
-	distM := mat.New(len(step7Sources), n)
-	err = sourceShard(nw, len(step7Sources), func(w *congest.Network, k int) error {
-		x := step7Sources[k] // Step 1 built one tree per node, indexed by id
-		// The seed vector comes from the worker's scratch arena (reset per
-		// sub-run by ShardRuns); RunLabelsWithInit is the non-resetting
-		// bford entry point, so the checkout stays live through the run.
-		init := w.Scratch().Int64s(n)
-		copy(init, coll.Label[x])
-		for ci := range Q {
-			if v := qres.AtBlocker[ci][x]; v < init[Q[ci]] {
-				init[Q[ci]] = v
-			}
-		}
-		res, err := bford.RunLabelsWithInit(w, g, init, h, bford.Out)
-		if err != nil {
-			return fmt.Errorf("core: step 7: %w", err)
-		}
-		copy(distM.Row(k), res.Dist)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	mark(&st.Steps.Step7Extend)
-
-	// The public surface stays [][]int64: rows are zero-copy views of the
-	// flat matrix, nil for sources Step 7 did not run.
-	dist := make([][]int64, n)
-	for k, x := range step7Sources {
-		dist[x] = distM.Row(k)
-	}
-
-	out := &Result{Dist: dist}
-
-	// Last-edge resolution (implementation addition; see the package
-	// comment): every node already knows its column of the distance
-	// matrix; one pipelined exchange of that column with each neighbor
-	// (O(n) rounds at bandwidth 1) lets each t pick, per source x, the
-	// smallest-id in-neighbor u with delta(x, u) + w(u, t) = delta(x, t).
-	if !opt.SkipLastEdges {
-		lh, err := resolveLastEdges(nw, g, dist)
-		if err != nil {
-			return nil, fmt.Errorf("core: last edges: %w", err)
-		}
-		out.LastHop = lh
-		mark(&st.Steps.Step8LastEdge)
-	}
-
-	st.Rounds = nw.Stats.Rounds
-	st.Messages = nw.Stats.Messages
-	st.Words = nw.Stats.Words
-	st.MaxNodeCongestion = nw.Stats.MaxNodeCongestion()
-	out.Stats = st
-	return out, nil
+	return s.Run(opt)
 }
 
 // BlockerOptions configures BlockerOnly. The zero value selects the
@@ -409,39 +171,14 @@ type BlockerOptions struct {
 }
 
 // BlockerOnly builds just the h-hop CSSSP collection for all sources and a
-// blocker set over it; it exists for the public BlockerSet API and the
-// blocker experiments.
+// blocker set over it with a one-shot session; it exists for the public
+// BlockerSet API and the blocker experiments.
 func BlockerOnly(g *graph.Graph, opt BlockerOptions) ([]int, blocker.Stats, error) {
-	h := opt.H
-	if h < 1 {
-		h = int(math.Ceil(math.Pow(float64(g.N), 1.0/3)))
-	}
-	nw, err := congest.NewNetwork(g, 1)
+	s, err := NewSession(g)
 	if err != nil {
 		return nil, blocker.Stats{}, err
 	}
-	nw.Parallel = opt.Parallel
-	sources := make([]int, g.N)
-	for i := range sources {
-		sources[i] = i
-	}
-	coll, err := csssp.Build(nw, g, sources, h, bford.Out)
-	if err != nil {
-		return nil, blocker.Stats{}, err
-	}
-	res, err := blocker.Compute(nw, coll, blocker.Params{Mode: opt.Mode, Seed: opt.Seed})
-	if err != nil {
-		return nil, blocker.Stats{}, err
-	}
-	return res.Q, res.Stats, nil
-}
-
-// sourceShard names the pipeline's source-sharded runner for Steps 3 and
-// 7: each independent per-source sub-run executes on a worker-owned
-// Network clone with stats merged in source-id order (the contract lives
-// on congest.Network.ShardRuns; fn writes only row/slot i).
-func sourceShard(nw *congest.Network, count int, fn func(w *congest.Network, i int) error) error {
-	return nw.ShardRuns(count, fn)
+	return s.BlockerOnly(opt)
 }
 
 // validateSources bounds-checks a partial-APSP source list and drops
@@ -460,11 +197,6 @@ func validateSources(sources []int, n int) ([]int, error) {
 		}
 	}
 	return out, nil
-}
-
-func sumSteps(s *StepRounds) int {
-	return s.Step1CSSSP + s.Step2Blocker + s.Step3InSSSP + s.Step4Bcast +
-		s.Step6QSink + s.Step7Extend + s.Step8LastEdge
 }
 
 // resolveLastEdges runs the final neighbor exchange: node u streams its

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+	"runtime/metrics"
+	"time"
+
+	"congestapsp/internal/bford"
+	"congestapsp/internal/blocker"
+	"congestapsp/internal/broadcast"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/csssp"
+	"congestapsp/internal/graph"
+	"congestapsp/internal/mat"
+	"congestapsp/internal/qsink"
+)
+
+// This file is the staged pipeline executor: Algorithm 1 expressed as a
+// declarative list of named stages instead of one monolithic Run body.
+// Each stage is a method on *pipeline (the state threaded between steps);
+// the executor wraps every stage uniformly with wall-clock, simulated-round
+// and heap-allocation instrumentation, so the ad-hoc mark() timing code of
+// the old monolith is gone and per-stage cost lands in Result.Stages (and
+// from there in apsp.Stats and EXPERIMENTS.json).
+
+// StageTiming is the host-and-model cost record of one executed pipeline
+// stage. Rounds is deterministic (it follows the paper's charged
+// schedules); WallMS and Allocs are host-side observations.
+type StageTiming struct {
+	Name   string  // stage name as it appears in EXPERIMENTS.json rows
+	Rounds int     // simulated CONGEST rounds charged by the stage
+	WallMS float64 // host wall-clock spent in the stage
+	Allocs uint64  // heap allocations performed during the stage
+}
+
+// stage is one declarative entry of the executor: a named unit of
+// Algorithm 1 with an optional skip predicate and an optional slot in the
+// legacy per-step round decomposition (StepRounds). Stages run in order;
+// the executor owns all instrumentation and error wrapping.
+type stage struct {
+	name  string
+	steps func(*StepRounds) *int // nil for local (round-free) stages
+	skip  func(*pipeline) bool
+	run   func(*pipeline) error
+}
+
+// pipelineStages is Algorithm 1 as data: Steps 1-7 of the paper plus the
+// implementation's last-edge resolution pass. Step 5 is purely local
+// computation — it charges no rounds, so it has no StepRounds slot, but as
+// a stage it is now timed like everything else.
+var pipelineStages = []stage{
+	{name: "step1-csssp", steps: func(s *StepRounds) *int { return &s.Step1CSSSP }, run: (*pipeline).stageCSSSP},
+	{name: "step2-blocker", steps: func(s *StepRounds) *int { return &s.Step2Blocker }, run: (*pipeline).stageBlocker},
+	{name: "step3-insssp", steps: func(s *StepRounds) *int { return &s.Step3InSSSP }, run: (*pipeline).stageInSSSP},
+	{name: "step4-bcast", steps: func(s *StepRounds) *int { return &s.Step4Bcast }, run: (*pipeline).stageBroadcast},
+	{name: "step5-closure", run: (*pipeline).stageClosure},
+	{name: "step6-qsink", steps: func(s *StepRounds) *int { return &s.Step6QSink }, run: (*pipeline).stageQSink},
+	{name: "step7-extend", steps: func(s *StepRounds) *int { return &s.Step7Extend }, run: (*pipeline).stageExtend},
+	{
+		name:  "step8-lastedge",
+		steps: func(s *StepRounds) *int { return &s.Step8LastEdge },
+		skip:  func(p *pipeline) bool { return p.opt.SkipLastEdges },
+		run:   (*pipeline).stageLastEdges,
+	},
+}
+
+// pipeline is the state threaded through the staged executor: the inputs
+// (graph, network, resolved options) and every intermediate artifact a
+// later stage reads.
+type pipeline struct {
+	g   *graph.Graph
+	nw  *congest.Network
+	opt Options
+	n   int
+	h   int
+
+	sources      []int             // 0..n-1 (Step 1 builds one tree per node)
+	coll         *csssp.Collection // Step 1: h-hop CSSSP collection
+	Q            []int             // Step 2: blocker set
+	deltaH       *mat.Matrix       // Step 3: |Q| x n, deltaH.At(ci, x) = delta_h(x, Q[ci])
+	allPairsQ    []broadcast.Item  // Step 4: gathered (ci, cj, delta_h(cj, ci)) triples
+	delta        *mat.Matrix       // Step 5: n x |Q|, the exact delta(x, c) known at x
+	qres         *qsink.Result     // Step 6: q-sink delivery output
+	step7Sources []int             // Step 7: validated, deduplicated source list
+	distM        *mat.Matrix       // Step 7: one flat row per requested source
+
+	st     Stats
+	stages []StageTiming
+	out    *Result
+}
+
+// execute runs every non-skipped stage in order, recording per-stage wall
+// clock, charged rounds and heap allocations, and filling the legacy
+// StepRounds decomposition from the same round deltas the old monolith
+// tracked by hand. Allocation counts come from runtime/metrics (no
+// stop-the-world, unlike runtime.ReadMemStats — a warm session serves
+// repeated runs, so the executor must not pause the world 16 times per
+// call for a bookkeeping column).
+func (p *pipeline) execute() error {
+	sample := [1]metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	allocs := func() uint64 {
+		metrics.Read(sample[:])
+		return sample[0].Value.Uint64()
+	}
+	for _, st := range pipelineStages {
+		if st.skip != nil && st.skip(p) {
+			continue
+		}
+		allocs0 := allocs()
+		rounds0 := p.nw.Stats.Rounds
+		start := time.Now()
+		if err := st.run(p); err != nil {
+			return fmt.Errorf("core: %s: %w", st.name, err)
+		}
+		wall := time.Since(start)
+		rounds := p.nw.Stats.Rounds - rounds0
+		if st.steps != nil {
+			*st.steps(&p.st.Steps) = rounds
+		}
+		p.stages = append(p.stages, StageTiming{
+			Name:   st.name,
+			Rounds: rounds,
+			WallMS: float64(wall.Microseconds()) / 1000,
+			Allocs: allocs() - allocs0,
+		})
+	}
+	return nil
+}
+
+// run validates the options, executes the stages and assembles the Result.
+func (p *pipeline) run() (*Result, error) {
+	// Partial-APSP validation happens before any stage runs so an invalid
+	// source list fails fast, and so the Sources-implies-SkipLastEdges rule
+	// is settled before the step8 skip predicate is consulted.
+	if p.opt.Sources != nil {
+		validated, err := validateSources(p.opt.Sources, p.n)
+		if err != nil {
+			return nil, err
+		}
+		p.step7Sources = validated
+		p.opt.SkipLastEdges = true
+	}
+	p.out = &Result{}
+	if err := p.execute(); err != nil {
+		return nil, err
+	}
+	p.st.Rounds = p.nw.Stats.Rounds
+	p.st.Messages = p.nw.Stats.Messages
+	p.st.Words = p.nw.Stats.Words
+	p.st.MaxNodeCongestion = p.nw.Stats.MaxNodeCongestion()
+	p.out.Stats = p.st
+	p.out.Stages = p.stages
+	return p.out, nil
+}
+
+// stageCSSSP is Step 1: the h-hop CSSSP collection for V (out-trees).
+func (p *pipeline) stageCSSSP() error {
+	p.sources = make([]int, p.n)
+	for i := range p.sources {
+		p.sources[i] = i
+	}
+	if p.step7Sources == nil {
+		p.step7Sources = p.sources // full APSP: Step 7 extends every source
+	}
+	coll, err := csssp.Build(p.nw, p.g, p.sources, p.h, bford.Out)
+	if err != nil {
+		return err
+	}
+	p.coll = coll
+	return nil
+}
+
+// stageBlocker is Step 2: the blocker set Q for the collection. The
+// variant picks the construction; an explicit BlockerParams.Mode (e.g. the
+// pairwise-independent randomized Algorithm 2) wins over the Det43 default
+// so ablations can drive the full pipeline with any blocker.
+func (p *pipeline) stageBlocker() error {
+	bp := p.opt.BlockerParams
+	switch p.opt.Variant {
+	case Det32:
+		bp.Mode = blocker.Greedy
+	case Rand43:
+		bp.Mode = blocker.RandomSample
+		bp.Seed = p.opt.Seed
+	default:
+		if bp.Mode != blocker.Deterministic {
+			bp.Seed = p.opt.Seed
+		}
+	}
+	bres, err := blocker.Compute(p.nw, p.coll, bp)
+	if err != nil {
+		return err
+	}
+	p.coll.ResetRemovals() // the blocker construction pruned the trees
+	p.Q = bres.Q
+	p.st.QSize = len(p.Q)
+	p.st.Blocker = bres.Stats
+	return nil
+}
+
+// stageInSSSP is Step 3: one h-hop in-SSSP per blocker node, so node x
+// learns deltaH row ci at column x = delta_h(x, Q[ci]). (Label distances:
+// min weight over <= h hops.) The |Q| runs are independent, so they
+// dispatch across the worker-clone fleet; each run owns one matrix row.
+func (p *pipeline) stageInSSSP() error {
+	q := len(p.Q)
+	p.deltaH = mat.New(q, p.n)
+	return p.nw.ShardRuns(q, func(w *congest.Network, ci int) error {
+		res, err := bford.RunLabels(w, p.g, p.Q[ci], p.h, bford.In)
+		if err != nil {
+			return err
+		}
+		copy(p.deltaH.Row(ci), res.Dist)
+		return nil
+	})
+}
+
+// stageBroadcast is Step 4: every blocker c broadcasts delta_h(c, c') for
+// all c' in Q (|Q|^2 values; O(n + |Q|^2) rounds, Lemma A.2/A.1).
+func (p *pipeline) stageBroadcast() error {
+	tree, err := broadcast.BuildBFS(p.nw, 0)
+	if err != nil {
+		return err
+	}
+	itemCnt := make([]int32, p.n)
+	for _, c := range p.Q {
+		for cj := range p.Q {
+			if p.deltaH.At(cj, c) < graph.Inf {
+				itemCnt[c]++
+			}
+		}
+	}
+	items := broadcast.CarveItems(itemCnt)
+	for ci, c := range p.Q {
+		for cj := range p.Q {
+			if d := p.deltaH.At(cj, c); d < graph.Inf {
+				items[c] = append(items[c], broadcast.Item{A: int64(ci), B: int64(cj), C: d})
+			}
+		}
+	}
+	all, err := broadcast.AllToAll(p.nw, tree, items)
+	if err != nil {
+		return err
+	}
+	p.allPairsQ = all
+	return nil
+}
+
+// stageClosure is Step 5 (local): min-plus closure over the Q x Q matrix,
+// then delta(x, c) = min(delta_h(x, c), min_c1 delta_h(x, c1) + dQ(c1, c)).
+func (p *pipeline) stageClosure() error {
+	q := len(p.Q)
+	dQ := mat.NewFilled(q, q, graph.Inf)
+	for i := 0; i < q; i++ {
+		dQ.Set(i, i, 0)
+	}
+	for _, it := range p.allPairsQ {
+		ci, cj, d := int(it.A), int(it.B), it.C
+		if d < dQ.At(ci, cj) {
+			dQ.Set(ci, cj, d)
+		}
+	}
+	for k := 0; k < q; k++ {
+		rowK := dQ.Row(k)
+		for i := 0; i < q; i++ {
+			dik := dQ.At(i, k)
+			if dik >= graph.Inf {
+				continue
+			}
+			rowI := dQ.Row(i)
+			for j := 0; j < q; j++ {
+				if nd := dik + rowK[j]; nd < rowI[j] {
+					rowI[j] = nd
+				}
+			}
+		}
+	}
+	// delta row x at column ci: the Step-5 value known at x.
+	p.delta = mat.New(p.n, q)
+	for x := 0; x < p.n; x++ {
+		row := p.delta.Row(x)
+		for ci := 0; ci < q; ci++ {
+			best := p.deltaH.At(ci, x)
+			for c1 := 0; c1 < q; c1++ {
+				if dH := p.deltaH.At(c1, x); dH < graph.Inf {
+					if dq := dQ.At(c1, ci); dq < graph.Inf {
+						if nd := dH + dq; nd < best {
+							best = nd
+						}
+					}
+				}
+			}
+			row[ci] = best
+		}
+	}
+	p.allPairsQ = nil // consumed; the items alias broadcast pooled storage
+	return nil
+}
+
+// stageQSink is Step 6: reversed q-sink delivery.
+func (p *pipeline) stageQSink() error {
+	qp := qsink.Params{Scheduler: qsink.RoundRobin, Blocker: blocker.Params{Mode: blocker.Deterministic}}
+	switch p.opt.Variant {
+	case Det32, BroadcastStep6:
+		qp.Scheduler = qsink.BroadcastAll
+	case Rand43:
+		qp.Blocker = blocker.Params{Mode: blocker.RandomSample, Seed: p.opt.Seed + 1}
+	}
+	qres, err := qsink.Run(p.nw, p.g, p.Q, p.delta, qp)
+	if err != nil {
+		return err
+	}
+	p.qres = qres
+	p.st.QSink = qres.Stats
+	return nil
+}
+
+// stageExtend is Step 7: per source x, an extended h-hop Bellman-Ford
+// seeded with the Step-1 labels everywhere and the exact delta(x, c) at
+// blockers. The per-source extensions are independent, so they dispatch
+// across the worker-clone fleet like Step 3; each source owns one row of
+// the flat distance matrix. One flat row is allocated per requested source
+// (not n x n: partial runs with few sources must not pay the full matrix).
+func (p *pipeline) stageExtend() error {
+	p.distM = mat.New(len(p.step7Sources), p.n)
+	err := p.nw.ShardRuns(len(p.step7Sources), func(w *congest.Network, k int) error {
+		x := p.step7Sources[k] // Step 1 built one tree per node, indexed by id
+		// The seed vector comes from the worker's scratch arena (reset per
+		// sub-run by ShardRuns); RunLabelsWithInit is the non-resetting
+		// bford entry point, so the checkout stays live through the run.
+		init := w.Scratch().Int64s(p.n)
+		copy(init, p.coll.Label[x])
+		for ci := range p.Q {
+			if v := p.qres.AtBlocker[ci][x]; v < init[p.Q[ci]] {
+				init[p.Q[ci]] = v
+			}
+		}
+		res, err := bford.RunLabelsWithInit(w, p.g, init, p.h, bford.Out)
+		if err != nil {
+			return err
+		}
+		copy(p.distM.Row(k), res.Dist)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// The public surface stays [][]int64: rows are zero-copy views of the
+	// flat matrix, nil for sources Step 7 did not run.
+	dist := make([][]int64, p.n)
+	for k, x := range p.step7Sources {
+		dist[x] = p.distM.Row(k)
+	}
+	p.out.Dist = dist
+	return nil
+}
+
+// stageLastEdges is the final neighbor exchange (an implementation
+// addition; see the package comment): every node already knows its column
+// of the distance matrix, and one pipelined exchange of that column with
+// each neighbor lets each t pick, per source x, the smallest-id
+// in-neighbor u with delta(x, u) + w(u, t) = delta(x, t).
+func (p *pipeline) stageLastEdges() error {
+	lh, err := resolveLastEdges(p.nw, p.g, p.out.Dist)
+	if err != nil {
+		return err
+	}
+	p.out.LastHop = lh
+	return nil
+}

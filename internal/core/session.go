@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"congestapsp/internal/bford"
+	"congestapsp/internal/blocker"
+	"congestapsp/internal/congest"
+	"congestapsp/internal/csssp"
+	"congestapsp/internal/graph"
+)
+
+// Session is a warm execution context pinned to one graph: the CONGEST
+// network (CSR adjacency, engine arenas, scratch slabs) is built once, and
+// every Run or BlockerOnly call on the session reuses it — including the
+// cached worker-clone fleet and its private arenas, which ShardRuns grows
+// on the first parallel stage and then keeps warm forever. Repeated runs
+// therefore skip the network build and the arena cold start entirely; the
+// public surface is apsp.Runner.
+//
+// A Session supports one call at a time (the Network's single-execution
+// discipline), and the graph must not be modified while the session is
+// alive — the communication topology is frozen into the CSR arena at
+// construction. Run fails loudly if the edge count changed.
+//
+// Results are caller-owned: every matrix a Run returns is freshly
+// allocated, so a Result remains valid after later runs on the same
+// session.
+type Session struct {
+	g  *graph.Graph
+	nw *congest.Network
+	m  int // edge count at construction; guards against mutation
+}
+
+// NewSession builds the warm network for g. The graph may be empty.
+func NewSession(g *graph.Graph) (*Session, error) {
+	nw, err := congest.NewNetwork(g, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{g: g, nw: nw, m: g.M()}, nil
+}
+
+// begin re-arms the warm network for a fresh logical run: per-run options
+// are (re)applied, statistics are zeroed, and the topology guard checks
+// that the graph was not mutated since NewSession.
+func (s *Session) begin(bandwidth int, parallel bool, minShard int, onRound func(int, int)) error {
+	if s.g.M() != s.m {
+		return fmt.Errorf("core: graph modified since the session was created (%d edges, was %d)", s.g.M(), s.m)
+	}
+	if bandwidth == 0 {
+		bandwidth = 1
+	}
+	if err := s.nw.SetBandwidth(bandwidth); err != nil {
+		return err
+	}
+	s.nw.Parallel = parallel
+	s.nw.MinShardNodes = minShard
+	s.nw.OnRound = onRound
+	s.nw.ResetStats()
+	return nil
+}
+
+// Run executes the selected APSP variant on the session's graph, reusing
+// the warm network. It is the session form of the package-level Run and
+// produces bit-identical results (the engine and every protocol draw from
+// grow-only pooled state whose content is fully re-initialized per run).
+func (s *Session) Run(opt Options) (*Result, error) {
+	n := s.g.N
+	if n == 0 {
+		return &Result{}, nil
+	}
+	if err := s.begin(opt.Bandwidth, opt.Parallel, opt.MinShardNodes, opt.OnRound); err != nil {
+		return nil, err
+	}
+	h := opt.H
+	if h == 0 {
+		switch opt.Variant {
+		case Det32:
+			h = int(math.Ceil(math.Sqrt(float64(n))))
+		default:
+			h = int(math.Ceil(math.Pow(float64(n), 1.0/3)))
+		}
+	}
+	if h < 1 {
+		h = 1
+	}
+	p := &pipeline{
+		g:   s.g,
+		nw:  s.nw,
+		opt: opt,
+		n:   n,
+		h:   h,
+		st:  Stats{N: n, M: s.g.M(), H: h},
+	}
+	return p.run()
+}
+
+// BlockerOnly builds just the h-hop CSSSP collection for all sources and a
+// blocker set over it on the warm network; it is the session form of the
+// package-level BlockerOnly (and backs apsp.Runner.BlockerSet).
+func (s *Session) BlockerOnly(opt BlockerOptions) ([]int, blocker.Stats, error) {
+	h := opt.H
+	if h < 1 {
+		h = int(math.Ceil(math.Pow(float64(s.g.N), 1.0/3)))
+	}
+	if err := s.begin(1, opt.Parallel, 0, nil); err != nil {
+		return nil, blocker.Stats{}, err
+	}
+	sources := make([]int, s.g.N)
+	for i := range sources {
+		sources[i] = i
+	}
+	coll, err := csssp.Build(s.nw, s.g, sources, h, bford.Out)
+	if err != nil {
+		return nil, blocker.Stats{}, err
+	}
+	res, err := blocker.Compute(s.nw, coll, blocker.Params{Mode: opt.Mode, Seed: opt.Seed})
+	if err != nil {
+		return nil, blocker.Stats{}, err
+	}
+	return res.Q, res.Stats, nil
+}

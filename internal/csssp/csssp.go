@@ -68,10 +68,12 @@ type Collection struct {
 // (the construction of [1]; O(|S|*h) rounds total, Lemma A.4).
 //
 // The per-source SSSPs are independent protocol executions, so when
-// nw.Parallel is set they are source-sharded across a worker pool
-// (congest.ShardRuns): each worker owns a clone of nw and fills only the
-// per-source slots of its indices, and the merged statistics — and the
-// collection itself — are bit-identical to the sequential schedule.
+// nw.Parallel is set they dispatch across the work-stealing worker pool
+// (congest.ShardRuns): each worker owns a clone of nw, pulls source
+// indices dynamically, and fills only the per-source slots of the indices
+// it ran; the merged statistics — and the collection itself — are
+// bit-identical to the sequential schedule regardless of the
+// interleaving.
 func Build(nw *congest.Network, g *graph.Graph, sources []int, h int, mode bford.Mode) (*Collection, error) {
 	if h < 1 {
 		return nil, fmt.Errorf("csssp: hop bound must be >= 1, got %d", h)
@@ -281,8 +283,9 @@ func (c *Collection) PathVertices(i, leaf int) []int {
 // tree (messages destined to that root are already handled via z).
 //
 // The per-tree floods are independent (tree i's flood reads and writes only
-// Removed[i]), so they source-shard across worker clones when nw.Parallel
-// is set, with stats merged in tree order.
+// Removed[i]), so they dispatch across the work-stealing worker clones when
+// nw.Parallel is set; the merged stats are exact commutative sums, so they
+// match the sequential schedule bit for bit.
 func (c *Collection) RemoveSubtrees(nw *congest.Network, inZ []bool, excludeRoots bool) error {
 	return nw.ShardRuns(len(c.Sources), func(w *congest.Network, i int) error {
 		// Snapshot the pre-flood (removal-filtered) child lists into the

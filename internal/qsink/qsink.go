@@ -234,8 +234,8 @@ func runCase1(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *css
 	}
 
 	// Step 3: full in-SSSP and out-SSSP per c' (Bellman-Ford, O(n) rounds
-	// each). The 2|Q'| runs are independent, so they source-shard across
-	// worker clones; each index owns one row of each matrix.
+	// each). The 2|Q'| runs are independent, so they dispatch across the
+	// work-stealing worker clones; each index owns one row of each matrix.
 	inD, outD, err := pairedSSSPs(nw, g, qp.Q)
 	if err != nil {
 		return err

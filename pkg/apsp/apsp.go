@@ -142,6 +142,12 @@ type Options struct {
 // StepRounds breaks the round count down by Algorithm 1 step.
 type StepRounds = core.StepRounds
 
+// StageTiming is the per-stage cost record of the staged pipeline
+// executor: the stage name, the simulated rounds it charged
+// (deterministic), and the host wall-clock and heap allocations it
+// consumed.
+type StageTiming = core.StageTiming
+
 // Stats reports the distributed cost of a run.
 type Stats struct {
 	N, M, H           int
@@ -151,6 +157,9 @@ type Stats struct {
 	Words             int64
 	MaxNodeCongestion int64
 	Steps             StepRounds
+	// Stages is the executed pipeline stages in order, each with its
+	// charged rounds, wall-clock and allocations (skipped stages absent).
+	Stages []StageTiming
 	// BottleneckCount and QPrimeSize expose the Section-4 machinery
 	// (0 for the broadcast profiles).
 	BottleneckCount int
@@ -170,8 +179,19 @@ type Result struct {
 }
 
 // Run computes exact all-pairs shortest paths on g with the selected
-// profile, returning the distances and the CONGEST cost accounting.
+// profile, returning the distances and the CONGEST cost accounting. Each
+// call builds (and discards) a fresh simulation network; callers that run
+// the same graph repeatedly should hold a Runner instead.
 func Run(g *Graph, opt Options) (*Result, error) {
+	res, err := core.Run(g.g, coreOptions(opt))
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(res), nil
+}
+
+// coreOptions maps the public options onto the core pipeline's.
+func coreOptions(opt Options) core.Options {
 	v := core.Det43
 	switch opt.Algorithm {
 	case Deterministic32:
@@ -181,7 +201,7 @@ func Run(g *Graph, opt Options) (*Result, error) {
 	case BroadcastStep6:
 		v = core.BroadcastStep6
 	}
-	res, err := core.Run(g.g, core.Options{
+	return core.Options{
 		Variant:       v,
 		H:             opt.HopParam,
 		Bandwidth:     opt.Bandwidth,
@@ -190,10 +210,12 @@ func Run(g *Graph, opt Options) (*Result, error) {
 		SkipLastEdges: opt.SkipLastHops,
 		OnRound:       opt.OnRound,
 		Sources:       opt.Sources,
-	})
-	if err != nil {
-		return nil, err
 	}
+}
+
+// fromCore maps a core result onto the public shape (shared by Run and
+// Runner.Run so the two surfaces can never drift).
+func fromCore(res *core.Result) *Result {
 	return &Result{
 		Dist:    res.Dist,
 		LastHop: res.LastHop,
@@ -205,11 +227,12 @@ func Run(g *Graph, opt Options) (*Result, error) {
 			Words:             res.Stats.Words,
 			MaxNodeCongestion: res.Stats.MaxNodeCongestion,
 			Steps:             res.Stats.Steps,
+			Stages:            res.Stages,
 			BottleneckCount:   res.Stats.QSink.BottleneckCount,
 			QPrimeSize:        res.Stats.QSink.QPrimeSize,
 			PipelineRounds:    res.Stats.QSink.PipelineRounds,
 		},
-	}, nil
+	}
 }
 
 // Path reconstructs a shortest x->t path from a Result computed with last
@@ -291,11 +314,17 @@ func BlockerSet(g *Graph, opt BlockerOptions) ([]int, BlockerStats, error) {
 	if err != nil {
 		return nil, BlockerStats{}, err
 	}
-	return q, BlockerStats{
+	return q, blockerStats(q, stats), nil
+}
+
+// blockerStats maps the internal blocker stats onto the public shape
+// (shared by BlockerSet and Runner.BlockerSet).
+func blockerStats(q []int, stats blocker.Stats) BlockerStats {
+	return BlockerStats{
 		Size:           len(q),
 		Rounds:         stats.Rounds,
 		SelectionSteps: stats.SelectionSteps,
 		GoodSets:       stats.GoodSetSelections,
 		Fallbacks:      stats.FallbackSteps,
-	}, nil
+	}
 }

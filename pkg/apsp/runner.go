@@ -1,0 +1,88 @@
+package apsp
+
+import (
+	"congestapsp/internal/blocker"
+	"congestapsp/internal/core"
+)
+
+// Runner is a warm APSP session pinned to one graph. The CONGEST network
+// (CSR adjacency) is built once by NewRunner, and everything that grows
+// while running — engine arenas, pooled protocol scratch, the worker-clone
+// fleet of the parallel execution layer — is kept warm across calls, so
+// repeated runs with different algorithms, sources, bandwidths or
+// execution modes skip the per-call cold start that apsp.Run pays every
+// time. This is the intended surface for serving repeated traffic against
+// one graph: build a Runner per graph, then call Run / RunMany /
+// BlockerSet as often as needed.
+//
+//	r, err := apsp.NewRunner(g)                                       // builds the network
+//	det, err := r.Run(apsp.Options{})                                 // first run grows the arenas
+//	base, err := r.Run(apsp.Options{Algorithm: apsp.Deterministic32}) // warm re-run
+//
+// Results are bit-identical to one-shot apsp.Run calls with the same
+// options, and caller-owned: a Result stays valid after later runs on the
+// same Runner.
+//
+// A Runner supports one call at a time (build one Runner per goroutine, or
+// guard it with a mutex), and the graph must not be modified while the
+// Runner is alive — the communication topology is frozen when the Runner
+// is built, and Run fails loudly if the edge count changed.
+type Runner struct {
+	g *Graph
+	s *core.Session
+}
+
+// NewRunner builds a warm session for g. The graph may be used by many
+// runners, but each Runner assumes it no longer changes.
+func NewRunner(g *Graph) (*Runner, error) {
+	s, err := core.NewSession(g.g)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{g: g, s: s}, nil
+}
+
+// Graph returns the graph the Runner is pinned to.
+func (r *Runner) Graph() *Graph { return r.g }
+
+// Run computes APSP on the Runner's graph with the given options, reusing
+// the warm network and worker fleet.
+func (r *Runner) Run(opt Options) (*Result, error) {
+	res, err := r.s.Run(coreOptions(opt))
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(res), nil
+}
+
+// RunMany executes one Run per options entry, in order, on the warm
+// session, and returns the results in the same order. It stops at the
+// first error. The batch form exists for sweep-shaped callers (profile x
+// execution-mode grids over one graph) so they state the whole batch in
+// one call.
+func (r *Runner) RunMany(opts []Options) ([]*Result, error) {
+	out := make([]*Result, len(opts))
+	for i, opt := range opts {
+		res, err := r.Run(opt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// BlockerSet computes an h-hop blocker set of the Runner's graph on the
+// warm session (the session form of apsp.BlockerSet).
+func (r *Runner) BlockerSet(opt BlockerOptions) ([]int, BlockerStats, error) {
+	q, stats, err := r.s.BlockerOnly(core.BlockerOptions{
+		H:        opt.HopParam,
+		Mode:     blocker.Mode(opt.Mode),
+		Seed:     opt.Seed,
+		Parallel: opt.Parallel,
+	})
+	if err != nil {
+		return nil, BlockerStats{}, err
+	}
+	return q, blockerStats(q, stats), nil
+}

@@ -4,10 +4,14 @@
 #
 #   BENCH_engine.json  engine-critical microbenchmarks (ns/op, allocs/op)
 #   BENCH_apsp.json    full-pipeline apsp.Run wall-clock + allocs at
-#                      n in {128, 256, 512}, sequential vs source-sharded
+#                      n in {128, 256, 512}, sequential vs source-sharded,
+#                      plus the warm apsp.Runner re-run rows
+#                      (BenchmarkAPSPPipelineWarm) for the cold-vs-warm
+#                      session comparison
 #   EXPERIMENTS.json   the scenario-corpus sweep (cmd/experiment): every
 #                      registered family x all 4 algorithm profiles x
-#                      seq/sharded at n in {64, 128}, oracle-checked
+#                      seq/sharded at n in {64, 128}, oracle-checked, with
+#                      the staged executor's per-stage breakdown per row
 #
 # Run from the repo root:
 #
@@ -15,13 +19,17 @@
 #
 # benchtime defaults to 2s per engine benchmark; the full-pipeline suite
 # always runs one iteration per configuration (a single n=512 run takes
-# tens of seconds of simulated work). The host's core count is recorded in
-# the JSON: the sharded/sequential ratio is only meaningful on multi-core.
+# tens of seconds of simulated work). The host's core count and effective
+# GOMAXPROCS are recorded in the JSON: the sharded/sequential ratio is only
+# meaningful when GOMAXPROCS > 1.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-2s}"
 CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+# The Go runtime defaults GOMAXPROCS to the core count; an explicit env
+# override is what the benchmark processes will actually run with.
+MAXPROCS="${GOMAXPROCS:-$CORES}"
 
 # report_deltas old_json new_json: per-benchmark allocs_per_op deltas of a
 # regeneration versus the previously committed snapshot, so a bench refresh
@@ -38,7 +46,7 @@ report_deltas() {
 }
 
 emit_json() { # emit_json suite benchtime raw_file out_file
-  awk -v suite="$1" -v benchtime="$2" -v cores="$CORES" '
+  awk -v suite="$1" -v benchtime="$2" -v cores="$CORES" -v maxprocs="$MAXPROCS" '
     /^Benchmark/ {
       name = $1
       sub(/-[0-9]+$/, "", name) # strip -GOMAXPROCS suffix
@@ -55,7 +63,7 @@ emit_json() { # emit_json suite benchtime raw_file out_file
       }
     }
     BEGIN {
-      printf "{\n  \"suite\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"cores\": %s,\n  \"results\": [\n", suite, benchtime, cores
+      printf "{\n  \"suite\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"cores\": %s,\n  \"gomaxprocs\": %s,\n  \"results\": [\n", suite, benchtime, cores, maxprocs
     }
     END { printf "\n  ]\n}\n" }
   ' "$3" > "$4"
@@ -87,3 +95,16 @@ report_deltas "$OLD" BENCH_apsp.json
 go run ./cmd/experiment \
   -scenarios random,ring,grid,layered,star,zeromix,powerlaw,geometric,expander,ktree \
   -sizes 64,128 -check -json EXPERIMENTS.json -q
+
+# Per-stage wall breakdown of the regenerated sweep: where the host time
+# goes inside the paper's pipeline, for each family's largest sequential
+# det43 cell (the staged executor records this per row; see DESIGN.md
+# §2.5/§6.3).
+if command -v jq >/dev/null 2>&1; then
+  echo "per-stage wall breakdown (det43, seq, largest n per family):"
+  jq -r '
+    [.rows[] | select(.algorithm == "deterministic-n43" and .exec == "seq")]
+    | group_by(.family)[] | max_by(.n)
+    | "  \(.scenario): " + ([.stages[] | "\(.name | sub("^step[0-9]-"; ""))=\(.wall_ms)ms"] | join(" "))
+  ' EXPERIMENTS.json
+fi
