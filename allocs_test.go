@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"congestapsp/internal/bford"
@@ -132,6 +133,37 @@ func TestRunnerWarmRunAllocs(t *testing.T) {
 		}
 	}); got > ceiling {
 		t.Errorf("warm Runner.Run n=128: %v allocs/op, ceiling %d", got, ceiling)
+	}
+}
+
+// TestRunnerWarmRunContextAllocs pins the cancellation plumbing's promise
+// of zero steady-state cost: a warm RunContext with an armed (cancelable)
+// context must fit the SAME ceiling as the context-free warm run — the
+// per-round ctx.Err() observation, the stage-boundary checks, and the
+// panic-isolation defers may not allocate. The context itself is created
+// outside the measured region, as a server would hold its request context.
+func TestRunnerWarmRunContextAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full n=128 pipeline runs")
+	}
+	g := apsp.RandomGraph(apsp.GenOptions{N: 128, Directed: true, Seed: 128, MaxWeight: 50}, 4*128)
+	r, err := apsp.NewRunner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := apsp.Options{SkipLastHops: true}
+	if _, err := r.RunContext(ctx, opt); err != nil {
+		t.Fatal(err)
+	}
+	const ceiling = 2500
+	if got := testing.AllocsPerRun(2, func() {
+		if _, err := r.RunContext(ctx, opt); err != nil {
+			t.Fatal(err)
+		}
+	}); got > ceiling {
+		t.Errorf("warm Runner.RunContext n=128: %v allocs/op, ceiling %d (ctx plumbing must be allocation-free)", got, ceiling)
 	}
 }
 

@@ -7,17 +7,29 @@
 // Usage:
 //
 //	congestbench -exp table1 [-sizes 16,24,32,48,64] [-seeds 2]
-//	congestbench -exp all
+//	congestbench -exp all [-o EXPERIMENTS.md.new] [-timeout 30s]
+//
+// With -o the report is written atomically (temp+rename) instead of to
+// stdout, and a SIGINT flushes the rows completed so far rather than dying
+// with nothing written. -timeout bounds each measured cell through the
+// execution stack's context plumbing; a cell that exceeds it is skipped
+// with a warning on stderr and its table row dropped.
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"congestapsp/internal/bford"
 	"congestapsp/internal/blocker"
@@ -25,10 +37,36 @@ import (
 	"congestapsp/internal/core"
 	"congestapsp/internal/csssp"
 	"congestapsp/internal/graph"
+	"congestapsp/internal/graphio"
 	"congestapsp/internal/profiling"
 	"congestapsp/internal/qsink"
 	"congestapsp/internal/unweighted"
 )
+
+// flushPartial writes the report rows accumulated so far (atomic
+// temp+rename when -o is set; a no-op when the report streams to stdout).
+// It is called on normal exit, on SIGINT, and before any fatal error, so a
+// long sweep never dies with nothing written.
+var flushPartial = func() {}
+
+// stopProfilesOnExit flushes the pprof profiles on the interrupt path,
+// where the deferred stop in main never runs.
+var stopProfilesOnExit = func() error { return nil }
+
+// fatalf is log.Fatalf preceded by a partial-report flush.
+func fatalf(format string, v ...any) {
+	flushPartial()
+	log.Fatalf(format, v...)
+}
+
+// interrupted handles SIGINT observed through the context plumbing: flush
+// what completed, stop the profiles, and exit with the conventional 130.
+func interrupted() {
+	fmt.Fprintln(os.Stderr, "congestbench: interrupted; flushing partial report")
+	flushPartial()
+	stopProfilesOnExit()
+	os.Exit(130)
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|blockersize|selectionsteps|blockerrounds|qsink|bottleneck|goodset|frames|hsweep|bandwidth|unweighted|all")
@@ -36,6 +74,8 @@ func main() {
 	seeds := flag.Int("seeds", 2, "seeds per configuration (results averaged)")
 	verify := flag.Bool("verify", true, "cross-check distances against Floyd-Warshall")
 	parallel := flag.Bool("parallel", false, "run the simulator's sharded step/delivery phases (bit-identical results)")
+	outPath := flag.String("o", "", "write the report atomically to this file instead of stdout (SIGINT flushes partial rows)")
+	timeout := flag.Duration("timeout", 0, "per-cell deadline; a cell that exceeds it is skipped and its row dropped (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -44,6 +84,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	stopProfilesOnExit = stopProfiles
 	defer func() {
 		if err := stopProfiles(); err != nil {
 			log.Fatal(err)
@@ -54,7 +95,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	h := harness{sizes: sizes, seeds: *seeds, verify: *verify, parallel: *parallel}
+
+	// SIGINT cancels the executing cell at its next round or stage boundary
+	// (the context plumbing); the handlers above flush whatever rows the
+	// report already holds.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
+	var buf bytes.Buffer
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		out = &buf
+		flushPartial = func() {
+			if err := graphio.WriteFileAtomic(*outPath, buf.Bytes()); err != nil {
+				log.Printf("congestbench: flush %s: %v", *outPath, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *outPath, buf.Len())
+		}
+	}
+
+	h := harness{
+		sizes: sizes, seeds: *seeds, verify: *verify, parallel: *parallel,
+		ctx: ctx, timeout: *timeout, out: out,
+	}
 
 	all := map[string]func(){
 		"table1":         h.table1,
@@ -73,14 +137,15 @@ func main() {
 		for _, name := range []string{"table1", "blockersize", "selectionsteps", "blockerrounds", "qsink", "bottleneck", "goodset", "frames", "hsweep", "bandwidth", "unweighted"} {
 			all[name]()
 		}
-		return
+	} else {
+		fn, ok := all[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		fn()
 	}
-	fn, ok := all[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
-	fn()
+	flushPartial()
 }
 
 func parseSizes(s string) ([]int, error) {
@@ -100,6 +165,40 @@ type harness struct {
 	seeds    int
 	verify   bool
 	parallel bool
+	// ctx is the signal-scoped context: canceled by SIGINT, parent of every
+	// per-cell deadline.
+	ctx context.Context
+	// timeout bounds each measured cell (0 = unbounded).
+	timeout time.Duration
+	// out receives the report rows (a buffer when -o is set, else stdout).
+	out io.Writer
+}
+
+// cellCtx derives one cell's context from the signal context, optionally
+// bounded by the per-cell deadline.
+func (h harness) cellCtx() (context.Context, context.CancelFunc) {
+	if h.timeout > 0 {
+		return context.WithTimeout(h.ctx, h.timeout)
+	}
+	return context.WithCancel(h.ctx)
+}
+
+// handle classifies a cell error: nil proceeds, SIGINT exits through
+// interrupted, a blown per-cell deadline reports skip=true (the caller
+// drops the affected row), anything else is fatal.
+func (h harness) handle(err error, what string) (skip bool) {
+	if err == nil {
+		return false
+	}
+	if h.ctx.Err() != nil {
+		interrupted()
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "congestbench: %s SKIPPED: exceeded %v (%v)\n", what, h.timeout, err)
+		return true
+	}
+	fatalf("%s: %v", what, err)
+	return false
 }
 
 func (h harness) graphFor(n int, seed int64) *graph.Graph {
@@ -131,22 +230,27 @@ func fitExponent(xs []int, ys []float64) float64 {
 func (h harness) session(g *graph.Graph) *core.Session {
 	s, err := core.NewSession(g)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	return s
 }
 
+// runVariant runs one deadline-bounded cell on the warm session. A nil
+// result means the cell blew its -timeout budget (already reported on
+// stderr); the caller drops the affected row.
 func (h harness) runVariant(s *core.Session, g *graph.Graph, v core.Variant, seed int64) *core.Result {
-	res, err := s.Run(core.Options{Variant: v, Seed: seed, SkipLastEdges: true, Parallel: h.parallel})
-	if err != nil {
-		log.Fatalf("%v on n=%d: %v", v, g.N, err)
+	wctx, cancel := h.cellCtx()
+	res, err := s.RunContext(wctx, core.Options{Variant: v, Seed: seed, SkipLastEdges: true, Parallel: h.parallel})
+	cancel()
+	if h.handle(err, fmt.Sprintf("%v on n=%d", v, g.N)) {
+		return nil
 	}
 	if h.verify {
 		want := graph.FloydWarshall(g)
 		for x := 0; x < g.N; x++ {
 			for t := 0; t < g.N; t++ {
 				if res.Dist[x][t] != want[x][t] {
-					log.Fatalf("%v: wrong distance (%d,%d)", v, x, t)
+					fatalf("%v: wrong distance (%d,%d)", v, x, t)
 				}
 			}
 		}
@@ -156,119 +260,159 @@ func (h harness) runVariant(s *core.Session, g *graph.Graph, v core.Variant, see
 
 // table1: empirical Table 1 — full-APSP round counts per variant.
 func (h harness) table1() {
-	fmt.Println("## E1 (Table 1): APSP round complexity by algorithm")
-	fmt.Println()
-	fmt.Println("| n | det n^4/3 (paper) | det n^3/2 [2] | randomized [13,1] | broadcast Step 6 | |Q| (paper) |")
-	fmt.Println("|--:|--:|--:|--:|--:|--:|")
+	fmt.Fprintln(h.out, "## E1 (Table 1): APSP round complexity by algorithm")
+	fmt.Fprintln(h.out)
+	fmt.Fprintln(h.out, "| n | det n^4/3 (paper) | det n^3/2 [2] | randomized [13,1] | broadcast Step 6 | |Q| (paper) |")
+	fmt.Fprintln(h.out, "|--:|--:|--:|--:|--:|--:|")
 	variants := []core.Variant{core.Det43, core.Det32, core.Rand43, core.BroadcastStep6}
 	series := make([][]float64, len(variants))
+	var used []int
 	for _, n := range h.sizes {
 		avg := make([]float64, len(variants))
 		var qsz float64
-		for s := 0; s < h.seeds; s++ {
+		complete := true
+		for s := 0; s < h.seeds && complete; s++ {
 			g := h.graphFor(n, int64(n*1000+s))
 			sess := h.session(g) // all four variants share one warm session
 			for vi, v := range variants {
 				res := h.runVariant(sess, g, v, int64(s))
+				if res == nil {
+					complete = false
+					break
+				}
 				avg[vi] += float64(res.Stats.Rounds) / float64(h.seeds)
 				if v == core.Det43 {
 					qsz += float64(res.Stats.QSize) / float64(h.seeds)
 				}
 			}
 		}
-		fmt.Printf("| %d | %.0f | %.0f | %.0f | %.0f | %.1f |\n", n, avg[0], avg[1], avg[2], avg[3], qsz)
+		if !complete {
+			continue // a timed-out cell: the row's averages would be partial
+		}
+		fmt.Fprintf(h.out, "| %d | %.0f | %.0f | %.0f | %.0f | %.1f |\n", n, avg[0], avg[1], avg[2], avg[3], qsz)
+		used = append(used, n)
 		for vi := range variants {
 			series[vi] = append(series[vi], avg[vi])
 		}
 	}
-	fmt.Println()
-	fmt.Printf("fitted growth exponents: det43=%.2f det32=%.2f rand43=%.2f bcast=%.2f (theory: 1.33 / 1.50 / 1.33 / 1.67, all x polylog)\n\n",
-		fitExponent(h.sizes, series[0]), fitExponent(h.sizes, series[1]),
-		fitExponent(h.sizes, series[2]), fitExponent(h.sizes, series[3]))
+	fmt.Fprintln(h.out)
+	fmt.Fprintf(h.out, "fitted growth exponents: det43=%.2f det32=%.2f rand43=%.2f bcast=%.2f (theory: 1.33 / 1.50 / 1.33 / 1.67, all x polylog)\n\n",
+		fitExponent(used, series[0]), fitExponent(used, series[1]),
+		fitExponent(used, series[2]), fitExponent(used, series[3]))
 
 	// Per-step decomposition for the paper's variant: the clean exponents
 	// live here (Step 1/7 are O(n*h) with no polylog).
-	fmt.Println("### E1b: per-step rounds of the deterministic n^4/3 algorithm")
-	fmt.Println()
-	fmt.Println("| n | step1 CSSSP | step2 blocker | step3 inSSSP | step4 bcast | step6 qsink | step7 extend |")
-	fmt.Println("|--:|--:|--:|--:|--:|--:|--:|")
+	fmt.Fprintln(h.out, "### E1b: per-step rounds of the deterministic n^4/3 algorithm")
+	fmt.Fprintln(h.out)
+	fmt.Fprintln(h.out, "| n | step1 CSSSP | step2 blocker | step3 inSSSP | step4 bcast | step6 qsink | step7 extend |")
+	fmt.Fprintln(h.out, "|--:|--:|--:|--:|--:|--:|--:|")
 	var s1, s7 []float64
+	var usedB []int
 	for _, n := range h.sizes {
 		g := h.graphFor(n, int64(n*1000))
 		res := h.runVariant(h.session(g), g, core.Det43, 0)
+		if res == nil {
+			continue
+		}
 		st := res.Stats.Steps
-		fmt.Printf("| %d | %d | %d | %d | %d | %d | %d |\n", n,
+		fmt.Fprintf(h.out, "| %d | %d | %d | %d | %d | %d | %d |\n", n,
 			st.Step1CSSSP, st.Step2Blocker, st.Step3InSSSP, st.Step4Bcast, st.Step6QSink, st.Step7Extend)
+		usedB = append(usedB, n)
 		s1 = append(s1, float64(st.Step1CSSSP))
 		s7 = append(s7, float64(st.Step7Extend))
 	}
-	fmt.Println()
-	fmt.Printf("fitted exponents: step1=%.2f step7=%.2f (theory: both n*h = n^1.33 exactly)\n\n",
-		fitExponent(h.sizes, s1), fitExponent(h.sizes, s7))
+	fmt.Fprintln(h.out)
+	fmt.Fprintf(h.out, "fitted exponents: step1=%.2f step7=%.2f (theory: both n*h = n^1.33 exactly)\n\n",
+		fitExponent(usedB, s1), fitExponent(usedB, s7))
 }
 
-func (h harness) buildColl(g *graph.Graph, hp int) (*csssp.Collection, *congest.Network) {
+// buildColl assembles the h-hop CSSSP collection one blocker/q-sink cell
+// measures against, on a network armed with the cell's context. ok=false
+// means the build itself blew the deadline (already reported).
+func (h harness) buildColl(ctx context.Context, g *graph.Graph, hp int) (coll *csssp.Collection, nw *congest.Network, ok bool) {
 	nw, err := congest.NewNetwork(g, 1)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
+	nw.SetContext(ctx)
 	srcs := make([]int, g.N)
 	for i := range srcs {
 		srcs[i] = i
 	}
-	coll, err := csssp.Build(nw, g, srcs, hp, bford.Out)
-	if err != nil {
-		log.Fatal(err)
+	coll, err = csssp.Build(nw, g, srcs, hp, bford.Out)
+	if h.handle(err, fmt.Sprintf("csssp build n=%d", g.N)) {
+		return nil, nil, false
 	}
-	return coll, nw
+	return coll, nw, true
 }
 
 func hopParam(n int) int { return int(math.Ceil(math.Pow(float64(n), 1.0/3))) }
 
 // blockerSize: Lemma 3.10 — |Q| = O(n log n / h) for every construction.
 func (h harness) blockerSize() {
-	fmt.Println("## E2 (Lemma 3.10): blocker set size vs n ln(n)/h")
-	fmt.Println()
-	fmt.Println("| n | h | n*ln(n)/h | det (Alg 2') | greedy [2] | sampled [13] |")
-	fmt.Println("|--:|--:|--:|--:|--:|--:|")
+	fmt.Fprintln(h.out, "## E2 (Lemma 3.10): blocker set size vs n ln(n)/h")
+	fmt.Fprintln(h.out)
+	fmt.Fprintln(h.out, "| n | h | n*ln(n)/h | det (Alg 2') | greedy [2] | sampled [13] |")
+	fmt.Fprintln(h.out, "|--:|--:|--:|--:|--:|--:|")
 	for _, n := range h.sizes {
 		hp := hopParam(n)
 		bound := float64(n) * math.Log(float64(n)) / float64(hp)
 		var det, gre, smp float64
-		for s := 0; s < h.seeds; s++ {
+		complete := true
+		for s := 0; s < h.seeds && complete; s++ {
 			g := h.graphFor(n, int64(n*100+s))
 			for _, m := range []struct {
 				mode blocker.Mode
 				dst  *float64
 			}{{blocker.Deterministic, &det}, {blocker.Greedy, &gre}, {blocker.RandomSample, &smp}} {
-				coll, nw := h.buildColl(g, hp)
+				wctx, cancel := h.cellCtx()
+				coll, nw, ok := h.buildColl(wctx, g, hp)
+				if !ok {
+					cancel()
+					complete = false
+					break
+				}
 				res, err := blocker.Compute(nw, coll, blocker.Params{Mode: m.mode, Seed: int64(s)})
-				if err != nil {
-					log.Fatal(err)
+				cancel()
+				if h.handle(err, fmt.Sprintf("blocker %v n=%d", m.mode, n)) {
+					complete = false
+					break
 				}
 				*m.dst += float64(len(res.Q)) / float64(h.seeds)
 			}
 		}
-		fmt.Printf("| %d | %d | %.1f | %.1f | %.1f | %.1f |\n", n, hp, bound, det, gre, smp)
+		if !complete {
+			continue
+		}
+		fmt.Fprintf(h.out, "| %d | %d | %.1f | %.1f | %.1f | %.1f |\n", n, hp, bound, det, gre, smp)
 	}
-	fmt.Println()
+	fmt.Fprintln(h.out)
 }
 
 // selectionSteps: Lemma 3.9 — the while loop runs O(log^3 n / (delta^3 eps^2)) times.
 func (h harness) selectionSteps() {
-	fmt.Println("## E3 (Lemma 3.9): selection steps of the deterministic construction")
-	fmt.Println()
-	fmt.Println("| n | selection steps | single-node | good-set | fallback | log2(n)^3 |")
-	fmt.Println("|--:|--:|--:|--:|--:|--:|")
+	fmt.Fprintln(h.out, "## E3 (Lemma 3.9): selection steps of the deterministic construction")
+	fmt.Fprintln(h.out)
+	fmt.Fprintln(h.out, "| n | selection steps | single-node | good-set | fallback | log2(n)^3 |")
+	fmt.Fprintln(h.out, "|--:|--:|--:|--:|--:|--:|")
 	for _, n := range h.sizes {
 		hp := hopParam(n)
 		var steps, single, good, fall float64
-		for s := 0; s < h.seeds; s++ {
+		complete := true
+		for s := 0; s < h.seeds && complete; s++ {
 			g := h.graphFor(n, int64(n*100+s))
-			coll, nw := h.buildColl(g, hp)
+			wctx, cancel := h.cellCtx()
+			coll, nw, ok := h.buildColl(wctx, g, hp)
+			if !ok {
+				cancel()
+				complete = false
+				break
+			}
 			res, err := blocker.Compute(nw, coll, blocker.Params{Mode: blocker.Deterministic})
-			if err != nil {
-				log.Fatal(err)
+			cancel()
+			if h.handle(err, fmt.Sprintf("blocker selection n=%d", n)) {
+				complete = false
+				break
 			}
 			k := float64(h.seeds)
 			steps += float64(res.Stats.SelectionSteps) / k
@@ -276,61 +420,92 @@ func (h harness) selectionSteps() {
 			good += float64(res.Stats.GoodSetSelections) / k
 			fall += float64(res.Stats.FallbackSteps) / k
 		}
+		if !complete {
+			continue
+		}
 		l := math.Log2(float64(n))
-		fmt.Printf("| %d | %.1f | %.1f | %.1f | %.1f | %.0f |\n", n, steps, single, good, fall, l*l*l)
+		fmt.Fprintf(h.out, "| %d | %.1f | %.1f | %.1f | %.1f | %.0f |\n", n, steps, single, good, fall, l*l*l)
 	}
-	fmt.Println()
+	fmt.Fprintln(h.out)
 }
 
 // blockerRounds: Corollary 3.13 vs the n*|Q| term of the greedy baseline.
 func (h harness) blockerRounds() {
-	fmt.Println("## E4 (Corollary 3.13): blocker construction rounds, set cover vs greedy")
-	fmt.Println()
-	fmt.Println("| n | h | det rounds | greedy rounds | greedy n*|Q| term | det/nh |")
-	fmt.Println("|--:|--:|--:|--:|--:|--:|")
+	fmt.Fprintln(h.out, "## E4 (Corollary 3.13): blocker construction rounds, set cover vs greedy")
+	fmt.Fprintln(h.out)
+	fmt.Fprintln(h.out, "| n | h | det rounds | greedy rounds | greedy n*|Q| term | det/nh |")
+	fmt.Fprintln(h.out, "|--:|--:|--:|--:|--:|--:|")
 	var detR, greR []float64
+	var used []int
 	for _, n := range h.sizes {
 		hp := hopParam(n)
 		var det, gre, nq float64
-		for s := 0; s < h.seeds; s++ {
+		complete := true
+		for s := 0; s < h.seeds && complete; s++ {
 			g := h.graphFor(n, int64(n*100+s))
-			collD, nwD := h.buildColl(g, hp)
-			resD, err := blocker.Compute(nwD, collD, blocker.Params{Mode: blocker.Deterministic})
-			if err != nil {
-				log.Fatal(err)
+			wctx, cancel := h.cellCtx()
+			collD, nwD, ok := h.buildColl(wctx, g, hp)
+			if !ok {
+				cancel()
+				complete = false
+				break
 			}
-			collG, nwG := h.buildColl(g, hp)
+			resD, err := blocker.Compute(nwD, collD, blocker.Params{Mode: blocker.Deterministic})
+			cancel()
+			if h.handle(err, fmt.Sprintf("blocker det n=%d", n)) {
+				complete = false
+				break
+			}
+			wctx, cancel = h.cellCtx()
+			collG, nwG, ok := h.buildColl(wctx, g, hp)
+			if !ok {
+				cancel()
+				complete = false
+				break
+			}
 			resG, err := blocker.Compute(nwG, collG, blocker.Params{Mode: blocker.Greedy})
-			if err != nil {
-				log.Fatal(err)
+			cancel()
+			if h.handle(err, fmt.Sprintf("blocker greedy n=%d", n)) {
+				complete = false
+				break
 			}
 			k := float64(h.seeds)
 			det += float64(resD.Stats.Rounds) / k
 			gre += float64(resG.Stats.Rounds) / k
 			nq += float64(n*len(resG.Q)) / k
 		}
-		fmt.Printf("| %d | %d | %.0f | %.0f | %.0f | %.1f |\n", n, hp, det, gre, nq, det/float64(n*hp))
+		if !complete {
+			continue
+		}
+		fmt.Fprintf(h.out, "| %d | %d | %.0f | %.0f | %.0f | %.1f |\n", n, hp, det, gre, nq, det/float64(n*hp))
+		used = append(used, n)
 		detR = append(detR, det)
 		greR = append(greR, gre)
 	}
-	fmt.Println()
-	fmt.Printf("fitted exponents: det=%.2f greedy=%.2f (theory: |S|h = n^1.33 x polylog vs nh + n|Q| -> n^1.67-ish as |Q| grows)\n\n",
-		fitExponent(h.sizes, detR), fitExponent(h.sizes, greR))
+	fmt.Fprintln(h.out)
+	fmt.Fprintf(h.out, "fitted exponents: det=%.2f greedy=%.2f (theory: |S|h = n^1.33 x polylog vs nh + n|Q| -> n^1.67-ish as |Q| grows)\n\n",
+		fitExponent(used, detR), fitExponent(used, greR))
 }
 
 // qsinkRounds: Lemmas 4.1/4.5 — Step 6 alone, pipelined vs broadcast.
 func (h harness) qsinkRounds() {
-	fmt.Println("## E5 (Lemmas 4.1, 4.5): reversed q-sink delivery rounds")
-	fmt.Println()
-	fmt.Println("| n | |Q| | roundrobin | frames | broadcast n*|Q| | pipeline msgs |")
-	fmt.Println("|--:|--:|--:|--:|--:|--:|")
+	fmt.Fprintln(h.out, "## E5 (Lemmas 4.1, 4.5): reversed q-sink delivery rounds")
+	fmt.Fprintln(h.out)
+	fmt.Fprintln(h.out, "| n | |Q| | roundrobin | frames | broadcast n*|Q| | pipeline msgs |")
+	fmt.Fprintln(h.out, "|--:|--:|--:|--:|--:|--:|")
 	for _, n := range h.sizes {
 		hp := hopParam(n)
 		g := h.graphFor(n, int64(n*100))
-		coll, nwb := h.buildColl(g, hp)
+		wctx, cancel := h.cellCtx()
+		coll, nwb, ok := h.buildColl(wctx, g, hp)
+		if !ok {
+			cancel()
+			continue
+		}
 		bres, err := blocker.Compute(nwb, coll, blocker.Params{Mode: blocker.Deterministic})
-		if err != nil {
-			log.Fatal(err)
+		cancel()
+		if h.handle(err, fmt.Sprintf("qsink blocker n=%d", n)) {
+			continue
 		}
 		Q := bres.Q
 		if len(Q) == 0 {
@@ -338,14 +513,19 @@ func (h harness) qsinkRounds() {
 		}
 		delta := graph.BlockerDelta(g, Q)
 		row := make(map[qsink.Scheduler]*qsink.Stats)
+		complete := true
 		for _, sch := range []qsink.Scheduler{qsink.RoundRobin, qsink.Frames, qsink.BroadcastAll} {
 			nw, err := congest.NewNetwork(g, 1)
 			if err != nil {
-				log.Fatal(err)
+				fatalf("%v", err)
 			}
+			wctx, cancel := h.cellCtx()
+			nw.SetContext(wctx)
 			res, err := qsink.Run(nw, g, Q, delta, qsink.Params{Scheduler: sch})
-			if err != nil {
-				log.Fatal(err)
+			cancel()
+			if h.handle(err, fmt.Sprintf("qsink %v n=%d", sch, n)) {
+				complete = false
+				break
 			}
 			if h.verify {
 				checkQsink(g, Q, res)
@@ -353,11 +533,14 @@ func (h harness) qsinkRounds() {
 			st := res.Stats
 			row[sch] = &st
 		}
-		fmt.Printf("| %d | %d | %d | %d | %d | %d |\n", n, len(Q),
+		if !complete {
+			continue
+		}
+		fmt.Fprintf(h.out, "| %d | %d | %d | %d | %d | %d |\n", n, len(Q),
 			row[qsink.RoundRobin].RoundsTotal, row[qsink.Frames].RoundsTotal,
 			row[qsink.BroadcastAll].RoundsTotal, row[qsink.RoundRobin].PipelineMessages)
 	}
-	fmt.Println()
+	fmt.Fprintln(h.out)
 }
 
 func checkQsink(g *graph.Graph, Q []int, res *qsink.Result) {
@@ -369,7 +552,7 @@ func checkQsink(g *graph.Graph, Q []int, res *qsink.Result) {
 				exp = graph.Inf
 			}
 			if got != exp && !(got >= graph.Inf && exp >= graph.Inf) {
-				log.Fatalf("qsink wrong at (c=%d, x=%d): %d vs %d", Q[ci], x, got, exp)
+				fatalf("qsink wrong at (c=%d, x=%d): %d vs %d", Q[ci], x, got, exp)
 			}
 		}
 	}
@@ -379,10 +562,10 @@ func checkQsink(g *graph.Graph, Q []int, res *qsink.Result) {
 // lemma regime (mult=1: |B| <= sqrt(q), loads <= n*sqrt(q)) and a stress
 // regime (mult=0.05) are reported separately.
 func (h harness) bottleneck() {
-	fmt.Println("## E6 (Lemmas A.15-A.17): bottleneck elimination")
-	fmt.Println()
-	fmt.Println("| n | workload | mult | |Q| | bound | |B| | sqrt(q) cap (mult=1) | load before | load after |")
-	fmt.Println("|--:|--|--:|--:|--:|--:|--:|--:|--:|")
+	fmt.Fprintln(h.out, "## E6 (Lemmas A.15-A.17): bottleneck elimination")
+	fmt.Fprintln(h.out)
+	fmt.Fprintln(h.out, "| n | workload | mult | |Q| | bound | |B| | sqrt(q) cap (mult=1) | load before | load after |")
+	fmt.Fprintln(h.out, "|--:|--|--:|--:|--:|--:|--:|--:|--:|")
 	for _, n := range h.sizes {
 		for _, wl := range []struct {
 			name string
@@ -398,11 +581,14 @@ func (h harness) bottleneck() {
 			for _, mult := range []float64{1.0, 0.05} {
 				nw, err := congest.NewNetwork(wl.g, 1)
 				if err != nil {
-					log.Fatal(err)
+					fatalf("%v", err)
 				}
+				wctx, cancel := h.cellCtx()
+				nw.SetContext(wctx)
 				res, err := qsink.Run(nw, wl.g, Q, graph.BlockerDelta(wl.g, Q), qsink.Params{Scheduler: qsink.RoundRobin, CongestionMult: mult})
-				if err != nil {
-					log.Fatal(err)
+				cancel()
+				if h.handle(err, fmt.Sprintf("bottleneck %s n=%d mult=%.2f", wl.name, n, mult)) {
+					continue
 				}
 				if h.verify {
 					checkQsink(wl.g, Q, res)
@@ -415,13 +601,13 @@ func (h harness) bottleneck() {
 						cap += " VIOLATED"
 					}
 				}
-				fmt.Printf("| %d | %s | %.2f | %d | %d | %d | %s | %d | %d |\n",
+				fmt.Fprintf(h.out, "| %d | %s | %.2f | %d | %d | %d | %s | %d | %d |\n",
 					n, wl.name, mult, len(Q), st.CongestionBound, st.BottleneckCount,
 					cap, st.MaxLoadBefore, st.MaxLoadAfter)
 			}
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(h.out)
 }
 
 func gridFor(n int) *graph.Graph {
@@ -434,32 +620,38 @@ func gridFor(n int) *graph.Graph {
 
 // goodset: Lemma 3.8 — density of good sample points.
 func (h harness) goodset() {
-	fmt.Println("## E7 (Lemma 3.8): good sample points in the pairwise-independent space")
-	fmt.Println()
-	fmt.Println("(disjoint-paths workloads: no vertex covers more than ~1/k of the paths,")
-	fmt.Println("so Step 9's single-node rule fails and the good-set branch must run;")
-	fmt.Println("delta=0.5, full-space exhaustive search)")
-	fmt.Println()
-	fmt.Println("| k paths x h | n | good-set selections | fallbacks | good points | scanned | fraction | Lemma 3.8 floor |")
-	fmt.Println("|--|--:|--:|--:|--:|--:|--:|--:|")
+	fmt.Fprintln(h.out, "## E7 (Lemma 3.8): good sample points in the pairwise-independent space")
+	fmt.Fprintln(h.out)
+	fmt.Fprintln(h.out, "(disjoint-paths workloads: no vertex covers more than ~1/k of the paths,")
+	fmt.Fprintln(h.out, "so Step 9's single-node rule fails and the good-set branch must run;")
+	fmt.Fprintln(h.out, "delta=0.5, full-space exhaustive search)")
+	fmt.Fprintln(h.out)
+	fmt.Fprintln(h.out, "| k paths x h | n | good-set selections | fallbacks | good points | scanned | fraction | Lemma 3.8 floor |")
+	fmt.Fprintln(h.out, "|--|--:|--:|--:|--:|--:|--:|--:|")
 	for _, cfg := range []struct{ k, h int }{{12, 3}, {16, 3}, {20, 3}, {16, 4}} {
 		g := graph.DisjointPaths(cfg.k, cfg.h, 1000, graph.GenConfig{Seed: int64(cfg.k*10 + cfg.h), MaxWeight: 4})
-		coll, nw := h.buildColl(g, cfg.h)
+		wctx, cancel := h.cellCtx()
+		coll, nw, ok := h.buildColl(wctx, g, cfg.h)
+		if !ok {
+			cancel()
+			continue
+		}
 		res, err := blocker.Compute(nw, coll, blocker.Params{
 			Mode: blocker.Deterministic, Delta: 0.5, UseFullSpace: true,
 		})
-		if err != nil {
-			log.Fatal(err)
+		cancel()
+		if h.handle(err, fmt.Sprintf("goodset %dx%d", cfg.k, cfg.h)) {
+			continue
 		}
 		frac := 0.0
 		if res.Stats.PointsScanned > 0 {
 			frac = float64(res.Stats.GoodPoints) / float64(res.Stats.PointsScanned)
 		}
-		fmt.Printf("| %dx%d | %d | %d | %d | %d | %d | %.3f | 0.125 |\n",
+		fmt.Fprintf(h.out, "| %dx%d | %d | %d | %d | %d | %d | %.3f | 0.125 |\n",
 			cfg.k, cfg.h, g.N, res.Stats.GoodSetSelections, res.Stats.FallbackSteps,
 			res.Stats.GoodPoints, res.Stats.PointsScanned, frac)
 	}
-	fmt.Println()
+	fmt.Fprintln(h.out)
 }
 
 // frames: Lemma 4.8 — per-stage shrinkage of max |Q_{v,i}|. With the
@@ -467,10 +659,10 @@ func (h harness) goodset() {
 // sizes, so a scaled-down quota (x0.02) is used to surface the multi-stage
 // shrinkage the lemma describes.
 func (h harness) frames() {
-	fmt.Println("## E8 (Lemma 4.8): frame-stage shrinkage of max |Q_v,i|")
-	fmt.Println()
-	fmt.Println("| n | |Q| | quota | stages | max|Qvi| per stage | pipeline rounds |")
-	fmt.Println("|--:|--:|--:|--:|--|--:|")
+	fmt.Fprintln(h.out, "## E8 (Lemma 4.8): frame-stage shrinkage of max |Q_v,i|")
+	fmt.Fprintln(h.out)
+	fmt.Fprintln(h.out, "| n | |Q| | quota | stages | max|Qvi| per stage | pipeline rounds |")
+	fmt.Fprintln(h.out, "|--:|--:|--:|--:|--|--:|")
 	for _, n := range h.sizes {
 		g := h.graphFor(n, int64(n*7))
 		var Q []int
@@ -480,11 +672,14 @@ func (h harness) frames() {
 		for _, scale := range []float64{1.0, 0.02} {
 			nw, err := congest.NewNetwork(g, 1)
 			if err != nil {
-				log.Fatal(err)
+				fatalf("%v", err)
 			}
+			wctx, cancel := h.cellCtx()
+			nw.SetContext(wctx)
 			res, err := qsink.Run(nw, g, Q, graph.BlockerDelta(g, Q), qsink.Params{Scheduler: qsink.Frames, FrameQuotaScale: scale})
-			if err != nil {
-				log.Fatal(err)
+			cancel()
+			if h.handle(err, fmt.Sprintf("frames n=%d scale=%.2f", n, scale)) {
+				continue
 			}
 			if h.verify {
 				checkQsink(g, Q, res)
@@ -494,10 +689,10 @@ func (h harness) frames() {
 			for _, m := range st.FrameQviMax {
 				parts = append(parts, strconv.Itoa(m))
 			}
-			fmt.Printf("| %d | %d | x%.2f | %d | %s | %d |\n", n, len(Q), scale, st.FrameStages, strings.Join(parts, " -> "), st.PipelineRounds)
+			fmt.Fprintf(h.out, "| %d | %d | x%.2f | %d | %s | %d |\n", n, len(Q), scale, st.FrameStages, strings.Join(parts, " -> "), st.PipelineRounds)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(h.out)
 }
 
 // hSweep: ablation of the hop parameter. Theorem 1.1 balances the O~(n*h)
@@ -505,25 +700,27 @@ func (h harness) frames() {
 // cost of Step 6 at h = n^(1/3); the sweep shows where the balance falls
 // with real constants.
 func (h harness) hSweep() {
-	fmt.Println("## E10 (Theorem 1.1 ablation): total rounds vs hop parameter h")
-	fmt.Println()
+	fmt.Fprintln(h.out, "## E10 (Theorem 1.1 ablation): total rounds vs hop parameter h")
+	fmt.Fprintln(h.out)
 	n := h.sizes[len(h.sizes)-1]
 	g := h.graphFor(n, int64(n*1000))
-	fmt.Printf("(n = %d; theory balance point h = n^(1/3) = %.1f)\n\n", n, math.Pow(float64(n), 1.0/3))
-	fmt.Println("| h | rounds | |Q| | step1 | step2 blocker | step6 qsink | step7 |")
-	fmt.Println("|--:|--:|--:|--:|--:|--:|--:|")
+	fmt.Fprintf(h.out, "(n = %d; theory balance point h = n^(1/3) = %.1f)\n\n", n, math.Pow(float64(n), 1.0/3))
+	fmt.Fprintln(h.out, "| h | rounds | |Q| | step1 | step2 blocker | step6 qsink | step7 |")
+	fmt.Fprintln(h.out, "|--:|--:|--:|--:|--:|--:|--:|")
 	maxH := int(math.Ceil(math.Sqrt(float64(n)))) + 2
 	sess := h.session(g) // the whole h sweep shares one warm session
 	for hp := 2; hp <= maxH; hp += 2 {
-		res, err := sess.Run(core.Options{Variant: core.Det43, H: hp, SkipLastEdges: true, Parallel: h.parallel})
-		if err != nil {
-			log.Fatal(err)
+		wctx, cancel := h.cellCtx()
+		res, err := sess.RunContext(wctx, core.Options{Variant: core.Det43, H: hp, SkipLastEdges: true, Parallel: h.parallel})
+		cancel()
+		if h.handle(err, fmt.Sprintf("hsweep h=%d", hp)) {
+			continue
 		}
 		st := res.Stats.Steps
-		fmt.Printf("| %d | %d | %d | %d | %d | %d | %d |\n",
+		fmt.Fprintf(h.out, "| %d | %d | %d | %d | %d | %d | %d |\n",
 			hp, res.Stats.Rounds, res.Stats.QSize, st.Step1CSSSP, st.Step2Blocker, st.Step6QSink, st.Step7Extend)
 	}
-	fmt.Println()
+	fmt.Fprintln(h.out)
 }
 
 // bandwidthSweep: rounds vs per-link bandwidth B. The paper's model allows
@@ -531,42 +728,47 @@ func (h harness) hSweep() {
 // steps are bandwidth-bound (broadcasts, pipelines) versus latency-bound
 // (Bellman-Ford waves).
 func (h harness) bandwidthSweep() {
-	fmt.Println("## E11 (model ablation): rounds vs per-link bandwidth")
-	fmt.Println()
+	fmt.Fprintln(h.out, "## E11 (model ablation): rounds vs per-link bandwidth")
+	fmt.Fprintln(h.out)
 	n := h.sizes[len(h.sizes)-1]
 	g := h.graphFor(n, int64(n*1000))
-	fmt.Printf("(n = %d, deterministic n^4/3 profile)\n\n", n)
-	fmt.Println("| bandwidth | rounds | step2 blocker | step6 qsink | step1+7 BF |")
-	fmt.Println("|--:|--:|--:|--:|--:|")
+	fmt.Fprintf(h.out, "(n = %d, deterministic n^4/3 profile)\n\n", n)
+	fmt.Fprintln(h.out, "| bandwidth | rounds | step2 blocker | step6 qsink | step1+7 BF |")
+	fmt.Fprintln(h.out, "|--:|--:|--:|--:|--:|")
 	sess := h.session(g) // SetBandwidth reaches the warm fleet between runs
 	for _, bw := range []int{1, 2, 4, 8} {
-		res, err := sess.Run(core.Options{Variant: core.Det43, Bandwidth: bw, SkipLastEdges: true, Parallel: h.parallel})
-		if err != nil {
-			log.Fatal(err)
+		wctx, cancel := h.cellCtx()
+		res, err := sess.RunContext(wctx, core.Options{Variant: core.Det43, Bandwidth: bw, SkipLastEdges: true, Parallel: h.parallel})
+		cancel()
+		if h.handle(err, fmt.Sprintf("bandwidth bw=%d", bw)) {
+			continue
 		}
 		st := res.Stats.Steps
-		fmt.Printf("| %d | %d | %d | %d | %d |\n",
+		fmt.Fprintf(h.out, "| %d | %d | %d | %d | %d |\n",
 			bw, res.Stats.Rounds, st.Step2Blocker, st.Step6QSink, st.Step1CSSSP+st.Step7Extend)
 	}
-	fmt.Println()
+	fmt.Fprintln(h.out)
 }
 
 // unweightedRounds: the O(n) unweighted regime of Table 1's context (the
 // Omega(n) lower bound of [6] holds even unweighted).
 func (h harness) unweightedRounds() {
-	fmt.Println("## E12 (context): unweighted APSP in O(n) rounds (pipelined BFS)")
-	fmt.Println()
-	fmt.Println("| n | rounds | rounds/n | weighted det43 rounds |")
-	fmt.Println("|--:|--:|--:|--:|")
+	fmt.Fprintln(h.out, "## E12 (context): unweighted APSP in O(n) rounds (pipelined BFS)")
+	fmt.Fprintln(h.out)
+	fmt.Fprintln(h.out, "| n | rounds | rounds/n | weighted det43 rounds |")
+	fmt.Fprintln(h.out, "|--:|--:|--:|--:|")
 	for _, n := range h.sizes {
 		g := h.graphFor(n, int64(n*1000))
 		nw, err := congest.NewNetwork(g, 1)
 		if err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
+		wctx, cancel := h.cellCtx()
+		nw.SetContext(wctx)
 		res, err := unweighted.Run(nw, g)
-		if err != nil {
-			log.Fatal(err)
+		cancel()
+		if h.handle(err, fmt.Sprintf("unweighted n=%d", n)) {
+			continue
 		}
 		if h.verify {
 			unit := graph.New(g.N, g.Directed)
@@ -577,13 +779,16 @@ func (h harness) unweightedRounds() {
 			for s := 0; s < g.N; s++ {
 				for v := 0; v < g.N; v++ {
 					if res.Dist[s][v] != want[s][v] {
-						log.Fatalf("unweighted wrong at (%d,%d)", s, v)
+						fatalf("unweighted wrong at (%d,%d)", s, v)
 					}
 				}
 			}
 		}
 		det := h.runVariant(h.session(g), g, core.Det43, 0)
-		fmt.Printf("| %d | %d | %.1f | %d |\n", n, res.Rounds, float64(res.Rounds)/float64(n), det.Stats.Rounds)
+		if det == nil {
+			continue
+		}
+		fmt.Fprintf(h.out, "| %d | %d | %.1f | %d |\n", n, res.Rounds, float64(res.Rounds)/float64(n), det.Stats.Rounds)
 	}
-	fmt.Println()
+	fmt.Fprintln(h.out)
 }

@@ -28,18 +28,23 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"congestapsp/internal/graph"
+	"congestapsp/internal/graphio"
 	"congestapsp/internal/profiling"
 	"congestapsp/pkg/apsp"
 )
@@ -55,6 +60,7 @@ func main() {
 		jsonPath       = flag.String("json", "EXPERIMENTS.json", "JSON output path (empty to skip)")
 		csvPath        = flag.String("csv", "", "CSV output path (empty to skip)")
 		quiet          = flag.Bool("q", false, "suppress per-cell progress on stderr")
+		timeout        = flag.Duration("timeout", 0, "per-cell deadline; a cell that exceeds it is skipped with a warning (0 = none)")
 		cpuProfile     = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memProfile     = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -78,7 +84,42 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// SIGINT cancels the executing cell at its next round or stage boundary
+	// (the ctx plumbing), and whatever rows completed are flushed atomically
+	// before exiting — a half-day sweep killed at 90% keeps its 90%.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
 	var rows []row
+	flush := func() {
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rows, *check); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%d rows)\n", *jsonPath, len(rows))
+		}
+		if *csvPath != "" {
+			if err := writeCSV(*csvPath, rows); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%d rows)\n", *csvPath, len(rows))
+		}
+	}
+	interrupted := func() {
+		fmt.Fprintln(os.Stderr, "experiment: interrupted; flushing partial results")
+		flush()
+		stopProfiles()
+		os.Exit(130)
+	}
+	// cellCtx derives one cell's context: the signal context, optionally
+	// bounded by the per-cell deadline.
+	cellCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(ctx, *timeout)
+		}
+		return context.WithCancel(ctx)
+	}
+
 	for _, sc := range scenarios {
 		g, err := sc.Build()
 		if err != nil {
@@ -103,19 +144,40 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, mode := range execModes {
-			if _, err := runner.Run(apsp.Options{
+			wctx, cancel := cellCtx()
+			_, err := runner.RunContext(wctx, apsp.Options{
 				Algorithm: algorithms[0],
 				Parallel:  mode == "sharded",
 				Seed:      sc.Seed,
-			}); err != nil {
+			})
+			cancel()
+			switch {
+			case ctx.Err() != nil:
+				interrupted()
+			case errors.Is(err, apsp.ErrDeadlineExceeded):
+				// Warm-up blew the cell budget: every cell of this scenario
+				// would too, but let the per-cell path report each skip.
+			case err != nil:
 				log.Fatal(err)
 			}
 		}
 		for _, alg := range algorithms {
 			byMode := make(map[string]row, len(execModes))
 			for _, mode := range execModes {
-				r, err := runCell(sc, runner, alg, mode, oracle)
+				wctx, cancel := cellCtx()
+				r, err := runCell(wctx, sc, runner, alg, mode, oracle)
+				cancel()
 				if err != nil {
+					if ctx.Err() != nil {
+						interrupted()
+					}
+					if errors.Is(err, apsp.ErrDeadlineExceeded) {
+						var ie *apsp.InterruptError
+						errors.As(err, &ie)
+						fmt.Fprintf(os.Stderr, "%-24s %-18s %-8s SKIPPED: exceeded %v (in %s after %d rounds)\n",
+							sc.Name(), alg, mode, *timeout, ie.Stage, ie.CompletedRounds)
+						continue
+					}
 					log.Fatalf("%s %v %s: %v", sc.Name(), alg, mode, err)
 				}
 				byMode[mode] = r
@@ -138,18 +200,7 @@ func main() {
 		}
 	}
 
-	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, rows, *check); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s (%d rows)\n", *jsonPath, len(rows))
-	}
-	if *csvPath != "" {
-		if err := writeCSV(*csvPath, rows); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s (%d rows)\n", *csvPath, len(rows))
-	}
+	flush()
 	if err := stopProfiles(); err != nil {
 		log.Fatal(err)
 	}
@@ -185,13 +236,14 @@ type stageCol struct {
 	WallMS float64 `json:"wall_ms"`
 }
 
-// runCell executes one sweep cell on the scenario's warm Runner and, when
-// oracle is non-nil, validates the full distance matrix against it.
-func runCell(sc apsp.Scenario, runner *apsp.Runner, alg apsp.Algorithm, mode string, oracle [][]int64) (row, error) {
+// runCell executes one sweep cell on the scenario's warm Runner under the
+// cell's context (deadline and SIGINT) and, when oracle is non-nil,
+// validates the full distance matrix against it.
+func runCell(ctx context.Context, sc apsp.Scenario, runner *apsp.Runner, alg apsp.Algorithm, mode string, oracle [][]int64) (row, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	res, err := runner.Run(apsp.Options{
+	res, err := runner.RunContext(ctx, apsp.Options{
 		Algorithm: alg,
 		Parallel:  mode == "sharded",
 		Seed:      sc.Seed,
@@ -412,20 +464,16 @@ func writeJSON(path string, rows []row, checked bool) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	return graphio.WriteFileAtomic(path, append(buf, '\n'))
 }
 
 func writeCSV(path string, rows []row) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	w := csv.NewWriter(f)
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
 	header := []string{"scenario", "family", "n", "m", "seed", "algorithm", "exec", "h",
 		"blocker_set_size", "rounds", "messages", "words", "max_node_congestion",
 		"wall_ms", "allocs", "alloc_bytes", "checked", "stage_rounds"}
 	if err := w.Write(header); err != nil {
-		f.Close()
 		return err
 	}
 	for _, r := range rows {
@@ -447,14 +495,12 @@ func writeCSV(path string, rows []row) error {
 			strings.Join(stages, ";"),
 		}
 		if err := w.Write(rec); err != nil {
-			f.Close()
 			return err
 		}
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
-		f.Close()
 		return err
 	}
-	return f.Close()
+	return graphio.WriteFileAtomic(path, buf.Bytes())
 }

@@ -29,6 +29,7 @@
 package congest
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -170,11 +171,93 @@ type Network struct {
 	eng     engine  // reusable per-run engine state (see run)
 	scratch Scratch // pooled protocol scratch (see scratch.go / DESIGN.md §7)
 
+	// RetrySequential opts ShardRuns into graceful degradation: when a
+	// sub-run panics (not a protocol error, not cancellation), its partial
+	// statistics are rewound, the remaining sub-runs keep running, and the
+	// panicked indices are re-executed sequentially on a fresh clone after
+	// the fleet drains. A successful retry pass produces merged stats
+	// bit-identical to an undisturbed run. The policy costs one O(n) stats
+	// snapshot per sub-run while armed, so it stays off on the benchmark
+	// hot path.
+	RetrySequential bool
+
 	// fleet caches the worker clones handed out by ShardRuns, so repeated
 	// source-sharded stages (Steps 1/3/7, the q-sink SSSPs, the per-commit
 	// blocker upcasts) reuse one clone fleet — and its warm engines and
 	// scratch arenas — instead of re-deriving per-stage state.
 	fleet []*Network
+
+	// ctx, when armed via SetContext, is observed by the engine at round
+	// granularity and by ShardRuns at sub-run granularity; the run returns
+	// ctx.Err() (context.Canceled or context.DeadlineExceeded) unwrapped.
+	// Disarmed (nil) the hot path pays one nil-check per round.
+	ctx context.Context
+
+	// fault, when armed via SetFaultInjector, is fired at the top of every
+	// engine round and at every ShardRuns sub-run start (see
+	// internal/faultinject). Disarmed it costs one nil-check per round.
+	fault FaultInjector
+
+	// subrun tags the sub-run index this network is currently executing
+	// under ShardRuns (-1 outside ShardRuns); it is reported to the fault
+	// injector and stamped into PanicError.
+	subrun int
+}
+
+// FaultInjector is the engine-side fault-injection hook (implemented by
+// internal/faultinject.Injector). Every method may sleep, panic, or return
+// a forced error; a nil error means "no fault fired, keep going". The
+// injector is armed explicitly via SetFaultInjector, so a disarmed network
+// pays exactly one nil-check per hook site.
+type FaultInjector interface {
+	// FireRound runs at the top of every engine round. subrun is the
+	// ShardRuns sub-run index the executing network is serving (-1 outside
+	// ShardRuns); round is the 0-based round of the current protocol run.
+	// FireRound may be called concurrently from worker clones.
+	FireRound(subrun, round int) error
+	// FireSubRun runs before each ShardRuns sub-run dispatch (inside the
+	// panic-recovery scope, so an injected panic is isolated like any
+	// worker panic).
+	FireSubRun(subrun int) error
+	// SetStage tells the injector which pipeline stage is executing; it is
+	// called between stages, never concurrently with Fire*.
+	SetStage(stage string)
+}
+
+// SetContext arms (or, with nil, disarms) run cancellation: while armed,
+// the engine round loop and the ShardRuns dispatcher observe ctx.Done()
+// and abort with ctx.Err(). A context that can never be canceled
+// (ctx.Done() == nil, e.g. context.Background()) disarms the check
+// entirely so the steady-state round loop pays only a nil comparison.
+func (nw *Network) SetContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
+	nw.ctx = ctx
+}
+
+// SetFaultInjector arms (nil: disarms) the fault-injection hook on nw.
+// ShardRuns propagates the hook to its worker clones per call.
+func (nw *Network) SetFaultInjector(fi FaultInjector) { nw.fault = fi }
+
+// NotifyStage forwards the executing pipeline stage name to the armed
+// fault injector (no-op when disarmed). Callers invoke it between stages,
+// never while a protocol is running.
+func (nw *Network) NotifyStage(stage string) {
+	if nw.fault != nil {
+		nw.fault.SetStage(stage)
+	}
+}
+
+// CtxErr reports the armed context's cancellation state (nil when no
+// cancelable context is armed) — the same check the engine's round loop
+// performs, exposed so the pipeline executor can observe cancellation at
+// stage boundaries too.
+func (nw *Network) CtxErr() error {
+	if nw.ctx == nil {
+		return nil
+	}
+	return nw.ctx.Err()
 }
 
 // NewNetwork builds a network for input graph g with the given per-link
@@ -193,6 +276,7 @@ func NewNetwork(g *graph.Graph, bandwidth int) (*Network, error) {
 		UG:        ug,
 		Bandwidth: bandwidth,
 		nbrOff:    make([]int32, n+1),
+		subrun:    -1,
 	}
 	nw.Stats.WordsByNode = make([]int64, n)
 
@@ -467,6 +551,20 @@ func (nw *Network) run(p Proto, maxRounds, dropRound int) (int, error) {
 		// Global termination: no node is live and no message is in flight.
 		if len(e.active) == 0 {
 			return rounds, nil
+		}
+		// Interruption hooks, both disarmed to a nil-check in steady state:
+		// an armed context is observed at round granularity (a canceled run
+		// returns within one round of ctx.Done()), and an armed fault
+		// injector may sleep, panic, or force an error here.
+		if nw.ctx != nil {
+			if err := nw.ctx.Err(); err != nil {
+				return rounds, err
+			}
+		}
+		if nw.fault != nil {
+			if err := nw.fault.FireRound(nw.subrun, round); err != nil {
+				return rounds, err
+			}
 		}
 		nA := len(e.active)
 		W := workers

@@ -1,0 +1,202 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"congestapsp/internal/graph"
+)
+
+// TestShardRunsPanicBecomesError pins panic isolation: a panicking sub-run
+// must not kill the process or deadlock the dispatcher, and must surface as
+// a *PanicError tagged with its sub-run index — in both exec modes.
+func TestShardRunsPanicBecomesError(t *testing.T) {
+	g := path3()
+	for _, workers := range []int{0, 2, 4} {
+		if workers > 0 {
+			withWorkers(t, workers)
+		}
+		nw, err := NewNetwork(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.Parallel = workers > 0
+		got := nw.ShardRuns(12, func(w *Network, i int) error {
+			if i == 4 {
+				panic("poisoned source")
+			}
+			return floodFor(w, i)
+		})
+		var pe *PanicError
+		if !errors.As(got, &pe) {
+			t.Fatalf("workers=%d: got %T (%v), want *PanicError", workers, got, got)
+		}
+		if pe.SubRun != 4 || pe.Value != "poisoned source" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: bad PanicError tags: %+v", workers, pe)
+		}
+		// The dispatcher must have drained cleanly: the same network serves
+		// the next sharded stage.
+		if err := nw.ShardRuns(4, floodFor); err != nil {
+			t.Fatalf("workers=%d: network unusable after recovered panic: %v", workers, err)
+		}
+	}
+}
+
+// TestShardRunsPanicAndErrorLowestIndexWins pins the deterministic error
+// rule across the two failure populations: a panic in one sub-run and an
+// ordinary error in another always report whichever has the lower index.
+func TestShardRunsPanicAndErrorLowestIndexWins(t *testing.T) {
+	g := path3()
+	cases := []struct {
+		name       string
+		panicAt    int
+		errorAt    int
+		wantPanic  bool
+		wantSubRun int
+	}{
+		{"error-below-panic", 9, 2, false, 2},
+		{"panic-below-error", 1, 7, true, 1},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{0, 2, 4} {
+			if workers > 0 {
+				withWorkers(t, workers)
+			}
+			nw, err := NewNetwork(g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw.Parallel = workers > 0
+			got := nw.ShardRuns(16, func(w *Network, i int) error {
+				switch i {
+				case tc.panicAt:
+					panic(i)
+				case tc.errorAt:
+					return fmt.Errorf("sub-run %d failed", i)
+				}
+				return floodFor(w, i)
+			})
+			var pe *PanicError
+			if tc.wantPanic {
+				if !errors.As(got, &pe) || pe.SubRun != tc.wantSubRun {
+					t.Fatalf("%s workers=%d: got %v, want panic at sub-run %d", tc.name, workers, got, tc.wantSubRun)
+				}
+			} else {
+				want := fmt.Sprintf("sub-run %d failed", tc.wantSubRun)
+				if got == nil || got.Error() != want {
+					t.Fatalf("%s workers=%d: got %v, want %q", tc.name, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardRunsRetrySequential pins graceful degradation: with
+// RetrySequential armed, sub-runs that panic on their first attempt are
+// re-executed sequentially on a fresh clone, the run succeeds, and the
+// merged stats are bit-identical to an undisturbed run — in both exec
+// modes.
+func TestShardRunsRetrySequential(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 24, Seed: 3, MaxWeight: 9}, 72)
+	const count = 31
+	clean := func(parallel bool) Stats {
+		nw, err := NewNetwork(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.Parallel = parallel
+		if err := nw.ShardRuns(count, floodFor); err != nil {
+			t.Fatal(err)
+		}
+		return nw.Stats
+	}
+	for _, workers := range []int{0, 3} {
+		parallel := workers > 0
+		if parallel {
+			withWorkers(t, workers)
+		}
+		want := clean(parallel)
+		nw, err := NewNetwork(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.Parallel = parallel
+		nw.RetrySequential = true
+		var attempts [count]atomic.Int32
+		err = nw.ShardRuns(count, func(w *Network, i int) error {
+			if (i == 5 || i == 17) && attempts[i].Add(1) == 1 {
+				// Poison the first attempt AFTER accruing partial cost, so
+				// the snapshot rewind is actually exercised.
+				if ferr := floodFor(w, i); ferr != nil {
+					return ferr
+				}
+				panic("transient fault")
+			}
+			return floodFor(w, i)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: retry did not recover: %v", workers, err)
+		}
+		if a, b := attempts[5].Load(), attempts[17].Load(); a != 2 || b != 2 {
+			t.Fatalf("workers=%d: attempts = %d/%d, want 2/2", workers, a, b)
+		}
+		if !reflect.DeepEqual(nw.Stats, want) {
+			t.Fatalf("workers=%d: recovered stats diverge\n  got:  %+v\n  want: %+v", workers, nw.Stats, want)
+		}
+	}
+}
+
+// TestShardRunsRetrySequentialPersistentPanic: a panic that recurs on the
+// sequential retry surfaces as *PanicError instead of looping.
+func TestShardRunsRetrySequentialPersistentPanic(t *testing.T) {
+	withWorkers(t, 2)
+	nw, err := NewNetwork(path3(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Parallel = true
+	nw.RetrySequential = true
+	got := nw.ShardRuns(8, func(w *Network, i int) error {
+		if i == 3 {
+			panic("permanent fault")
+		}
+		return floodFor(w, i)
+	})
+	var pe *PanicError
+	if !errors.As(got, &pe) || pe.SubRun != 3 {
+		t.Fatalf("got %v, want persistent *PanicError at sub-run 3", got)
+	}
+}
+
+// TestShardRunsRetrySequentialErrorAborts: ordinary errors are never
+// retried — the run fails with the deterministic lowest-index error even
+// when a panicked sub-run was provisionally scheduled for retry.
+func TestShardRunsRetrySequentialErrorAborts(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		if workers > 0 {
+			withWorkers(t, workers)
+		}
+		nw, err := NewNetwork(path3(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.Parallel = workers > 0
+		nw.RetrySequential = true
+		got := nw.ShardRuns(12, func(w *Network, i int) error {
+			switch i {
+			case 2:
+				panic("poison")
+			case 6:
+				return fmt.Errorf("sub-run %d failed", i)
+			}
+			return floodFor(w, i)
+		})
+		var pe *PanicError
+		if !errors.As(got, &pe) || pe.SubRun != 2 {
+			t.Fatalf("workers=%d: got %v, want the lower-index panic (sub-run 2)", workers, got)
+		}
+	}
+}

@@ -81,6 +81,12 @@ type Options struct {
 	// (congest.Network.MinShardNodes; 0 = the engine default). Tests set 1
 	// to force every round through the sharded path.
 	MinShardNodes int
+	// RetrySequential opts into graceful degradation on worker panics: a
+	// ShardRuns sub-run that panics is rewound and re-executed sequentially
+	// on a fresh clone after the fleet drains, and a fully-recovered run's
+	// results and stats are bit-identical to an undisturbed one.
+	// Cancellation and ordinary errors are never retried.
+	RetrySequential bool
 	// Seed drives the randomized variants.
 	Seed int64
 	// BlockerParams tunes the blocker construction. For the Det43 and

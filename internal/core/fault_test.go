@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"congestapsp/internal/congest"
+	"congestapsp/internal/faultinject"
+	"congestapsp/internal/graph"
+)
+
+// fingerprint is the deterministic slice of a run compared across the fault
+// matrix: the model-level cost counters and the full distance matrix.
+// Host-side observations (per-stage wall clock, allocation counts) are
+// excluded — they are the only nondeterministic fields of a Result.
+type fingerprint struct {
+	rounds   int
+	messages int64
+	words    int64
+	qSize    int
+	h        int
+	dist     [][]int64
+}
+
+func fp(res *Result) fingerprint {
+	return fingerprint{
+		rounds:   res.Stats.Rounds,
+		messages: res.Stats.Messages,
+		words:    res.Stats.Words,
+		qSize:    res.Stats.QSize,
+		h:        res.Stats.H,
+		dist:     res.Dist,
+	}
+}
+
+// TestFaultMatrix sweeps injected faults — a forced sub-run error, a
+// sub-run panic, a per-round delay under a context deadline, a pre-canceled
+// context, and a panic recovered by RetrySequential — across all 4 profiles
+// x both exec modes. Every cell asserts the expected typed error with its
+// stage tag, and that the SAME session's next clean run is bit-identical
+// (rounds/messages/words/|Q|/h and distances) to an uninjected cold run:
+// the session-reuse-after-error contract.
+func TestFaultMatrix(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	g := graph.RandomConnected(graph.GenConfig{N: 28, Seed: 11, MaxWeight: 9}, 84)
+	variants := []Variant{Det43, Det32, Rand43, BroadcastStep6}
+
+	type cell struct {
+		name string
+		// inject arms the session and runs once, returning the injected
+		// run's error for the cell's assertions.
+		inject func(t *testing.T, s *Session, opt Options)
+	}
+	cells := []cell{
+		{name: "forced-error", inject: func(t *testing.T, s *Session, opt Options) {
+			inj := faultinject.New(1, faultinject.Rule{
+				Hook: faultinject.HookSubRun, Stage: "step3-insssp", SubRun: 0, Once: true,
+			})
+			s.SetFaultInjector(inj)
+			_, err := s.Run(opt)
+			if err == nil {
+				t.Fatal("forced error did not surface")
+			}
+			var ie *faultinject.InjectedError
+			if !errors.As(err, &ie) {
+				t.Fatalf("got %T (%v), want *faultinject.InjectedError", err, err)
+			}
+			if ie.Stage != "step3-insssp" || ie.SubRun != 0 {
+				t.Fatalf("bad stage tag: %+v", ie)
+			}
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("does not unwrap to ErrInjected: %v", err)
+			}
+			if inj.Fired() != 1 {
+				t.Fatalf("rule fired %d times, want 1", inj.Fired())
+			}
+		}},
+		{name: "subrun-panic", inject: func(t *testing.T, s *Session, opt Options) {
+			inj := faultinject.New(1, faultinject.Rule{
+				Hook: faultinject.HookSubRun, Stage: "step7-extend", SubRun: 0,
+				Kind: faultinject.Panic, Once: true,
+			})
+			s.SetFaultInjector(inj)
+			_, err := s.Run(opt)
+			var pe *congest.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("got %T (%v), want *congest.PanicError", err, err)
+			}
+			if pe.Stage != "step7-extend" || pe.SubRun != 0 || pe.Source != 0 {
+				t.Fatalf("bad panic tags (want stage step7-extend, sub-run 0, source 0): %+v", pe)
+			}
+			if _, ok := pe.Value.(*faultinject.InjectedPanic); !ok {
+				t.Fatalf("panic value is %T, want *faultinject.InjectedPanic", pe.Value)
+			}
+		}},
+		{name: "delay-deadline", inject: func(t *testing.T, s *Session, opt Options) {
+			inj := faultinject.New(1, faultinject.Rule{
+				Hook: faultinject.HookRound, Stage: "step1-csssp",
+				Round: faultinject.RoundAny, SubRun: -1,
+				Kind: faultinject.Delay, Delay: 30 * time.Millisecond,
+			})
+			s.SetFaultInjector(inj)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err := s.RunContext(ctx, opt)
+			elapsed := time.Since(start)
+			var ie *InterruptError
+			if !errors.As(err, &ie) {
+				t.Fatalf("got %T (%v), want *InterruptError", err, err)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("does not match context.DeadlineExceeded: %v", err)
+			}
+			if ie.Stage != "step1-csssp" {
+				t.Fatalf("interrupted stage = %q, want step1-csssp", ie.Stage)
+			}
+			// The cancellation-latency pin: the deadline fires during the
+			// first 30ms round delay, and every engine must notice at its
+			// next round check — within 2 rounds of ctx.Done() per worker.
+			// CompletedRounds sums the per-clone partial rounds when stage 1
+			// was source-sharded, so the bound scales with the worker count
+			// (the workers burn their rounds concurrently, not serially).
+			if limit := 2 * runtime.GOMAXPROCS(0); ie.CompletedRounds > limit {
+				t.Fatalf("run continued %d rounds past a 10ms deadline with 30ms round delays (limit %d)", ie.CompletedRounds, limit)
+			}
+			if elapsed > 2*time.Second {
+				t.Fatalf("cancellation took %v, want well under 2s", elapsed)
+			}
+		}},
+		{name: "pre-canceled", inject: func(t *testing.T, s *Session, opt Options) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := s.RunContext(ctx, opt)
+			var ie *InterruptError
+			if !errors.As(err, &ie) {
+				t.Fatalf("got %T (%v), want *InterruptError", err, err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("does not match context.Canceled: %v", err)
+			}
+			if ie.Stage != "step1-csssp" || ie.CompletedRounds != 0 {
+				t.Fatalf("pre-canceled run reports stage %q after %d rounds, want step1-csssp after 0", ie.Stage, ie.CompletedRounds)
+			}
+		}},
+	}
+
+	for _, v := range variants {
+		for _, parallel := range []bool{false, true} {
+			opt := Options{Variant: v, Parallel: parallel, Seed: 7}
+			cold, err := Run(g, opt)
+			if err != nil {
+				t.Fatalf("%v parallel=%v: cold run: %v", v, parallel, err)
+			}
+			want := fp(cold)
+			for _, c := range cells {
+				t.Run(c.name+"/"+v.String()+"/parallel="+boolName(parallel), func(t *testing.T) {
+					s, err := NewSession(g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					c.inject(t, s, opt)
+					// Disarm and re-run on the SAME session: the recovery
+					// contract is that it comes back bit-identical to cold.
+					s.SetFaultInjector(nil)
+					res, err := s.Run(opt)
+					if err != nil {
+						t.Fatalf("clean run after injected fault: %v", err)
+					}
+					if got := fp(res); !reflect.DeepEqual(got, want) {
+						t.Fatalf("post-fault run diverges from cold run\n  got:  %+v\n  want: %+v",
+							fingerprint{got.rounds, got.messages, got.words, got.qSize, got.h, nil},
+							fingerprint{want.rounds, want.messages, want.words, want.qSize, want.h, nil})
+					}
+				})
+			}
+			// Graceful-degradation cell: RetrySequential turns the same
+			// sub-run panic into a successful run whose results and stats
+			// are bit-identical to the undisturbed cold run, first try.
+			t.Run("retry-sequential/"+v.String()+"/parallel="+boolName(parallel), func(t *testing.T) {
+				s, err := NewSession(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inj := faultinject.New(1, faultinject.Rule{
+					Hook: faultinject.HookSubRun, Stage: "step7-extend", SubRun: 0,
+					Kind: faultinject.Panic, Once: true,
+				})
+				s.SetFaultInjector(inj)
+				ropt := opt
+				ropt.RetrySequential = true
+				res, err := s.Run(ropt)
+				if err != nil {
+					t.Fatalf("RetrySequential did not recover: %v", err)
+				}
+				if inj.Fired() != 1 {
+					t.Fatalf("rule fired %d times, want 1", inj.Fired())
+				}
+				if got := fp(res); !reflect.DeepEqual(got, want) {
+					t.Fatal("recovered run diverges from cold run")
+				}
+			})
+		}
+	}
+}
+
+func boolName(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// TestSessionChecksumGuard pins the strengthened mutation guard: a weight
+// mutation — which keeps the edge count unchanged and so slipped past the
+// old guard — is caught at the next run.
+func TestSessionChecksumGuard(t *testing.T) {
+	g := graph.New(3, false)
+	for _, e := range [][3]int64{{0, 1, 2}, {1, 2, 3}} {
+		if err := g.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	g.Edges()[0].W = 9 // same edge count, different weight
+	if _, err := s.Run(Options{}); err == nil {
+		t.Fatal("weight mutation not caught by the session guard")
+	}
+	g.Edges()[0].W = 2 // restore: the session must work again
+	if _, err := s.Run(Options{}); err != nil {
+		t.Fatalf("restored graph rejected: %v", err)
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"runtime/metrics"
 	"time"
 
@@ -106,14 +108,38 @@ func (p *pipeline) execute() error {
 		if st.skip != nil && st.skip(p) {
 			continue
 		}
+		// Stage boundary: the second cancellation observation point (the
+		// first is the engine's round loop). Both are one nil-check when no
+		// cancelable context is armed.
+		p.nw.NotifyStage(st.name)
+		if err := p.nw.CtxErr(); err != nil {
+			return p.interrupted(st.name, err)
+		}
 		allocs0 := allocs()
 		rounds0 := p.nw.Stats.Rounds
 		start := time.Now()
-		if err := st.run(p); err != nil {
-			return fmt.Errorf("core: %s: %w", st.name, err)
-		}
+		err := runStage(st, p)
 		wall := time.Since(start)
 		rounds := p.nw.Stats.Rounds - rounds0
+		if err != nil {
+			// Record the interrupted stage's partial cost before bailing, so
+			// InterruptError (and any caller inspecting p.stages) sees the
+			// work actually performed.
+			p.stages = append(p.stages, StageTiming{
+				Name:   st.name,
+				Rounds: rounds,
+				WallMS: float64(wall.Microseconds()) / 1000,
+				Allocs: allocs() - allocs0,
+			})
+			if isContextErr(err) {
+				return p.interrupted(st.name, err)
+			}
+			var pe *congest.PanicError
+			if errors.As(err, &pe) && pe.Stage == "" {
+				pe.Stage = st.name
+			}
+			return fmt.Errorf("core: %s: %w", st.name, err)
+		}
 		if st.steps != nil {
 			*st.steps(&p.st.Steps) = rounds
 		}
@@ -125,6 +151,31 @@ func (p *pipeline) execute() error {
 		})
 	}
 	return nil
+}
+
+// interrupted wraps a context error in an InterruptError carrying the
+// progress made so far.
+func (p *pipeline) interrupted(stage string, cause error) error {
+	return &InterruptError{
+		Stage:           stage,
+		CompletedRounds: p.nw.Stats.Rounds,
+		Stages:          p.stages,
+		Cause:           cause,
+	}
+}
+
+// runStage executes one stage body under panic isolation: a panic escaping
+// the stage outside any ShardRuns dispatch (which recovers its own
+// sub-runs) becomes a *congest.PanicError instead of killing the process.
+// The single deferred recover over a named return is open-coded by the
+// compiler, so the happy path allocates nothing.
+func runStage(st stage, p *pipeline) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &congest.PanicError{SubRun: -1, Source: -1, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return st.run(p)
 }
 
 // run validates the options, executes the stages and assembles the Result.
@@ -205,7 +256,7 @@ func (p *pipeline) stageBlocker() error {
 func (p *pipeline) stageInSSSP() error {
 	q := len(p.Q)
 	p.deltaH = mat.New(q, p.n)
-	return p.nw.ShardRuns(q, func(w *congest.Network, ci int) error {
+	err := p.nw.ShardRuns(q, func(w *congest.Network, ci int) error {
 		res, err := bford.RunLabels(w, p.g, p.Q[ci], p.h, bford.In)
 		if err != nil {
 			return err
@@ -213,6 +264,21 @@ func (p *pipeline) stageInSSSP() error {
 		copy(p.deltaH.Row(ci), res.Dist)
 		return nil
 	})
+	return p.tagSource(err, func(i int) int { return p.Q[i] })
+}
+
+// tagSource annotates a recovered sub-run panic with the source vertex its
+// sub-run index maps to (sub-run i of Step 3 serves blocker Q[i]; of Step 7,
+// step7Sources[i]), completing the PanicError's (sub-run, source, stage) tag.
+func (p *pipeline) tagSource(err error, src func(i int) int) error {
+	if err == nil {
+		return nil
+	}
+	var pe *congest.PanicError
+	if errors.As(err, &pe) && pe.Source < 0 && pe.SubRun >= 0 {
+		pe.Source = src(pe.SubRun)
+	}
+	return err
 }
 
 // stageBroadcast is Step 4: every blocker c broadcasts delta_h(c, c') for
@@ -343,7 +409,7 @@ func (p *pipeline) stageExtend() error {
 		return nil
 	})
 	if err != nil {
-		return err
+		return p.tagSource(err, func(i int) int { return p.step7Sources[i] })
 	}
 	// The public surface stays [][]int64: rows are zero-copy views of the
 	// flat matrix, nil for sources Step 7 did not run.

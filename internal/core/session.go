@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -28,9 +29,9 @@ import (
 // allocated, so a Result remains valid after later runs on the same
 // session.
 type Session struct {
-	g  *graph.Graph
-	nw *congest.Network
-	m  int // edge count at construction; guards against mutation
+	g   *graph.Graph
+	nw  *congest.Network
+	sum uint64 // FNV checksum of the graph at construction; guards mutation
 }
 
 // NewSession builds the warm network for g. The graph may be empty.
@@ -39,15 +40,50 @@ func NewSession(g *graph.Graph) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{g: g, nw: nw, m: g.M()}, nil
+	return &Session{g: g, nw: nw, sum: graphChecksum(g)}, nil
 }
+
+// graphChecksum is an FNV-1a 64 digest of the graph's logical content —
+// vertex count, directedness, and every edge's (u, v, w) in insertion order.
+// Unlike the old edge-count guard it catches weight mutations and
+// same-count edge swaps, not just additions. Allocation-free; one O(m) scan
+// per begin(), noise against the O(n*h)-round run it guards.
+func graphChecksum(g *graph.Graph) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(g.N))
+	var dir uint64
+	if g.Directed {
+		dir = 1
+	}
+	mix(dir)
+	for _, e := range g.Edges() {
+		mix(uint64(e.U))
+		mix(uint64(e.V))
+		mix(uint64(e.W))
+	}
+	return h
+}
+
+// SetFaultInjector arms (or, with nil, disarms) a deterministic fault
+// injector on the session's network and worker-clone fleet — a test
+// instrument; see internal/faultinject. The hook persists across runs until
+// replaced, so one armed session can serve a whole fault matrix.
+func (s *Session) SetFaultInjector(fi congest.FaultInjector) { s.nw.SetFaultInjector(fi) }
 
 // begin re-arms the warm network for a fresh logical run: per-run options
 // are (re)applied, statistics are zeroed, and the topology guard checks
 // that the graph was not mutated since NewSession.
 func (s *Session) begin(bandwidth int, parallel bool, minShard int, onRound func(int, int)) error {
-	if s.g.M() != s.m {
-		return fmt.Errorf("core: graph modified since the session was created (%d edges, was %d)", s.g.M(), s.m)
+	if graphChecksum(s.g) != s.sum {
+		return fmt.Errorf("core: graph modified since the session was created (checksum mismatch; the topology is frozen at NewSession)")
 	}
 	if bandwidth == 0 {
 		bandwidth = 1
@@ -67,6 +103,18 @@ func (s *Session) begin(bandwidth int, parallel bool, minShard int, onRound func
 // produces bit-identical results (the engine and every protocol draw from
 // grow-only pooled state whose content is fully re-initialized per run).
 func (s *Session) Run(opt Options) (*Result, error) {
+	return s.RunContext(context.Background(), opt)
+}
+
+// RunContext is Run under a context: the run observes ctx.Done() at round
+// granularity inside the engine and at every pipeline stage boundary, and
+// an interrupted run returns an *InterruptError (unwrapping to the context
+// sentinel) that reports the stage, completed rounds, and per-stage cost of
+// the work finished. The session remains reusable after an interrupted run
+// — the next call starts clean and produces bit-identical results, exactly
+// as after a successful one. A context that can never be canceled
+// (context.Background, context.TODO) arms nothing and costs nothing.
+func (s *Session) RunContext(ctx context.Context, opt Options) (*Result, error) {
 	n := s.g.N
 	if n == 0 {
 		return &Result{}, nil
@@ -74,6 +122,9 @@ func (s *Session) Run(opt Options) (*Result, error) {
 	if err := s.begin(opt.Bandwidth, opt.Parallel, opt.MinShardNodes, opt.OnRound); err != nil {
 		return nil, err
 	}
+	s.nw.RetrySequential = opt.RetrySequential
+	s.nw.SetContext(ctx)
+	defer s.nw.SetContext(nil)
 	h := opt.H
 	if h == 0 {
 		switch opt.Variant {
@@ -101,6 +152,15 @@ func (s *Session) Run(opt Options) (*Result, error) {
 // blocker set over it on the warm network; it is the session form of the
 // package-level BlockerOnly (and backs apsp.Runner.BlockerSet).
 func (s *Session) BlockerOnly(opt BlockerOptions) ([]int, blocker.Stats, error) {
+	return s.BlockerOnlyContext(context.Background(), opt)
+}
+
+// BlockerOnlyContext is BlockerOnly under a context, observed at round
+// granularity; an interrupted construction returns the context's error (the
+// blocker path has no staged executor, so there is no InterruptError
+// envelope — match with errors.Is against the context sentinels). The
+// session remains reusable afterwards.
+func (s *Session) BlockerOnlyContext(ctx context.Context, opt BlockerOptions) ([]int, blocker.Stats, error) {
 	h := opt.H
 	if h < 1 {
 		h = int(math.Ceil(math.Pow(float64(s.g.N), 1.0/3)))
@@ -108,6 +168,9 @@ func (s *Session) BlockerOnly(opt BlockerOptions) ([]int, blocker.Stats, error) 
 	if err := s.begin(1, opt.Parallel, 0, nil); err != nil {
 		return nil, blocker.Stats{}, err
 	}
+	s.nw.RetrySequential = false
+	s.nw.SetContext(ctx)
+	defer s.nw.SetContext(nil)
 	sources := make([]int, s.g.N)
 	for i := range sources {
 		sources[i] = i

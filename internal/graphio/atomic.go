@@ -1,0 +1,43 @@
+package graphio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic lands data at path via a temporary file in the same
+// directory plus a rename — the Save pattern, exported for artifact writers
+// (EXPERIMENTS.json, benchmark reports) whose partial flushes on SIGINT must
+// replace the destination completely or not at all, never leave it torn.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".graphio-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	// CreateTemp hardcodes 0600. Preserve an existing destination's
+	// permissions (overwriting must neither widen nor narrow them);
+	// otherwise use the conventional data-file mode.
+	mode := os.FileMode(0o644)
+	if info, statErr := os.Stat(path); statErr == nil {
+		mode = info.Mode().Perm()
+	}
+	if err := os.Chmod(tmp.Name(), mode); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

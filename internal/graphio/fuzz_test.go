@@ -1,0 +1,96 @@
+package graphio
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"congestapsp/internal/graph"
+)
+
+// fuzzRoundTrip is the shared property both text-reader fuzz targets pin:
+// any stream a reader accepts must survive a write→read→write cycle with
+// the graph (vertex count, directedness, ordered edge list) unchanged and
+// the second serialization byte-identical to the first — the package's
+// load→save→load contract, exercised on adversarial rather than
+// generator-produced inputs.
+func fuzzRoundTrip(t *testing.T, data []byte, f Format) {
+	// Lower the reader caps for this input: a fuzz-generated header may
+	// declare any vertex count up to the real 2^28 cap, and the reader's
+	// by-design O(n) allocation at that scale OOM-kills the fuzz worker
+	// before any property is checked.
+	defer func(v, e int) { maxVertices, maxEdges = v, e }(maxVertices, maxEdges)
+	maxVertices, maxEdges = 1<<16, 1<<16
+
+	g, err := Read(bytes.NewReader(data), f)
+	if err != nil {
+		return // invalid input rejected with an error: the other contract
+	}
+	var first bytes.Buffer
+	if err := Write(&first, g, f); err != nil {
+		t.Fatalf("accepted graph does not serialize: %v", err)
+	}
+	g2, err := Read(bytes.NewReader(first.Bytes()), f)
+	if err != nil {
+		t.Fatalf("written stream does not read back: %v\n%q", err, first.String())
+	}
+	if g2.N != g.N || g2.Directed != g.Directed || !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+		t.Fatalf("round trip changed the graph:\n  read:   n=%d directed=%v edges=%v\n  reread: n=%d directed=%v edges=%v",
+			g.N, g.Directed, g.Edges(), g2.N, g2.Directed, g2.Edges())
+	}
+	var second bytes.Buffer
+	if err := Write(&second, g2, f); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("serialization is not a fixed point:\n  first:  %q\n  second: %q", first.String(), second.String())
+	}
+}
+
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add([]byte("p sp 3 2\na 1 2 5\na 2 3 7\n"))
+	f.Add([]byte("c congestapsp undirected\np sp 2 1\na 1 2 1\n"))
+	f.Add([]byte("c comment\np sp 4 0\n"))
+	f.Add([]byte("p sp 3 2\na 1 2 5\n"))         // arc-count mismatch
+	f.Add([]byte("a 1 2 5\n"))                   // arc before header
+	f.Add([]byte("p sp 3 1\na 1 1 5\n"))         // self-loop
+	f.Add([]byte("p sp 3 1\na 1 2 -5\n"))        // negative weight
+	f.Add([]byte("p sp 999999999999999999 1\n")) // vertex-count overflow
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzRoundTrip(t, data, FormatDIMACS)
+	})
+}
+
+func FuzzReadTSV(f *testing.F) {
+	f.Add([]byte("0 1 5\n1 2 7\n"))
+	f.Add([]byte("# congestapsp n=3 directed=false\n0 1 5\n1 2 7\n"))
+	f.Add([]byte("# congestapsp n=4 directed=true\n"))
+	f.Add([]byte("0 0 5\n"))                                   // self-loop
+	f.Add([]byte("0 1 -5\n"))                                  // negative weight
+	f.Add([]byte("0 1\n"))                                     // short record
+	f.Add([]byte("0 1 5 9\n"))                                 // long record
+	f.Add([]byte("# congestapsp n=2 directed=false\n0 5 1\n")) // vertex out of range
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzRoundTrip(t, data, FormatTSV)
+	})
+}
+
+// FuzzScenarioGraphBuild guards the workload generators behind the corpus
+// names: every accepted (family, n, seed) cell must build a valid graph
+// (validated invariants, no panic) at fuzz-chosen sizes within the corpus
+// range. It complements FuzzParseScenario in pkg/apsp, which owns the
+// name-string round trip.
+func FuzzScenarioGraphBuild(f *testing.F) {
+	f.Add(8, int64(1))
+	f.Add(17, int64(-3))
+	f.Add(2, int64(0))
+	f.Fuzz(func(t *testing.T, n int, seed int64) {
+		if n < 2 || n > 128 {
+			return // generator cost grows superlinearly; the corpus range suffices
+		}
+		g := graph.RandomConnected(graph.GenConfig{N: n, Seed: seed, MaxWeight: 50}, 4*n)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("RandomConnected(n=%d, seed=%d) built an invalid graph: %v", n, seed, err)
+		}
+	})
+}

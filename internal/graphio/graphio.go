@@ -37,14 +37,19 @@ import (
 // vertices, far beyond any single-host simulation): every format
 // allocates O(n) at graph construction, so an unbounded count from a
 // corrupt or hostile file would abort the process on allocation instead
-// of returning the validation error this package promises.
-const maxVertices = 1 << 28
+// of returning the validation error this package promises. A variable
+// (not a const) only so the fuzz harness can lower it per-input: below
+// the cap a reader legitimately allocates O(n) at header parse, which at
+// the full bound is gigabytes — acceptable for a real load, fatal for a
+// memory-limited fuzz worker.
+var maxVertices = 1 << 28
 
 // maxEdges bounds the edge count any reader accepts (2^28, matching
 // maxVertices): edges accumulate in memory as a file streams, so an
 // unbounded count from a hostile or corrupt file would OOM-abort before
-// any validation error could be returned.
-const maxEdges = 1 << 28
+// any validation error could be returned. A variable for the same fuzz
+// override as maxVertices.
+var maxEdges = 1 << 28
 
 // maxWeight bounds the edge weight any reader accepts. The engine's
 // distance arithmetic treats graph.Inf (MaxInt64/4) as unreachable and

@@ -123,6 +123,13 @@ type Options struct {
 	// Parallel executes node steps on a worker pool; results are
 	// bit-identical to sequential execution.
 	Parallel bool
+	// RetrySequential opts into graceful degradation under Parallel: a
+	// worker sub-run that panics is re-executed sequentially on a fresh
+	// clone after the fleet drains, and a fully-recovered run's results and
+	// stats are bit-identical to an undisturbed one. Cancellation and
+	// ordinary errors are never retried; a panic that recurs on retry
+	// surfaces as *PanicError.
+	RetrySequential bool
 	// Seed drives the randomized profiles.
 	Seed int64
 	// SkipLastHops disables the final last-edge resolution pass.
@@ -185,7 +192,7 @@ type Result struct {
 func Run(g *Graph, opt Options) (*Result, error) {
 	res, err := core.Run(g.g, coreOptions(opt))
 	if err != nil {
-		return nil, err
+		return nil, translateErr(err)
 	}
 	return fromCore(res), nil
 }
@@ -202,14 +209,15 @@ func coreOptions(opt Options) core.Options {
 		v = core.BroadcastStep6
 	}
 	return core.Options{
-		Variant:       v,
-		H:             opt.HopParam,
-		Bandwidth:     opt.Bandwidth,
-		Parallel:      opt.Parallel,
-		Seed:          opt.Seed,
-		SkipLastEdges: opt.SkipLastHops,
-		OnRound:       opt.OnRound,
-		Sources:       opt.Sources,
+		Variant:         v,
+		H:               opt.HopParam,
+		Bandwidth:       opt.Bandwidth,
+		Parallel:        opt.Parallel,
+		RetrySequential: opt.RetrySequential,
+		Seed:            opt.Seed,
+		SkipLastEdges:   opt.SkipLastHops,
+		OnRound:         opt.OnRound,
+		Sources:         opt.Sources,
 	}
 }
 
@@ -312,7 +320,7 @@ func BlockerSet(g *Graph, opt BlockerOptions) ([]int, BlockerStats, error) {
 		Parallel: opt.Parallel,
 	})
 	if err != nil {
-		return nil, BlockerStats{}, err
+		return nil, BlockerStats{}, translateErr(err)
 	}
 	return q, blockerStats(q, stats), nil
 }

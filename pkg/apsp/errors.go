@@ -1,0 +1,135 @@
+package apsp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"congestapsp/internal/congest"
+	"congestapsp/internal/core"
+)
+
+// ErrCanceled is the sentinel under every error returned by a run whose
+// context was canceled: errors.Is(err, apsp.ErrCanceled) identifies it. The
+// concrete error is an *InterruptError carrying the interrupted stage and
+// the progress made.
+var ErrCanceled = errors.New("apsp: run canceled")
+
+// ErrDeadlineExceeded is the sentinel under every error returned by a run
+// whose context deadline passed; the concrete error is an *InterruptError.
+var ErrDeadlineExceeded = errors.New("apsp: run deadline exceeded")
+
+// InterruptError reports a run stopped by its context, with how far it got.
+// It matches both the apsp sentinel for its cause (ErrCanceled or
+// ErrDeadlineExceeded) and the underlying context sentinel
+// (context.Canceled or context.DeadlineExceeded), so callers can branch
+// with errors.Is at either level:
+//
+//	res, err := r.RunContext(ctx, opt)
+//	var ie *apsp.InterruptError
+//	switch {
+//	case errors.Is(err, apsp.ErrDeadlineExceeded) && errors.As(err, &ie):
+//	    log.Printf("budget blown in %s after %d rounds", ie.Stage, ie.CompletedRounds)
+//	case errors.Is(err, apsp.ErrCanceled):
+//	    return // caller went away
+//	}
+//
+// The Runner that returned an InterruptError remains reusable, and its next
+// run is bit-identical to a cold one.
+type InterruptError struct {
+	// Stage is the pipeline stage executing (or about to execute) when the
+	// context fired, e.g. "step6-qsink".
+	Stage string
+	// CompletedRounds is the simulated CONGEST round count at interruption.
+	CompletedRounds int
+	// Stages is the per-stage cost of the work finished before the
+	// interruption, including a partial record for the interrupted stage.
+	Stages []StageTiming
+	// Cause is the original error chain (ending in a context sentinel).
+	Cause error
+}
+
+func (e *InterruptError) Error() string {
+	what := "canceled"
+	if errors.Is(e.Cause, context.DeadlineExceeded) {
+		what = "deadline exceeded"
+	}
+	return fmt.Sprintf("apsp: run %s in %s after %d rounds", what, e.Stage, e.CompletedRounds)
+}
+
+// Unwrap exposes both sentinel levels to errors.Is.
+func (e *InterruptError) Unwrap() []error {
+	if errors.Is(e.Cause, context.DeadlineExceeded) {
+		return []error{ErrDeadlineExceeded, e.Cause}
+	}
+	return []error{ErrCanceled, e.Cause}
+}
+
+// PanicError reports a panic recovered inside the execution stack — a
+// ShardRuns worker or a pipeline stage — converted to an error instead of
+// crashing the process, and tagged with where it happened. The Runner
+// remains reusable afterwards; with Options.RetrySequential set, runs
+// recover from worker panics automatically and no PanicError surfaces
+// unless the sequential retry fails too.
+type PanicError struct {
+	// Stage is the pipeline stage that was executing.
+	Stage string
+	// SubRun is the failing sub-run index within its sharded dispatch (-1
+	// when the panic escaped a stage outside any dispatch).
+	SubRun int
+	// Source is the source vertex the sub-run was computing (-1 if unknown).
+	Source int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	tag := ""
+	if e.Stage != "" {
+		tag = " in " + e.Stage
+	}
+	if e.SubRun >= 0 {
+		tag += fmt.Sprintf(" (sub-run %d", e.SubRun)
+		if e.Source >= 0 {
+			tag += fmt.Sprintf(", source %d", e.Source)
+		}
+		tag += ")"
+	}
+	return fmt.Sprintf("apsp: recovered panic%s: %v", tag, e.Value)
+}
+
+// translateErr maps internal error shapes onto the public taxonomy:
+// core.InterruptError becomes *InterruptError (with both sentinels),
+// congest.PanicError becomes *PanicError, raw context errors (possible on
+// the blocker path, which has no staged executor) gain the apsp sentinel,
+// and everything else passes through unchanged.
+func translateErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ie *core.InterruptError
+	if errors.As(err, &ie) {
+		return &InterruptError{
+			Stage:           ie.Stage,
+			CompletedRounds: ie.CompletedRounds,
+			Stages:          ie.Stages,
+			Cause:           ie.Cause,
+		}
+	}
+	var pe *congest.PanicError
+	if errors.As(err, &pe) {
+		return &PanicError{
+			Stage:  pe.Stage,
+			SubRun: pe.SubRun,
+			Source: pe.Source,
+			Value:  pe.Value,
+			Stack:  pe.Stack,
+		}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &InterruptError{Stage: "blocker", Cause: err}
+	}
+	return err
+}

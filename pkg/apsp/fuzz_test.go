@@ -1,0 +1,39 @@
+package apsp
+
+import "testing"
+
+// FuzzParseScenario pins the scenario-name round trip: any name
+// ParseScenario accepts must reproduce itself bit-for-bit through Name()
+// (names are the stable identifiers of EXPERIMENTS.json rows, so an
+// accepted-but-non-canonical spelling would silently alias two rows), and
+// re-parsing the canonical name must yield the same scenario.
+func FuzzParseScenario(f *testing.F) {
+	f.Add("random-n64-s1")
+	f.Add("powerlaw-n512-s7")
+	f.Add("grid-n100-s-3")
+	f.Add("ktree-n16-s0")
+	f.Add("random-n007-s1")  // leading zeros: must be rejected
+	f.Add("random-n64-s-0")  // non-canonical zero: must be rejected
+	f.Add("unknown-n64-s1")  // unregistered family: must be rejected
+	f.Add("random-n1-s1")    // below the n >= 2 floor
+	f.Add("random-n64-s1-x") // trailing garbage
+	f.Fuzz(func(t *testing.T, name string) {
+		sc, err := ParseScenario(name)
+		if err != nil {
+			return
+		}
+		if got := sc.Name(); got != name {
+			t.Fatalf("accepted name is not canonical: %q parsed to %+v, Name() = %q", name, sc, got)
+		}
+		back, err := ParseScenario(sc.Name())
+		if err != nil {
+			t.Fatalf("canonical name %q does not re-parse: %v", sc.Name(), err)
+		}
+		if back != sc {
+			t.Fatalf("re-parse changed the scenario: %+v vs %+v", back, sc)
+		}
+		if sc.N < 2 {
+			t.Fatalf("accepted scenario below the size floor: %+v", sc)
+		}
+	})
+}

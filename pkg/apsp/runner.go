@@ -1,6 +1,8 @@
 package apsp
 
 import (
+	"context"
+
 	"congestapsp/internal/blocker"
 	"congestapsp/internal/core"
 )
@@ -48,9 +50,23 @@ func (r *Runner) Graph() *Graph { return r.g }
 // Run computes APSP on the Runner's graph with the given options, reusing
 // the warm network and worker fleet.
 func (r *Runner) Run(opt Options) (*Result, error) {
-	res, err := r.s.Run(coreOptions(opt))
+	return r.RunContext(context.Background(), opt)
+}
+
+// RunContext is Run under a context: the run observes ctx.Done() at round
+// granularity and at every pipeline stage boundary — within two simulated
+// rounds or one stage boundary of the context firing, it stops and returns
+// an *InterruptError matching ErrCanceled or ErrDeadlineExceeded (and the
+// context's own sentinel) that carries the interrupted stage, the completed
+// round count, and per-stage timings for the work finished. The Runner
+// remains reusable after an interrupted run: the next call starts clean and
+// is bit-identical to a cold run. A context that can never be canceled
+// (context.Background, context.TODO) arms nothing and adds no per-round
+// cost.
+func (r *Runner) RunContext(ctx context.Context, opt Options) (*Result, error) {
+	res, err := r.s.RunContext(ctx, coreOptions(opt))
 	if err != nil {
-		return nil, err
+		return nil, translateErr(err)
 	}
 	return fromCore(res), nil
 }
@@ -61,9 +77,18 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 // execution-mode grids over one graph) so they state the whole batch in
 // one call.
 func (r *Runner) RunMany(opts []Options) ([]*Result, error) {
+	return r.RunManyContext(context.Background(), opts)
+}
+
+// RunManyContext is RunMany under one context governing the whole batch: a
+// deadline spans every entry, and cancellation stops the batch at the next
+// round or stage boundary of whichever run is executing. Completed entries
+// are not returned once an error stops the batch (the error's
+// *InterruptError payload identifies how far the failing run got).
+func (r *Runner) RunManyContext(ctx context.Context, opts []Options) ([]*Result, error) {
 	out := make([]*Result, len(opts))
 	for i, opt := range opts {
-		res, err := r.Run(opt)
+		res, err := r.RunContext(ctx, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -75,14 +100,21 @@ func (r *Runner) RunMany(opts []Options) ([]*Result, error) {
 // BlockerSet computes an h-hop blocker set of the Runner's graph on the
 // warm session (the session form of apsp.BlockerSet).
 func (r *Runner) BlockerSet(opt BlockerOptions) ([]int, BlockerStats, error) {
-	q, stats, err := r.s.BlockerOnly(core.BlockerOptions{
+	return r.BlockerSetContext(context.Background(), opt)
+}
+
+// BlockerSetContext is BlockerSet under a context, observed at round
+// granularity; an interrupted construction returns an error matching
+// ErrCanceled/ErrDeadlineExceeded, and the Runner remains reusable.
+func (r *Runner) BlockerSetContext(ctx context.Context, opt BlockerOptions) ([]int, BlockerStats, error) {
+	q, stats, err := r.s.BlockerOnlyContext(ctx, core.BlockerOptions{
 		H:        opt.HopParam,
 		Mode:     blocker.Mode(opt.Mode),
 		Seed:     opt.Seed,
 		Parallel: opt.Parallel,
 	})
 	if err != nil {
-		return nil, BlockerStats{}, err
+		return nil, BlockerStats{}, translateErr(err)
 	}
 	return q, blockerStats(q, stats), nil
 }

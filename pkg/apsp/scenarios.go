@@ -129,7 +129,10 @@ func (s Scenario) Name() string {
 	return fmt.Sprintf("%s-n%d-s%d", s.Family, s.N, s.Seed)
 }
 
-var scenarioNameRE = regexp.MustCompile(`^([a-z][a-z0-9]*)-n([0-9]+)-s(-?[0-9]+)$`)
+// scenarioNameRE admits exactly the strings Scenario.Name can produce:
+// canonical decimal numbers only (no leading zeros, no "-0"), so every
+// accepted name round-trips bit-identically through ParseScenario → Name.
+var scenarioNameRE = regexp.MustCompile(`^([a-z][a-z0-9]*)-n([1-9][0-9]*)-s(0|-[1-9][0-9]*|[1-9][0-9]*)$`)
 
 // ParseScenario parses a scenario name produced by Scenario.Name. The
 // family must be registered.
