@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sort"
 	"testing"
 
 	"congestapsp/internal/bford"
@@ -430,6 +431,135 @@ func BenchmarkAPSPPipeline(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAPSPUpdate measures the dynamic-graph steady state: a warm
+// Runner absorbing one single-edge weight update per iteration through
+// ApplyUpdates and re-converging with a damage-scoped incremental run.
+// Each iteration is ApplyUpdates + Run, so ns/op is the full
+// update-to-answer latency; updates/sec and the speedup over the cold
+// BenchmarkAPSPPipeline rows at the same n are derived by scripts/bench.sh
+// into BENCH_update.json. The toggled edge is chosen (outside the timer) so
+// the damage stays narrow enough for the incremental path — the steady
+// state this benchmark exists to measure.
+func BenchmarkAPSPUpdate(b *testing.B) {
+	for _, n := range []int{128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := apsp.RandomGraph(apsp.GenOptions{N: n, Directed: true, Seed: int64(n), MaxWeight: 50}, 4*n)
+			opt := apsp.Options{SkipLastHops: true}
+			r, edge, err := updatableRunner(g, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st apsp.UpdateStats
+			var rounds float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := edge.W + int64(1+i%2) // toggle w+1 / w+2: never a no-op
+				st, err = r.ApplyUpdates([]apsp.EdgeUpdate{{Op: apsp.SetWeight, U: edge.U, V: edge.V, W: w}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := r.Run(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = float64(res.Stats.Rounds)
+			}
+			b.StopTimer()
+			if st.FellBack {
+				b.Fatal("update benchmark fell out of the incremental path")
+			}
+			b.ReportMetric(rounds, "rounds")
+			b.ReportMetric(float64(st.Recomputed), "recomputed")
+			b.ReportMetric(float64(st.Reused), "reused")
+		})
+	}
+}
+
+// updatableRunner warms one Runner on g and deterministically picks an
+// edge whose weight toggle keeps the session on the incremental path
+// (narrow damage, no adaptive fallback) in both toggle directions. The
+// runner is reused across candidates — a fallback verdict just costs the
+// cold re-arm run the fallback implies anyway.
+func updatableRunner(g *apsp.Graph, opt apsp.Options) (*apsp.Runner, apsp.EdgeUpdate, error) {
+	var edges []apsp.EdgeUpdate
+	g.Edges(func(u, v int, w int64) {
+		edges = append(edges, apsp.EdgeUpdate{U: u, V: v, W: w})
+	})
+	r, err := apsp.NewRunner(g)
+	if err != nil {
+		return nil, apsp.EdgeUpdate{}, err
+	}
+	cold, err := r.Run(opt)
+	if err != nil {
+		return nil, apsp.EdgeUpdate{}, err
+	}
+	coldMsgs := cold.Stats.Messages
+	// Pre-rank candidates by full-metric slack: an edge tight in some
+	// shortest path (slack <= 0) almost surely changes an h-hop tree when
+	// toggled, cascading into the expensive stages — skip those outright.
+	// Among the rest, the near-tie edges (small positive slack) are the
+	// interesting ones: flagged by the conservative damage test, refuted on
+	// re-run. Ranking keeps the expensive run-based verification below to a
+	// handful of candidates.
+	type cand struct {
+		e     apsp.EdgeUpdate
+		slack int64
+	}
+	var cands []cand
+	for _, e := range edges {
+		slack := int64(1 << 62)
+		for x := 0; x < g.N(); x++ {
+			du, dv := cold.Dist[x][e.U], cold.Dist[x][e.V]
+			if du >= apsp.Inf || dv >= apsp.Inf {
+				continue
+			}
+			if s := du + e.W - dv; s < slack {
+				slack = s
+			}
+		}
+		if slack > 0 {
+			cands = append(cands, cand{e, slack})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].slack < cands[j].slack })
+	set := func(u, v int, w int64) (apsp.UpdateStats, *apsp.Result, error) {
+		st, err := r.ApplyUpdates([]apsp.EdgeUpdate{{Op: apsp.SetWeight, U: u, V: v, W: w}})
+		if err != nil {
+			return st, nil, err
+		}
+		res, err := r.Run(opt)
+		return st, res, err
+	}
+	for _, c := range cands {
+		e := c.e
+		ok := true
+		for _, w := range []int64{e.W + 1, e.W + 2} {
+			st, res, err := set(e.U, e.V, w)
+			if err != nil {
+				return nil, apsp.EdgeUpdate{}, err
+			}
+			// Suitable means: damage was flagged (the refresh machinery is
+			// exercised, not a provable no-op), no adaptive fallback, and the
+			// reused stages actually dominated — a cascade back into the
+			// expensive stages shows up as a near-cold message count.
+			if st.FellBack || st.Recomputed == 0 || res.Stats.Messages*4 > coldMsgs {
+				ok = false
+				break
+			}
+		}
+		// Restore the original weight (and re-arm the snapshot) so either
+		// the timed loop or the next candidate starts clean.
+		if _, _, err := set(e.U, e.V, e.W); err != nil {
+			return nil, apsp.EdgeUpdate{}, err
+		}
+		if ok {
+			return r, e, nil
+		}
+	}
+	return nil, apsp.EdgeUpdate{}, fmt.Errorf("no edge keeps the incremental path at n=%d", g.N())
 }
 
 // BenchmarkAPSPPipelineWarm is the warm-session counterpart of

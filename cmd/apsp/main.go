@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"congestapsp/pkg/apsp"
 )
@@ -43,6 +44,7 @@ func main() {
 		noRun     = flag.Bool("norun", false, "exit after building/saving the graph without running APSP (format conversion)")
 		scenario  = flag.String("scenario", "", "build a named workload scenario, e.g. powerlaw-n128-s7 (overrides -graph)")
 		traceFile = flag.String("trace", "", "write a per-round CSV trace (round,delivered) to this file")
+		updFile   = flag.String("update", "", "apply an update stream (lines: \"w u v weight\", \"a u v weight\", \"d u v\") after a first run, then re-run warm")
 	)
 	flag.Parse()
 
@@ -93,6 +95,9 @@ func main() {
 		fmt.Printf("graph written to %s\n", *saveFile)
 	}
 	if *noRun {
+		if *updFile != "" {
+			log.Fatal("-update conflicts with -norun")
+		}
 		// Format conversion (`apsp -load big.gr -save big.gob -norun`)
 		// must not pay for a full APSP simulation.
 		fmt.Printf("graph: n=%d m=%d directed=%v (no run)\n", g.N(), g.M(), g.Directed())
@@ -107,13 +112,23 @@ func main() {
 	opts := apsp.Options{Algorithm: alg, HopParam: *hopParam, Seed: *seed, Parallel: *parallel}
 	var closer func() error
 	if *traceFile != "" {
+		if *updFile != "" {
+			// The trace hook spans every run on the session; two runs'
+			// rounds interleaved in one CSV is never what the caller wants.
+			log.Fatal("-update conflicts with -trace")
+		}
 		var err error
 		opts.OnRound, closer, err = csvTracer(*traceFile)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	res, err := apsp.Run(g, opts)
+	var res *apsp.Result
+	if *updFile != "" {
+		res, err = runWithUpdates(g, opts, *updFile)
+	} else {
+		res, err = apsp.Run(g, opts)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -156,6 +171,47 @@ func main() {
 		fmt.Printf("path %d -> %d: %v (distance %d)\n",
 			*pathFrom, *pathTo, res.Path(*pathFrom, *pathTo), res.Dist[*pathFrom][*pathTo])
 	}
+}
+
+// runWithUpdates is the -update flow: a first (cold) run on a warm Runner,
+// the update stream applied through ApplyUpdates, and a second run that
+// re-computes incrementally where the damage report allows. The returned
+// Result — what -print/-from/-to render — reflects the updated graph.
+func runWithUpdates(g *apsp.Graph, opts apsp.Options, path string) (*apsp.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ups, err := apsp.ReadUpdates(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	r, err := apsp.NewRunner(g)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if _, err := r.Run(opts); err != nil {
+		return nil, err
+	}
+	coldWall := time.Since(start)
+	st, err := r.ApplyUpdates(ups)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	start = time.Now()
+	res, err := r.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	updWall := time.Since(start)
+	fmt.Printf("updates: applied %d from %s: reused=%d recomputed=%d fellback=%v\n",
+		len(ups), path, st.Reused, st.Recomputed, st.FellBack)
+	speedup := float64(coldWall) / float64(updWall)
+	fmt.Printf("updates: cold run %.2fms, post-update run %.2fms (%.1fx)\n",
+		float64(coldWall.Microseconds())/1000, float64(updWall.Microseconds())/1000, speedup)
+	return res, nil
 }
 
 // rejectFlagConflicts aborts when any of the named flags was explicitly

@@ -181,15 +181,17 @@ func buildRelAdj(g *graph.Graph, mode Mode) *relAdj {
 // The relaxation structure depends only on (graph, mode) and is rebuilt for
 // every SSSP otherwise — Step 1 alone runs n of them on the same graph — so
 // a small cache keyed by graph identity pays for itself immediately. The
-// edge count is part of the key: graphs only grow (AddEdge appends), so a
-// stale entry can never be confused with the current topology. Note the
-// pointer keys pin the cached graphs (and their CSR arenas) until eviction;
-// the cache is kept small so a process churning through many transient
-// graphs retains at most a handful of them.
+// graph's mutation counter is part of the key: any API-level mutation —
+// AddEdge, SetEdgeWeight, RemoveEdge (the session update path mutates
+// weights in place) — bumps it, so a stale entry can never be confused
+// with the current topology or weights. Note the pointer keys pin the
+// cached graphs (and their CSR arenas) until eviction; the cache is kept
+// small so a process churning through many transient graphs retains at
+// most a handful of them.
 type adjKey struct {
-	g    *graph.Graph
-	mode Mode
-	n, m int
+	g       *graph.Graph
+	mode    Mode
+	version uint64
 }
 
 // The cache is shared by the source-sharded pipeline: every worker clone
@@ -203,7 +205,7 @@ var (
 )
 
 func getRelAdj(g *graph.Graph, mode Mode) *relAdj {
-	key := adjKey{g, mode, g.N, g.M()}
+	key := adjKey{g, mode, g.Version()}
 	adjMu.RLock()
 	ra, ok := adjCache[key]
 	adjMu.RUnlock()

@@ -275,13 +275,19 @@ func NewNetwork(g *graph.Graph, bandwidth int) (*Network, error) {
 		G:         g,
 		UG:        ug,
 		Bandwidth: bandwidth,
-		nbrOff:    make([]int32, n+1),
 		subrun:    -1,
 	}
 	nw.Stats.WordsByNode = make([]int64, n)
+	nw.nbrOff, nw.nbrs = buildCSR(ug)
+	return nw, nil
+}
 
-	// Build the CSR arena: fill with an upper bound per node (incident edge
-	// count), then sort and dedup each range in place, compacting as we go.
+// buildCSR builds the CSR adjacency of ug: fill with an upper bound per
+// node (incident edge count), then sort and dedup each range in place,
+// compacting as we go.
+func buildCSR(ug *graph.Graph) ([]int32, []int) {
+	n := ug.N
+	nbrOff := make([]int32, n+1)
 	offs := make([]int32, n+1)
 	for v := 0; v < n; v++ {
 		offs[v+1] = offs[v] + int32(ug.OutDegree(v))
@@ -305,10 +311,30 @@ func NewNetwork(g *graph.Graph, bandwidth int) (*Network, error) {
 				w++
 			}
 		}
-		nw.nbrOff[v+1] = w
+		nbrOff[v+1] = w
 	}
-	nw.nbrs = arena[:w:w]
-	return nw, nil
+	return nbrOff, arena[:w:w]
+}
+
+// SyncTopology re-derives the communication topology from the (mutated)
+// input graph: the underlying undirected graph and the CSR adjacency arena
+// are rebuilt and re-pointed on nw AND on every cached worker clone (clones
+// share the arenas by reference, so leaving them stale would split the
+// fleet across two topologies). Weight-only mutations never need this —
+// the CSR is topology-only and UG weights are never read after
+// construction — but edge insertion/removal does. The engine's per-link
+// arenas re-size lazily on the next Run.
+func (nw *Network) SyncTopology() error {
+	if err := nw.G.Validate(); err != nil {
+		return err
+	}
+	nw.UG = nw.G.UnderlyingUndirected()
+	nw.nbrOff, nw.nbrs = buildCSR(nw.UG)
+	for _, cl := range nw.fleet {
+		cl.UG = nw.UG
+		cl.nbrOff, cl.nbrs = nw.nbrOff, nw.nbrs
+	}
+	return nil
 }
 
 // N returns the number of nodes.

@@ -219,9 +219,13 @@ func boolName(b bool) string {
 	return "false"
 }
 
-// TestSessionChecksumGuard pins the strengthened mutation guard: a weight
-// mutation — which keeps the edge count unchanged and so slipped past the
-// old guard — is caught at the next run.
+// TestSessionChecksumGuard pins the out-of-band mutation guard: any
+// graph-API mutation not routed through ApplyUpdates — including a pure
+// weight change, which keeps the edge count constant — is caught by the
+// O(1) version compare at the next run, and the rejection is permanent
+// until the session is re-synchronized through ApplyUpdates. (Raw writes
+// through the Edges() slice bypass the version counter and are caught only
+// under -tags matcheck; see TestSessionDigestGuardMatcheck.)
 func TestSessionChecksumGuard(t *testing.T) {
 	g := graph.New(3, false)
 	for _, e := range [][3]int64{{0, 1, 2}, {1, 2, 3}} {
@@ -236,12 +240,27 @@ func TestSessionChecksumGuard(t *testing.T) {
 	if _, err := s.Run(Options{}); err != nil {
 		t.Fatal(err)
 	}
-	g.Edges()[0].W = 9 // same edge count, different weight
-	if _, err := s.Run(Options{}); err == nil {
-		t.Fatal("weight mutation not caught by the session guard")
+	if err := g.SetEdgeWeight(0, 9); err != nil { // same edge count, different weight
+		t.Fatal(err)
 	}
-	g.Edges()[0].W = 2 // restore: the session must work again
-	if _, err := s.Run(Options{}); err != nil {
-		t.Fatalf("restored graph rejected: %v", err)
+	if _, err := s.Run(Options{}); err == nil {
+		t.Fatal("out-of-band weight mutation not caught by the session guard")
+	}
+	// Undoing the value does not un-mutate the graph: the version counter is
+	// monotonic, so the session stays rejected until told about the change.
+	if err := g.SetEdgeWeight(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(Options{}); err == nil {
+		t.Fatal("session accepted a graph mutated behind its back")
+	}
+	// The way out is a fresh session (ApplyUpdates also refuses a graph
+	// mutated behind the session's back — it cannot know what changed).
+	s2, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run(Options{}); err != nil {
+		t.Fatalf("fresh session on the mutated graph rejected: %v", err)
 	}
 }

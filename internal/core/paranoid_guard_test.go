@@ -1,0 +1,39 @@
+//go:build matcheck
+
+package core
+
+import (
+	"testing"
+
+	"congestapsp/internal/graph"
+)
+
+// TestSessionDigestGuardMatcheck pins the paranoid tier of the mutation
+// guard: a raw write through the Edges() slice bypasses the graph's version
+// counter (the O(1) guard cannot see it), but the matcheck digest re-verify
+// catches it at the next run. CI runs the race suite with this tag.
+func TestSessionDigestGuardMatcheck(t *testing.T) {
+	g := graph.New(3, false)
+	for _, e := range [][3]int64{{0, 1, 2}, {1, 2, 3}} {
+		if err := g.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	g.Edges()[0].W = 9 // raw slice write: version counter unchanged
+	if _, err := s.Run(Options{}); err == nil {
+		t.Fatal("raw edge-slice mutation not caught by the matcheck digest guard")
+	}
+	// Restoring the value restores the digest, so the session recovers —
+	// the digest is content-based, unlike the monotonic version counter.
+	g.Edges()[0].W = 2
+	if _, err := s.Run(Options{}); err != nil {
+		t.Fatalf("restored graph rejected: %v", err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !matcheck
+
+package core
+
+// paranoidGraphCheck is off by default: the warm path guards mutation with
+// one O(1) version compare per run instead of the O(m) digest scan (the
+// scan survives behind `-tags matcheck`; see paranoid_on.go).
+const paranoidGraphCheck = false

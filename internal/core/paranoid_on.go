@@ -1,0 +1,10 @@
+//go:build matcheck
+
+package core
+
+// paranoidGraphCheck: this build carries the matcheck tag, so every
+// Session.begin() recomputes the full O(m) graph digest and compares it to
+// the incrementally-maintained one — catching mutations that bypass both
+// ApplyUpdates and the graph's versioned API (raw writes through the
+// Edges() slice). CI runs the race suite with this tag.
+const paranoidGraphCheck = true

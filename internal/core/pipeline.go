@@ -86,6 +86,15 @@ type pipeline struct {
 	step7Sources []int             // Step 7: validated, deduplicated source list
 	distM        *mat.Matrix       // Step 7: one flat row per requested source
 
+	// inc, when non-nil, is the damage-scoped plan of an incremental run
+	// (the first Run after Session.ApplyUpdates with a valid snapshot):
+	// stage bodies re-execute only the label systems the plan marks dirty,
+	// restore the rest from the snapshot, and charge the recorded rounds
+	// for skipped work so the round accounting matches a cold run exactly.
+	// qcap, when non-nil, is the session's q-sink capture target.
+	inc  *incPlan
+	qcap *qsink.Snapshot
+
 	st     Stats
 	stages []StageTiming
 	out    *Result
@@ -204,7 +213,14 @@ func (p *pipeline) run() (*Result, error) {
 	return p.out, nil
 }
 
-// stageCSSSP is Step 1: the h-hop CSSSP collection for V (out-trees).
+// stageCSSSP is Step 1: the h-hop CSSSP collection for V (out-trees). On
+// an incremental run it refreshes only the trees whose 2h-hop label system
+// a graph update could have tightened (the damage test of update.go),
+// keeps the rest of the snapshot collection, and charges the recorded
+// rounds for the reused trees — each tree costs exactly 4h+3 rounds, so
+// the total matches a cold run. A refreshed tree that actually changed
+// flips the cascade flag: every later stage then runs its cold body on the
+// (partially reused) fresh inputs.
 func (p *pipeline) stageCSSSP() error {
 	p.sources = make([]int, p.n)
 	for i := range p.sources {
@@ -212,6 +228,21 @@ func (p *pipeline) stageCSSSP() error {
 	}
 	if p.step7Sources == nil {
 		p.step7Sources = p.sources // full APSP: Step 7 extends every source
+	}
+	if ip := p.inc; ip != nil {
+		p.coll = ip.snap.coll
+		k := len(ip.dirty1)
+		if k > 0 {
+			changed, err := p.coll.Refresh(p.nw, ip.dirty1)
+			if err != nil {
+				return err
+			}
+			if changed {
+				ip.cascade = true
+			}
+		}
+		p.nw.ChargeRounds(ip.snap.rounds("step1-csssp") - k*(4*p.h+3))
+		return nil
 	}
 	coll, err := csssp.Build(p.nw, p.g, p.sources, p.h, bford.Out)
 	if err != nil {
@@ -226,6 +257,16 @@ func (p *pipeline) stageCSSSP() error {
 // pairwise-independent randomized Algorithm 2) wins over the Det43 default
 // so ablations can drive the full pipeline with any blocker.
 func (p *pipeline) stageBlocker() error {
+	if ip := p.inc; ip != nil && !ip.cascade {
+		// The collection is bit-identical to the snapshot run's, so the
+		// blocker construction would reproduce Q, its stats, and its round
+		// schedule exactly; restore all three and charge the rounds.
+		p.Q = ip.snap.Q
+		p.st.QSize = ip.snap.stats.QSize
+		p.st.Blocker = ip.snap.stats.Blocker
+		p.nw.ChargeRounds(ip.snap.rounds("step2-blocker"))
+		return nil
+	}
 	bp := p.opt.BlockerParams
 	switch p.opt.Variant {
 	case Det32:
@@ -254,6 +295,42 @@ func (p *pipeline) stageBlocker() error {
 // min weight over <= h hops.) The |Q| runs are independent, so they
 // dispatch across the worker-clone fleet; each run owns one matrix row.
 func (p *pipeline) stageInSSSP() error {
+	if ip := p.inc; ip != nil && !ip.cascade {
+		// Re-run only the damaged in-systems, in place over the snapshot
+		// matrix; each costs exactly h+1 rounds, reused rows charge the
+		// recorded rest. A row that actually moved cascades stages 4-8.
+		p.deltaH = ip.snap.deltaH
+		k := len(ip.dirty3)
+		if k > 0 {
+			changed := make([]bool, k)
+			err := p.nw.ShardRuns(k, func(w *congest.Network, j int) error {
+				ci := ip.dirty3[j]
+				res, err := bford.RunLabels(w, p.g, p.Q[ci], p.h, bford.In)
+				if err != nil {
+					return err
+				}
+				row := p.deltaH.Row(ci)
+				for v := range row {
+					if row[v] != res.Dist[v] {
+						row[v] = res.Dist[v]
+						changed[j] = true
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return p.tagSource(err, func(i int) int { return p.Q[ip.dirty3[i]] })
+			}
+			for _, chg := range changed {
+				if chg {
+					ip.cascade = true
+					break
+				}
+			}
+		}
+		p.nw.ChargeRounds(ip.snap.rounds("step3-insssp") - k*(p.h+1))
+		return nil
+	}
 	q := len(p.Q)
 	p.deltaH = mat.New(q, p.n)
 	err := p.nw.ShardRuns(q, func(w *congest.Network, ci int) error {
@@ -284,6 +361,14 @@ func (p *pipeline) tagSource(err error, src func(i int) int) error {
 // stageBroadcast is Step 4: every blocker c broadcasts delta_h(c, c') for
 // all c' in Q (|Q|^2 values; O(n + |Q|^2) rounds, Lemma A.2/A.1).
 func (p *pipeline) stageBroadcast() error {
+	if ip := p.inc; ip != nil && !ip.cascade {
+		// deltaH is unchanged, so the item counts — and with them the
+		// broadcast schedule — are what the snapshot run recorded. Stage 5
+		// reuses the snapshot delta matrix, so the gathered items are not
+		// needed at all.
+		p.nw.ChargeRounds(ip.snap.rounds("step4-bcast"))
+		return nil
+	}
 	tree, err := broadcast.BuildBFS(p.nw, 0)
 	if err != nil {
 		return err
@@ -315,6 +400,12 @@ func (p *pipeline) stageBroadcast() error {
 // stageClosure is Step 5 (local): min-plus closure over the Q x Q matrix,
 // then delta(x, c) = min(delta_h(x, c), min_c1 delta_h(x, c1) + dQ(c1, c)).
 func (p *pipeline) stageClosure() error {
+	if ip := p.inc; ip != nil && !ip.cascade {
+		// Local stage, pure function of deltaH (unchanged): reuse the
+		// snapshot's delta matrix wholesale.
+		p.delta = ip.snap.delta
+		return nil
+	}
 	q := len(p.Q)
 	dQ := mat.NewFilled(q, q, graph.Inf)
 	for i := 0; i < q; i++ {
@@ -363,8 +454,20 @@ func (p *pipeline) stageClosure() error {
 	return nil
 }
 
-// stageQSink is Step 6: reversed q-sink delivery.
+// stageQSink is Step 6: reversed q-sink delivery. On an incremental run
+// the stage is skipped outright when no q-sink-internal label system was
+// damaged (its inputs — delta, Q, topology — are unchanged, so the whole
+// delivery would replay identically); otherwise it re-runs cold, and any
+// blocker value that actually moved marks the affected sources for Step-7
+// re-extension.
 func (p *pipeline) stageQSink() error {
+	ip := p.inc
+	if ip != nil && !ip.cascade && !ip.qsinkDirty {
+		p.qres = ip.snap.qres
+		p.st.QSink = ip.snap.stats.QSink
+		p.nw.ChargeRounds(ip.snap.rounds("step6-qsink"))
+		return nil
+	}
 	qp := qsink.Params{Scheduler: qsink.RoundRobin, Blocker: blocker.Params{Mode: blocker.Deterministic}}
 	switch p.opt.Variant {
 	case Det32, BroadcastStep6:
@@ -372,9 +475,24 @@ func (p *pipeline) stageQSink() error {
 	case Rand43:
 		qp.Blocker = blocker.Params{Mode: blocker.RandomSample, Seed: p.opt.Seed + 1}
 	}
+	qp.Capture = p.qcap
 	qres, err := qsink.Run(p.nw, p.g, p.Q, p.delta, qp)
 	if err != nil {
 		return err
+	}
+	if ip != nil && !ip.cascade {
+		// Compare against the snapshot delivery: a source whose blocker
+		// values moved needs its Step-7 extension re-run even if its own
+		// h-hop labels were never damaged.
+		old := ip.snap.qres.AtBlocker
+		for ci := range qres.AtBlocker {
+			newRow, oldRow := qres.AtBlocker[ci], old[ci]
+			for x := range newRow {
+				if !ip.dirty7[x] && newRow[x] != oldRow[x] {
+					ip.dirty7[x] = true
+				}
+			}
+		}
 	}
 	p.qres = qres
 	p.st.QSink = qres.Stats
@@ -387,7 +505,13 @@ func (p *pipeline) stageQSink() error {
 // across the worker-clone fleet like Step 3; each source owns one row of
 // the flat distance matrix. One flat row is allocated per requested source
 // (not n x n: partial runs with few sources must not pay the full matrix).
+// On an incremental run only the sources the plan marks dirty re-extend;
+// clean rows are copied out of the snapshot (Result matrices stay
+// caller-owned, so the snapshot arrays are never handed out directly).
 func (p *pipeline) stageExtend() error {
+	if ip := p.inc; ip != nil && !ip.cascade {
+		return p.stageExtendIncremental(ip)
+	}
 	p.distM = mat.New(len(p.step7Sources), p.n)
 	err := p.nw.ShardRuns(len(p.step7Sources), func(w *congest.Network, k int) error {
 		x := p.step7Sources[k] // Step 1 built one tree per node, indexed by id
@@ -421,12 +545,72 @@ func (p *pipeline) stageExtend() error {
 	return nil
 }
 
+// stageExtendIncremental re-extends only the dirty sources. An eligible
+// (snapshot-armed) run is always full APSP, so row index == source id and
+// len(step7Sources) == n; each re-run costs exactly h+1 rounds, and the
+// reused rows charge the recorded remainder.
+func (p *pipeline) stageExtendIncremental(ip *incPlan) error {
+	n := p.n
+	p.distM = mat.New(n, n)
+	var dirty []int
+	for x := 0; x < n; x++ {
+		if ip.dirty7[x] {
+			dirty = append(dirty, x)
+		} else {
+			copy(p.distM.Row(x), ip.snap.distFlat[x*n:(x+1)*n])
+		}
+	}
+	err := p.nw.ShardRuns(len(dirty), func(w *congest.Network, k int) error {
+		x := dirty[k]
+		init := w.Scratch().Int64s(n)
+		copy(init, p.coll.Label[x])
+		for ci := range p.Q {
+			if v := p.qres.AtBlocker[ci][x]; v < init[p.Q[ci]] {
+				init[p.Q[ci]] = v
+			}
+		}
+		res, err := bford.RunLabelsWithInit(w, p.g, init, p.h, bford.Out)
+		if err != nil {
+			return err
+		}
+		copy(p.distM.Row(x), res.Dist)
+		return nil
+	})
+	if err != nil {
+		return p.tagSource(err, func(i int) int { return dirty[i] })
+	}
+	p.nw.ChargeRounds(ip.snap.rounds("step7-extend") - len(dirty)*(p.h+1))
+	dist := make([][]int64, n)
+	for x := 0; x < n; x++ {
+		dist[x] = p.distM.Row(x)
+	}
+	p.out.Dist = dist
+	return nil
+}
+
 // stageLastEdges is the final neighbor exchange (an implementation
 // addition; see the package comment): every node already knows its column
 // of the distance matrix, and one pipelined exchange of that column with
 // each neighbor lets each t pick, per source x, the smallest-id
 // in-neighbor u with delta(x, u) + w(u, t) = delta(x, t).
+// On an incremental run with every distance row proven unchanged (no source
+// re-extended — required even when re-runs come back equal, because stage 8
+// reads the matrix wholesale) the exchange would replay identically; the
+// snapshot copy is restored into fresh caller-owned rows and the recorded
+// rounds are charged.
 func (p *pipeline) stageLastEdges() error {
+	if ip := p.inc; ip != nil && !ip.cascade && ip.n7() == 0 && ip.snap.haveLast {
+		n := p.n
+		flat := make([]int, n*n)
+		copy(flat, ip.snap.lastFlat)
+		lh := make([][]int, n)
+		for x := 0; x < n; x++ {
+			lh[x] = flat[x*n : (x+1)*n]
+		}
+		p.out.LastHop = lh
+		p.nw.ChargeRounds(ip.snap.rounds("step8-lastedge"))
+		return nil
+	}
 	lh, err := resolveLastEdges(p.nw, p.g, p.out.Dist)
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"congestapsp/internal/congest"
 	"congestapsp/internal/csssp"
 	"congestapsp/internal/graph"
+	"congestapsp/internal/qsink"
 )
 
 // Session is a warm execution context pinned to one graph: the CONGEST
@@ -21,17 +22,35 @@ import (
 // public surface is apsp.Runner.
 //
 // A Session supports one call at a time (the Network's single-execution
-// discipline), and the graph must not be modified while the session is
-// alive — the communication topology is frozen into the CSR arena at
-// construction. Run fails loudly if the edge count changed.
+// discipline). The graph may be mutated ONLY through ApplyUpdates, the
+// session's first-class update path: it patches the warm network in place
+// (rebuilding the CSR topology when edges appear or vanish) and arms the
+// next Run to re-compute incrementally. Mutating the graph any other way
+// between runs makes the next Run fail loudly: API-level mutations
+// (AddEdge and friends on the graph directly) are caught by an O(1)
+// version compare, and raw writes through the Edges() slice by the
+// paranoid O(m) digest re-verify of `-tags matcheck` builds.
 //
 // Results are caller-owned: every matrix a Run returns is freshly
-// allocated, so a Result remains valid after later runs on the same
-// session.
+// allocated (or freshly copied, on the incremental path), so a Result
+// remains valid after later runs on the same session.
 type Session struct {
-	g   *graph.Graph
-	nw  *congest.Network
-	sum uint64 // FNV checksum of the graph at construction; guards mutation
+	g  *graph.Graph
+	nw *congest.Network
+	// knownVersion is the graph's mutation counter as of the last
+	// NewSession/ApplyUpdates; begin() compares it in O(1) instead of
+	// re-hashing the edge list on every warm run.
+	knownVersion uint64
+	// digest is the commutative content digest (update.go), maintained
+	// incrementally by ApplyUpdates and re-verified wholesale only under
+	// -tags matcheck.
+	digest uint64
+	// pendingUpdates gates the incremental path: set by ApplyUpdates,
+	// consumed by the next Run. Plain warm re-runs stay fully cold, so
+	// their simulation (messages, words, congestion) is untouched.
+	pendingUpdates bool
+	snap           snapshot
+	qsnap          qsink.Snapshot
 }
 
 // NewSession builds the warm network for g. The graph may be empty.
@@ -40,36 +59,9 @@ func NewSession(g *graph.Graph) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{g: g, nw: nw, sum: graphChecksum(g)}, nil
-}
-
-// graphChecksum is an FNV-1a 64 digest of the graph's logical content —
-// vertex count, directedness, and every edge's (u, v, w) in insertion order.
-// Unlike the old edge-count guard it catches weight mutations and
-// same-count edge swaps, not just additions. Allocation-free; one O(m) scan
-// per begin(), noise against the O(n*h)-round run it guards.
-func graphChecksum(g *graph.Graph) uint64 {
-	const prime64 = 1099511628211
-	h := uint64(14695981039346656037)
-	mix := func(x uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= x & 0xff
-			h *= prime64
-			x >>= 8
-		}
-	}
-	mix(uint64(g.N))
-	var dir uint64
-	if g.Directed {
-		dir = 1
-	}
-	mix(dir)
-	for _, e := range g.Edges() {
-		mix(uint64(e.U))
-		mix(uint64(e.V))
-		mix(uint64(e.W))
-	}
-	return h
+	s := &Session{g: g, nw: nw, knownVersion: g.Version(), digest: graphDigest(g)}
+	s.snap.qsnap = &s.qsnap
+	return s, nil
 }
 
 // SetFaultInjector arms (or, with nil, disarms) a deterministic fault
@@ -82,8 +74,11 @@ func (s *Session) SetFaultInjector(fi congest.FaultInjector) { s.nw.SetFaultInje
 // are (re)applied, statistics are zeroed, and the topology guard checks
 // that the graph was not mutated since NewSession.
 func (s *Session) begin(bandwidth int, parallel bool, minShard int, onRound func(int, int)) error {
-	if graphChecksum(s.g) != s.sum {
-		return fmt.Errorf("core: graph modified since the session was created (checksum mismatch; the topology is frozen at NewSession)")
+	if s.g.Version() != s.knownVersion {
+		return fmt.Errorf("core: graph modified outside ApplyUpdates since the session was created (version mismatch; route mutations through Session.ApplyUpdates)")
+	}
+	if paranoidGraphCheck && graphDigest(s.g) != s.digest {
+		return fmt.Errorf("core: graph content diverged from the session digest (matcheck: a mutation bypassed both ApplyUpdates and the graph API)")
 	}
 	if bandwidth == 0 {
 		bandwidth = 1
@@ -145,7 +140,36 @@ func (s *Session) RunContext(ctx context.Context, opt Options) (*Result, error) 
 		h:   h,
 		st:  Stats{N: n, M: s.g.M(), H: h},
 	}
-	return p.run()
+	// Snapshot eligibility: full-APSP runs only. Partial runs neither arm
+	// nor consume snapshots (and leave an armed one untouched and valid).
+	eligible := opt.Sources == nil
+	key := snapKeyOf(opt, h)
+	if s.pendingUpdates {
+		// One-shot gate: this run reflects the updates whether it reuses
+		// snapshot state or recomputes; either way the next plain re-run
+		// is an ordinary cold run on the now-current graph.
+		s.pendingUpdates = false
+		if eligible && s.snap.valid && !s.snap.fellBack && key == s.snap.key {
+			p.inc = s.snap.buildPlan()
+		}
+	}
+	if eligible {
+		// The run below overwrites snapshot-owned state (the q-sink
+		// capture arena; refreshed collection rows on the incremental
+		// path). Invalidate until it completes, so a canceled or panicked
+		// run leaves the next Run cold instead of reusing torn state —
+		// exactly the session's reuse-after-error contract.
+		s.snap.valid = false
+		p.qcap = &s.qsnap
+	}
+	res, err := p.run()
+	if err != nil {
+		return nil, err
+	}
+	if eligible {
+		s.capture(p, key)
+	}
+	return res, nil
 }
 
 // BlockerOnly builds just the h-hop CSSSP collection for all sources and a

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"congestapsp/internal/congest"
+	"congestapsp/internal/faultinject"
+	"congestapsp/internal/graph"
+)
+
+func cloneGraph(g *graph.Graph) *graph.Graph {
+	c := graph.New(g.N, g.Directed)
+	for _, e := range g.Edges() {
+		c.MustAddEdge(e.U, e.V, e.W)
+	}
+	return c
+}
+
+// TestIncrementalOracle is the bit-identity oracle for the update path:
+// after every ApplyUpdates batch — weight increase, decrease to zero,
+// insert, delete, multi-update — the warm run must match a COLD run on an
+// independent copy of the mutated graph in distances, last hops, round
+// count, |Q| and h, across all four profiles and both execution modes.
+// (Message/word counters are exempt for the incremental run itself — skipped
+// stages do not simulate — but the next plain warm run must be fully
+// bit-identical to cold, counters included.)
+func TestIncrementalOracle(t *testing.T) {
+	variants := []struct {
+		name string
+		v    Variant
+	}{{"det43", Det43}, {"det32", Det32}, {"rand43", Rand43}, {"bcast6", BroadcastStep6}}
+	gens := []struct {
+		name string
+		gen  func() *graph.Graph
+	}{
+		{"undir", func() *graph.Graph {
+			return graph.RandomConnected(graph.GenConfig{N: 22, Seed: 31, MaxWeight: 9}, 66)
+		}},
+		{"dir", func() *graph.Graph {
+			return graph.RandomConnected(graph.GenConfig{N: 20, Directed: true, Seed: 32, MaxWeight: 9}, 70)
+		}},
+	}
+	for _, vt := range variants {
+		for _, par := range []bool{false, true} {
+			for _, gc := range gens {
+				t.Run(fmt.Sprintf("%s/par=%v/%s", vt.name, par, gc.name), func(t *testing.T) {
+					g := gc.gen()
+					opt := Options{Variant: vt.v, Parallel: par}
+					s, err := NewSession(g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := s.Run(opt); err != nil {
+						t.Fatal(err)
+					}
+					edges := g.Edges()
+					e1, e2 := edges[len(edges)/3], edges[len(edges)/2]
+					batches := [][]EdgeUpdate{
+						{{Op: SetWeight, U: e1.U, V: e1.V, W: e1.W + 7}},
+						{{Op: SetWeight, U: e2.U, V: e2.V, W: 0}},
+						{{Op: InsertEdge, U: 0, V: g.N - 1, W: 1}},
+						{{Op: DeleteEdge, U: 0, V: g.N - 1}},
+						{{Op: SetWeight, U: e1.U, V: e1.V, W: 2}, {Op: SetWeight, U: e2.U, V: e2.V, W: 5}},
+					}
+					for bi, batch := range batches {
+						if _, err := s.ApplyUpdates(batch); err != nil {
+							t.Fatalf("batch %d: %v", bi, err)
+						}
+						warm, err := s.Run(opt)
+						if err != nil {
+							t.Fatalf("batch %d warm run: %v", bi, err)
+						}
+						cold, err := Run(cloneGraph(g), opt)
+						if err != nil {
+							t.Fatalf("batch %d cold run: %v", bi, err)
+						}
+						if !reflect.DeepEqual(warm.Dist, cold.Dist) {
+							t.Fatalf("batch %d: warm distances differ from cold", bi)
+						}
+						if !reflect.DeepEqual(warm.LastHop, cold.LastHop) {
+							t.Fatalf("batch %d: warm last hops differ from cold", bi)
+						}
+						if warm.Stats.Rounds != cold.Stats.Rounds {
+							t.Fatalf("batch %d: warm rounds %d != cold rounds %d", bi, warm.Stats.Rounds, cold.Stats.Rounds)
+						}
+						if warm.Stats.QSize != cold.Stats.QSize || warm.Stats.H != cold.Stats.H {
+							t.Fatalf("batch %d: warm |Q|=%d h=%d, cold |Q|=%d h=%d",
+								bi, warm.Stats.QSize, warm.Stats.H, cold.Stats.QSize, cold.Stats.H)
+						}
+						checkAPSP(t, g, warm)
+						// A plain warm re-run has no pending updates: it must be
+						// fully bit-identical to cold, simulation counters included.
+						warm2, err := s.Run(opt)
+						if err != nil {
+							t.Fatalf("batch %d warm re-run: %v", bi, err)
+						}
+						if !reflect.DeepEqual(fp(warm2), fp(cold)) {
+							t.Fatalf("batch %d: plain warm re-run not bit-identical to cold", bi)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestIncrementalOracleSmokeN64 is the CI-sized cell of the oracle: one
+// det43 configuration at n=64 — large enough for multi-system damage and
+// a non-trivial blocker set, small enough for the race detector. CI runs
+// this under -race as the update-oracle smoke.
+func TestIncrementalOracleSmokeN64(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 64, Seed: 64, MaxWeight: 20}, 256)
+	opt := Options{Variant: Det43, Parallel: true}
+	s, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(opt); err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()
+	e1, e2 := edges[len(edges)/4], edges[len(edges)/2]
+	batches := [][]EdgeUpdate{
+		{{Op: SetWeight, U: e1.U, V: e1.V, W: e1.W + 5}},
+		{{Op: SetWeight, U: e2.U, V: e2.V, W: 1}},
+		{{Op: InsertEdge, U: 0, V: g.N - 1, W: 2}, {Op: SetWeight, U: e1.U, V: e1.V, W: e1.W}},
+		{{Op: DeleteEdge, U: 0, V: g.N - 1}},
+	}
+	for bi, batch := range batches {
+		if _, err := s.ApplyUpdates(batch); err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		warm, err := s.Run(opt)
+		if err != nil {
+			t.Fatalf("batch %d warm run: %v", bi, err)
+		}
+		cold, err := Run(cloneGraph(g), opt)
+		if err != nil {
+			t.Fatalf("batch %d cold run: %v", bi, err)
+		}
+		if !reflect.DeepEqual(warm.Dist, cold.Dist) || !reflect.DeepEqual(warm.LastHop, cold.LastHop) {
+			t.Fatalf("batch %d: warm results differ from cold", bi)
+		}
+		if warm.Stats.Rounds != cold.Stats.Rounds || warm.Stats.QSize != cold.Stats.QSize || warm.Stats.H != cold.Stats.H {
+			t.Fatalf("batch %d: warm rounds/|Q|/h (%d/%d/%d) != cold (%d/%d/%d)", bi,
+				warm.Stats.Rounds, warm.Stats.QSize, warm.Stats.H,
+				cold.Stats.Rounds, cold.Stats.QSize, cold.Stats.H)
+		}
+	}
+}
+
+// TestIncrementalZeroDamage pins the best case: an update the damage test
+// proves irrelevant (a heavy non-shortest edge gets heavier) reuses every
+// tracked system — and the warm run still agrees with cold on results and
+// rounds.
+func TestIncrementalZeroDamage(t *testing.T) {
+	g := graph.New(3, false)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 5)
+	s, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Variant: Det43}
+	if _, err := s.Run(opt); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.ApplyUpdates([]EdgeUpdate{{Op: SetWeight, U: 0, V: 2, W: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FellBack {
+		t.Fatal("zero-damage update fell back")
+	}
+	if st.Recomputed != 0 {
+		t.Fatalf("zero-damage update marked %d systems dirty", st.Recomputed)
+	}
+	// Reused covers all 2n + |Q| tracked systems.
+	if want := 2*g.N + len(s.snap.dirty3); st.Reused != want {
+		t.Fatalf("reused %d, want %d", st.Reused, want)
+	}
+	warm, err := s.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(cloneGraph(g), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Dist, cold.Dist) || warm.Stats.Rounds != cold.Stats.Rounds {
+		t.Fatal("zero-damage warm run differs from cold")
+	}
+}
+
+// TestApplyUpdatesErrors pins the failure modes: unknown edges, invalid
+// weights, unknown ops, and out-of-band mutation. An error mid-batch leaves
+// the earlier prefix applied and the session consistent with it.
+func TestApplyUpdatesErrors(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 12, Seed: 9, MaxWeight: 9}, 30)
+	s, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Variant: Det43}
+	if _, err := s.Run(opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyUpdates([]EdgeUpdate{{Op: SetWeight, U: 0, V: 0, W: 1}}); err == nil {
+		t.Fatal("set-weight on a missing edge accepted")
+	}
+	if _, err := s.ApplyUpdates([]EdgeUpdate{{Op: DeleteEdge, U: 0, V: 0}}); err == nil {
+		t.Fatal("delete of a missing edge accepted")
+	}
+	if _, err := s.ApplyUpdates([]EdgeUpdate{{Op: UpdateOp(99), U: 0, V: 1, W: 1}}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	e := g.Edges()[0]
+	// Mid-batch failure: the first update applies, the second rejects.
+	if _, err := s.ApplyUpdates([]EdgeUpdate{
+		{Op: SetWeight, U: e.U, V: e.V, W: e.W + 1},
+		{Op: SetWeight, U: e.U, V: e.V, W: -4},
+	}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	warm, err := s.Run(opt)
+	if err != nil {
+		t.Fatalf("session unusable after failed batch: %v", err)
+	}
+	cold, err := Run(cloneGraph(g), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Dist, cold.Dist) {
+		t.Fatal("session inconsistent with the partially-applied batch")
+	}
+	// Out-of-band mutation: ApplyUpdates refuses a graph it no longer knows.
+	if err := g.AddEdge(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyUpdates([]EdgeUpdate{{Op: SetWeight, U: e.U, V: e.V, W: 1}}); err == nil {
+		t.Fatal("out-of-band mutation not caught by ApplyUpdates")
+	}
+}
+
+// TestIncrementalFaultInjection is the update-path cell of the fault
+// matrix: a panic injected into the middle of an incremental run surfaces
+// as a tagged *congest.PanicError, and the session honors the
+// reuse-after-error contract — the next clean run is fully bit-identical
+// (counters included) to a cold run on the mutated graph.
+func TestIncrementalFaultInjection(t *testing.T) {
+	for _, par := range []bool{false, true} {
+		t.Run(fmt.Sprintf("par=%v", par), func(t *testing.T) {
+			base := graph.RandomConnected(graph.GenConfig{N: 28, Seed: 11, MaxWeight: 9}, 84)
+			opt := Options{Variant: Det43, Parallel: par}
+			// Deterministically find an update with narrow damage: the run
+			// must stay on the incremental path (no adaptive fallback) AND
+			// leave Step-1 refresh work for the injector to sabotage.
+			var (
+				g *graph.Graph
+				s *Session
+			)
+			for _, e := range base.Edges() {
+				if e.W < 2 {
+					continue
+				}
+				cand := cloneGraph(base)
+				sc, err := NewSession(cand)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sc.Run(opt); err != nil {
+					t.Fatal(err)
+				}
+				st, err := sc.ApplyUpdates([]EdgeUpdate{{Op: SetWeight, U: e.U, V: e.V, W: e.W - 1}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !st.FellBack && countTrue(sc.snap.dirty1) > 0 {
+					g, s = cand, sc
+					break
+				}
+			}
+			if s == nil {
+				t.Fatal("no edge produced a narrow-damage incremental update")
+			}
+			inj := faultinject.New(1, faultinject.Rule{
+				Hook: faultinject.HookSubRun, Stage: "step1-csssp", SubRun: 0,
+				Kind: faultinject.Panic, Once: true,
+			})
+			s.SetFaultInjector(inj)
+			_, err := s.Run(opt)
+			var pe *congest.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("got %T (%v), want *congest.PanicError", err, err)
+			}
+			if pe.Stage != "step1-csssp" {
+				t.Fatalf("panic tagged %q, want step1-csssp", pe.Stage)
+			}
+			if inj.Fired() != 1 {
+				t.Fatalf("rule fired %d times, want 1 (incremental refresh did not run)", inj.Fired())
+			}
+			s.SetFaultInjector(nil)
+			warm, err := s.Run(opt)
+			if err != nil {
+				t.Fatalf("session unusable after injected panic: %v", err)
+			}
+			cold, err := Run(cloneGraph(g), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fp(warm), fp(cold)) {
+				t.Fatal("post-panic run not bit-identical to cold on the mutated graph")
+			}
+		})
+	}
+}

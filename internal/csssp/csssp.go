@@ -97,10 +97,8 @@ func Build(nw *congest.Network, g *graph.Graph, sources []int, h int, mode bford
 	removedFlat := make([]bool, ns*n)
 	c.chOff = make([][]int32, ns)
 	c.chIds = make([][]int32, ns)
-	chOffFlat := make([]int32, ns*(n+1))
 	for i := 0; i < ns; i++ {
 		c.Removed[i] = removedFlat[i*n : (i+1)*n : (i+1)*n]
-		c.chOff[i] = chOffFlat[i*(n+1) : (i+1)*(n+1) : (i+1)*(n+1)]
 	}
 	err := nw.ShardRuns(ns, func(w *congest.Network, i int) error {
 		src := sources[i]
@@ -125,11 +123,24 @@ func Build(nw *congest.Network, g *graph.Graph, sources []int, h int, mode bford
 	if err != nil {
 		return nil, err
 	}
-	// As-built child CSR per tree (two counting passes per tree; ascending
-	// child order because v ascends) and the static depth-H leaf lists,
-	// each carved from one flat arena. Consumers (the blocker construction)
-	// read both from sharded workers, so they are materialized eagerly —
-	// the lazy HLeaves build is not safe under concurrent first touch.
+	c.rebuildDerived()
+	return c, nil
+}
+
+// rebuildDerived materializes the as-built child CSR per tree (two counting
+// passes per tree; ascending child order because v ascends) and the static
+// depth-H leaf lists, each carved from one flat arena. Consumers (the
+// blocker construction) read both from sharded workers, so they are built
+// eagerly — the lazy HLeaves build is not safe under concurrent first
+// touch. Refresh re-runs this whole pass when any tree changed: the flat
+// arenas share offsets across trees, so a per-tree patch cannot be done in
+// place.
+func (c *Collection) rebuildDerived() {
+	ns, n, h := len(c.Sources), c.G.N, c.H
+	chOffFlat := make([]int32, ns*(n+1))
+	for i := 0; i < ns; i++ {
+		c.chOff[i] = chOffFlat[i*(n+1) : (i+1)*(n+1) : (i+1)*(n+1)]
+	}
 	chTotal, leafTotal := 0, 0
 	for i := 0; i < ns; i++ {
 		off := c.chOff[i]
@@ -170,7 +181,61 @@ func Build(nw *congest.Network, g *graph.Graph, sources []int, h int, mode bford
 		c.chIds[i] = ids
 		c.hLeaves[i] = hl
 	}
-	return c, nil
+}
+
+// Refresh re-runs the per-source SSSP for the tree indices in dirty (each
+// an index into Sources, not a vertex id) and overwrites those rows of
+// Label/Dist/Depth/Parent in place, consuming the same per-tree round
+// schedule as Build. It reports whether any stored row actually changed;
+// when one did, the derived structures (child CSR, depth-H leaf lists) are
+// rebuilt so later traversals see the new tree shapes. Removal marks are
+// not touched — callers refresh between ResetRemovals boundaries.
+//
+// The refreshed rows are bit-identical to what a fresh Build on the
+// current graph would store for those sources: the per-source SSSP is a
+// deterministic fixed point of (graph, source, hop bound), independent of
+// which other sources run beside it.
+func (c *Collection) Refresh(nw *congest.Network, dirty []int) (bool, error) {
+	if len(dirty) == 0 {
+		return false, nil
+	}
+	n := c.G.N
+	changed := make([]bool, len(dirty))
+	err := nw.ShardRuns(len(dirty), func(w *congest.Network, k int) error {
+		i := dirty[k]
+		src := c.Sources[i]
+		res, err := bford.Run(w, c.G, src, 2*c.H, c.Mode)
+		if err != nil {
+			return fmt.Errorf("csssp: refresh source %d: %w", src, err)
+		}
+		chg := false
+		for v := 0; v < n; v++ {
+			if c.Label[i][v] != res.Dist[v] {
+				c.Label[i][v] = res.Dist[v]
+				chg = true
+			}
+			d, dep, par := graph.Inf, -1, -1
+			if res.Confirmed[v] && res.Hops[v] >= 0 && res.Hops[v] <= c.H {
+				d, dep, par = res.Dist[v], res.Hops[v], res.Parent[v]
+			}
+			if c.Dist[i][v] != d || c.Depth[i][v] != dep || c.Parent[i][v] != par {
+				c.Dist[i][v], c.Depth[i][v], c.Parent[i][v] = d, dep, par
+				chg = true
+			}
+		}
+		changed[k] = chg
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	for _, chg := range changed {
+		if chg {
+			c.rebuildDerived()
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // NumTrees returns the number of trees (sources) in the collection.

@@ -37,6 +37,13 @@ type Graph struct {
 	// in[v] lists indices into edges of edges entering v. For undirected
 	// graphs in == out.
 	in [][]int
+	// version counts mutations made through the Graph API (AddEdge,
+	// SetEdgeWeight, RemoveEdge). Consumers that cache structure derived
+	// from the edge list key their caches on it, and warm sessions use it
+	// as an O(1) staleness guard. Direct writes through the Edges() slice
+	// bypass it — that is exactly the class of mutation the -tags matcheck
+	// paranoid re-verify exists to catch.
+	version uint64
 }
 
 // New returns an empty graph with n vertices.
@@ -75,7 +82,76 @@ func (g *Graph) AddEdge(u, v int, w int64) error {
 	} else {
 		g.out[v] = append(g.out[v], idx)
 	}
+	g.version++
 	return nil
+}
+
+// Version returns the mutation counter: it increments on every successful
+// AddEdge, SetEdgeWeight, or RemoveEdge, so two reads returning the same
+// value bracket a window with no API-level mutation. It says nothing about
+// direct writes into the Edges() slice.
+func (g *Graph) Version() uint64 { return g.version }
+
+// SetEdgeWeight changes the weight of edge idx (an index into Edges()) in
+// place. The adjacency structure is untouched — only the weight changes —
+// so this is O(1).
+func (g *Graph) SetEdgeWeight(idx int, w int64) error {
+	if idx < 0 || idx >= len(g.edges) {
+		return fmt.Errorf("graph: edge index %d out of range [0,%d)", idx, len(g.edges))
+	}
+	if w < 0 {
+		return fmt.Errorf("graph: negative weight %d on edge %d", w, idx)
+	}
+	g.edges[idx].W = w
+	g.version++
+	return nil
+}
+
+// RemoveEdge deletes edge idx (an index into Edges()), preserving the
+// insertion order of the remaining edges. Every later edge shifts down one
+// index and the incidence lists are rebuilt, so this is O(m).
+func (g *Graph) RemoveEdge(idx int) error {
+	if idx < 0 || idx >= len(g.edges) {
+		return fmt.Errorf("graph: edge index %d out of range [0,%d)", idx, len(g.edges))
+	}
+	g.edges = append(g.edges[:idx], g.edges[idx+1:]...)
+	for u := range g.out {
+		g.out[u] = g.out[u][:0]
+	}
+	if g.Directed {
+		for v := range g.in {
+			g.in[v] = g.in[v][:0]
+		}
+	}
+	for i, e := range g.edges {
+		g.out[e.U] = append(g.out[e.U], i)
+		if g.Directed {
+			g.in[e.V] = append(g.in[e.V], i)
+		} else {
+			g.out[e.V] = append(g.out[e.V], i)
+		}
+	}
+	g.version++
+	return nil
+}
+
+// FindEdge returns the index of the first edge u->v (for undirected graphs,
+// the first edge {u,v} in either orientation), or -1 if none exists. With
+// parallel edges, "first" means lowest insertion index.
+func (g *Graph) FindEdge(u, v int) int {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		return -1
+	}
+	best := -1
+	for _, idx := range g.out[u] {
+		e := g.edges[idx]
+		if e.U == u && e.V == v || !g.Directed && e.U == v && e.V == u {
+			if best < 0 || idx < best {
+				best = idx
+			}
+		}
+	}
+	return best
 }
 
 // MustAddEdge is AddEdge that panics on error; for use in tests and

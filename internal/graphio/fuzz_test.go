@@ -75,6 +75,49 @@ func FuzzReadTSV(f *testing.F) {
 	})
 }
 
+// FuzzParseUpdates pins the update-stream contract on adversarial inputs:
+// any stream ReadUpdates accepts must survive a write→read→write cycle
+// unchanged, with the second serialization byte-identical to the first —
+// the same load→save→load property the graph readers hold.
+func FuzzParseUpdates(f *testing.F) {
+	f.Add([]byte("w 0 1 5\na 2 3 7\nd 1 2\n"))
+	f.Add([]byte("# comment\n\nw 0 1 0\n"))
+	f.Add([]byte("d 0 1\n"))
+	f.Add([]byte("x 0 1 5\n"))                  // unknown op
+	f.Add([]byte("w 0 1\n"))                    // short record
+	f.Add([]byte("d 0 1 5\n"))                  // long record
+	f.Add([]byte("w 0 1 -5\n"))                 // negative weight
+	f.Add([]byte("w -1 1 5\n"))                 // negative vertex id
+	f.Add([]byte("a 999999999999999999 0 1\n")) // id overflow
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func(v, e int) { maxVertices, maxEdges = v, e }(maxVertices, maxEdges)
+		maxVertices, maxEdges = 1<<16, 1<<16
+
+		ups, err := ReadUpdates(bytes.NewReader(data))
+		if err != nil {
+			return // invalid input rejected with an error: the other contract
+		}
+		var first bytes.Buffer
+		if err := WriteUpdates(&first, ups); err != nil {
+			t.Fatalf("accepted stream does not serialize: %v", err)
+		}
+		back, err := ReadUpdates(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("written stream does not read back: %v\n%q", err, first.String())
+		}
+		if !reflect.DeepEqual(back, ups) {
+			t.Fatalf("round trip changed the stream:\n  read:   %+v\n  reread: %+v", ups, back)
+		}
+		var second bytes.Buffer
+		if err := WriteUpdates(&second, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("serialization is not a fixed point:\n  first:  %q\n  second: %q", first.String(), second.String())
+		}
+	})
+}
+
 // FuzzScenarioGraphBuild guards the workload generators behind the corpus
 // names: every accepted (family, n, seed) cell must build a valid graph
 // (validated invariants, no panic) at fuzz-chosen sizes within the corpus

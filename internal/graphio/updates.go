@@ -1,0 +1,123 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the update-stream format: a newline-delimited list of graph
+// mutations consumed by apsp.Runner.ApplyUpdates (the `apsp -update` flag).
+// One update per line, '#'-prefixed comments and blank lines ignored:
+//
+//	w u v weight    set the weight of the first existing u-v edge
+//	a u v weight    insert a new u->v edge
+//	d u v           delete the first existing u-v edge
+//
+// Endpoints are 0-indexed vertex ids. The reader validates shape, bounds
+// and weights with line-numbered errors; existence of the named edges is
+// the applier's concern (it depends on the graph the stream is applied to).
+
+// UpdateKind selects what one Update line does.
+type UpdateKind int
+
+const (
+	UpdateSetWeight UpdateKind = iota
+	UpdateInsert
+	UpdateDelete
+)
+
+// Update is one parsed update-stream line.
+type Update struct {
+	Kind UpdateKind
+	U, V int
+	W    int64 // meaningless for UpdateDelete
+}
+
+// ReadUpdates parses an update stream. Errors carry 1-based line numbers.
+// The stream length is capped like edge lists (updates accumulate in
+// memory), and every weight obeys the same bound the graph readers enforce.
+func ReadUpdates(r io.Reader) ([]Update, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var ups []Update
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if len(ups) >= maxEdges {
+			return nil, fmt.Errorf("updates line %d: more than %d updates", line, maxEdges)
+		}
+		fields := strings.Fields(text)
+		var (
+			up      Update
+			withW   bool
+			wantLen int
+		)
+		switch fields[0] {
+		case "w":
+			up.Kind, withW, wantLen = UpdateSetWeight, true, 4
+		case "a":
+			up.Kind, withW, wantLen = UpdateInsert, true, 4
+		case "d":
+			up.Kind, withW, wantLen = UpdateDelete, false, 3
+		default:
+			return nil, fmt.Errorf("updates line %d: unknown op %q (want w, a or d)", line, fields[0])
+		}
+		if len(fields) != wantLen {
+			return nil, fmt.Errorf("updates line %d: malformed update %q (want %q)",
+				line, text, map[bool]string{true: fields[0] + " u v weight", false: "d u v"}[withW])
+		}
+		u, err1 := strconv.Atoi(fields[1])
+		v, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("updates line %d: bad vertex id in %q", line, text)
+		}
+		if u < 0 || v < 0 || u >= maxVertices || v >= maxVertices {
+			return nil, fmt.Errorf("updates line %d: vertex id out of range in %q (max %d)", line, text, maxVertices-1)
+		}
+		up.U, up.V = u, v
+		if withW {
+			w, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("updates line %d: bad weight in %q", line, text)
+			}
+			if w < 0 {
+				return nil, fmt.Errorf("updates line %d: negative weight in %q", line, text)
+			}
+			if err := checkWeight(w); err != nil {
+				return nil, fmt.Errorf("updates line %d: %w", line, err)
+			}
+			up.W = w
+		}
+		ups = append(ups, up)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ups, nil
+}
+
+// WriteUpdates emits the stream form of ups — the fixed point ReadUpdates
+// parses back verbatim.
+func WriteUpdates(w io.Writer, ups []Update) error {
+	bw := bufio.NewWriter(w)
+	for _, up := range ups {
+		switch up.Kind {
+		case UpdateSetWeight:
+			fmt.Fprintf(bw, "w %d %d %d\n", up.U, up.V, up.W)
+		case UpdateInsert:
+			fmt.Fprintf(bw, "a %d %d %d\n", up.U, up.V, up.W)
+		case UpdateDelete:
+			fmt.Fprintf(bw, "d %d %d\n", up.U, up.V)
+		default:
+			return fmt.Errorf("updates: unknown kind %d", int(up.Kind))
+		}
+	}
+	return bw.Flush()
+}

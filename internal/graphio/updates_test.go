@@ -1,0 +1,67 @@
+package graphio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadUpdates(t *testing.T) {
+	in := "# comment\n\nw 0 1 5\na 2 3 7\nd 1 2\n  w 4 5 0  \n"
+	got, err := ReadUpdates(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Update{
+		{Kind: UpdateSetWeight, U: 0, V: 1, W: 5},
+		{Kind: UpdateInsert, U: 2, V: 3, W: 7},
+		{Kind: UpdateDelete, U: 1, V: 2},
+		{Kind: UpdateSetWeight, U: 4, V: 5, W: 0},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestReadUpdatesErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"unknown-op", "x 0 1 5\n", "line 1: unknown op"},
+		{"short-w", "w 0 1\n", "line 1: malformed update"},
+		{"long-d", "d 0 1 5\n", "line 1: malformed update"},
+		{"bad-id", "w zero 1 5\n", "line 1: bad vertex id"},
+		{"neg-id", "w -1 1 5\n", "line 1: vertex id out of range"},
+		{"bad-weight", "w 0 1 five\n", "line 1: bad weight"},
+		{"neg-weight", "w 0 1 -5\n", "line 1: negative weight"},
+		{"later-line", "w 0 1 5\nd 0\n", "line 2: malformed update"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadUpdates(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestWriteUpdatesRoundTrip(t *testing.T) {
+	ups := []Update{
+		{Kind: UpdateSetWeight, U: 0, V: 1, W: 5},
+		{Kind: UpdateInsert, U: 2, V: 3, W: 7},
+		{Kind: UpdateDelete, U: 1, V: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteUpdates(&buf, ups); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUpdates(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ups) {
+		t.Fatalf("round trip changed the stream: %+v != %+v", back, ups)
+	}
+}

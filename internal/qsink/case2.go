@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"congestapsp/internal/bford"
 	"congestapsp/internal/broadcast"
 	"congestapsp/internal/congest"
 	"congestapsp/internal/csssp"
@@ -39,6 +40,10 @@ func runCase2(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *css
 		inD, outD, err := pairedSSSPs(nw, g, B)
 		if err != nil {
 			return err
+		}
+		if par.Capture != nil {
+			par.Capture.addMatrix(bford.In, inD)
+			par.Capture.addMatrix(bford.Out, outD)
 		}
 		// Step 3: every x broadcasts delta(x, b) for each b in B.
 		itemCnt := make([]int32, n)

@@ -83,6 +83,53 @@ type Params struct {
 	// the multi-stage shrinkage of Lemma 4.8 is invisible; the E8
 	// experiment scales the quota down to observe it.
 	FrameQuotaScale float64
+	// Capture, when non-nil, records every internal Bellman-Ford fixed
+	// point the run materializes (the CQ in-collection labels and the
+	// paired full SSSPs for Q' and B) so a warm session can later decide
+	// whether a graph update invalidates this step without re-running it.
+	// The snapshot is Reset at the start of Run and owned by the caller.
+	Capture *Snapshot
+}
+
+// Snapshot is the update-damage interface of one q-sink run: the distance
+// rows of every internal label system, each tagged with the relaxation
+// direction it was computed under. A graph update leaves the whole q-sink
+// output unchanged whenever no row admits a relaxation improvement across
+// any updated edge (see core's damage model; DESIGN.md §10). Row storage
+// is carved from one grow-only arena so steady-state re-captures on a warm
+// session allocate nothing.
+type Snapshot struct {
+	Rows  []SnapRow
+	arena []int64
+}
+
+// SnapRow is one captured label system: the relaxation mode it ran under
+// and its final distance row (graph.Inf for unreached nodes).
+type SnapRow struct {
+	Mode bford.Mode
+	Dist []int64
+}
+
+// Reset empties the snapshot, keeping the arena for reuse.
+func (s *Snapshot) Reset() {
+	s.Rows = s.Rows[:0]
+	s.arena = s.arena[:0]
+}
+
+// add copies dist into the arena and records it under mode. Earlier rows
+// may keep pointing into a superseded arena block after growth; their
+// copied contents stay valid, which is all readers need.
+func (s *Snapshot) add(mode bford.Mode, dist []int64) {
+	start := len(s.arena)
+	s.arena = append(s.arena, dist...)
+	s.Rows = append(s.Rows, SnapRow{Mode: mode, Dist: s.arena[start:len(s.arena):len(s.arena)]})
+}
+
+// addMatrix records every row of m under mode.
+func (s *Snapshot) addMatrix(mode bford.Mode, m *mat.Matrix) {
+	for i := 0; i < m.Rows(); i++ {
+		s.add(mode, m.Row(i))
+	}
 }
 
 // Stats decomposes the round cost; the benchmark harness reports these as
@@ -120,6 +167,9 @@ type Result struct {
 func Run(nw *congest.Network, g *graph.Graph, Q []int, delta *mat.Matrix, par Params) (*Result, error) {
 	n := g.N
 	q := len(Q)
+	if par.Capture != nil {
+		par.Capture.Reset()
+	}
 	if q == 0 {
 		return &Result{AtBlocker: nil}, nil
 	}
@@ -192,6 +242,15 @@ func Run(nw *congest.Network, g *graph.Graph, Q []int, delta *mat.Matrix, par Pa
 	if err != nil {
 		return nil, err
 	}
+	if par.Capture != nil {
+		// The truncated CQ trees, the bottleneck loads, and the delivery
+		// schedules are all functions of these raw 2*h2-hop labels plus
+		// topology, so the labels are the complete damage interface of the
+		// collection.
+		for i := range Q {
+			par.Capture.add(bford.In, cq.Label[i])
+		}
+	}
 
 	// ---- Case (i): hops(x, c) > n^(2/3) (Algorithm 8) ----
 	if !par.SkipCase1 {
@@ -239,6 +298,10 @@ func runCase1(nw *congest.Network, g *graph.Graph, tree *broadcast.Tree, cq *css
 	inD, outD, err := pairedSSSPs(nw, g, qp.Q)
 	if err != nil {
 		return err
+	}
+	if par.Capture != nil {
+		par.Capture.addMatrix(bford.In, inD)
+		par.Capture.addMatrix(bford.Out, outD)
 	}
 
 	// Step 4: every x broadcasts (x, c', delta(x, c')) for each c' in Q'

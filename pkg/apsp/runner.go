@@ -26,16 +26,22 @@ import (
 // same Runner.
 //
 // A Runner supports one call at a time (build one Runner per goroutine, or
-// guard it with a mutex), and the graph must not be modified while the
-// Runner is alive — the communication topology is frozen when the Runner
-// is built, and Run fails loudly if the edge count changed.
+// guard it with a mutex). The graph may be mutated ONLY through
+// ApplyUpdates, the Runner's first-class update path: it patches the warm
+// network in place and arms the next Run to re-compute incrementally,
+// re-running only the per-source work a change can possibly have affected.
+// Mutating the graph any other way makes the next call fail loudly (an
+// O(1) version check; `-tags matcheck` builds additionally re-verify the
+// graph content digest each run).
 type Runner struct {
 	g *Graph
 	s *core.Session
 }
 
 // NewRunner builds a warm session for g. The graph may be used by many
-// runners, but each Runner assumes it no longer changes.
+// runners, but each Runner assumes all mutations route through its own
+// ApplyUpdates (a graph updated through one Runner invalidates any other
+// Runner pinned to it).
 func NewRunner(g *Graph) (*Runner, error) {
 	s, err := core.NewSession(g.g)
 	if err != nil {

@@ -8,6 +8,10 @@
 #                      plus the warm apsp.Runner re-run rows
 #                      (BenchmarkAPSPPipelineWarm) for the cold-vs-warm
 #                      session comparison
+#   BENCH_update.json  incremental-update throughput (BenchmarkAPSPUpdate):
+#                      single-edge weight toggles against a warm Runner,
+#                      with updates/sec and the speedup versus the cold
+#                      BenchmarkAPSPPipeline/seq row at the same n
 #   EXPERIMENTS.json   the scenario-corpus sweep (cmd/experiment): every
 #                      registered family x all 4 algorithm profiles x
 #                      seq/sharded at n in {64, 128}, oracle-checked, with
@@ -91,6 +95,48 @@ go test -run '^$' -bench 'BenchmarkAPSPPipeline' -benchtime=1x -benchmem -timeou
 cp BENCH_apsp.json "$OLD" 2>/dev/null || : > "$OLD"
 emit_json apsp 1x "$RAW" BENCH_apsp.json
 report_deltas "$OLD" BENCH_apsp.json
+
+: > "$RAW"
+go test -run '^$' -bench 'BenchmarkAPSPUpdate' -benchtime=3x -benchmem -timeout 30m . | tee "$RAW"
+
+# The update suite needs a custom emitter: each row is joined against the
+# cold BenchmarkAPSPPipeline/seq row at the same n (from the BENCH_apsp.json
+# regenerated above) to derive updates/sec and the incremental-vs-cold
+# speedup — the quantities the dynamic-graphs story is sold on.
+cp BENCH_update.json "$OLD" 2>/dev/null || : > "$OLD"
+awk -v cores="$CORES" -v maxprocs="$MAXPROCS" '
+  NR == FNR {
+    if ($0 ~ /BenchmarkAPSPPipeline\/seq\/n=/) {
+      n = $0; sub(/.*\/n=/, "", n); sub(/".*/, "", n)
+      ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+      cold[n] = ns
+    }
+    next
+  }
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+      if ($(i) == "ns/op")     ns = $(i - 1)
+      if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    n = name; sub(/.*\/n=/, "", n)
+    if (count++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf ", \"updates_per_sec\": %.1f", 1e9 / ns
+    if (n in cold) printf ", \"cold_ns_per_op\": %s, \"speedup_vs_cold\": %.1f", cold[n], cold[n] / ns
+    printf "}"
+  }
+  BEGIN {
+    printf "{\n  \"suite\": \"update\",\n  \"benchtime\": \"3x\",\n  \"cores\": %s,\n  \"gomaxprocs\": %s,\n  \"results\": [\n", cores, maxprocs
+  }
+  END { printf "\n  ]\n}\n" }
+' BENCH_apsp.json "$RAW" > BENCH_update.json
+echo "wrote BENCH_update.json"
+report_deltas "$OLD" BENCH_update.json
 
 go run ./cmd/experiment \
   -scenarios random,ring,grid,layered,star,zeromix,powerlaw,geometric,expander,ktree \
