@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"congestapsp/internal/graph"
+)
+
+// Deterministic hop-bound counterexample: chain gives v a cheap 2h-hop
+// label, shortcut x->u->v->t is the only <=2h-hop path to t. Decreasing
+// the shortcut weight changes t's label while arcDamages judges the tree
+// clean (D[u]+wmin > D[v]).
+func TestProbeHopBoundCounterexample(t *testing.T) {
+	// H=3 => label budget 2h=6.
+	// s=0, chain 0->1->2->3->4->5->6 (v=6), u=7, t=8.
+	g := graph.New(9, true)
+	for i := 0; i < 6; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	g.MustAddEdge(0, 7, 2)  // s->u
+	g.MustAddEdge(7, 6, 50) // u->v (updated)
+	g.MustAddEdge(6, 8, 1)  // v->t
+	opt := Options{Variant: Det43, H: 3}
+	s, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(opt); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.ApplyUpdates([]EdgeUpdate{{Op: SetWeight, U: 7, V: 6, W: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stats: %+v dirty1=%v", st, s.snap.dirty1)
+	warm, err := s.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(cloneGraph(g), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Dist, cold.Dist) {
+		t.Errorf("Dist mismatch:\nwarm %v\ncold %v", warm.Dist, cold.Dist)
+	}
+	if !reflect.DeepEqual(warm.LastHop, cold.LastHop) {
+		t.Errorf("LastHop mismatch")
+	}
+	if warm.Stats.Rounds != cold.Stats.Rounds || warm.Stats.QSize != cold.Stats.QSize {
+		t.Errorf("rounds/|Q|: warm %d/%d cold %d/%d", warm.Stats.Rounds, warm.Stats.QSize, cold.Stats.Rounds, cold.Stats.QSize)
+	}
+}
+
+// Randomized adversarial stress: sparse graphs with heavy/light weights
+// (shortcut-vs-chain structure) and random single weight updates.
+func TestProbeAdversarialStress(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 12 + rng.Intn(10)
+			directed := rng.Intn(2) == 0
+			g := graph.New(n, directed)
+			// spanning chain, light weights
+			for i := 0; i < n-1; i++ {
+				g.MustAddEdge(i, i+1, int64(1+rng.Intn(2)))
+			}
+			// a few heavy shortcuts
+			for k := 0; k < 4+rng.Intn(5); k++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				w := int64(1 + rng.Intn(60))
+				g.MustAddEdge(u, v, w)
+			}
+			opt := Options{Variant: Det43, H: 2 + rng.Intn(2)}
+			s, err := NewSession(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Run(opt); err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < 3; b++ {
+				edges := g.Edges()
+				e := edges[rng.Intn(len(edges))]
+				var nw int64
+				if rng.Intn(2) == 0 {
+					nw = int64(rng.Intn(5)) // sharp decrease
+				} else {
+					nw = e.W + int64(1+rng.Intn(50)) // increase
+				}
+				if _, err := s.ApplyUpdates([]EdgeUpdate{{Op: SetWeight, U: e.U, V: e.V, W: nw}}); err != nil {
+					t.Fatal(err)
+				}
+				warm, err := s.Run(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := Run(cloneGraph(g), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(warm.Dist, cold.Dist) {
+					t.Fatalf("batch %d: Dist mismatch (edge %d->%d w %d->%d)", b, e.U, e.V, e.W, nw)
+				}
+				if !reflect.DeepEqual(warm.LastHop, cold.LastHop) {
+					t.Fatalf("batch %d: LastHop mismatch (edge %d->%d w %d->%d)", b, e.U, e.V, e.W, nw)
+				}
+				if warm.Stats.Rounds != cold.Stats.Rounds || warm.Stats.QSize != cold.Stats.QSize {
+					t.Fatalf("batch %d: rounds/|Q| warm %d/%d cold %d/%d (edge %d->%d w %d->%d)",
+						b, warm.Stats.Rounds, warm.Stats.QSize, cold.Stats.Rounds, cold.Stats.QSize, e.U, e.V, e.W, nw)
+				}
+			}
+		})
+	}
+}
