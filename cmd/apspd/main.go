@@ -1,0 +1,64 @@
+// Command apspd is the APSP query daemon: it serves shortest-path queries,
+// graph updates and blocker-set constructions over HTTP JSON, against a
+// content-addressed pool of warm apsp.Runners (internal/serve). Concurrent
+// requests per graph are coalesced into single warm-session batches, and
+// answers are linearizable per graph: each response names the graph
+// version (update count) it reflects.
+//
+//	apspd -addr :8359 -pool 8
+//	curl -s localhost:8359/v1/graphs -d '{"scenario":"random-n64-s1"}'
+//	curl -s localhost:8359/v1/graphs/<key>/query -d '{"pairs":[[0,5]]}'
+//	curl -s localhost:8359/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"congestapsp/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8359", "listen address")
+		pool     = flag.Int("pool", 8, "max warm Runners pooled (LRU beyond)")
+		maxQueue = flag.Int("max-queue", 256, "per-graph batch queue depth (shed with 429 beyond)")
+		maxBatch = flag.Int("max-batch", 4096, "max pairs/updates per request")
+		maxN     = flag.Int("max-n", 4096, "max vertices per loaded graph")
+		parallel = flag.Bool("parallel", false, "run pooled computations on the parallel execution mode")
+	)
+	flag.Parse()
+
+	svc := serve.New(serve.Config{
+		PoolSize:  *pool,
+		MaxQueue:  *maxQueue,
+		MaxBatch:  *maxBatch,
+		MaxGraphN: *maxN,
+		Parallel:  *parallel,
+	})
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		server.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("apspd listening on %s (pool %d, queue %d)", *addr, *pool, *maxQueue)
+	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

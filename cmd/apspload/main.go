@@ -1,0 +1,112 @@
+// Command apspload is the deterministic load generator for apspd: it
+// drives a seeded request mix (cached / warmmiss / postupdate) against a
+// daemon and reports latency percentiles and a status-code census as JSON.
+// Everything it sends is a pure function of its flags, so a -concurrency 1
+// run against a fresh daemon yields a byte-stable -transcript — the
+// determinism contract the serve tests pin.
+//
+//	apspload -selfhost -mix cached -requests 200 -json
+//	apspload -addr http://127.0.0.1:8359 -wait 10s -mix postupdate \
+//	         -fail-on-5xx -min-pool-hits 1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"congestapsp/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8359", "daemon base URL")
+		selfhost    = flag.Bool("selfhost", false, "boot an in-process daemon on a loopback port and drive that")
+		scenario    = flag.String("scenario", "random-n64-s1", "graph to load and query (corpus scenario name)")
+		mix         = flag.String("mix", "cached", "traffic shape: cached|warmmiss|postupdate")
+		requests    = flag.Int("requests", 100, "requests after the initial load")
+		concurrency = flag.Int("concurrency", 4, "in-flight workers (transcript mode forces 1)")
+		seed        = flag.Int64("seed", 1, "seed for every random choice")
+		transcript  = flag.String("transcript", "", "write the request/response transcript to this file")
+		jsonOut     = flag.Bool("json", false, "print the report as JSON (default: human-readable)")
+		wait        = flag.Duration("wait", 0, "poll /healthz for up to this long before starting")
+		failOn5xx   = flag.Bool("fail-on-5xx", false, "exit non-zero if any request returned 5xx")
+		minPoolHits = flag.Int64("min-pool-hits", -1, "exit non-zero if the daemon's pool hits end below this")
+	)
+	flag.Parse()
+
+	base := *addr
+	if *selfhost {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc := serve.New(serve.Config{})
+		go http.Serve(ln, svc.Handler())
+		base = "http://" + ln.Addr().String()
+	}
+
+	if *wait > 0 {
+		deadline := time.Now().Add(*wait)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("daemon at %s not healthy after %s", base, *wait)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	cfg := serve.LoadConfig{
+		BaseURL:     base,
+		Seed:        *seed,
+		Mix:         *mix,
+		Scenario:    *scenario,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+	}
+	if *transcript != "" {
+		f, err := os.Create(*transcript)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.Transcript = f
+	}
+
+	report, err := serve.RunLoad(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		enc, _ := json.Marshal(report)
+		fmt.Println(string(enc))
+	} else {
+		fmt.Printf("mix=%s scenario=%s requests=%d errors=%d 5xx=%d\n",
+			report.Mix, report.Scenario, report.Requests, report.Errors, report.Status5xx)
+		fmt.Printf("latency p50=%.2fms p95=%.2fms p99=%.2fms\n", report.P50MS, report.P95MS, report.P99MS)
+		fmt.Printf("pool hits=%d misses=%d\n", report.PoolHits, report.PoolMisses)
+	}
+
+	if *failOn5xx && report.Status5xx > 0 {
+		log.Fatalf("FAIL: %d responses were 5xx", report.Status5xx)
+	}
+	if report.Errors > 0 {
+		log.Fatalf("FAIL: %d requests errored at the transport layer", report.Errors)
+	}
+	if *minPoolHits >= 0 && report.PoolHits < *minPoolHits {
+		log.Fatalf("FAIL: pool hits %d below required %d", report.PoolHits, *minPoolHits)
+	}
+}

@@ -80,6 +80,7 @@ type pipeline struct {
 	coll         *csssp.Collection // Step 1: h-hop CSSSP collection
 	Q            []int             // Step 2: blocker set
 	deltaH       *mat.Matrix       // Step 3: |Q| x n, deltaH.At(ci, x) = delta_h(x, Q[ci])
+	deltaHops    [][]int           // Step 3: hop counts realizing deltaH rows (convergence levels; damage-test metadata, no protocol input)
 	allPairsQ    []broadcast.Item  // Step 4: gathered (ci, cj, delta_h(cj, ci)) triples
 	delta        *mat.Matrix       // Step 5: n x |Q|, the exact delta(x, c) known at x
 	qres         *qsink.Result     // Step 6: q-sink delivery output
@@ -300,6 +301,7 @@ func (p *pipeline) stageInSSSP() error {
 		// matrix; each costs exactly h+1 rounds, reused rows charge the
 		// recorded rest. A row that actually moved cascades stages 4-8.
 		p.deltaH = ip.snap.deltaH
+		p.deltaHops = ip.snap.deltaHops
 		k := len(ip.dirty3)
 		if k > 0 {
 			changed := make([]bool, k)
@@ -309,6 +311,10 @@ func (p *pipeline) stageInSSSP() error {
 				if err != nil {
 					return err
 				}
+				// Convergence levels refresh unconditionally (damage metadata
+				// only): hops that moved under identical distances change
+				// nothing any later stage reads, so they don't cascade.
+				copy(p.deltaHops[ci], res.Hops)
 				row := p.deltaH.Row(ci)
 				for v := range row {
 					if row[v] != res.Dist[v] {
@@ -333,12 +339,14 @@ func (p *pipeline) stageInSSSP() error {
 	}
 	q := len(p.Q)
 	p.deltaH = mat.New(q, p.n)
+	p.deltaHops = mat.NewInt(q, p.n).RowViews()
 	err := p.nw.ShardRuns(q, func(w *congest.Network, ci int) error {
 		res, err := bford.RunLabels(w, p.g, p.Q[ci], p.h, bford.In)
 		if err != nil {
 			return err
 		}
 		copy(p.deltaH.Row(ci), res.Dist)
+		copy(p.deltaHops[ci], res.Hops)
 		return nil
 	})
 	return p.tagSource(err, func(i int) int { return p.Q[i] })

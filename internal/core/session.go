@@ -51,6 +51,11 @@ type Session struct {
 	pendingUpdates bool
 	snap           snapshot
 	qsnap          qsink.Snapshot
+	// hops caches the unweighted BFS depth tables the hop-bound damage
+	// test needs (hops.go); weight-free, so weight-only batches reuse it
+	// and topology changes drop it. wave is the replay scratch.
+	hops *hopTables
+	wave waveScratch
 }
 
 // NewSession builds the warm network for g. The graph may be empty.

@@ -39,11 +39,12 @@ type snapshot struct {
 	fellBack bool // next run must be cold (topology change, threshold, options)
 	key      snapKey
 
-	coll   *csssp.Collection
-	Q      []int
-	deltaH *mat.Matrix
-	delta  *mat.Matrix
-	qres   *qsink.Result
+	coll      *csssp.Collection
+	Q         []int
+	deltaH    *mat.Matrix
+	deltaHops [][]int // convergence levels of the deltaH rows (damage metadata)
+	delta     *mat.Matrix
+	qres      *qsink.Result
 
 	distFlat []int64 // n x n row-major copy of the final distances
 	lastFlat []int   // n x n row-major copy of LastHop (empty when skipped)
@@ -88,29 +89,59 @@ func (sn *snapshot) wall(name string) float64 {
 	return 0
 }
 
-// damage folds one weight update (u,v, effective weight wmin =
-// min(wOld, wNew)) into the dirty sets, testing every tracked label system
-// against its snapshot distance row. Each test is O(1) per system; a batch
-// of K updates costs O(K * (2n + |Q| + q-sink rows)) integer compares —
-// the damage-scoped alternative to re-running O(n * h) rounds of protocol.
-// Updates are always tested against the rows captured at snapshot time;
-// accumulating flags across several batches stays sound by induction
-// (a system clean under every individual update against the original
-// fixed point keeps that fixed point through the whole sequence).
-func (sn *snapshot) damage(u, v int, wmin int64, directed bool) {
+// damage folds one weight update (edge index eIdx joining u,v, weight
+// wOld -> wNew) into the dirty sets, testing every tracked label system
+// against its snapshot rows. Hop-UNBOUNDED systems (the Step-7 final
+// distance rows, the q-sink paired full SSSPs) are judged by the O(1)
+// relaxation test alone; hop-bounded systems (the Step-1 out-trees, the
+// Step-3 in-systems, the q-sink CQ labels) additionally pass through the
+// hop-bound gate and, when it opens, the exact host-local wave replay
+// (hops.go) — the relaxation test cannot see below-convergence Pareto
+// points in a collapsed final row. Updates are always tested against the
+// rows captured at snapshot time; accumulating flags across several
+// batches stays sound by induction (a system clean under every individual
+// update keeps its captured fixed point — the replay proves the whole
+// wave, not just the final row — through the entire sequence).
+func (s *Session) damage(eIdx, u, v int, wOld, wNew int64) {
+	sn := &s.snap
+	wmin := minW(wOld, wNew)
+	directed := s.g.Directed
+	if s.hops == nil {
+		s.hops = buildHopTables(s.g)
+	}
+	// bford collapses parallel edge bundles to one arbitrary instance, so
+	// the replay cannot model them; such updates take the gate's verdict.
+	noReplay := hasParallelEdge(s.g, u, v)
+	boundedDirty := func(D []int64, C []int, mode bford.Mode, root, bound int) bool {
+		if arcDamages(D, u, v, wmin, directed, mode) {
+			return true
+		}
+		if !hopGate(C, s.hops.row(mode, root), u, v, directed, mode) {
+			return false
+		}
+		return noReplay || s.wave.wavesDiffer(s.g, eIdx, wOld, root, bound, mode)
+	}
 	for i := range sn.dirty1 {
-		if !sn.dirty1[i] && arcDamages(sn.coll.Label[i], u, v, wmin, directed, sn.coll.Mode) {
+		if !sn.dirty1[i] && boundedDirty(sn.coll.Label[i], sn.coll.LabelHops[i],
+			sn.coll.Mode, sn.coll.Sources[i], 2*sn.coll.H) {
 			sn.dirty1[i] = true
 		}
 	}
 	for ci := range sn.dirty3 {
-		if !sn.dirty3[ci] && arcDamages(sn.deltaH.Row(ci), u, v, wmin, directed, bford.In) {
+		if !sn.dirty3[ci] && boundedDirty(sn.deltaH.Row(ci), sn.deltaHops[ci],
+			bford.In, sn.Q[ci], sn.key.h) {
 			sn.dirty3[ci] = true
 		}
 	}
 	if !sn.qsinkDirty {
 		for _, row := range sn.qsnap.Rows {
-			if arcDamages(row.Dist, u, v, wmin, directed, row.Mode) {
+			dirty := false
+			if row.Hops == nil {
+				dirty = arcDamages(row.Dist, u, v, wmin, directed, row.Mode)
+			} else {
+				dirty = boundedDirty(row.Dist, row.Hops, row.Mode, row.Root, row.Bound)
+			}
+			if dirty {
 				sn.qsinkDirty = true
 				break
 			}
@@ -246,6 +277,7 @@ func (s *Session) capture(p *pipeline, key snapKey) {
 	sn.coll = p.coll
 	sn.Q = p.Q
 	sn.deltaH = p.deltaH
+	sn.deltaHops = p.deltaHops
 	sn.delta = p.delta
 	sn.qres = p.qres
 	if cap(sn.distFlat) < n*n {

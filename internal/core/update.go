@@ -66,6 +66,18 @@ type UpdateStats struct {
 	FellBack   bool
 }
 
+// UpdateError tags a failed update with its zero-based batch index, so
+// callers that coalesce many logical batches into one ApplyUpdates call
+// (the serve batcher) can split the blame: updates before Index applied,
+// Index failed, everything after was never attempted.
+type UpdateError struct {
+	Index int
+	Err   error
+}
+
+func (e *UpdateError) Error() string { return fmt.Sprintf("core: update %d: %v", e.Index, e.Err) }
+func (e *UpdateError) Unwrap() error { return e.Err }
+
 // ApplyUpdates applies the batch to the session's graph, in order,
 // re-arming the session so the next Run reflects the mutated graph. The
 // session — not the old checksum guard — is now the sanctioned mutation
@@ -98,6 +110,7 @@ func (s *Session) ApplyUpdates(ups []EdgeUpdate) (UpdateStats, error) {
 			err = s.nw.SyncTopology()
 			s.digest = graphDigest(s.g)
 			s.snap.fellBack = true
+			s.hops = nil // BFS depth tables are topology-keyed
 		}
 		if mutated {
 			s.pendingUpdates = true
@@ -111,7 +124,7 @@ func (s *Session) ApplyUpdates(ups []EdgeUpdate) (UpdateStats, error) {
 			idx := s.g.FindEdge(up.U, up.V)
 			if idx < 0 {
 				ferr := finalize()
-				return s.updateStats(), firstErr(fmt.Errorf("core: update %d: no edge (%d,%d) to set", i, up.U, up.V), ferr)
+				return s.updateStats(), firstErr(&UpdateError{i, fmt.Errorf("no edge (%d,%d) to set", up.U, up.V)}, ferr)
 			}
 			old := s.g.Edges()[idx]
 			if old.W == up.W {
@@ -119,17 +132,17 @@ func (s *Session) ApplyUpdates(ups []EdgeUpdate) (UpdateStats, error) {
 			}
 			if err := s.g.SetEdgeWeight(idx, up.W); err != nil {
 				ferr := finalize()
-				return s.updateStats(), firstErr(fmt.Errorf("core: update %d: %w", i, err), ferr)
+				return s.updateStats(), firstErr(&UpdateError{i, err}, ferr)
 			}
 			mutated = true
 			s.digest += edgeTerm(idx, old.U, old.V, up.W) - edgeTerm(idx, old.U, old.V, old.W)
 			if s.snap.valid && !s.snap.fellBack && !topo {
-				s.snap.damage(up.U, up.V, minW(old.W, up.W), s.g.Directed)
+				s.damage(idx, up.U, up.V, old.W, up.W)
 			}
 		case InsertEdge:
 			if err := s.g.AddEdge(up.U, up.V, up.W); err != nil {
 				ferr := finalize()
-				return s.updateStats(), firstErr(fmt.Errorf("core: update %d: %w", i, err), ferr)
+				return s.updateStats(), firstErr(&UpdateError{i, err}, ferr)
 			}
 			mutated, topo = true, true
 			e := s.g.Edges()[s.g.M()-1]
@@ -138,18 +151,18 @@ func (s *Session) ApplyUpdates(ups []EdgeUpdate) (UpdateStats, error) {
 			idx := s.g.FindEdge(up.U, up.V)
 			if idx < 0 {
 				ferr := finalize()
-				return s.updateStats(), firstErr(fmt.Errorf("core: update %d: no edge (%d,%d) to delete", i, up.U, up.V), ferr)
+				return s.updateStats(), firstErr(&UpdateError{i, fmt.Errorf("no edge (%d,%d) to delete", up.U, up.V)}, ferr)
 			}
 			if err := s.g.RemoveEdge(idx); err != nil {
 				ferr := finalize()
-				return s.updateStats(), firstErr(fmt.Errorf("core: update %d: %w", i, err), ferr)
+				return s.updateStats(), firstErr(&UpdateError{i, err}, ferr)
 			}
 			mutated, topo = true, true
 			// Later edge indices shifted; the digest is rebuilt wholesale in
 			// finalize (topology changes fall back to a cold run anyway).
 		default:
 			ferr := finalize()
-			return s.updateStats(), firstErr(fmt.Errorf("core: update %d: unknown op %d", i, int(up.Op)), ferr)
+			return s.updateStats(), firstErr(&UpdateError{i, fmt.Errorf("unknown op %d", int(up.Op))}, ferr)
 		}
 	}
 	if err := finalize(); err != nil {
@@ -194,19 +207,22 @@ func countTrue(b []bool) int {
 	return n
 }
 
-// arcDamages is THE damage test (DESIGN.md §10): given the final distance
-// row D of a label system, a weight update on edge (u,v) can change the
-// system's fixed point only if the edge admits a relaxation that ties or
-// improves some label under the smaller of the old and new weights —
-// D[src] + min(wOld, wNew) <= D[dst] along a relaxation arc. The <=
-// (rather than <) also protects tie-breaking (parent choices, confirmation
-// waves, last-hop equalities), which change only when an equality appears
-// or disappears across the updated edge. Conservative and sound: a clean
-// verdict guarantees the entire fixed point — distances, hop counts,
-// parents, confirmations — is unchanged, because every label is a min over
-// relaxation chains and no chain through the updated edge can match the
-// incumbent. In-mode systems relax along reversed arcs, so the test swaps
-// endpoints; undirected edges are tested in both directions.
+// arcDamages is the relaxation half of the damage test (DESIGN.md §10):
+// given the final distance row D of a label system, a weight update on
+// edge (u,v) can change the system's final values only if the edge admits
+// a relaxation that ties or improves some label under the smaller of the
+// old and new weights — D[src] + min(wOld, wNew) <= D[dst] along a
+// relaxation arc. The <= (rather than <) also protects tie-breaking
+// (parent choices, confirmation waves, last-hop equalities), which change
+// only when an equality appears or disappears across the updated edge.
+// The test is sound ON ITS OWN only for hop-UNBOUNDED systems (final
+// distance rows, full SSSPs), whose every label is a min over arbitrary
+// relaxation chains: no chain through the updated edge can match the
+// incumbent. Hop-bounded systems carry below-convergence Pareto points the
+// collapsed row hides; they pair this test with the hop-bound gate and
+// wave replay of hops.go (see Session.damage). In-mode systems relax along
+// reversed arcs, so the test swaps endpoints; undirected edges are tested
+// in both directions.
 func arcDamages(D []int64, u, v int, wmin int64, directed bool, mode bford.Mode) bool {
 	if mode == bford.In {
 		u, v = v, u
@@ -238,6 +254,13 @@ func edgeTerm(i, u, v int, w int64) uint64 {
 	h = splitmix64(h + uint64(v))
 	return splitmix64(h + uint64(w))
 }
+
+// GraphDigest is the exported content digest of a graph: the same
+// SplitMix64 sum the session maintains incrementally, computed wholesale.
+// Two graphs share a digest exactly when they have the same node count,
+// directedness, and edge list (position, endpoints, weights) — the
+// identity the serving pool keys warm Runners by.
+func GraphDigest(g *graph.Graph) uint64 { return graphDigest(g) }
 
 // graphDigest is the session's content digest: a wrapping sum of per-edge
 // terms plus a header term. Unlike the FNV chain it replaces, the sum is

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -314,6 +315,128 @@ func TestIncrementalFaultInjection(t *testing.T) {
 			}
 			if !reflect.DeepEqual(fp(warm), fp(cold)) {
 				t.Fatal("post-panic run not bit-identical to cold on the mutated graph")
+			}
+		})
+	}
+}
+
+// TestIncrementalHopBoundCounterexample pins the hop-bound soundness hole
+// the wave replay closes (hops.go): a chain gives v a cheap 2h-hop label
+// while shortcut s->u->v->t is the only <=2h-hop route to t, so decreasing
+// the shortcut weight changes t's label even though the relaxation test
+// judges the tree clean (D[u]+wmin > D[v] — the change lands on a
+// below-convergence Pareto point the collapsed label row hides). The warm
+// run after the update must match cold in results AND round accounting.
+func TestIncrementalHopBoundCounterexample(t *testing.T) {
+	// H=3 => label budget 2h=6. s=0, chain 0->1->...->6 (v=6), u=7, t=8.
+	g := graph.New(9, true)
+	for i := 0; i < 6; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	g.MustAddEdge(0, 7, 2)  // s->u
+	g.MustAddEdge(7, 6, 50) // u->v (the updated edge)
+	g.MustAddEdge(6, 8, 1)  // v->t
+	opt := Options{Variant: Det43, H: 3}
+	s, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(opt); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.ApplyUpdates([]EdgeUpdate{{Op: SetWeight, U: 7, V: 6, W: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FellBack {
+		t.Logf("fell back (adaptive threshold): %+v", st)
+	}
+	warm, err := s.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(cloneGraph(g), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Dist, cold.Dist) {
+		t.Errorf("Dist mismatch:\nwarm %v\ncold %v", warm.Dist, cold.Dist)
+	}
+	if !reflect.DeepEqual(warm.LastHop, cold.LastHop) {
+		t.Errorf("LastHop mismatch")
+	}
+	if warm.Stats.Rounds != cold.Stats.Rounds || warm.Stats.QSize != cold.Stats.QSize {
+		t.Errorf("rounds/|Q|: warm %d/%d cold %d/%d",
+			warm.Stats.Rounds, warm.Stats.QSize, cold.Stats.Rounds, cold.Stats.QSize)
+	}
+}
+
+// TestIncrementalAdversarialStress drives the damage model with the graph
+// family most hostile to it: a light spanning chain (long-hop cheap paths,
+// late convergence levels) plus heavy shortcuts (short-hop expensive
+// paths), exactly the shape that manufactures below-convergence Pareto
+// points. Random sharp decreases and increases, three batches per seed;
+// warm must match cold in Dist, LastHop, rounds and |Q| every time.
+func TestIncrementalAdversarialStress(t *testing.T) {
+	seeds := int64(300)
+	if testing.Short() {
+		seeds = 60
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 12 + rng.Intn(10)
+			directed := rng.Intn(2) == 0
+			g := graph.New(n, directed)
+			for i := 0; i < n-1; i++ {
+				g.MustAddEdge(i, i+1, int64(1+rng.Intn(2)))
+			}
+			for k := 0; k < 4+rng.Intn(5); k++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				g.MustAddEdge(u, v, int64(1+rng.Intn(60)))
+			}
+			opt := Options{Variant: Det43, H: 2 + rng.Intn(2)}
+			s, err := NewSession(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Run(opt); err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < 3; b++ {
+				edges := g.Edges()
+				e := edges[rng.Intn(len(edges))]
+				var nw int64
+				if rng.Intn(2) == 0 {
+					nw = int64(rng.Intn(5)) // sharp decrease
+				} else {
+					nw = e.W + int64(1+rng.Intn(50)) // increase
+				}
+				if _, err := s.ApplyUpdates([]EdgeUpdate{{Op: SetWeight, U: e.U, V: e.V, W: nw}}); err != nil {
+					t.Fatal(err)
+				}
+				warm, err := s.Run(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := Run(cloneGraph(g), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(warm.Dist, cold.Dist) {
+					t.Fatalf("batch %d: Dist mismatch (edge %d->%d w %d->%d)", b, e.U, e.V, e.W, nw)
+				}
+				if !reflect.DeepEqual(warm.LastHop, cold.LastHop) {
+					t.Fatalf("batch %d: LastHop mismatch (edge %d->%d w %d->%d)", b, e.U, e.V, e.W, nw)
+				}
+				if warm.Stats.Rounds != cold.Stats.Rounds || warm.Stats.QSize != cold.Stats.QSize {
+					t.Fatalf("batch %d: rounds/|Q| warm %d/%d cold %d/%d (edge %d->%d w %d->%d)",
+						b, warm.Stats.Rounds, warm.Stats.QSize, cold.Stats.Rounds, cold.Stats.QSize, e.U, e.V, e.W, nw)
+				}
 			}
 		})
 	}

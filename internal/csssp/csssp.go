@@ -42,6 +42,14 @@ type Collection struct {
 	// truncated tree (Step 7 of Algorithm 1 seeds its extension runs with
 	// these values).
 	Label [][]int64
+	// LabelHops[i][v] is the hop count of the path realizing Label[i][v]
+	// (fewest hops among minimum-weight <=2h-hop paths, bford's Hops
+	// tie-breaking; -1 when the label is Inf). It is the level at which
+	// v's label in tree i's 2h-hop system first reached its final value —
+	// the convergence-level metadata the core session's update-damage test
+	// needs to judge hop-bounded systems soundly (core/hops.go). No
+	// protocol consumes it.
+	LabelHops [][]int
 	// Depth[i][v] is v's depth in T_i (hop distance to the root), or -1
 	// when v is not in T_i.
 	Depth [][]int
@@ -91,6 +99,7 @@ func Build(nw *congest.Network, g *graph.Graph, sources []int, h int, mode bford
 	// sharded sub-runs (sub-run i owns exactly the i-th row of each).
 	c.Dist = mat.New(ns, n).RowViews()
 	c.Label = mat.New(ns, n).RowViews()
+	c.LabelHops = mat.NewInt(ns, n).RowViews()
 	c.Depth = mat.NewInt(ns, n).RowViews()
 	c.Parent = mat.NewInt(ns, n).RowViews()
 	c.Removed = make([][]bool, ns)
@@ -107,6 +116,7 @@ func Build(nw *congest.Network, g *graph.Graph, sources []int, h int, mode bford
 			return fmt.Errorf("csssp: source %d: %w", src, err)
 		}
 		copy(c.Label[i], res.Dist)
+		copy(c.LabelHops[i], res.Hops)
 		for v := 0; v < n; v++ {
 			if res.Confirmed[v] && res.Hops[v] >= 0 && res.Hops[v] <= h {
 				c.Dist[i][v] = res.Dist[v]
@@ -209,6 +219,11 @@ func (c *Collection) Refresh(nw *congest.Network, dirty []int) (bool, error) {
 			return fmt.Errorf("csssp: refresh source %d: %w", src, err)
 		}
 		chg := false
+		// LabelHops is damage-test metadata, not protocol input: refresh it
+		// unconditionally but keep it out of chg — a convergence level that
+		// moved while every consumed array stayed fixed changes nothing any
+		// later stage reads.
+		copy(c.LabelHops[i], res.Hops)
 		for v := 0; v < n; v++ {
 			if c.Label[i][v] != res.Dist[v] {
 				c.Label[i][v] = res.Dist[v]

@@ -99,21 +99,32 @@ type Params struct {
 // is carved from one grow-only arena so steady-state re-captures on a warm
 // session allocate nothing.
 type Snapshot struct {
-	Rows  []SnapRow
-	arena []int64
+	Rows      []SnapRow
+	arena     []int64
+	hopsArena []int
 }
 
 // SnapRow is one captured label system: the relaxation mode it ran under
-// and its final distance row (graph.Inf for unreached nodes).
+// and its final distance row (graph.Inf for unreached nodes). Hop-BOUNDED
+// systems (the CQ collection labels) additionally carry their root, hop
+// bound, and the per-node hop count realizing each distance (the label's
+// convergence level): the plain relaxation test is not sound for them, and
+// core's damage model needs the extra fields to run its hop-bound test
+// (core/hops.go). Hops == nil marks a full (n-1)-hop SSSP row, for which
+// the relaxation test alone is sound.
 type SnapRow struct {
-	Mode bford.Mode
-	Dist []int64
+	Mode  bford.Mode
+	Root  int
+	Bound int
+	Dist  []int64
+	Hops  []int
 }
 
-// Reset empties the snapshot, keeping the arena for reuse.
+// Reset empties the snapshot, keeping the arenas for reuse.
 func (s *Snapshot) Reset() {
 	s.Rows = s.Rows[:0]
 	s.arena = s.arena[:0]
+	s.hopsArena = s.hopsArena[:0]
 }
 
 // add copies dist into the arena and records it under mode. Earlier rows
@@ -122,7 +133,17 @@ func (s *Snapshot) Reset() {
 func (s *Snapshot) add(mode bford.Mode, dist []int64) {
 	start := len(s.arena)
 	s.arena = append(s.arena, dist...)
-	s.Rows = append(s.Rows, SnapRow{Mode: mode, Dist: s.arena[start:len(s.arena):len(s.arena)]})
+	s.Rows = append(s.Rows, SnapRow{Mode: mode, Root: -1, Dist: s.arena[start:len(s.arena):len(s.arena)]})
+}
+
+// addBounded records a hop-bounded label system with its damage metadata.
+func (s *Snapshot) addBounded(mode bford.Mode, root, bound int, dist []int64, hops []int) {
+	s.add(mode, dist)
+	start := len(s.hopsArena)
+	s.hopsArena = append(s.hopsArena, hops...)
+	row := &s.Rows[len(s.Rows)-1]
+	row.Root, row.Bound = root, bound
+	row.Hops = s.hopsArena[start:len(s.hopsArena):len(s.hopsArena)]
 }
 
 // addMatrix records every row of m under mode.
@@ -248,7 +269,7 @@ func Run(nw *congest.Network, g *graph.Graph, Q []int, delta *mat.Matrix, par Pa
 		// topology, so the labels are the complete damage interface of the
 		// collection.
 		for i := range Q {
-			par.Capture.add(bford.In, cq.Label[i])
+			par.Capture.addBounded(bford.In, Q[i], 2*cq.H, cq.Label[i], cq.LabelHops[i])
 		}
 	}
 

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzQueryRequest hammers the HTTP query decoder with arbitrary bytes.
+// The decoder's contract is totality plus validated output: any input
+// either errors or yields a request whose invariants hold (exactly one
+// selector, every vertex in range, batch within cap, non-negative
+// deadline) — never a panic, and never an accepted request that would
+// index out of bounds downstream. The committed corpus under
+// testdata/fuzz/FuzzQueryRequest pins the malformed shapes the serving
+// layer must reject: conflicting selectors, negative deadlines, oversized
+// batches, out-of-range vertices, unknown fields and algorithms.
+func FuzzQueryRequest(f *testing.F) {
+	f.Add([]byte(`{"pairs":[[0,5],[3,3]],"paths":true}`))
+	f.Add([]byte(`{"full":true,"algorithm":"det32","hop_param":4}`))
+	f.Add([]byte(`{"source":7,"deadline_ms":250}`))
+	f.Add([]byte(`{"full":true,"pairs":[[0,1]]}`))
+	f.Add([]byte(`{"full":true,"deadline_ms":-1}`))
+	f.Add([]byte(`{"pairs":[[15,16]]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"algorithm":"dijkstra","full":true}`))
+	f.Add([]byte(`{"full":true,"hop_param":-3}`))
+	f.Add([]byte(`{"source":-1}`))
+	f.Add([]byte(`{"paths":true}`))
+	const n, maxBatch = 16, 8
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, opt, err := decodeQueryRequest(data, n, maxBatch)
+		if err != nil {
+			if q != nil {
+				t.Fatal("error return must not carry a request")
+			}
+			return
+		}
+		selectors := 0
+		if len(q.Pairs) > 0 {
+			selectors++
+		}
+		if q.Source != nil {
+			selectors++
+		}
+		if q.Full {
+			selectors++
+		}
+		if selectors != 1 {
+			t.Fatalf("accepted request with %d selectors: %+v", selectors, q)
+		}
+		if len(q.Pairs) > maxBatch {
+			t.Fatalf("accepted oversized batch of %d pairs", len(q.Pairs))
+		}
+		for _, p := range q.Pairs {
+			if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+				t.Fatalf("accepted out-of-range pair %v", p)
+			}
+		}
+		if q.Source != nil && (*q.Source < 0 || *q.Source >= n) {
+			t.Fatalf("accepted out-of-range source %d", *q.Source)
+		}
+		if q.Paths && len(q.Pairs) == 0 {
+			t.Fatal("accepted paths without pairs")
+		}
+		if q.DeadlineMS < 0 {
+			t.Fatalf("accepted negative deadline %d", q.DeadlineMS)
+		}
+		if opt.HopParam < 0 || opt.HopParam > n {
+			t.Fatalf("accepted out-of-range hop_param %d", opt.HopParam)
+		}
+		if opt.Bandwidth < 0 {
+			t.Fatalf("accepted negative bandwidth %d", opt.Bandwidth)
+		}
+	})
+}

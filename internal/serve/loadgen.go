@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"congestapsp/pkg/apsp"
+)
+
+// LoadConfig drives one load-generation run against a daemon. Everything
+// the generator sends is a pure function of (Seed, Mix, Scenario,
+// Requests): request i is the same bytes on every run, so a concurrency-1
+// run against a fresh daemon produces a byte-stable transcript — the
+// end-to-end determinism contract cmd/apspload and the serve tests pin.
+type LoadConfig struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8359".
+	BaseURL string
+	// Client is the HTTP client (http.DefaultClient when nil).
+	Client *http.Client
+	// Seed drives every random choice (pairs, edges, weights).
+	Seed int64
+	// Mix selects the traffic shape: "cached" (one options set, result
+	// cache absorbs everything after the first run), "warmmiss" (each
+	// query cycles Options.Seed, forcing a fresh warm run per request), or
+	// "postupdate" (seeded weight updates interleaved with queries).
+	Mix string
+	// Scenario is the graph, by corpus name (e.g. "random-n128-s1").
+	Scenario string
+	// Requests is the number of requests after the initial load.
+	Requests int
+	// Concurrency is the number of in-flight workers (forced to 1 when a
+	// Transcript is set).
+	Concurrency int
+	// Transcript, when set, receives the deterministic request/response
+	// log (method, path, request body, status, response body per entry).
+	Transcript io.Writer
+}
+
+// LoadReport summarizes a run: status-code census and latency percentiles
+// over the post-load requests, plus the daemon-side pool counters scraped
+// from /metrics after the run.
+type LoadReport struct {
+	Mix        string         `json:"mix"`
+	Scenario   string         `json:"scenario"`
+	Requests   int            `json:"requests"`
+	Errors     int            `json:"errors"`
+	Status     map[string]int `json:"status"`
+	Status5xx  int            `json:"status_5xx"`
+	P50MS      float64        `json:"p50_ms"`
+	P95MS      float64        `json:"p95_ms"`
+	P99MS      float64        `json:"p99_ms"`
+	PoolHits   int64          `json:"pool_hits"`
+	PoolMisses int64          `json:"pool_misses"`
+}
+
+// genRequest is one pre-generated wire request.
+type genRequest struct {
+	path string
+	body []byte
+}
+
+// Mixes lists the load shapes RunLoad accepts.
+func Mixes() []string { return []string{"cached", "warmmiss", "postupdate"} }
+
+// generate builds the deterministic request list for a mix. The graph's
+// edge list (from building the scenario locally) seeds the update choices,
+// so the generator never has to query the daemon for structure.
+func generate(cfg LoadConfig, key string, n int, edges [][3]int64) ([]genRequest, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queryPath := "/v1/graphs/" + key + "/query"
+	updatePath := "/v1/graphs/" + key + "/update"
+	randPairs := func(k int) [][2]int {
+		ps := make([][2]int, k)
+		for i := range ps {
+			ps[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+		}
+		return ps
+	}
+	marshal := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err) // wire shapes are always marshalable
+		}
+		return b
+	}
+	reqs := make([]genRequest, 0, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		switch cfg.Mix {
+		case "cached":
+			reqs = append(reqs, genRequest{queryPath, marshal(queryRequest{Pairs: randPairs(4)})})
+		case "warmmiss":
+			// Seed is result-irrelevant for the deterministic default
+			// profile but part of the cache key, so cycling it forces a
+			// full warm run per request — the warm-miss latency floor.
+			reqs = append(reqs, genRequest{queryPath, marshal(queryRequest{Seed: int64(i + 1), Pairs: randPairs(4)})})
+		case "postupdate":
+			if i%3 == 2 {
+				e := edges[rng.Intn(len(edges))]
+				var w updateRequestWire
+				w.Updates = append(w.Updates, struct {
+					Op string `json:"op"`
+					U  int    `json:"u"`
+					V  int    `json:"v"`
+					W  int64  `json:"w,omitempty"`
+				}{Op: "set", U: int(e[0]), V: int(e[1]), W: int64(1 + rng.Intn(50))})
+				reqs = append(reqs, genRequest{updatePath, marshal(w)})
+			} else {
+				reqs = append(reqs, genRequest{queryPath, marshal(queryRequest{Pairs: randPairs(4)})})
+			}
+		default:
+			return nil, fmt.Errorf("serve: unknown mix %q (want %s)", cfg.Mix, strings.Join(Mixes(), "|"))
+		}
+	}
+	return reqs, nil
+}
+
+// RunLoad executes the configured load against the daemon and reports.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if cfg.Transcript != nil {
+		cfg.Concurrency = 1
+	}
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Scenario == "" {
+		cfg.Scenario = "random-n64-s1"
+	}
+	post := func(path string, body []byte) (int, []byte, error) {
+		resp, err := client.Post(cfg.BaseURL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, out, err
+	}
+
+	// Build the scenario locally: the edge list parameterizes updates, and
+	// the load request goes by name so daemon and generator agree on bytes.
+	sc, err := apsp.ParseScenario(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	g, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	var edges [][3]int64
+	g.Edges(func(u, v int, w int64) { edges = append(edges, [3]int64{int64(u), int64(v), w}) })
+	loadBody, _ := json.Marshal(loadRequest{Scenario: cfg.Scenario})
+	code, out, err := post("/v1/graphs", loadBody)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load request: %w", err)
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("serve: load returned %d: %s", code, bytes.TrimSpace(out))
+	}
+	var lr loadResponse
+	if err := json.Unmarshal(out, &lr); err != nil {
+		return nil, fmt.Errorf("serve: bad load response: %w", err)
+	}
+	if cfg.Transcript != nil {
+		fmt.Fprintf(cfg.Transcript, "LOAD %s\n%s\n%d %s\n", cfg.Scenario, loadBody, code, out)
+	}
+
+	reqs, err := generate(cfg, lr.Graph, n, edges)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &LoadReport{
+		Mix:      cfg.Mix,
+		Scenario: cfg.Scenario,
+		Requests: len(reqs),
+		Status:   make(map[string]int),
+	}
+	durations := make([]float64, len(reqs))
+	codes := make([]int, len(reqs))
+	errorsAt := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(reqs); i += cfg.Concurrency {
+				t0 := time.Now()
+				code, out, err := post(reqs[i].path, reqs[i].body)
+				durations[i] = float64(time.Since(t0).Microseconds()) / 1000
+				codes[i], errorsAt[i] = code, err
+				if cfg.Transcript != nil {
+					fmt.Fprintf(cfg.Transcript, "POST %s\n%s\n%d %s\n", reqs[i].path, reqs[i].body, code, out)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range reqs {
+		if errorsAt[i] != nil {
+			report.Errors++
+			continue
+		}
+		report.Status[strconv.Itoa(codes[i])]++
+		if codes[i] >= 500 && codes[i] != 504 {
+			report.Status5xx++
+		}
+	}
+	sort.Float64s(durations)
+	report.P50MS = percentile(durations, 0.50)
+	report.P95MS = percentile(durations, 0.95)
+	report.P99MS = percentile(durations, 0.99)
+
+	// Scrape the daemon's pool counters.
+	if resp, err := client.Get(cfg.BaseURL + "/metrics"); err == nil {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		report.PoolHits = scrapeCounter(body, "apspd_pool_hits_total")
+		report.PoolMisses = scrapeCounter(body, "apspd_pool_misses_total")
+	}
+	return report, nil
+}
+
+// percentile reads the q-quantile from an ascending slice (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.9999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// scrapeCounter pulls one un-labeled series value out of Prometheus text.
+func scrapeCounter(body []byte, series string) int64 {
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}

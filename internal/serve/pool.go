@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"congestapsp/internal/congest"
+	"congestapsp/pkg/apsp"
+)
+
+// ErrOverloaded is returned (and mapped to HTTP 429) when a graph's batch
+// queue is at its depth cap: the daemon sheds load instead of queueing
+// unboundedly. The request was not executed; retry after backoff.
+var ErrOverloaded = errors.New("serve: queue full, request shed")
+
+// ErrUnknownGraph is returned (HTTP 404) for a graph key the pool does not
+// hold — never loaded, or evicted by the LRU cap. The graph must be
+// (re)loaded via the load endpoint; content addressing makes the reload
+// land on the same key.
+var ErrUnknownGraph = errors.New("serve: unknown graph (not loaded, or evicted)")
+
+// ErrAborted is returned (HTTP 409) to an update request whose coalesced
+// batch was stopped by an EARLIER caller's failing update: none of this
+// request's updates were attempted, and the graph advanced only by the
+// batch prefix that preceded the failure.
+var ErrAborted = errors.New("serve: update batch aborted by an earlier failure in its coalesced batch")
+
+// Pool is a content-addressed LRU cache of warm Runners. The key is the
+// graph's SplitMix64 digest (apsp.Graph.Digest) rendered as 16 hex digits,
+// taken AT LOAD TIME: it names the graph the client loaded, and stays the
+// handle for the entry's whole lifetime even as ApplyUpdates mutates the
+// served graph away from the loaded content (re-keying on every update
+// would invalidate clients' handles mid-conversation; the per-entry
+// version count is the mutation clock instead).
+//
+// Eviction removes the entry from the map and nothing else: in-flight
+// batches hold the entry pointer and drain normally on the warm Runner;
+// later lookups get ErrUnknownGraph and the Runner is collected once the
+// last batch lets go.
+type Pool struct {
+	mu       sync.Mutex
+	max      int
+	maxQueue int
+	parallel bool
+	clock    uint64
+	entries  map[string]*entry
+	met      *Metrics
+}
+
+// NewPool builds a pool holding at most max warm Runners, each with a
+// batch queue capped at maxQueue requests. parallel selects the execution
+// mode of every pooled run (results are bit-identical either way).
+func NewPool(max, maxQueue int, parallel bool, met *Metrics) *Pool {
+	if max < 1 {
+		max = 1
+	}
+	if maxQueue < 1 {
+		maxQueue = 1
+	}
+	return &Pool{
+		max:      max,
+		maxQueue: maxQueue,
+		parallel: parallel,
+		entries:  make(map[string]*entry),
+		met:      met,
+	}
+}
+
+// Key renders a graph digest as the pool's 16-hex-digit handle.
+func Key(digest uint64) string { return fmt.Sprintf("%016x", digest) }
+
+// Load warms a Runner for g and returns its key. Loading content the pool
+// already holds is a hit: the existing entry is reused (and its LRU slot
+// refreshed) — the caller's graph value is discarded, so "load the same
+// edges twice" converges on one warm Runner no matter which client sent
+// them. created reports whether a new Runner was built.
+func (p *Pool) Load(g *apsp.Graph) (key string, created bool, err error) {
+	key = Key(g.Digest())
+	p.mu.Lock()
+	if e, ok := p.entries[key]; ok {
+		p.clock++
+		e.lastUse = p.clock
+		p.mu.Unlock()
+		p.met.Add("apspd_pool_hits_total", 1)
+		return key, false, nil
+	}
+	p.mu.Unlock()
+	// Build the Runner outside the pool lock: NewRunner constructs the
+	// whole CONGEST network, and concurrent loads of other graphs must not
+	// serialize behind it. A racing load of the SAME content is resolved
+	// at insert (first one in wins, the loser's Runner is dropped).
+	r, err := apsp.NewRunner(g)
+	if err != nil {
+		return "", false, err
+	}
+	e := newEntry(key, r, p)
+	p.mu.Lock()
+	if prior, ok := p.entries[key]; ok {
+		p.clock++
+		prior.lastUse = p.clock
+		p.mu.Unlock()
+		p.met.Add("apspd_pool_hits_total", 1)
+		return key, false, nil
+	}
+	p.clock++
+	e.lastUse = p.clock
+	p.entries[key] = e
+	for len(p.entries) > p.max {
+		p.evictLRULocked()
+	}
+	size := len(p.entries)
+	p.mu.Unlock()
+	p.met.Add("apspd_pool_misses_total", 1)
+	p.met.Set("apspd_pool_size", int64(size))
+	return key, true, nil
+}
+
+// evictLRULocked removes the least-recently-used entry. Callers hold p.mu.
+func (p *Pool) evictLRULocked() {
+	var victim string
+	var oldest uint64
+	first := true
+	for k, e := range p.entries {
+		if first || e.lastUse < oldest {
+			victim, oldest, first = k, e.lastUse, false
+		}
+	}
+	delete(p.entries, victim)
+	p.met.Add("apspd_pool_evictions_total", 1)
+}
+
+// Get returns the warm entry for key, refreshing its LRU slot.
+func (p *Pool) Get(key string) (*entry, error) {
+	p.mu.Lock()
+	e, ok := p.entries[key]
+	if ok {
+		p.clock++
+		e.lastUse = p.clock
+	}
+	p.mu.Unlock()
+	if !ok {
+		p.met.Add("apspd_pool_misses_total", 1)
+		return nil, ErrUnknownGraph
+	}
+	p.met.Add("apspd_pool_hits_total", 1)
+	return e, nil
+}
+
+// Len reports the number of pooled Runners.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// SetFaultInjector arms fi (nil disarms) on the pooled Runner for key —
+// the serving end of the session's deterministic fault-injection
+// instrument, used by the daemon fault-matrix suites. It reports whether
+// the key was pooled.
+func (p *Pool) SetFaultInjector(key string, fi congest.FaultInjector) bool {
+	p.mu.Lock()
+	e, ok := p.entries[key]
+	p.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.runner.SetFaultInjector(fi)
+	return true
+}

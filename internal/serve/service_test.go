@@ -1,0 +1,373 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"congestapsp/pkg/apsp"
+)
+
+// testDaemon boots an httptest server over a fresh Service.
+func testDaemon(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+// post sends a JSON body and decodes the JSON response into out.
+func post(t *testing.T, srv *httptest.Server, path string, body any, out any) int {
+	t.Helper()
+	enc, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("decoding %s response %q: %v", path, buf.String(), err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postRaw(t *testing.T, srv *httptest.Server, path, body string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.String()
+}
+
+// loadScenario loads a corpus graph into the daemon and returns its key.
+func loadScenario(t *testing.T, srv *httptest.Server, name string) string {
+	t.Helper()
+	var lr loadResponse
+	if code := post(t, srv, "/v1/graphs", loadRequest{Scenario: name}, &lr); code != http.StatusOK {
+		t.Fatalf("load %s: status %d", name, code)
+	}
+	return lr.Graph
+}
+
+// coldResult computes the oracle answer for a scenario graph.
+func coldResult(t *testing.T, name string, opt apsp.Options) *apsp.Result {
+	t.Helper()
+	sc, err := apsp.ParseScenario(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := apsp.Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func wantWire(d int64) int64 { return wireDist(d) }
+
+// TestServeQueryMatchesCold checks the core serving contract: every wire
+// answer is bit-identical to a cold apsp.Run on the served graph.
+func TestServeQueryMatchesCold(t *testing.T) {
+	_, srv := testDaemon(t, Config{})
+	const scen = "random-n24-s1"
+	key := loadScenario(t, srv, scen)
+	cold := coldResult(t, scen, apsp.Options{})
+
+	var qr queryResponse
+	if code := post(t, srv, "/v1/graphs/"+key+"/query",
+		queryRequest{Pairs: [][2]int{{0, 5}, {3, 3}, {7, 19}}, Paths: true}, &qr); code != http.StatusOK {
+		t.Fatalf("query status %d", code)
+	}
+	wantPairs := []int64{wantWire(cold.Dist[0][5]), wantWire(cold.Dist[3][3]), wantWire(cold.Dist[7][19])}
+	for i, got := range qr.Dist {
+		if got != wantPairs[i] {
+			t.Errorf("pair %d: got %d want %d", i, got, wantPairs[i])
+		}
+	}
+	if qr.Rounds != cold.Stats.Rounds {
+		t.Errorf("rounds: got %d want %d", qr.Rounds, cold.Stats.Rounds)
+	}
+	for i, p := range [][2]int{{0, 5}, {3, 3}, {7, 19}} {
+		want := cold.Path(p[0], p[1])
+		if fmt.Sprint(qr.Paths[i]) != fmt.Sprint(want) {
+			t.Errorf("path %d: got %v want %v", i, qr.Paths[i], want)
+		}
+	}
+
+	src := 11
+	if code := post(t, srv, "/v1/graphs/"+key+"/query", queryRequest{Source: &src}, &qr); code != http.StatusOK {
+		t.Fatalf("row query status %d", code)
+	}
+	if !qr.Cached {
+		t.Error("second query with same options should be served from the result cache")
+	}
+	for v, got := range qr.Row {
+		if want := wantWire(cold.Dist[src][v]); got != want {
+			t.Errorf("row[%d]: got %d want %d", v, got, want)
+		}
+	}
+
+	if code := post(t, srv, "/v1/graphs/"+key+"/query", queryRequest{Full: true}, &qr); code != http.StatusOK {
+		t.Fatalf("matrix query status %d", code)
+	}
+	for x := range qr.Matrix {
+		for v, got := range qr.Matrix[x] {
+			if want := wantWire(cold.Dist[x][v]); got != want {
+				t.Fatalf("matrix[%d][%d]: got %d want %d", x, v, got, want)
+			}
+		}
+	}
+}
+
+// TestServeUpdateThenQuery pushes a weight update through the daemon and
+// checks the next answer equals a cold run on the mutated graph.
+func TestServeUpdateThenQuery(t *testing.T) {
+	_, srv := testDaemon(t, Config{})
+	key := loadScenario(t, srv, "ring-n16-s1")
+
+	// Mirror the scenario locally and mutate the same edge.
+	sc, _ := apsp.ParseScenario("ring-n16-s1")
+	g, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first [3]int64
+	got := false
+	g.Edges(func(u, v int, w int64) {
+		if !got {
+			first = [3]int64{int64(u), int64(v), w}
+			got = true
+		}
+	})
+	mirror := apsp.NewGraph(g.N(), g.Directed())
+	i := 0
+	g.Edges(func(u, v int, w int64) {
+		if i == 0 {
+			w = 37
+		}
+		mirror.AddEdge(u, v, w)
+		i++
+	})
+	cold, err := apsp.Run(mirror, apsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ur updateResponse
+	body := fmt.Sprintf(`{"updates":[{"op":"set","u":%d,"v":%d,"w":37}]}`, first[0], first[1])
+	code, out := postRaw(t, srv, "/v1/graphs/"+key+"/update", body)
+	if code != http.StatusOK {
+		t.Fatalf("update status %d: %s", code, out)
+	}
+	if err := json.Unmarshal([]byte(out), &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Version != 1 {
+		t.Errorf("version after first update: got %d want 1", ur.Version)
+	}
+
+	var qr queryResponse
+	if code := post(t, srv, "/v1/graphs/"+key+"/query", queryRequest{Full: true}, &qr); code != http.StatusOK {
+		t.Fatalf("query status %d", code)
+	}
+	if qr.Version != 1 {
+		t.Errorf("query version: got %d want 1", qr.Version)
+	}
+	if qr.Cached {
+		t.Error("post-update query must not reuse the pre-update cache")
+	}
+	for x := range qr.Matrix {
+		for v, gotD := range qr.Matrix[x] {
+			if want := wantWire(cold.Dist[x][v]); gotD != want {
+				t.Fatalf("post-update matrix[%d][%d]: got %d want %d", x, v, gotD, want)
+			}
+		}
+	}
+}
+
+// TestServeErrors exercises the HTTP error taxonomy.
+func TestServeErrors(t *testing.T) {
+	_, srv := testDaemon(t, Config{})
+	key := loadScenario(t, srv, "ring-n16-s1")
+
+	if code, _ := postRaw(t, srv, "/v1/graphs/ffffffffffffffff/query", `{"full":true}`); code != http.StatusNotFound {
+		t.Errorf("unknown graph: got %d want 404", code)
+	}
+	for name, body := range map[string]string{
+		"malformed json":     `{`,
+		"conflicting fields": `{"full":true,"pairs":[[0,1]]}`,
+		"no selector":        `{}`,
+		"negative deadline":  `{"full":true,"deadline_ms":-5}`,
+		"vertex range":       `{"pairs":[[0,99]]}`,
+		"unknown field":      `{"full":true,"bogus":1}`,
+		"unknown algorithm":  `{"full":true,"algorithm":"dijkstra"}`,
+	} {
+		if code, out := postRaw(t, srv, "/v1/graphs/"+key+"/query", body); code != http.StatusBadRequest {
+			t.Errorf("%s: got %d (%s) want 400", name, code, strings.TrimSpace(out))
+		}
+	}
+	if code, out := postRaw(t, srv, "/v1/graphs/"+key+"/update", `{"updates":[{"op":"set","u":0,"v":9,"w":1}]}`); code != http.StatusBadRequest {
+		// ring-n16 has no (0,9) edge: the runner reports it as update 0.
+		t.Errorf("missing edge update: got %d (%s) want 400", code, strings.TrimSpace(out))
+	} else if !strings.Contains(out, `"update_index":0`) {
+		t.Errorf("missing edge update should carry update_index 0, got %s", strings.TrimSpace(out))
+	}
+}
+
+// TestServeMetricsEndpoint checks the exposition format basics and that
+// serving traffic moves the counters it should.
+func TestServeMetricsEndpoint(t *testing.T) {
+	svc, srv := testDaemon(t, Config{})
+	key := loadScenario(t, srv, "ring-n16-s1")
+	post(t, srv, "/v1/graphs/"+key+"/query", queryRequest{Full: true}, nil)
+	post(t, srv, "/v1/graphs/"+key+"/query", queryRequest{Full: true}, nil)
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP apspd_pool_misses_total",
+		"# TYPE apspd_pool_misses_total counter",
+		"apspd_pool_misses_total 1",
+		"apspd_runs_total 1",
+		"apspd_result_cache_hits_total 1",
+		`apspd_stage_rounds_total{stage="step1-csssp"}`,
+		`apspd_http_requests_total{code="200"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q\n%s", want, text)
+		}
+	}
+	if svc.Metrics().Get("apspd_runs_total") != 1 {
+		t.Errorf("two identical queries should have executed exactly one run")
+	}
+
+	// Rendering is deterministic: two reads, identical bytes.
+	var again bytes.Buffer
+	svc.Metrics().WriteText(&again)
+	var again2 bytes.Buffer
+	svc.Metrics().WriteText(&again2)
+	if !bytes.Equal(again.Bytes(), again2.Bytes()) {
+		t.Error("metrics rendering is not byte-stable")
+	}
+}
+
+// TestServeStatsEndpoint checks the per-graph snapshot.
+func TestServeStatsEndpoint(t *testing.T) {
+	_, srv := testDaemon(t, Config{})
+	key := loadScenario(t, srv, "ring-n16-s1")
+	post(t, srv, "/v1/graphs/"+key+"/query", queryRequest{Full: true}, nil)
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/graphs/" + key + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st EntryStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Key != key || st.N != 16 || st.M != 16 || st.Version != 0 || st.Cached != 1 {
+		t.Errorf("unexpected stats %+v", st)
+	}
+}
+
+// TestServeBlockerEndpoint checks the blocker path against the direct API.
+func TestServeBlockerEndpoint(t *testing.T) {
+	_, srv := testDaemon(t, Config{})
+	const scen = "random-n24-s1"
+	key := loadScenario(t, srv, scen)
+	sc, _ := apsp.ParseScenario(scen)
+	g, _ := sc.Build()
+	wantQ, _, err := apsp.BlockerSet(g, apsp.BlockerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br blockerResponse
+	if code := post(t, srv, "/v1/graphs/"+key+"/blocker", blockerRequestWire{}, &br); code != http.StatusOK {
+		t.Fatalf("blocker status %d", code)
+	}
+	if fmt.Sprint(br.Q) != fmt.Sprint(wantQ) {
+		t.Errorf("blocker set: got %v want %v", br.Q, wantQ)
+	}
+}
+
+// TestServeContentAddressing checks that loading identical content twice
+// converges on one warm Runner and that the inline and scenario paths
+// agree on the key.
+func TestServeContentAddressing(t *testing.T) {
+	svc, srv := testDaemon(t, Config{})
+	var a, b loadResponse
+	post(t, srv, "/v1/graphs", loadRequest{Scenario: "ring-n16-s1"}, &a)
+	post(t, srv, "/v1/graphs", loadRequest{Scenario: "ring-n16-s1"}, &b)
+	if a.Graph != b.Graph {
+		t.Errorf("same scenario loaded twice got different keys %s vs %s", a.Graph, b.Graph)
+	}
+	if !a.Created || b.Created {
+		t.Errorf("created flags: got %v/%v want true/false", a.Created, b.Created)
+	}
+	if svc.Pool().Len() != 1 {
+		t.Errorf("pool holds %d entries, want 1", svc.Pool().Len())
+	}
+
+	// The same edges sent inline land on the same key.
+	sc, _ := apsp.ParseScenario("ring-n16-s1")
+	g, _ := sc.Build()
+	req := loadRequest{N: g.N()}
+	g.Edges(func(u, v int, w int64) { req.Edges = append(req.Edges, [3]int64{int64(u), int64(v), w}) })
+	var c loadResponse
+	post(t, srv, "/v1/graphs", req, &c)
+	if c.Graph != a.Graph {
+		t.Errorf("inline edges keyed %s, scenario keyed %s (want equal)", c.Graph, a.Graph)
+	}
+}
+
+// TestServeDeadline checks that a hopeless per-request deadline surfaces
+// as 504 and leaves the Runner serviceable.
+func TestServeDeadline(t *testing.T) {
+	_, srv := testDaemon(t, Config{})
+	const scen = "random-n64-s1"
+	key := loadScenario(t, srv, scen)
+	code, out := postRaw(t, srv, "/v1/graphs/"+key+"/query", `{"full":true,"deadline_ms":1}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline query: got %d (%s) want 504", code, strings.TrimSpace(out))
+	}
+	// The entry still answers, bit-identically to cold.
+	cold := coldResult(t, scen, apsp.Options{})
+	var qr queryResponse
+	if code := post(t, srv, "/v1/graphs/"+key+"/query", queryRequest{Full: true}, &qr); code != http.StatusOK {
+		t.Fatalf("post-deadline query status %d", code)
+	}
+	for x := range qr.Matrix {
+		for v, got := range qr.Matrix[x] {
+			if want := wantWire(cold.Dist[x][v]); got != want {
+				t.Fatalf("post-deadline matrix[%d][%d]: got %d want %d", x, v, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+)
+
+// loadTranscript runs the seeded load generator at concurrency 1 against
+// a FRESH daemon and returns the transcript bytes.
+func loadTranscript(t *testing.T, mix string) []byte {
+	t.Helper()
+	svc := New(Config{})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	var buf bytes.Buffer
+	_, err := RunLoad(LoadConfig{
+		BaseURL:    srv.URL,
+		Client:     srv.Client(),
+		Seed:       5,
+		Mix:        mix,
+		Scenario:   "random-n16-s2",
+		Requests:   12,
+		Transcript: &buf,
+	})
+	if err != nil {
+		t.Fatalf("mix %s: %v", mix, err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadgenTranscriptDeterministic is the end-to-end determinism
+// contract: a fixed-seed apspload run against a fresh daemon produces a
+// byte-stable transcript — across repeated runs AND across GOMAXPROCS
+// values, because every wire answer is a pure function of the request
+// sequence, never of scheduling.
+func TestLoadgenTranscriptDeterministic(t *testing.T) {
+	mixes := Mixes()
+	if testing.Short() {
+		mixes = mixes[:1]
+	}
+	for _, mix := range mixes {
+		t.Run(mix, func(t *testing.T) {
+			base := loadTranscript(t, mix)
+			if len(base) == 0 {
+				t.Fatal("empty transcript")
+			}
+			if again := loadTranscript(t, mix); !bytes.Equal(base, again) {
+				t.Fatalf("transcript differs between two identical runs:\n--- first\n%s\n--- second\n%s", base, again)
+			}
+			prev := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(prev)
+			for _, gm := range []int{1, 2, 4} {
+				runtime.GOMAXPROCS(gm)
+				if got := loadTranscript(t, mix); !bytes.Equal(base, got) {
+					t.Fatalf("transcript differs at GOMAXPROCS=%d", gm)
+				}
+			}
+		})
+	}
+}

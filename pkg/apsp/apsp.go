@@ -63,6 +63,13 @@ func (g *Graph) Edges(f func(u, v int, w int64)) {
 	}
 }
 
+// Digest returns the graph's content digest: a 64-bit SplitMix64 sum over
+// the node count, directedness, and positioned edge list. Two graphs share
+// a digest exactly when they are content-identical, and a Runner's
+// ApplyUpdates maintains the same digest incrementally — this is the
+// identity warm-Runner caches (the serving pool) key by.
+func (g *Graph) Digest() uint64 { return core.GraphDigest(g.g) }
+
 // Algorithm selects the APSP profile.
 type Algorithm int
 

@@ -100,6 +100,20 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("apsp: recovered panic%s: %v", tag, e.Value)
 }
 
+// UpdateError reports which update of an ApplyUpdates batch failed, by its
+// zero-based index: updates before Index were applied (the Runner stays
+// consistent with that prefix), Index failed with Err, and everything
+// after was never attempted. Batching layers that coalesce several logical
+// batches into one call (the serve batcher) use Index to split the blame
+// across their callers.
+type UpdateError struct {
+	Index int
+	Err   error
+}
+
+func (e *UpdateError) Error() string { return fmt.Sprintf("apsp: update %d: %v", e.Index, e.Err) }
+func (e *UpdateError) Unwrap() error { return e.Err }
+
 // translateErr maps internal error shapes onto the public taxonomy:
 // core.InterruptError becomes *InterruptError (with both sentinels),
 // congest.PanicError becomes *PanicError, raw context errors (possible on
@@ -117,6 +131,10 @@ func translateErr(err error) error {
 			Stages:          ie.Stages,
 			Cause:           ie.Cause,
 		}
+	}
+	var ue *core.UpdateError
+	if errors.As(err, &ue) {
+		return &UpdateError{Index: ue.Index, Err: ue.Err}
 	}
 	var pe *congest.PanicError
 	if errors.As(err, &pe) {

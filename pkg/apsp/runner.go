@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"congestapsp/internal/blocker"
+	"congestapsp/internal/congest"
 	"congestapsp/internal/core"
 )
 
@@ -52,6 +53,13 @@ func NewRunner(g *Graph) (*Runner, error) {
 
 // Graph returns the graph the Runner is pinned to.
 func (r *Runner) Graph() *Graph { return r.g }
+
+// SetFaultInjector arms (or, with nil, disarms) a deterministic fault
+// injector on the Runner's warm session — a test instrument (see
+// internal/faultinject) the serving layer threads through its pool so
+// fault-matrix suites can exercise the daemon path. The hook persists
+// across calls until replaced.
+func (r *Runner) SetFaultInjector(fi congest.FaultInjector) { r.s.SetFaultInjector(fi) }
 
 // Run computes APSP on the Runner's graph with the given options, reusing
 // the warm network and worker fleet.

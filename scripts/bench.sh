@@ -138,6 +138,40 @@ awk -v cores="$CORES" -v maxprocs="$MAXPROCS" '
 echo "wrote BENCH_update.json"
 report_deltas "$OLD" BENCH_update.json
 
+# Serving-layer latency percentiles (BENCH_serve.json): the deterministic
+# load generator drives an in-process daemon (cmd/apspload -selfhost) for
+# each traffic mix at n in {128, 256}. Request counts are scaled to the
+# cost of a miss in each mix: cached queries are ~free after the first
+# run, a warmmiss request is a full warm APSP run, postupdate alternates
+# incremental re-runs with cache hits.
+: > "$RAW"
+for n in 128 256; do
+  case "$n" in
+    128) REQ_CACHED=200; REQ_WARMMISS=6; REQ_POSTUPDATE=40 ;;
+    *)   REQ_CACHED=100; REQ_WARMMISS=4; REQ_POSTUPDATE=20 ;;
+  esac
+  for mix in cached warmmiss postupdate; do
+    case "$mix" in
+      cached)     REQ=$REQ_CACHED ;;
+      warmmiss)   REQ=$REQ_WARMMISS ;;
+      postupdate) REQ=$REQ_POSTUPDATE ;;
+    esac
+    go run ./cmd/apspload -selfhost -scenario "random-n${n}-s1" \
+      -mix "$mix" -requests "$REQ" -concurrency 2 -seed 1 -json | tee -a "$RAW"
+  done
+done
+awk -v cores="$CORES" -v maxprocs="$MAXPROCS" '
+  /^\{/ {
+    if (count++) printf ",\n"
+    printf "    %s", $0
+  }
+  BEGIN {
+    printf "{\n  \"suite\": \"serve\",\n  \"cores\": %s,\n  \"gomaxprocs\": %s,\n  \"results\": [\n", cores, maxprocs
+  }
+  END { printf "\n  ]\n}\n" }
+' "$RAW" > BENCH_serve.json
+echo "wrote BENCH_serve.json"
+
 go run ./cmd/experiment \
   -scenarios random,ring,grid,layered,star,zeromix,powerlaw,geometric,expander,ktree \
   -sizes 64,128 -check -json EXPERIMENTS.json -q
