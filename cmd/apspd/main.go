@@ -5,10 +5,17 @@
 // answers are linearizable per graph: each response names the graph
 // version (update count) it reflects.
 //
-//	apspd -addr :8359 -pool 8
+// With -data-dir the daemon is durable: every load and accepted update
+// batch is journaled (write-ahead, CRC-framed) before the caller sees
+// success, checkpoint snapshots bound replay length, and a restart
+// recovers every graph to its last acknowledged version — /readyz returns
+// 503 with replay progress until recovery proves the state, then flips to
+// 200. DESIGN.md §12 documents the format and the recovery contract.
+//
+//	apspd -addr :8359 -pool 8 -data-dir /var/lib/apspd -fsync always
 //	curl -s localhost:8359/v1/graphs -d '{"scenario":"random-n64-s1"}'
 //	curl -s localhost:8359/v1/graphs/<key>/query -d '{"pairs":[[0,5]]}'
-//	curl -s localhost:8359/metrics
+//	curl -s localhost:8359/readyz
 package main
 
 import (
@@ -16,7 +23,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -32,6 +41,10 @@ func main() {
 		maxBatch = flag.Int("max-batch", 4096, "max pairs/updates per request")
 		maxN     = flag.Int("max-n", 4096, "max vertices per loaded graph")
 		parallel = flag.Bool("parallel", false, "run pooled computations on the parallel execution mode")
+		dataDir  = flag.String("data-dir", "", "durability root: journal + checkpoint graphs here, recover on boot (empty = in-memory only)")
+		fsync    = flag.String("fsync", "always", "journal sync policy: always (sync before ack) or interval (timer-batched)")
+		fsyncInt = flag.Duration("fsync-interval", 100*time.Millisecond, "sync period under -fsync interval")
+		ckptN    = flag.Int("checkpoint-every", 64, "checkpoint a graph after this many journaled update batches")
 	)
 	flag.Parse()
 
@@ -42,11 +55,38 @@ func main() {
 		MaxGraphN: *maxN,
 		Parallel:  *parallel,
 	})
+
+	var storeOpt serve.StoreOptions
+	if *dataDir != "" {
+		policy, err := serve.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		storeOpt = serve.StoreOptions{
+			Fsync:           policy,
+			FsyncInterval:   *fsyncInt,
+			CheckpointEvery: *ckptN,
+			MaxGraphN:       *maxN,
+			// APSPD_CRASH arms the seeded crash-point instrument — used by
+			// the crash-recovery test harness, never in normal operation.
+			CrashSpec: os.Getenv("APSPD_CRASH"),
+		}
+		// Gate /v1 before the listener opens: no request can observe
+		// pre-recovery state, only 503 + progress.
+		svc.BeginRecovery()
+	}
+
 	server := &http.Server{
-		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address line is load-bearing: the crash-recovery harness
+	// parses it to find a daemon bound to port 0.
+	log.Printf("apspd listening on %s (pool %d, queue %d)", ln.Addr(), *pool, *maxQueue)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -57,8 +97,23 @@ func main() {
 		server.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("apspd listening on %s (pool %d, queue %d)", *addr, *pool, *maxQueue)
-	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+
+	if *dataDir != "" {
+		start := time.Now()
+		if err := svc.Recover(*dataDir, storeOpt); err != nil {
+			log.Fatalf("apspd: recovery failed, refusing to serve: %v", err)
+		}
+		p := svc.Progress()
+		log.Printf("apspd recovered %d graph(s), %d update record(s) replayed in %s; ready",
+			p.GraphsDone, p.RecordsReplayed, time.Since(start).Round(time.Millisecond))
+	}
+
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		log.Printf("apspd: closing store: %v", err)
 	}
 }

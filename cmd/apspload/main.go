@@ -3,7 +3,10 @@
 // daemon and reports latency percentiles and a status-code census as JSON.
 // Everything it sends is a pure function of its flags, so a -concurrency 1
 // run against a fresh daemon yields a byte-stable -transcript — the
-// determinism contract the serve tests pin.
+// determinism contract the serve tests pin. Requests refused with 429
+// (shed) or 503 (recovering) are retried with seeded-jitter exponential
+// backoff (-retries, -retry-base), deterministic from the run seed; retry
+// counts land in the report and the transcript.
 //
 //	apspload -selfhost -mix cached -requests 200 -json
 //	apspload -addr http://127.0.0.1:8359 -wait 10s -mix postupdate \
@@ -34,19 +37,37 @@ func main() {
 		seed        = flag.Int64("seed", 1, "seed for every random choice")
 		transcript  = flag.String("transcript", "", "write the request/response transcript to this file")
 		jsonOut     = flag.Bool("json", false, "print the report as JSON (default: human-readable)")
-		wait        = flag.Duration("wait", 0, "poll /healthz for up to this long before starting")
+		wait        = flag.Duration("wait", 0, "poll /readyz for up to this long before starting")
 		failOn5xx   = flag.Bool("fail-on-5xx", false, "exit non-zero if any request returned 5xx")
 		minPoolHits = flag.Int64("min-pool-hits", -1, "exit non-zero if the daemon's pool hits end below this")
+		retries     = flag.Int("retries", 0, "max retries per request on 429/503 (0 = default 3, negative disables)")
+		retryBase   = flag.Duration("retry-base", 0, "first backoff step for retries (0 = default 25ms)")
+		dataDir     = flag.String("data-dir", "", "selfhost only: run the in-process daemon durably, journaling here")
+		fsync       = flag.String("fsync", "interval", "selfhost -data-dir: journal sync policy (always|interval)")
 	)
 	flag.Parse()
 
 	base := *addr
+	durability := ""
 	if *selfhost {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}
 		svc := serve.New(serve.Config{})
+		if *dataDir != "" {
+			policy, err := serve.ParseFsyncPolicy(*fsync)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Recover before serving — same order as cmd/apspd — so the
+			// journaled selfhost run measures exactly what a durable daemon
+			// does per request.
+			if err := svc.Recover(*dataDir, serve.StoreOptions{Fsync: policy}); err != nil {
+				log.Fatal(err)
+			}
+			durability = "fsync=" + policy.String()
+		}
 		go http.Serve(ln, svc.Handler())
 		base = "http://" + ln.Addr().String()
 	}
@@ -54,7 +75,7 @@ func main() {
 	if *wait > 0 {
 		deadline := time.Now().Add(*wait)
 		for {
-			resp, err := http.Get(base + "/healthz")
+			resp, err := http.Get(base + "/readyz")
 			if err == nil {
 				resp.Body.Close()
 				if resp.StatusCode == http.StatusOK {
@@ -62,7 +83,7 @@ func main() {
 				}
 			}
 			if time.Now().After(deadline) {
-				log.Fatalf("daemon at %s not healthy after %s", base, *wait)
+				log.Fatalf("daemon at %s not ready after %s", base, *wait)
 			}
 			time.Sleep(100 * time.Millisecond)
 		}
@@ -75,6 +96,8 @@ func main() {
 		Scenario:    *scenario,
 		Requests:    *requests,
 		Concurrency: *concurrency,
+		Retries:     *retries,
+		RetryBase:   *retryBase,
 	}
 	if *transcript != "" {
 		f, err := os.Create(*transcript)
@@ -89,13 +112,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	report.Durability = durability
 
 	if *jsonOut {
 		enc, _ := json.Marshal(report)
 		fmt.Println(string(enc))
 	} else {
-		fmt.Printf("mix=%s scenario=%s requests=%d errors=%d 5xx=%d\n",
-			report.Mix, report.Scenario, report.Requests, report.Errors, report.Status5xx)
+		fmt.Printf("mix=%s scenario=%s requests=%d errors=%d 5xx=%d retries=%d (%d requests)\n",
+			report.Mix, report.Scenario, report.Requests, report.Errors, report.Status5xx,
+			report.Retries, report.RetriedRequests)
 		fmt.Printf("latency p50=%.2fms p95=%.2fms p99=%.2fms\n", report.P50MS, report.P95MS, report.P99MS)
 		fmt.Printf("pool hits=%d misses=%d\n", report.PoolHits, report.PoolMisses)
 	}

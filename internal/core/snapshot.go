@@ -155,45 +155,50 @@ func (s *Session) damage(eIdx, u, v int, wOld, wNew int64) {
 	}
 }
 
-// adaptiveFallback estimates, from the captured per-stage wall clocks, the
-// host cost of the incremental path implied by the current dirty sets, and
+// adaptiveFallback estimates, from the captured per-stage round counts,
+// the cost of the incremental path implied by the current dirty sets, and
 // trips fellBack when the expected saving is too small to justify it
 // (re-running most sources through the partial path costs slightly MORE
 // than a cold run, because the reused stages still pay comparison and copy
 // overhead). Stage-1 damage is weighted by the chance of cascading into a
-// full stage 2-8 re-run. The 75% threshold is a heuristic over recorded
-// timings, not a correctness boundary — both paths produce bit-identical
-// results.
+// full stage 2-8 re-run. The 75% threshold is a heuristic over the
+// recorded simulation, not a correctness boundary — both paths produce
+// bit-identical results. The cost proxy is deliberately the deterministic
+// round counters, never host wall clocks: the fallback verdict is exposed
+// in update responses (UpdateStats.FellBack, apspd's fell_back field), so
+// it must be a pure function of graph + damage or the serving layer's
+// byte-stable transcript contract breaks.
 func (sn *snapshot) adaptiveFallback() {
 	if !sn.valid || sn.fellBack {
 		return
 	}
 	total := 0.0
 	for i := range sn.stages {
-		total += sn.stages[i].WallMS
+		total += float64(sn.stages[i].Rounds)
 	}
 	if total <= 0 {
 		return
 	}
+	roundsF := func(name string) float64 { return float64(sn.rounds(name)) }
 	n, q := len(sn.dirty1), len(sn.dirty3)
 	est := 0.0
 	if n > 0 {
 		f1 := float64(countTrue(sn.dirty1)) / float64(n)
 		// A refreshed stage-1 tree that actually changed cascades into a
 		// cold stage 2-8; charge the cascade at the damage fraction.
-		est += f1 * (sn.wall("step1-csssp") + (total - sn.wall("step1-csssp")))
+		est += f1 * (roundsF("step1-csssp") + (total - roundsF("step1-csssp")))
 	}
 	if q > 0 {
-		est += float64(countTrue(sn.dirty3)) / float64(q) * sn.wall("step3-insssp")
+		est += float64(countTrue(sn.dirty3)) / float64(q) * roundsF("step3-insssp")
 	}
 	if sn.qsinkDirty {
-		est += sn.wall("step6-qsink")
+		est += roundsF("step6-qsink")
 	}
 	if n > 0 {
-		est += float64(countTrue(sn.dirty7)) / float64(n) * sn.wall("step7-extend")
+		est += float64(countTrue(sn.dirty7)) / float64(n) * roundsF("step7-extend")
 	}
 	if countTrue(sn.dirty7) > 0 {
-		est += sn.wall("step8-lastedge")
+		est += roundsF("step8-lastedge")
 	}
 	if est >= 0.75*total {
 		sn.fellBack = true

@@ -6,16 +6,44 @@ import (
 	"path/filepath"
 )
 
+// SyncDir fsyncs a directory, making its entries (renames, creates,
+// unlinks) durable. POSIX rename is atomic with respect to concurrent
+// observers but says nothing about power loss: the new directory entry
+// lives in the page cache until the directory inode itself is synced, so
+// the temp+rename pattern is only crash-durable when followed by a parent
+// fsync. Exported for the serving layer's journal/checkpoint writers,
+// which share this discipline.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("graphio: fsync %s: %w", dir, err)
+	}
+	return d.Close()
+}
+
 // WriteFileAtomic lands data at path via a temporary file in the same
 // directory plus a rename — the Save pattern, exported for artifact writers
-// (EXPERIMENTS.json, benchmark reports) whose partial flushes on SIGINT must
-// replace the destination completely or not at all, never leave it torn.
+// (EXPERIMENTS.json, benchmark reports, checkpoint snapshots) whose partial
+// flushes must replace the destination completely or not at all, never
+// leave it torn. The temp file is fsynced before the rename and the parent
+// directory after it, so the swap is durable, not merely atomic: after a
+// power loss the destination holds either the old bytes or the new bytes,
+// never a mix and never a successfully-renamed-but-empty file.
 func WriteFileAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".graphio-*")
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("%s: %w", path, err)
@@ -39,5 +67,5 @@ func WriteFileAtomic(path string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	return SyncDir(filepath.Dir(path))
 }

@@ -185,7 +185,9 @@ func Load(path string) (*graph.Graph, error) {
 // write goes to a temporary file in the destination directory and renames
 // over path on success, so a failed or interrupted save never leaves a
 // truncated file behind (a short TSV would otherwise reload silently as a
-// smaller graph — TSV carries no edge count).
+// smaller graph — TSV carries no edge count). The temp file is fsynced
+// before the rename and the parent directory after it, so a completed Save
+// also survives power loss (see WriteFileAtomic).
 func Save(path string, g *graph.Graph) error {
 	f, err := DetectFormat(path)
 	if err != nil {
@@ -196,6 +198,11 @@ func Save(path string, g *graph.Graph) error {
 		return err
 	}
 	if err := Write(tmp, g, f); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("%s: %w", path, err)
@@ -220,5 +227,5 @@ func Save(path string, g *graph.Graph) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	return SyncDir(filepath.Dir(path))
 }

@@ -64,14 +64,24 @@ type entry struct {
 	pool   *Pool
 	runner *apsp.Runner
 
+	// journal is the entry's write-ahead log on a durable pool (nil
+	// otherwise): applyCoalesced appends each accepted batch before any
+	// waiter is released.
+	journal *Journal
+
 	lastUse uint64 // LRU slot, guarded by pool.mu
 
-	mu       sync.Mutex // guards queue, draining, cache
+	mu       sync.Mutex // guards queue, draining, closed, cache
 	queue    []*request
 	draining bool
+	// closed marks a durably-evicted entry: stale pointers must stop
+	// enqueueing (ErrUnknownGraph) so the evicted twin cannot append to
+	// the journal a recovered replacement now owns.
+	closed bool
 
 	version atomic.Uint64
-	edges   atomic.Int64 // current edge count, maintained by the drain goroutine
+	edges   atomic.Int64  // current edge count, maintained by the drain goroutine
+	digest  atomic.Uint64 // current content digest, maintained by the drain goroutine
 
 	// cache maps an options key to the Result computed for it at the
 	// current version; cleared on every version bump. Queries run full
@@ -89,13 +99,35 @@ func newEntry(key string, r *apsp.Runner, p *Pool) *entry {
 		cache:  make(map[string]*apsp.Result),
 	}
 	e.edges.Store(int64(r.Graph().M()))
+	e.digest.Store(r.Graph().Digest())
 	return e
+}
+
+// idle reports whether the entry has no queued or in-flight work — the
+// durable pool's eviction precondition.
+func (e *entry) idle() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue) == 0 && !e.draining
+}
+
+// markClosed retires a durably-evicted entry: subsequent enqueues fail
+// with ErrUnknownGraph and callers re-resolve the key (which recovers the
+// lineage from disk).
+func (e *entry) markClosed() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
 }
 
 // enqueue admits r to the batch queue (shedding at the depth cap) and
 // ensures a drain goroutine is running. The caller then waits on r.done.
 func (e *entry) enqueue(r *request) error {
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrUnknownGraph
+	}
 	if len(e.queue) >= e.pool.maxQueue {
 		e.mu.Unlock()
 		e.pool.met.Add("apspd_shed_total", 1)
@@ -239,6 +271,7 @@ func (e *entry) applyCoalesced(run []*request) {
 	} else if err != nil {
 		failAt = 0 // non-indexed failure: nothing is known applied
 	}
+	var jerr error
 	if err == nil || failAt > 0 {
 		// Some prefix (possibly all) of the concatenated updates applied:
 		// the served graph moved, so bump the version and drop the cache.
@@ -247,6 +280,23 @@ func (e *entry) applyCoalesced(run []*request) {
 		clear(e.cache)
 		e.mu.Unlock()
 		e.edges.Store(int64(e.runner.Graph().M()))
+		e.digest.Store(e.runner.Graph().Digest())
+		if e.journal != nil {
+			// WAL contract: the accepted prefix must be journaled (and, under
+			// FsyncAlways, synced) before any waiter learns its updates
+			// applied. A journal failure does not undo the in-memory apply —
+			// it fails the would-be-successful callers instead, below.
+			accepted := all
+			if err != nil {
+				accepted = all[:failAt]
+			}
+			jerr = e.journal.append(&journalRecord{
+				Kind:    recordKindUpdate,
+				Version: e.version.Load(),
+				Digest:  Key(e.digest.Load()),
+				Updates: toRecordUpdates(accepted),
+			})
+		}
 	}
 	version := e.version.Load()
 	met := e.pool.met
@@ -260,7 +310,10 @@ func (e *entry) applyCoalesced(run []*request) {
 		r.ustats, r.version = stats, version
 		switch {
 		case err == nil || end <= failAt:
-			// fully applied
+			// fully applied; jerr (nil in the durable happy path and always
+			// when no journal is attached) surfaces a journal failure to the
+			// callers whose durability it broke.
+			r.err = jerr
 		case ue != nil && start <= failAt:
 			r.err = &apsp.UpdateError{Index: failAt - start, Err: ue.Err}
 		case err != nil && start == 0 && ue == nil:
@@ -269,6 +322,14 @@ func (e *entry) applyCoalesced(run []*request) {
 			r.err = ErrAborted
 		}
 		close(r.done)
+	}
+	if e.journal != nil && jerr == nil && (err == nil || failAt > 0) {
+		// Checkpoint cadence runs after the waiters are released — it is
+		// maintenance, not part of any request's latency. A checkpoint
+		// failure is counted (apspd_journal_errors_total) and leaves the
+		// journal intact, which recovery handles fine; it never fails
+		// requests.
+		e.journal.maybeCheckpoint(e.runner.Graph(), version)
 	}
 }
 
@@ -339,11 +400,15 @@ func mergedContext(group []*request) (context.Context, context.CancelFunc) {
 }
 
 // EntryStats is the per-graph snapshot served by the stats endpoint.
+// Digest is the CURRENT content digest (16 hex digits, same rendering as
+// the load-time key): the crash-recovery harness compares it across a
+// kill/restart to prove bit-identical state.
 type EntryStats struct {
 	Key     string `json:"graph"`
 	N       int    `json:"n"`
 	M       int    `json:"m"`
 	Version uint64 `json:"version"`
+	Digest  string `json:"digest"`
 	Cached  int    `json:"cached_results"`
 }
 
@@ -359,6 +424,7 @@ func (e *entry) Stats() EntryStats {
 		N:       e.runner.Graph().N(),
 		M:       int(e.edges.Load()),
 		Version: e.version.Load(),
+		Digest:  Key(e.digest.Load()),
 		Cached:  cached,
 	}
 }

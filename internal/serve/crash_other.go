@@ -1,0 +1,12 @@
+//go:build !unix
+
+package serve
+
+import "os"
+
+// die is the non-unix fallback for the crash-point instrument: os.Exit
+// skips deferred functions and flushes, which is as close to a hard kill
+// as a portable call gets.
+func (s *Store) die() {
+	os.Exit(137)
+}

@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"congestapsp/pkg/apsp"
+)
+
+// This file is the crash-recovery harness: it SIGKILLs a REAL apspd
+// process (not an in-process service) at seeded crash points inside the
+// durability layer and proves that a restart recovers bit-identical state
+// — the recovered version is at least the last version any client was
+// acked, the recovered digest matches the journal's accepted prefix, and
+// the full distance matrix is cell-identical to a cold apsp.Run on the
+// same prefix. The crash points (StoreOptions.CrashSpec, armed via the
+// APSPD_CRASH env var) cover the four distinct on-disk states a crash can
+// leave: half a journal frame, a full frame not yet acked, a half-written
+// checkpoint temp, and a truncated journal just after a checkpoint.
+
+const crashScenario = "random-n16-s1"
+
+// crashUpdateList is the deterministic single-update batches the harness
+// feeds the daemon — weight changes on the scenario's first real edges, so
+// version k is the state after the first k of them.
+func crashUpdateList(t *testing.T) []apsp.EdgeUpdate {
+	t.Helper()
+	sc, err := apsp.ParseScenario(crashScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups []apsp.EdgeUpdate
+	g.Edges(func(u, v int, w int64) {
+		if len(ups) < 6 {
+			ups = append(ups, apsp.EdgeUpdate{Op: apsp.SetWeight, U: u, V: v, W: w + 7 + int64(len(ups))})
+		}
+	})
+	if len(ups) < 6 {
+		t.Fatalf("scenario %s has only %d edges", crashScenario, len(ups))
+	}
+	return ups
+}
+
+// graphAtVersion rebuilds the oracle graph: the scenario content plus the
+// first v crash-harness updates, applied through the same addressing the
+// journal replay uses.
+func graphAtVersion(t *testing.T, v uint64) *apsp.Graph {
+	t.Helper()
+	sc, err := apsp.ParseScenario(crashScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := crashUpdateList(t)
+	if v > uint64(len(ups)) {
+		t.Fatalf("recovered version %d beyond the %d updates ever sent", v, len(ups))
+	}
+	for i := uint64(0); i < v; i++ {
+		if err := g.ApplyUpdate(ups[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// coldMatrix runs full APSP cold on g and returns the flattened distances
+// in wire form (unreachable mapped to -1, as the daemon serves them).
+func coldMatrix(t *testing.T, g *apsp.Graph) []int64 {
+	t.Helper()
+	res, err := apsp.Run(g, apsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := make([]int64, 0, g.N()*g.N())
+	for _, row := range res.Dist {
+		for _, d := range row {
+			if d >= apsp.Inf {
+				d = -1
+			}
+			flat = append(flat, d)
+		}
+	}
+	return flat
+}
+
+// buildApspd compiles the real daemon binary once per test run.
+func buildApspd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "apspd")
+	cmd := exec.Command("go", "build", "-o", bin, "congestapsp/cmd/apspd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building apspd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// apspdProc is one running daemon under harness control. done closes when
+// the process has been reaped; the reaper goroutine is the ONLY Wait
+// caller (a second concurrent Wait races inside os/exec).
+type apspdProc struct {
+	cmd  *exec.Cmd
+	base string
+	done chan struct{}
+}
+
+// startApspd boots bin against dataDir on a kernel-chosen port, parsing
+// the daemon's "listening on" log line for the address, and waits for
+// /readyz. crashSpec arms APSPD_CRASH (empty runs normally).
+func startApspd(t *testing.T, bin, dataDir, crashSpec string) *apspdProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-fsync", "always",
+		"-checkpoint-every", "2",
+	)
+	cmd.Env = append(os.Environ(), "APSPD_CRASH="+crashSpec)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &apspdProc{cmd: cmd, done: make(chan struct{})}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-p.done
+	})
+
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j >= 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addr <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	go func() {
+		cmd.Wait()
+		close(p.done)
+	}()
+
+	select {
+	case a := <-addr:
+		p.base = "http://" + a
+	case <-p.done:
+		t.Fatalf("apspd exited before announcing its address")
+	case <-time.After(20 * time.Second):
+		t.Fatalf("apspd never announced its address")
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get(p.base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("apspd at %s never became ready", p.base)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitExit blocks until the daemon process is gone (the crash instrument
+// fired) so the harness reads quiescent on-disk state.
+func (p *apspdProc) waitExit(t *testing.T) {
+	t.Helper()
+	select {
+	case <-p.done:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("apspd did not die within 20s of the armed crash point")
+	}
+}
+
+// postCrash POSTs a JSON body; a transport error (the daemon died mid
+// request) returns status 0.
+func postCrash(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+// copyDataDir clones the data directory so the in-process oracle recovery
+// cannot perturb the state the restarted daemon will see.
+func copyDataDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestCrashRecoveryBitIdentity is the end-to-end crash matrix. For each
+// crash point it boots a real durable daemon, loads a graph, feeds
+// single-update batches until the armed SIGKILL fires, then proves:
+//
+//  1. an in-process Store.Recover on a copy of the data dir lands on a
+//     version >= the last version any client was acked, with the digest
+//     and full distance matrix of exactly that update prefix;
+//  2. a restarted real daemon reports the same version and digest via
+//     /v1/graphs/<key>/stats and serves the identical full matrix.
+func TestCrashRecoveryBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs real daemons")
+	}
+	bin := buildApspd(t)
+
+	cases := []struct {
+		name string
+		spec string
+	}{
+		// The 2nd update-batch append dies after half a frame: the torn
+		// tail must be truncated, recovering version 1.
+		{"mid-record", "mid-record:2"},
+		// The 2nd append is fully written but never acked: recovery may
+		// land one version PAST the last ack — allowed, never behind.
+		{"post-record", "post-record:2"},
+		// checkpoint-every=2, so the checkpoint after update 2 dies with
+		// half a temp file: journal alone must still recover version 2.
+		{"mid-checkpoint", "mid-checkpoint:1"},
+		// The checkpoint landed and the journal was truncated, then death:
+		// the checkpoint alone must recover version 2.
+		{"post-truncate", "post-truncate:1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dataDir := t.TempDir()
+			p := startApspd(t, bin, dataDir, tc.spec)
+
+			code, body := postCrash(t, p.base+"/v1/graphs", map[string]any{"scenario": crashScenario})
+			if code != http.StatusOK {
+				t.Fatalf("load: status %d, body %s", code, body)
+			}
+			var loaded struct {
+				Graph string `json:"graph"`
+			}
+			if err := json.Unmarshal(body, &loaded); err != nil {
+				t.Fatal(err)
+			}
+			key := loaded.Graph
+
+			// Feed single-update batches until the armed SIGKILL fires.
+			// mid-record/post-record kill inside an append (that request
+			// errors); mid-checkpoint/post-truncate kill in the drain
+			// goroutine after the batch was acked (the NEXT request errors).
+			var lastAcked uint64
+			for i, up := range crashUpdateList(t) {
+				code, body := postCrash(t, p.base+"/v1/graphs/"+key+"/update", map[string]any{
+					"updates": []map[string]any{{"op": "set", "u": up.U, "v": up.V, "w": up.W}},
+				})
+				if code == 0 {
+					break
+				}
+				if code != http.StatusOK {
+					t.Fatalf("update %d: status %d, body %s", i, code, body)
+				}
+				var ack struct {
+					Version uint64 `json:"version"`
+				}
+				if err := json.Unmarshal(body, &ack); err != nil {
+					t.Fatal(err)
+				}
+				if ack.Version != uint64(i+1) {
+					t.Fatalf("update %d acked version %d, want %d", i, ack.Version, i+1)
+				}
+				lastAcked = ack.Version
+			}
+			p.waitExit(t)
+
+			// Oracle recovery on a pristine copy of the damaged state.
+			oracleDir := copyDataDir(t, dataDir)
+			st, err := OpenStore(oracleDir, StoreOptions{}, NewMetrics())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			g, version, _, err := st.Recover(key)
+			if err != nil {
+				t.Fatalf("oracle recovery: %v", err)
+			}
+			if version < lastAcked {
+				t.Fatalf("recovered version %d regressed below last acked %d", version, lastAcked)
+			}
+			oracle := graphAtVersion(t, version)
+			wantDigest := Key(oracle.Digest())
+			if got := Key(g.Digest()); got != wantDigest {
+				t.Fatalf("recovered digest %s, oracle prefix digest %s", got, wantDigest)
+			}
+			wantMatrix := coldMatrix(t, oracle)
+			if gotMatrix := coldMatrix(t, g); !matrixEqual(gotMatrix, wantMatrix) {
+				t.Fatalf("recovered full matrix diverges from cold run on the accepted prefix")
+			}
+
+			// Restart the REAL daemon on the original (damaged) dir.
+			p2 := startApspd(t, bin, dataDir, "")
+			code, body = getCrash(t, p2.base+"/v1/graphs/"+key+"/stats")
+			if code != http.StatusOK {
+				t.Fatalf("stats after restart: status %d, body %s", code, body)
+			}
+			var st2 EntryStats
+			if err := json.Unmarshal(body, &st2); err != nil {
+				t.Fatal(err)
+			}
+			if st2.Version != version {
+				t.Fatalf("restarted daemon at version %d, oracle recovered %d", st2.Version, version)
+			}
+			if st2.Digest != wantDigest {
+				t.Fatalf("restarted daemon digest %s, want %s", st2.Digest, wantDigest)
+			}
+
+			code, body = postCrash(t, p2.base+"/v1/graphs/"+key+"/query", map[string]any{"full": true})
+			if code != http.StatusOK {
+				t.Fatalf("full query after restart: status %d, body %s", code, body)
+			}
+			var full struct {
+				Version uint64    `json:"version"`
+				Matrix  [][]int64 `json:"matrix"`
+			}
+			if err := json.Unmarshal(body, &full); err != nil {
+				t.Fatal(err)
+			}
+			if full.Version != version {
+				t.Fatalf("full query at version %d, want %d", full.Version, version)
+			}
+			var served []int64
+			for _, row := range full.Matrix {
+				served = append(served, row...)
+			}
+			if !matrixEqual(served, wantMatrix) {
+				t.Fatalf("restarted daemon serves a matrix diverging from the cold oracle")
+			}
+		})
+	}
+}
+
+func matrixEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// getCrash GETs a URL; transport errors return status 0.
+func getCrash(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+// TestCrashPointsActuallyFire guards the instrument itself: an armed spec
+// must kill the process (exit code 137 / SIGKILL, never a clean exit), so
+// the matrix above cannot silently degrade into testing nothing.
+func TestCrashPointsActuallyFire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs real daemons")
+	}
+	bin := buildApspd(t)
+	dataDir := t.TempDir()
+	p := startApspd(t, bin, dataDir, "post-record:1")
+
+	code, body := postCrash(t, p.base+"/v1/graphs", map[string]any{"scenario": crashScenario})
+	if code != http.StatusOK {
+		t.Fatalf("load: status %d, body %s", code, body)
+	}
+	var loaded struct {
+		Graph string `json:"graph"`
+	}
+	if err := json.Unmarshal(body, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	up := crashUpdateList(t)[0]
+	if code, _ := postCrash(t, p.base+"/v1/graphs/"+loaded.Graph+"/update", map[string]any{
+		"updates": []map[string]any{{"op": "set", "u": up.U, "v": up.V, "w": up.W}},
+	}); code != 0 {
+		t.Fatalf("armed update returned status %d; the crash point did not fire", code)
+	}
+	p.waitExit(t)
+	if state := p.cmd.ProcessState; state != nil && state.Success() {
+		t.Fatalf("daemon exited cleanly; expected SIGKILL")
+	}
+}

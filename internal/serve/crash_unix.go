@@ -1,0 +1,17 @@
+//go:build unix
+
+package serve
+
+import (
+	"os"
+	"syscall"
+)
+
+// die hard-kills the process at an armed crash point: SIGKILL to self, no
+// deferred functions, no flushes — exactly the state a real crash leaves.
+// The select blocks the goroutine forever in the unkillable-signal window
+// so no code after a crash point can observably run.
+func (s *Store) die() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {}
+}

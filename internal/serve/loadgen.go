@@ -42,24 +42,46 @@ type LoadConfig struct {
 	Concurrency int
 	// Transcript, when set, receives the deterministic request/response
 	// log (method, path, request body, status, response body per entry).
+	// Retried attempts each get their own entry, followed by a single
+	// "RETRIED <n>" line; a run with no retries is byte-identical to one
+	// generated before retries existed.
 	Transcript io.Writer
+	// Retries caps retry attempts per request on 429 (shed) and 503
+	// (recovering) responses: 0 means the default (3), negative disables
+	// retrying. Backoff is exponential with deterministic seeded jitter —
+	// a pure function of (Seed, request index, attempt) — so retry
+	// schedules reproduce run to run like everything else the generator
+	// does.
+	Retries int
+	// RetryBase is the first backoff step (default 25ms); attempt k waits
+	// RetryBase<<k plus jitter in [0, RetryBase).
+	RetryBase time.Duration
 }
 
 // LoadReport summarizes a run: status-code census and latency percentiles
 // over the post-load requests, plus the daemon-side pool counters scraped
 // from /metrics after the run.
 type LoadReport struct {
-	Mix        string         `json:"mix"`
-	Scenario   string         `json:"scenario"`
-	Requests   int            `json:"requests"`
-	Errors     int            `json:"errors"`
-	Status     map[string]int `json:"status"`
-	Status5xx  int            `json:"status_5xx"`
-	P50MS      float64        `json:"p50_ms"`
-	P95MS      float64        `json:"p95_ms"`
-	P99MS      float64        `json:"p99_ms"`
-	PoolHits   int64          `json:"pool_hits"`
-	PoolMisses int64          `json:"pool_misses"`
+	Mix       string         `json:"mix"`
+	Scenario  string         `json:"scenario"`
+	Requests  int            `json:"requests"`
+	Errors    int            `json:"errors"`
+	Status    map[string]int `json:"status"`
+	Status5xx int            `json:"status_5xx"`
+	// Retries counts retry attempts across the run; RetriedRequests counts
+	// requests that needed at least one. Latency percentiles include the
+	// backoff a retried request waited through — the client-observed truth.
+	Retries         int     `json:"retries"`
+	RetriedRequests int     `json:"retried_requests"`
+	P50MS           float64 `json:"p50_ms"`
+	P95MS           float64 `json:"p95_ms"`
+	P99MS           float64 `json:"p99_ms"`
+	PoolHits        int64   `json:"pool_hits"`
+	PoolMisses      int64   `json:"pool_misses"`
+	// Durability labels the daemon's journaling mode for benchmark rows
+	// ("" = in-memory, e.g. "fsync=interval"); set by the caller, carried
+	// through to the JSON report.
+	Durability string `json:"durability,omitempty"`
 }
 
 // genRequest is one pre-generated wire request.
@@ -188,9 +210,21 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		Requests: len(reqs),
 		Status:   make(map[string]int),
 	}
+	maxRetries := cfg.Retries
+	if maxRetries == 0 {
+		maxRetries = 3
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	retryBase := cfg.RetryBase
+	if retryBase <= 0 {
+		retryBase = 25 * time.Millisecond
+	}
 	durations := make([]float64, len(reqs))
 	codes := make([]int, len(reqs))
 	errorsAt := make([]error, len(reqs))
+	retriesAt := make([]int, len(reqs))
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
@@ -198,17 +232,38 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			defer wg.Done()
 			for i := w; i < len(reqs); i += cfg.Concurrency {
 				t0 := time.Now()
-				code, out, err := post(reqs[i].path, reqs[i].body)
+				attempt := 0
+				var code int
+				var out []byte
+				var err error
+				for {
+					code, out, err = post(reqs[i].path, reqs[i].body)
+					if cfg.Transcript != nil {
+						fmt.Fprintf(cfg.Transcript, "POST %s\n%s\n%d %s\n", reqs[i].path, reqs[i].body, code, out)
+					}
+					// Retry only what the daemon told us to come back for:
+					// 429 (shed) and 503 (recovering). Transport errors and
+					// every other status are final.
+					if err != nil || (code != http.StatusTooManyRequests && code != http.StatusServiceUnavailable) || attempt >= maxRetries {
+						break
+					}
+					time.Sleep(retryDelay(cfg.Seed, i, attempt, retryBase))
+					attempt++
+				}
 				durations[i] = float64(time.Since(t0).Microseconds()) / 1000
-				codes[i], errorsAt[i] = code, err
-				if cfg.Transcript != nil {
-					fmt.Fprintf(cfg.Transcript, "POST %s\n%s\n%d %s\n", reqs[i].path, reqs[i].body, code, out)
+				codes[i], errorsAt[i], retriesAt[i] = code, err, attempt
+				if attempt > 0 && cfg.Transcript != nil {
+					fmt.Fprintf(cfg.Transcript, "RETRIED %d\n", attempt)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 	for i := range reqs {
+		report.Retries += retriesAt[i]
+		if retriesAt[i] > 0 {
+			report.RetriedRequests++
+		}
 		if errorsAt[i] != nil {
 			report.Errors++
 			continue
@@ -231,6 +286,24 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		report.PoolMisses = scrapeCounter(body, "apspd_pool_misses_total")
 	}
 	return report, nil
+}
+
+// retryDelay is the backoff before retry attempt k of request i:
+// base<<k plus a deterministic jitter in [0, base) hashed from
+// (seed, i, k) — a pure function, so a seeded run's retry schedule (and
+// therefore its latency distribution under overload) reproduces exactly.
+// The shift caps at 6 (64× base) to bound the wait however many attempts
+// are configured.
+func retryDelay(seed int64, i, attempt int, base time.Duration) time.Duration {
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + uint64(attempt)*0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return base<<shift + time.Duration(h%uint64(base))
 }
 
 // percentile reads the q-quantile from an ascending slice (nearest-rank).

@@ -85,24 +85,33 @@ func family(series string) string {
 // absent from the table still render (with a generic help line), so adding
 // a series never silently breaks the endpoint.
 var familyHelp = map[string]string{
-	"apspd_pool_hits_total":          "graph loads and lookups answered by an already-warm Runner",
-	"apspd_pool_misses_total":        "graph loads that had to build a new Runner",
-	"apspd_pool_evictions_total":     "warm Runners evicted by the pool's LRU cap",
-	"apspd_pool_size":                "warm Runners currently pooled",
-	"apspd_shed_total":               "requests shed by the per-graph queue-depth cap (HTTP 429)",
-	"apspd_queue_depth_max":          "high-water mark of a per-graph batch queue",
-	"apspd_batches_total":            "coalesced batches drained, by request kind",
-	"apspd_batched_requests_total":   "requests served through coalesced batches, by kind",
-	"apspd_batch_size_max":           "largest coalesced batch drained",
-	"apspd_result_cache_hits_total":  "queries answered from the per-version result cache",
-	"apspd_runs_total":               "warm APSP runs executed on pooled Runners",
-	"apspd_update_reused_total":      "label systems reused across served update batches",
-	"apspd_update_recomputed_total":  "label systems recomputed across served update batches",
-	"apspd_update_fallbacks_total":   "served update batches that fell back to full recompute",
-	"apspd_http_requests_total":      "HTTP requests served, by status code",
-	"apspd_stage_rounds_total":       "simulated CONGEST rounds charged, by pipeline stage",
-	"apspd_stage_wall_seconds_total": "host wall-clock spent, by pipeline stage",
-	"apspd_stage_allocs_total":       "heap allocations performed, by pipeline stage",
+	"apspd_pool_hits_total":           "graph loads and lookups answered by an already-warm Runner",
+	"apspd_pool_misses_total":         "graph loads that had to build a new Runner",
+	"apspd_pool_evictions_total":      "warm Runners evicted by the pool's LRU cap",
+	"apspd_pool_size":                 "warm Runners currently pooled",
+	"apspd_shed_total":                "requests shed by the per-graph queue-depth cap (HTTP 429)",
+	"apspd_queue_depth_max":           "high-water mark of a per-graph batch queue",
+	"apspd_batches_total":             "coalesced batches drained, by request kind",
+	"apspd_batched_requests_total":    "requests served through coalesced batches, by kind",
+	"apspd_batch_size_max":            "largest coalesced batch drained",
+	"apspd_result_cache_hits_total":   "queries answered from the per-version result cache",
+	"apspd_runs_total":                "warm APSP runs executed on pooled Runners",
+	"apspd_update_reused_total":       "label systems reused across served update batches",
+	"apspd_update_recomputed_total":   "label systems recomputed across served update batches",
+	"apspd_update_fallbacks_total":    "served update batches that fell back to full recompute",
+	"apspd_http_requests_total":       "HTTP requests served, by status code",
+	"apspd_ready":                     "1 once boot recovery finished and /v1 traffic is accepted",
+	"apspd_journal_appends_total":     "journal records appended, by record kind",
+	"apspd_journal_bytes_total":       "bytes appended to write-ahead journals (framing included)",
+	"apspd_journal_fsyncs_total":      "journal fsyncs issued (per-append or interval, by policy)",
+	"apspd_journal_errors_total":      "journal append, fsync, checkpoint, or truncate failures",
+	"apspd_checkpoints_total":         "checkpoint snapshots written (each truncates its journal)",
+	"apspd_recovery_graphs_total":     "graph lineages recovered from durable state",
+	"apspd_recovery_records_total":    "journal update records replayed during recovery",
+	"apspd_recovery_torn_tails_total": "torn or corrupt journal tails truncated during recovery",
+	"apspd_stage_rounds_total":        "simulated CONGEST rounds charged, by pipeline stage",
+	"apspd_stage_wall_seconds_total":  "host wall-clock spent, by pipeline stage",
+	"apspd_stage_allocs_total":        "heap allocations performed, by pipeline stage",
 }
 
 // WriteText renders the registry in Prometheus text exposition format,

@@ -46,6 +46,12 @@ type Pool struct {
 	clock    uint64
 	entries  map[string]*entry
 	met      *Metrics
+
+	// store is the durability root when the daemon runs with -data-dir
+	// (nil otherwise). A durable pool journals every load and accepted
+	// update batch, recovers evicted-or-restarted lineages from disk on
+	// demand, and restricts eviction to idle entries (see evictLRULocked).
+	store *Store
 }
 
 // NewPool builds a pool holding at most max warm Runners, each with a
@@ -70,12 +76,33 @@ func NewPool(max, maxQueue int, parallel bool, met *Metrics) *Pool {
 // Key renders a graph digest as the pool's 16-hex-digit handle.
 func Key(digest uint64) string { return fmt.Sprintf("%016x", digest) }
 
+// setStore attaches the durability root. Called once, before the pool
+// serves traffic (boot-time recovery precedes readiness).
+func (p *Pool) setStore(st *Store) {
+	p.mu.Lock()
+	p.store = st
+	p.mu.Unlock()
+}
+
 // Load warms a Runner for g and returns its key. Loading content the pool
 // already holds is a hit: the existing entry is reused (and its LRU slot
 // refreshed) — the caller's graph value is discarded, so "load the same
 // edges twice" converges on one warm Runner no matter which client sent
 // them. created reports whether a new Runner was built.
 func (p *Pool) Load(g *apsp.Graph) (key string, created bool, err error) {
+	return p.LoadOrigin(g, "")
+}
+
+// LoadOrigin is Load plus journal provenance: when the client loaded a
+// named scenario, the durable load record stores the name instead of the
+// edge list (the deterministic corpus reproduces the content on replay).
+// On a durable pool, a key whose lineage already exists on disk — loaded
+// in a previous process life, or evicted earlier in this one — is
+// recovered from disk rather than re-created: the journaled lineage is
+// authoritative, so the client's handle lands on the recovered version and
+// client-visible versions stay monotonic even though the caller supplied
+// the original (version-0) content.
+func (p *Pool) LoadOrigin(g *apsp.Graph, scenario string) (key string, created bool, err error) {
 	key = Key(g.Digest())
 	p.mu.Lock()
 	if e, ok := p.entries[key]; ok {
@@ -85,7 +112,14 @@ func (p *Pool) Load(g *apsp.Graph) (key string, created bool, err error) {
 		p.met.Add("apspd_pool_hits_total", 1)
 		return key, false, nil
 	}
+	store := p.store
 	p.mu.Unlock()
+	if store != nil && store.HasGraph(key) {
+		if _, err := p.recoverFromStore(key); err != nil {
+			return "", false, err
+		}
+		return key, true, nil
+	}
 	// Build the Runner outside the pool lock: NewRunner constructs the
 	// whole CONGEST network, and concurrent loads of other graphs must not
 	// serialize behind it. A racing load of the SAME content is resolved
@@ -94,7 +128,18 @@ func (p *Pool) Load(g *apsp.Graph) (key string, created bool, err error) {
 	if err != nil {
 		return "", false, err
 	}
+	var j *Journal
+	if store != nil {
+		// Journal the load BEFORE the entry becomes reachable: once any
+		// client can reach the entry and mutate it, the lineage's first
+		// record is already durable, so no accepted update can ever precede
+		// its load record on disk.
+		if j, err = store.CreateGraph(key, loadRecord(g, scenario)); err != nil {
+			return "", false, err
+		}
+	}
 	e := newEntry(key, r, p)
+	e.journal = j
 	p.mu.Lock()
 	if prior, ok := p.entries[key]; ok {
 		p.clock++
@@ -107,7 +152,9 @@ func (p *Pool) Load(g *apsp.Graph) (key string, created bool, err error) {
 	e.lastUse = p.clock
 	p.entries[key] = e
 	for len(p.entries) > p.max {
-		p.evictLRULocked()
+		if !p.evictLRULocked() {
+			break
+		}
 	}
 	size := len(p.entries)
 	p.mu.Unlock()
@@ -116,21 +163,41 @@ func (p *Pool) Load(g *apsp.Graph) (key string, created bool, err error) {
 	return key, true, nil
 }
 
-// evictLRULocked removes the least-recently-used entry. Callers hold p.mu.
-func (p *Pool) evictLRULocked() {
-	var victim string
+// evictLRULocked removes the least-recently-used evictable entry and
+// reports whether one was found. Callers hold p.mu.
+//
+// On a durable pool only IDLE entries (empty queue, not draining) are
+// evictable, and the victim is marked closed so stale entry pointers get
+// ErrUnknownGraph instead of enqueueing: an evicted-but-still-draining
+// twin appending to the same journal as a freshly recovered replacement
+// would fork the lineage. A transient nothing-evictable state just lets
+// the pool run over its cap until entries go idle.
+func (p *Pool) evictLRULocked() bool {
+	var victim *entry
+	var vkey string
 	var oldest uint64
-	first := true
 	for k, e := range p.entries {
-		if first || e.lastUse < oldest {
-			victim, oldest, first = k, e.lastUse, false
+		if p.store != nil && !e.idle() {
+			continue
+		}
+		if victim == nil || e.lastUse < oldest {
+			victim, vkey, oldest = e, k, e.lastUse
 		}
 	}
-	delete(p.entries, victim)
+	if victim == nil {
+		return false
+	}
+	if p.store != nil {
+		victim.markClosed()
+	}
+	delete(p.entries, vkey)
 	p.met.Add("apspd_pool_evictions_total", 1)
+	return true
 }
 
-// Get returns the warm entry for key, refreshing its LRU slot.
+// Get returns the warm entry for key, refreshing its LRU slot. On a
+// durable pool a miss with on-disk state recovers the lineage instead of
+// failing: eviction (or a restart) is invisible to clients beyond latency.
 func (p *Pool) Get(key string) (*entry, error) {
 	p.mu.Lock()
 	e, ok := p.entries[key]
@@ -138,8 +205,17 @@ func (p *Pool) Get(key string) (*entry, error) {
 		p.clock++
 		e.lastUse = p.clock
 	}
+	store := p.store
 	p.mu.Unlock()
 	if !ok {
+		if store != nil && store.HasGraph(key) {
+			e, err := p.recoverFromStore(key)
+			if err != nil {
+				return nil, err
+			}
+			p.met.Add("apspd_pool_misses_total", 1)
+			return e, nil
+		}
 		p.met.Add("apspd_pool_misses_total", 1)
 		return nil, ErrUnknownGraph
 	}

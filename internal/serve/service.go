@@ -7,6 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"congestapsp/pkg/apsp"
@@ -53,15 +56,25 @@ func (c Config) withDefaults() Config {
 //	POST /v1/graphs/{key}/blocker    blocker-set construction
 //	GET  /v1/graphs/{key}/stats      per-graph snapshot
 //	GET  /metrics                    Prometheus text format
-//	GET  /healthz                    liveness
+//	GET  /healthz                    liveness (process up; nothing else)
+//	GET  /readyz                     readiness (503 + progress during recovery)
 type Service struct {
 	cfg  Config
 	pool *Pool
 	met  *Metrics
 	mux  *http.ServeMux
+
+	// Durability state (nil/true without -data-dir): the store is opened by
+	// Recover, and ready gates /v1 traffic while boot recovery replays.
+	store *Store
+	ready atomic.Bool
+	recMu sync.Mutex
+	prog  RecoveryProgress
 }
 
-// New builds a Service with its own pool and metrics registry.
+// New builds a Service with its own pool and metrics registry. The service
+// starts ready; a durable daemon calls BeginRecovery + Recover before
+// serving /v1 traffic.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	met := NewMetrics()
@@ -71,6 +84,8 @@ func New(cfg Config) *Service {
 		met:  met,
 		mux:  http.NewServeMux(),
 	}
+	s.ready.Store(true)
+	met.Set("apspd_ready", 1)
 	s.mux.HandleFunc("POST /v1/graphs", s.handleLoad)
 	s.mux.HandleFunc("POST /v1/graphs/{key}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/graphs/{key}/update", s.handleUpdate)
@@ -78,17 +93,34 @@ func New(cfg Config) *Service {
 	s.mux.HandleFunc("GET /v1/graphs/{key}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Pure liveness: answers as long as the process serves HTTP, even
+		// mid-recovery. Readiness lives at /readyz.
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		p := s.Progress()
+		code := http.StatusOK
+		if !p.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		s.writeJSON(w, code, p)
 	})
 	return s
 }
 
-// Handler is the daemon's root handler (status-code accounting included).
+// Handler is the daemon's root handler: status-code accounting, plus the
+// readiness gate — while boot recovery replays, every /v1 request is
+// refused with 503 and the recovery progress (the state the request would
+// observe is not yet proven), while /healthz, /readyz and /metrics stay up.
 func (s *Service) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &codeRecorder{ResponseWriter: w, code: http.StatusOK}
-		s.mux.ServeHTTP(rec, r)
+		if !s.ready.Load() && strings.HasPrefix(r.URL.Path, "/v1/") {
+			s.writeJSON(rec, http.StatusServiceUnavailable, s.Progress())
+		} else {
+			s.mux.ServeHTTP(rec, r)
+		}
 		s.met.Add(fmt.Sprintf("apspd_http_requests_total{code=\"%d\"}", rec.code), 1)
 	})
 }
@@ -411,7 +443,7 @@ func (s *Service) handleLoad(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	key, created, err := s.pool.Load(g)
+	key, created, err := s.pool.LoadOrigin(g, req.Scenario)
 	if err != nil {
 		s.writeErr(w, err)
 		return

@@ -1,6 +1,7 @@
 package apsp
 
 import (
+	"fmt"
 	"io"
 
 	"congestapsp/internal/core"
@@ -87,6 +88,40 @@ func ReadUpdates(r io.Reader) ([]EdgeUpdate, error) {
 		ups[i] = EdgeUpdate{Op: op, U: u.U, V: u.V, W: u.W}
 	}
 	return ups, nil
+}
+
+// ApplyUpdate mutates g directly with exactly the edge addressing of
+// Runner.ApplyUpdates — SetWeight and DeleteEdge act on the first existing
+// U-V edge (either orientation on undirected graphs), InsertEdge appends,
+// and setting a weight to its current value is accepted and ignored — but
+// without any session: no damage tracking, no warm network, just the graph
+// content. It exists for replay tooling (the serving layer's journal
+// recovery) that reconstructs a graph from a recorded update stream before
+// building a Runner on the result; applying the same updates here and
+// through a Runner lands on the same Digest. A graph pinned to a live
+// Runner must NOT be mutated this way — that is exactly the out-of-band
+// mutation the Runner's version guard refuses.
+func (g *Graph) ApplyUpdate(up EdgeUpdate) error {
+	switch up.Op {
+	case SetWeight:
+		idx := g.g.FindEdge(up.U, up.V)
+		if idx < 0 {
+			return fmt.Errorf("apsp: no edge (%d,%d) to set", up.U, up.V)
+		}
+		if g.g.Edges()[idx].W == up.W {
+			return nil
+		}
+		return g.g.SetEdgeWeight(idx, up.W)
+	case InsertEdge:
+		return g.g.AddEdge(up.U, up.V, up.W)
+	case DeleteEdge:
+		idx := g.g.FindEdge(up.U, up.V)
+		if idx < 0 {
+			return fmt.Errorf("apsp: no edge (%d,%d) to delete", up.U, up.V)
+		}
+		return g.g.RemoveEdge(idx)
+	}
+	return fmt.Errorf("apsp: unknown update op %d", int(up.Op))
 }
 
 func (r *Runner) ApplyUpdates(ups []EdgeUpdate) (UpdateStats, error) {

@@ -12,6 +12,11 @@
 #                      single-edge weight toggles against a warm Runner,
 #                      with updates/sec and the speedup versus the cold
 #                      BenchmarkAPSPPipeline/seq row at the same n
+#   BENCH_serve.json   serving-layer latency percentiles (cmd/apspload
+#                      -selfhost) per traffic mix, including a journaled
+#                      postupdate row (-data-dir, fsync=interval) whose
+#                      delta against the in-memory postupdate row is the
+#                      durability overhead README quotes
 #   EXPERIMENTS.json   the scenario-corpus sweep (cmd/experiment): every
 #                      registered family x all 4 algorithm profiles x
 #                      seq/sharded at n in {64, 128}, oracle-checked, with
@@ -159,6 +164,15 @@ for n in 128 256; do
     go run ./cmd/apspload -selfhost -scenario "random-n${n}-s1" \
       -mix "$mix" -requests "$REQ" -concurrency 2 -seed 1 -json | tee -a "$RAW"
   done
+  # The same postupdate mix through a durable daemon (write-ahead journal,
+  # fsync=interval): the delta against the in-memory postupdate row above
+  # is the journaling overhead per acknowledged update batch. The row is
+  # labeled by its "durability" field.
+  DDIR="$(mktemp -d)"
+  go run ./cmd/apspload -selfhost -data-dir "$DDIR" -fsync interval \
+    -scenario "random-n${n}-s1" -mix postupdate -requests "$REQ_POSTUPDATE" \
+    -concurrency 2 -seed 1 -json | tee -a "$RAW"
+  rm -rf "$DDIR"
 done
 awk -v cores="$CORES" -v maxprocs="$MAXPROCS" '
   /^\{/ {
