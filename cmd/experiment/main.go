@@ -36,11 +36,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"congestapsp/internal/graph"
@@ -55,8 +57,11 @@ func main() {
 		sizesFlag      = flag.String("sizes", "64,128", "comma-separated vertex counts (ignored for explicit scenario names)")
 		seedsFlag      = flag.String("seeds", "1", "comma-separated generator seeds (ignored for explicit scenario names)")
 		algorithmsFlag = flag.String("algorithms", "det43,det32,rand43,bcast6", "comma-separated algorithm profiles")
-		execFlag       = flag.String("exec", "seq,sharded", "execution modes: seq, sharded (source-sharded worker pool)")
+		execFlag       = flag.String("exec", "seq,sharded", "execution modes: seq, sharded (source-sharded worker pool), planner (per-stage seq-vs-sharded from the cost model)")
 		check          = flag.Bool("check", false, "validate every distance matrix against the Floyd-Warshall oracle")
+		checkSamples   = flag.Int("check-samples", 0, "with -check, validate this many sampled source rows against on-demand Dijkstra instead of the full Floyd-Warshall matrix (the O(n²)-memory oracle big-n budgeted runs cannot afford)")
+		memBudget      = flag.Int64("memory-budget", 0, "resident-byte budget for result matrices: runs whose flat Dist(+LastHop) footprint exceeds it use the tiled spillable backend (0 = always flat)")
+		skipLastHops   = flag.Bool("skip-lasthops", false, "skip the stage-8 last-edge pass (distances only); big-n budgeted runs use this to drop both the n² last-hop table and stage 8's L·n neighbor-distance working set")
 		jsonPath       = flag.String("json", "EXPERIMENTS.json", "JSON output path (empty to skip)")
 		csvPath        = flag.String("csv", "", "CSV output path (empty to skip)")
 		quiet          = flag.Bool("q", false, "suppress per-cell progress on stderr")
@@ -125,9 +130,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		var oracle [][]int64
+		var oracle func(*apsp.Result) error
 		if *check {
-			oracle = oracleDist(g)
+			oracle = oracleFor(g, *checkSamples, sc.Seed)
 		}
 		// One warm Runner per scenario: every profile x exec-mode cell of
 		// this graph reuses the same network, arenas and worker fleet. One
@@ -145,11 +150,7 @@ func main() {
 		}
 		for _, mode := range execModes {
 			wctx, cancel := cellCtx()
-			_, err := runner.RunContext(wctx, apsp.Options{
-				Algorithm: algorithms[0],
-				Parallel:  mode == "sharded",
-				Seed:      sc.Seed,
-			})
+			warm, err := runner.RunContext(wctx, cellOptions(algorithms[0], mode, sc.Seed, *memBudget, *skipLastHops))
 			cancel()
 			switch {
 			case ctx.Err() != nil:
@@ -159,13 +160,15 @@ func main() {
 				// would too, but let the per-cell path report each skip.
 			case err != nil:
 				log.Fatal(err)
+			default:
+				warm.Release()
 			}
 		}
 		for _, alg := range algorithms {
 			byMode := make(map[string]row, len(execModes))
 			for _, mode := range execModes {
 				wctx, cancel := cellCtx()
-				r, err := runCell(wctx, sc, runner, alg, mode, oracle)
+				r, err := runCell(wctx, sc, runner, alg, mode, *memBudget, *skipLastHops, oracle)
 				cancel()
 				if err != nil {
 					if ctx.Err() != nil {
@@ -187,14 +190,22 @@ func main() {
 						sc.Name(), alg, mode, r.Rounds, r.WallMS)
 				}
 			}
-			// Source-sharded execution must be bit-identical to sequential
-			// on every distributed column (DESIGN.md §2.5); whenever the
-			// sweep ran both modes, enforce it.
-			if seq, ok := byMode["seq"]; ok {
-				if sharded, ok := byMode["sharded"]; ok {
-					if err := diffDistributedColumns(seq, sharded); err != nil {
-						log.Fatalf("%s %v: sharded execution diverged from seq: %v", sc.Name(), alg, err)
-					}
+			// Every execution mode must be bit-identical on every distributed
+			// column (DESIGN.md §2.5; the planner only re-routes host work).
+			// Whenever the sweep ran more than one mode, enforce it pairwise
+			// against the first mode that produced a row.
+			refMode := ""
+			for _, mode := range execModes {
+				r, ok := byMode[mode]
+				if !ok {
+					continue
+				}
+				if refMode == "" {
+					refMode = mode
+					continue
+				}
+				if err := diffDistributedColumns(byMode[refMode], r); err != nil {
+					log.Fatalf("%s %v: %s execution diverged from %s: %v", sc.Name(), alg, mode, refMode, err)
 				}
 			}
 		}
@@ -225,29 +236,42 @@ type row struct {
 	Allocs            uint64     `json:"allocs"`
 	AllocBytes        uint64     `json:"alloc_bytes"`
 	Checked           bool       `json:"checked"`
+	Budgeted          bool       `json:"budgeted,omitempty"`
+	PeakRSSKB         int64      `json:"peak_rss_kb,omitempty"`
 	Stages            []stageCol `json:"stages"`
 }
 
 // stageCol is one executed pipeline stage within a row: rounds are
-// deterministic (a distributed column), wall-clock is host cost.
+// deterministic (a distributed column), wall-clock is host cost, exec is
+// the seq-vs-sharded decision the stage ran under.
 type stageCol struct {
 	Name   string  `json:"name"`
 	Rounds int     `json:"rounds"`
 	WallMS float64 `json:"wall_ms"`
+	Exec   string  `json:"exec,omitempty"`
+}
+
+// cellOptions maps one sweep cell onto run options (shared by the warm-up
+// and recorded cells so both exercise the same backend and exec mode).
+func cellOptions(alg apsp.Algorithm, mode string, seed, memBudget int64, skipLastHops bool) apsp.Options {
+	return apsp.Options{
+		Algorithm:    alg,
+		Parallel:     mode == "sharded",
+		Planner:      mode == "planner",
+		MemoryBudget: memBudget,
+		SkipLastHops: skipLastHops,
+		Seed:         seed,
+	}
 }
 
 // runCell executes one sweep cell on the scenario's warm Runner under the
 // cell's context (deadline and SIGINT) and, when oracle is non-nil,
-// validates the full distance matrix against it.
-func runCell(ctx context.Context, sc apsp.Scenario, runner *apsp.Runner, alg apsp.Algorithm, mode string, oracle [][]int64) (row, error) {
+// validates the distances against it.
+func runCell(ctx context.Context, sc apsp.Scenario, runner *apsp.Runner, alg apsp.Algorithm, mode string, memBudget int64, skipLastHops bool, oracle func(*apsp.Result) error) (row, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	res, err := runner.RunContext(ctx, apsp.Options{
-		Algorithm: alg,
-		Parallel:  mode == "sharded",
-		Seed:      sc.Seed,
-	})
+	res, err := runner.RunContext(ctx, cellOptions(alg, mode, sc.Seed, memBudget, skipLastHops))
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 	if err != nil {
@@ -255,22 +279,17 @@ func runCell(ctx context.Context, sc apsp.Scenario, runner *apsp.Runner, alg aps
 	}
 	checked := false
 	if oracle != nil {
-		for x := range oracle {
-			for t := range oracle[x] {
-				if res.Dist[x][t] != oracle[x][t] {
-					return row{}, fmt.Errorf("distance mismatch at (%d,%d): got %d, oracle %d",
-						x, t, res.Dist[x][t], oracle[x][t])
-				}
-			}
+		if err := oracle(res); err != nil {
+			return row{}, err
 		}
 		checked = true
 	}
 	s := res.Stats
 	stages := make([]stageCol, len(s.Stages))
 	for i, st := range s.Stages {
-		stages[i] = stageCol{Name: st.Name, Rounds: st.Rounds, WallMS: st.WallMS}
+		stages[i] = stageCol{Name: st.Name, Rounds: st.Rounds, WallMS: st.WallMS, Exec: st.Exec}
 	}
-	return row{
+	r := row{
 		Scenario:          sc.Name(),
 		Family:            sc.Family,
 		N:                 s.N,
@@ -288,8 +307,28 @@ func runCell(ctx context.Context, sc apsp.Scenario, runner *apsp.Runner, alg aps
 		Allocs:            after.Mallocs - before.Mallocs,
 		AllocBytes:        after.TotalAlloc - before.TotalAlloc,
 		Checked:           checked,
+		Budgeted:          res.Budgeted(),
 		Stages:            stages,
-	}, nil
+	}
+	if r.Budgeted {
+		// Record the process peak RSS for budgeted cells: the scaling claim
+		// is precisely that this stays under the flat matrices' footprint.
+		r.PeakRSSKB = peakRSSKB()
+	}
+	if err := res.Release(); err != nil {
+		return row{}, fmt.Errorf("release: %w", err)
+	}
+	return r, nil
+}
+
+// peakRSSKB reads the process's high-water resident set via getrusage
+// (kilobytes on Linux).
+func peakRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return int64(ru.Maxrss)
 }
 
 // diffDistributedColumns compares the columns that must not depend on the
@@ -325,12 +364,53 @@ func diffDistributedColumns(seq, sharded row) error {
 	return nil
 }
 
-// oracleDist rebuilds the scenario graph in the sequential substrate and
-// runs Floyd-Warshall on it (exact, all pairs).
-func oracleDist(g *apsp.Graph) [][]int64 {
+// oracleFor builds the per-scenario distance validator. The default is the
+// full Floyd-Warshall matrix (exact, all pairs, all cells). With samples >
+// 0 it instead draws that many sources (deterministically from the
+// scenario seed) and validates their full rows against on-demand Dijkstra
+// — O(samples · m log n) time and O(n) oracle memory, which is what lets a
+// budgeted n=4096 run oracle-check at all where the O(n²) Floyd-Warshall
+// tables would dwarf the memory budget under test. Results are read
+// through the accessor surface so both the flat and tiled backends check.
+func oracleFor(g *apsp.Graph, samples int, seed int64) func(*apsp.Result) error {
 	og := graph.New(g.N(), g.Directed())
 	g.Edges(func(u, v int, w int64) { og.MustAddEdge(u, v, w) })
-	return graph.FloydWarshall(og)
+	if samples <= 0 {
+		oracle := graph.FloydWarshall(og)
+		return func(res *apsp.Result) error {
+			for x := range oracle {
+				for t := range oracle[x] {
+					if got := res.DistAt(x, t); got != oracle[x][t] {
+						return fmt.Errorf("distance mismatch at (%d,%d): got %d, oracle %d",
+							x, t, got, oracle[x][t])
+					}
+				}
+			}
+			return nil
+		}
+	}
+	if samples > og.N {
+		samples = og.N
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed0bac1e))
+	srcs := rng.Perm(og.N)[:samples]
+	rows := make(map[int][]int64, samples)
+	return func(res *apsp.Result) error {
+		for _, src := range srcs {
+			want, ok := rows[src]
+			if !ok {
+				want = graph.Dijkstra(og, src)
+				rows[src] = want
+			}
+			for t, w := range want {
+				if got := res.DistAt(src, t); got != w {
+					return fmt.Errorf("distance mismatch at sampled (%d,%d): got %d, Dijkstra %d",
+						src, t, got, w)
+				}
+			}
+		}
+		return nil
+	}
 }
 
 // expandScenarios turns the -scenarios/-sizes/-seeds flags into the corpus:
@@ -388,8 +468,8 @@ func parseAlgorithms(s string) ([]apsp.Algorithm, error) {
 func parseExecModes(s string) ([]string, error) {
 	var out []string
 	for _, tok := range splitList(s) {
-		if tok != "seq" && tok != "sharded" {
-			return nil, fmt.Errorf("unknown exec mode %q (want seq|sharded)", tok)
+		if tok != "seq" && tok != "sharded" && tok != "planner" {
+			return nil, fmt.Errorf("unknown exec mode %q (want seq|sharded|planner)", tok)
 		}
 		out = append(out, tok)
 	}

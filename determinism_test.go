@@ -132,8 +132,10 @@ func forceWorkers(t *testing.T) func() {
 // engine's in-round sharding) must be bit-identical to the sequential
 // schedule in Dist, LastHop, and every Stats field — rounds, messages,
 // words, per-step decomposition, blocker stats, q-sink stats, and the
-// max-node-congestion derived from the merged per-node word vectors. CI
-// runs this under -race, which also certifies the worker-clone ownership
+// max-node-congestion derived from the merged per-node word vectors. The
+// matrix also carries a planner cell: a warm session's calibration run and
+// the cost-model-planned run it seeds must land on the same bits. CI runs
+// this under -race, which also certifies the worker-clone ownership
 // discipline (matrix rows, per-source slots, the shared bford relaxation
 // cache).
 func TestPipelineShardedDeterminism(t *testing.T) {
@@ -163,7 +165,22 @@ func TestPipelineShardedDeterminism(t *testing.T) {
 				// threshold), then with in-round sharding forced for every
 				// round, so -race also covers every protocol family under
 				// the engine's intra-round worker pool.
-				for _, par := range []*core.Result{run(true, 0), run(true, 1)} {
+				// Planner cell: the session-held calibration run and the
+				// planned run it seeds, both of which must land on the very
+				// same bits as the fixed schedules above (the planner only
+				// re-routes host execution, never the simulated protocol).
+				s, err := core.NewSession(gc.g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				popt := core.Options{Variant: v, Seed: 11, Planner: true, MinShardNodes: 1}
+				planned := make([]*core.Result, 2)
+				for pass := range planned {
+					if planned[pass], err = s.Run(popt); err != nil {
+						t.Fatalf("planner pass %d: %v", pass, err)
+					}
+				}
+				for _, par := range []*core.Result{run(true, 0), run(true, 1), planned[0], planned[1]} {
 					if !reflect.DeepEqual(seq.Stats, par.Stats) {
 						t.Fatalf("stats diverge:\n  seq: %+v\n  par: %+v", seq.Stats, par.Stats)
 					}

@@ -73,6 +73,17 @@ func (s *Scratch) Reset() {
 	s.i64.off, s.i32.off, s.ints.off, s.bools.off = 0, 0, 0, 0
 }
 
+// Footprint returns the arena's high-water byte footprint: the backing
+// bytes of every typed slab. Slabs never shrink, so this is monotone per
+// arena — the serving layer uses it (summed over a network and its worker
+// fleet via Network.ArenaFootprint) for approximate per-entry byte
+// accounting in the warm-Runner pool. Registry state is not counted: its
+// shapes are owner-private and small relative to the O(n)-vector slabs.
+func (s *Scratch) Footprint() int64 {
+	return int64(len(s.i64.buf))*8 + int64(len(s.i32.buf))*4 +
+		int64(len(s.ints.buf))*8 + int64(len(s.bools.buf))
+}
+
 // Int64s checks out a zeroed []int64 of length n.
 func (s *Scratch) Int64s(n int) []int64 {
 	out := s.i64.take(n)

@@ -81,6 +81,26 @@ type Options struct {
 	// (congest.Network.MinShardNodes; 0 = the engine default). Tests set 1
 	// to force every round through the sharded path.
 	MinShardNodes int
+	// Planner enables the adaptive per-stage execution planner (plan.go):
+	// each pipeline stage picks seq vs sharded from a deterministic cost
+	// model seeded by the session's calibration record, instead of the one
+	// global Parallel bool (which the planner overrides when set). The first
+	// run of a configuration on a cold session is an all-sequential
+	// calibration run. On single-core hosts the planner degenerates to
+	// all-seq. The decision trace lands in Result.Stages[i].Exec.
+	Planner bool
+	// MemoryBudget, when > 0, bounds the resident bytes of the run's result
+	// matrices: when the flat Dist(+LastHop) footprint exceeds it, the run
+	// stores them in the tiled spillable backend (internal/mat, DESIGN.md
+	// §13) and the Result exposes them through DistM/LastHopM instead of the
+	// dense slices. 0 keeps the zero-cost flat default. Budgeted runs are
+	// never snapshot-eligible (the snapshot would defeat the budget), so a
+	// following ApplyUpdates run recomputes cold. Partial runs (Sources set)
+	// always stay flat — their footprint is already |Sources| rows.
+	MemoryBudget int64
+	// SpillDir is where tiled matrices place their spill files ("" =
+	// os.TempDir()). Only consulted when MemoryBudget engages.
+	SpillDir string
 	// RetrySequential opts into graceful degradation on worker panics: a
 	// ShardRuns sub-run that panics is rewound and re-executed sequentially
 	// on a fresh clone after the fleet drains, and a fully-recovered run's
@@ -139,14 +159,74 @@ type Stats struct {
 // caller-owned — it stays valid after later runs on the same Session.
 type Result struct {
 	// Dist[x][t] = delta(x, t); graph.Inf when t is unreachable from x.
+	// Nil on a budgeted (tiled) run — read through DistM or DistAt instead.
 	Dist [][]int64
 	// LastHop[x][t] is the predecessor of t on a shortest x->t path (-1
-	// for t == x, unreachable pairs, or when SkipLastEdges was set).
+	// for t == x, unreachable pairs, or when SkipLastEdges was set). Nil on
+	// a budgeted run that resolved last edges — read through LastHopM.
 	LastHop [][]int
-	Stats   Stats
+	// DistM / LastHopM are set only on budgeted (tiled) runs, which are
+	// always full APSP: row index = source id. They hold spill files until
+	// Release is called.
+	DistM    mat.Int64M
+	LastHopM mat.IntM
+	Stats    Stats
 	// Stages is the per-stage cost breakdown recorded by the staged
 	// pipeline executor, in execution order (skipped stages are absent).
 	Stages []StageTiming
+}
+
+// DistAt returns delta(x, t) regardless of backend: the dense surface when
+// present, the tiled matrix otherwise.
+func (r *Result) DistAt(x, t int) int64 {
+	if r.Dist != nil {
+		return r.Dist[x][t]
+	}
+	return r.DistM.At(x, t)
+}
+
+// LastHopAt returns the x->t predecessor regardless of backend (-1 when
+// last edges were skipped).
+func (r *Result) LastHopAt(x, t int) int {
+	if r.LastHop != nil {
+		return r.LastHop[x][t]
+	}
+	if r.LastHopM != nil {
+		return r.LastHopM.At(x, t)
+	}
+	return -1
+}
+
+// Release frees the spill files a budgeted run's matrices hold; it is a
+// no-op for flat results. The Result's matrices must not be used after.
+func (r *Result) Release() error {
+	var err error
+	if r.DistM != nil {
+		err = r.DistM.Release()
+	}
+	if r.LastHopM != nil {
+		if e := r.LastHopM.Release(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// tiledBudget resolves whether a run must honor a memory budget with tiled
+// matrices: returns the budget when the flat result footprint exceeds it,
+// 0 otherwise (flat storage). Partial runs always stay flat.
+func tiledBudget(opt Options, n int) int64 {
+	if opt.MemoryBudget <= 0 || opt.Sources != nil {
+		return 0
+	}
+	foot := int64(n) * int64(n) * 8
+	if !opt.SkipLastEdges {
+		foot *= 2
+	}
+	if foot <= opt.MemoryBudget {
+		return 0
+	}
+	return opt.MemoryBudget
 }
 
 // Run executes the selected APSP variant on g with a one-shot session.
@@ -208,10 +288,21 @@ func validateSources(sources []int, n int) ([]int, error) {
 // resolveLastEdges runs the final neighbor exchange: node u streams its
 // distance column delta(., u) to every out-neighbor, one source per round;
 // each t combines the received columns with its incident edge weights.
-func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]int, error) {
+// Distances are read and predecessors written through the backend-agnostic
+// matrix surfaces: when both are flat (the default) the accessors collapse
+// to direct dense indexing; a tiled run pays the per-access lock. Stage 8
+// only runs full APSP (Sources implies SkipLastEdges), so distM rows are
+// source-indexed.
+func resolveLastEdges(nw *congest.Network, g *graph.Graph, distM mat.Int64M, lhM mat.IntM) error {
 	n := g.N
-	lhM := mat.NewIntFilled(n, n, -1)
-	lh := lhM.RowViews()
+	distAt := distM.At
+	if dense := distM.Dense(); dense != nil {
+		distAt = func(x, t int) int64 { return dense[x][t] }
+	}
+	setLH := lhM.Set
+	if lh := lhM.Dense(); lh != nil {
+		setLH = func(x, t, v int) { lh[x][t] = v }
+	}
 	// Per-link state is indexed by (node, link index) through one flat
 	// offset table, so the whole pass costs a handful of allocations
 	// instead of one per node and per link.
@@ -268,7 +359,7 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 	settle := func(t, x int, pred int) {
 		settled[t][x] = true
 		if pred >= 0 {
-			lh[x][t] = pred
+			setLH(x, t, pred)
 		}
 		queue[t] = append(queue[t], int32(x))
 	}
@@ -290,13 +381,17 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 		}
 		for k, x := range annX {
 			u := annFrom[k]
-			if settled[t][x] || dist[x][t] >= graph.Inf {
+			if settled[t][x] {
+				continue
+			}
+			dxt := distAt(x, t)
+			if dxt >= graph.Inf {
 				continue
 			}
 			li := base + nw.LinkIndex(t, u)
 			w := wmin[li]
 			du := nbrDist[li*n+x]
-			if w >= graph.Inf || du >= graph.Inf || du+w != dist[x][t] {
+			if w >= graph.Inf || du >= graph.Inf || du+w != dxt {
 				continue
 			}
 			best := u
@@ -306,7 +401,7 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 				}
 				l2 := base + nw.LinkIndex(t, annFrom[k2])
 				if w2 := wmin[l2]; w2 < graph.Inf {
-					if d2 := nbrDist[l2*n+x]; d2 < graph.Inf && d2+w2 == dist[x][t] {
+					if d2 := nbrDist[l2*n+x]; d2 < graph.Inf && d2+w2 == dxt {
 						best = annFrom[k2]
 					}
 				}
@@ -318,7 +413,7 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 		if x := lastCol; x >= 0 {
 			if t == x {
 				settle(t, x, -1)
-			} else if dist[x][t] < graph.Inf {
+			} else if dxt := distAt(x, t); dxt < graph.Inf {
 				best := -1
 				for i, u := range nw.Neighbors(t) {
 					w := wmin[base+i]
@@ -326,7 +421,7 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 						continue
 					}
 					du := nbrDist[(base+i)*n+x]
-					if du < graph.Inf && du+w == dist[x][t] && (best == -1 || u < best) {
+					if du < graph.Inf && du+w == dxt && (best == -1 || u < best) {
 						best = u
 					}
 				}
@@ -342,9 +437,9 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 		budgetWords := nw.Bandwidth
 		if round < n && budgetWords > 0 {
 			x := round
-			if dist[x][t] < graph.Inf {
+			if dxt := distAt(x, t); dxt < graph.Inf {
 				for _, nb := range nw.Neighbors(t) {
-					send(congest.Message{To: nb, Kind: kindCol, A: int64(x), B: dist[x][t]})
+					send(congest.Message{To: nb, Kind: kindCol, A: int64(x), B: dxt})
 				}
 				budgetWords--
 			}
@@ -360,7 +455,7 @@ func resolveLastEdges(nw *congest.Network, g *graph.Graph, dist [][]int64) ([][]
 	})
 	budget := 8*n + 64
 	if _, err := nw.Run(p, budget); err != nil {
-		return nil, err
+		return err
 	}
-	return lh, nil
+	return nil
 }

@@ -1,0 +1,132 @@
+package core
+
+import "congestapsp/internal/congest"
+
+// This file is the adaptive per-stage execution planner (DESIGN.md §13):
+// instead of one global Options.Parallel bool steering all eight pipeline
+// stages, a planner-enabled run decides seq vs sharded per stage from a
+// deterministic cost model seeded by the stage's captured round and sub-run
+// counts. The counts come from the session's calibration record — the
+// per-stage rounds of the last successful full run of the same resolved
+// configuration (warm sessions and incremental snapshots already carry
+// Result.Stages, so a warm session has them after one run). A cold session
+// with no record executes an all-sequential calibration run first; its
+// captured counts seed every later plan.
+//
+// The model is deliberately a pure function of deterministic quantities
+// (stage rounds, sub-run counts, the engine's in-round sharding threshold)
+// plus a single workers>1 gate — never host wall clocks and never the
+// worker count beyond that gate. That keeps the plan reproducible: the same
+// graph and options produce the same plan at GOMAXPROCS 2 and 4, and a
+// 1-core host degenerates to all-seq before any calibration state is even
+// consulted (so planner overhead there is one integer compare per run).
+// Results are unaffected either way — seq and sharded execution are
+// bit-identical in every distributed column, which is what makes a wrong
+// plan a performance bug, never a correctness bug.
+
+// Exec decision labels recorded in StageTiming.Exec.
+const (
+	execSeq     = "seq"
+	execSharded = "sharded"
+)
+
+// ExecPlan is one run's per-stage seq-vs-sharded decision vector, indexed
+// like pipelineStages.
+type ExecPlan struct {
+	Sharded [8]bool
+	// Calibration marks a measuring run: no calibration record existed for
+	// this configuration, so every stage runs sequentially and the run's
+	// captured counts seed the next plan.
+	Calibration bool
+}
+
+// calibration is the session's cost-model seed: the deterministic per-stage
+// round counts and blocker-set size of the last successful full run of the
+// keyed configuration.
+type calibration struct {
+	valid  bool
+	key    snapKey
+	qSize  int
+	rounds [8]int
+}
+
+// stageIndex maps a stage name to its pipelineStages slot (-1 if unknown).
+func stageIndex(name string) int {
+	for i := range pipelineStages {
+		if pipelineStages[i].name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Planner thresholds. A stage that dispatches independent sub-runs shards
+// when there are enough sub-runs to spread over a fleet AND the stage's
+// recorded rounds say the work amortizes the clone dispatch; a
+// single-protocol stage (Steps 4, 8) shards only via the engine's in-round
+// path, so it is gated on the active-set threshold that path applies.
+const (
+	minShardSubRuns = 4
+	minShardRounds  = 256
+)
+
+// buildExecPlan computes the decision vector. rounds == nil means no
+// calibration record exists; workers < 2 short-circuits to all-seq.
+func buildExecPlan(workers, n, q, subs7, minShard int, rounds *[8]int) ExecPlan {
+	var pl ExecPlan
+	if workers < 2 {
+		return pl
+	}
+	if rounds == nil {
+		pl.Calibration = true
+		return pl
+	}
+	subRuns := func(i, count int) bool {
+		return count >= minShardSubRuns && rounds[i] >= minShardRounds
+	}
+	inRound := func(i int) bool {
+		return n >= minShard && rounds[i] >= minShardRounds
+	}
+	pl.Sharded[0] = subRuns(0, n) // step1-csssp: one out-tree per vertex
+	pl.Sharded[1] = subRuns(1, n) // step2-blocker: per-tree passes
+	pl.Sharded[2] = subRuns(2, q) // step3-insssp: one in-SSSP per blocker
+	pl.Sharded[3] = inRound(3)    // step4-bcast: single protocol run
+	// step5-closure is purely local computation: always seq (index 4).
+	pl.Sharded[5] = subRuns(5, q)     // step6-qsink: paired SSSPs per blocker
+	pl.Sharded[6] = subRuns(6, subs7) // step7-extend: one extension per source
+	pl.Sharded[7] = inRound(7)        // step8-lastedge: single protocol run
+	return pl
+}
+
+// planFor resolves this run's ExecPlan from the session's calibration
+// record (nil rounds when the record is missing or keyed differently).
+func (s *Session) planFor(key snapKey, n int, opt Options) *ExecPlan {
+	subs7 := n
+	if opt.Sources != nil {
+		subs7 = len(opt.Sources)
+	}
+	var rounds *[8]int
+	q := 0
+	if s.cal.valid && s.cal.key == key {
+		rounds = &s.cal.rounds
+		q = s.cal.qSize
+	}
+	pl := buildExecPlan(congest.HostWorkers(), n, q, subs7, s.nw.EffectiveMinShardNodes(), rounds)
+	return &pl
+}
+
+// recordCalibration stores the run's deterministic counts as the cost-model
+// seed. Only full runs calibrate: a partial run's step-7 count reflects its
+// source list, not the configuration.
+func (s *Session) recordCalibration(key snapKey, p *pipeline) {
+	if p.opt.Sources != nil {
+		return
+	}
+	c := calibration{valid: true, key: key, qSize: len(p.Q)}
+	for i := range p.stages {
+		if idx := stageIndex(p.stages[i].Name); idx >= 0 {
+			c.rounds[idx] = p.stages[i].Rounds
+		}
+	}
+	s.cal = c
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"congestapsp/internal/graph"
+)
+
+// compareBackends demands a budgeted (tiled) result be bit-identical to a
+// flat reference: distances, last hops, and every distributed column.
+func compareBackends(t *testing.T, ref, tl *Result, n int) {
+	t.Helper()
+	if tl.Dist != nil || tl.DistM == nil {
+		t.Fatal("budgeted run did not select the tiled backend")
+	}
+	if tl.Stats.Rounds != ref.Stats.Rounds || tl.Stats.Messages != ref.Stats.Messages ||
+		tl.Stats.Words != ref.Stats.Words {
+		t.Fatalf("distributed columns diverged: tiled %d/%d/%d, flat %d/%d/%d",
+			tl.Stats.Rounds, tl.Stats.Messages, tl.Stats.Words,
+			ref.Stats.Rounds, ref.Stats.Messages, ref.Stats.Words)
+	}
+	for x := 0; x < n; x++ {
+		for v := 0; v < n; v++ {
+			if got, want := tl.DistAt(x, v), ref.Dist[x][v]; got != want {
+				t.Fatalf("dist(%d,%d) = %d, want %d", x, v, got, want)
+			}
+		}
+	}
+	if ref.LastHop != nil {
+		if tl.LastHopM == nil {
+			t.Fatal("flat reference resolved last hops, tiled run did not")
+		}
+		for x := 0; x < n; x++ {
+			for v := 0; v < n; v++ {
+				if got, want := tl.LastHopAt(x, v), ref.LastHop[x][v]; got != want {
+					t.Fatalf("lastHop(%d,%d) = %d, want %d", x, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTiledBackendMatchesFlat runs every profile with a memory budget small
+// enough to force tiling (and real LRU rotation) and checks bit-identity
+// against the flat default — cold, warm re-run, and post-ApplyUpdates —
+// in both sequential and planner execution modes.
+func TestTiledBackendMatchesFlat(t *testing.T) {
+	variants := []struct {
+		name string
+		opt  Options
+	}{
+		{"det43", Options{Variant: Det43}},
+		{"det32", Options{Variant: Det32}},
+		{"rand43", Options{Variant: Rand43, Seed: 11}},
+		{"bcast6", Options{Variant: BroadcastStep6}},
+	}
+	for _, mode := range []string{"seq", "planner"} {
+		if mode == "planner" {
+			old := runtime.GOMAXPROCS(2)
+			defer runtime.GOMAXPROCS(old)
+		}
+		for _, v := range variants {
+			t.Run(v.name+"-"+mode, func(t *testing.T) {
+				g := graph.RandomConnected(graph.GenConfig{N: 20, Seed: 21, MaxWeight: 9}, 55)
+				gRef := cloneGraph(g)
+				opt := v.opt
+				opt.Planner = mode == "planner"
+				n := g.N
+
+				topt := opt
+				topt.MemoryBudget = 1500 // flat footprint is 6400 bytes
+				topt.SpillDir = t.TempDir()
+				s, err := NewSession(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				flat, err := Run(gRef, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				tl, err := s.Run(topt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareBackends(t, flat, tl, n)
+				if err := tl.Release(); err != nil {
+					t.Fatalf("Release: %v", err)
+				}
+
+				// Warm re-run on the same session (cold recompute: budgeted
+				// runs are never snapshot-eligible).
+				tl2, err := s.Run(topt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareBackends(t, flat, tl2, n)
+				tl2.Release()
+
+				// Post-ApplyUpdates: the tiled session falls back to a cold
+				// run reflecting the update; reference comes from a fresh
+				// flat run over an identically-mutated clone.
+				e := g.Edges()[len(g.Edges())/2]
+				up := []EdgeUpdate{{Op: SetWeight, U: e.U, V: e.V, W: e.W + 3}}
+				if _, err := s.ApplyUpdates(up); err != nil {
+					t.Fatal(err)
+				}
+				sRef, err := NewSession(gRef)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sRef.ApplyUpdates(up); err != nil {
+					t.Fatal(err)
+				}
+				flat3, err := sRef.Run(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tl3, err := s.Run(topt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareBackends(t, flat3, tl3, n)
+				tl3.Release()
+			})
+		}
+	}
+}
+
+// TestPlannerMatchesSequential pins that planner-driven execution (both the
+// all-seq calibration run and the planned run after it) is bit-identical to
+// plain sequential execution.
+func TestPlannerMatchesSequential(t *testing.T) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	for _, tc := range families()[:4] {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := Run(tc.g, Options{Variant: Det43})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewSession(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := Options{Variant: Det43, Planner: true, MinShardNodes: 1}
+			for pass := 0; pass < 2; pass++ {
+				res, err := s.Run(opt)
+				if err != nil {
+					t.Fatalf("pass %d: %v", pass, err)
+				}
+				if res.Stats.Rounds != ref.Stats.Rounds || res.Stats.Messages != ref.Stats.Messages {
+					t.Fatalf("pass %d: rounds/messages diverged", pass)
+				}
+				for x := range ref.Dist {
+					for v := range ref.Dist[x] {
+						if res.Dist[x][v] != ref.Dist[x][v] {
+							t.Fatalf("pass %d: dist(%d,%d) diverged", pass, x, v)
+						}
+						if res.LastHop[x][v] != ref.LastHop[x][v] {
+							t.Fatalf("pass %d: lastHop(%d,%d) diverged", pass, x, v)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// execTrace extracts the per-stage execution decisions of a run.
+func execTrace(res *Result) []string {
+	out := make([]string, 0, len(res.Stages))
+	for _, st := range res.Stages {
+		out = append(out, st.Name+":"+st.Exec)
+	}
+	return out
+}
+
+// plannerPlanAt runs calibration + one planned run at the given GOMAXPROCS
+// and returns the planned run's decision trace.
+func plannerPlanAt(t *testing.T, g *graph.Graph, procs int) []string {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	s, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Variant: Det43, Planner: true, MinShardNodes: 1}
+	cal, err := s.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if procs > 1 {
+		// First run of a configuration is the all-seq calibration run.
+		for _, st := range cal.Stages {
+			if st.Exec != execSeq {
+				t.Fatalf("calibration run stage %s executed %s", st.Name, st.Exec)
+			}
+		}
+	}
+	planned, err := s.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return execTrace(planned)
+}
+
+// TestPlannerDeterministicPlan pins the planner's determinism contract:
+// the same graph and options yield the same per-stage plan at GOMAXPROCS 2
+// and 4, and an all-seq plan at GOMAXPROCS 1.
+func TestPlannerDeterministicPlan(t *testing.T) {
+	g := graph.RandomConnected(graph.GenConfig{N: 24, Seed: 9, MaxWeight: 9}, 70)
+	p1 := plannerPlanAt(t, g, 1)
+	for _, d := range p1 {
+		if d[len(d)-len(execSeq):] != execSeq {
+			t.Fatalf("1-core plan not all-seq: %v", p1)
+		}
+	}
+	p2 := plannerPlanAt(t, g, 2)
+	p4 := plannerPlanAt(t, g, 4)
+	if len(p2) != len(p4) {
+		t.Fatalf("plan lengths differ: %v vs %v", p2, p4)
+	}
+	for i := range p2 {
+		if p2[i] != p4[i] {
+			t.Fatalf("plans diverge across GOMAXPROCS: %v vs %v", p2, p4)
+		}
+	}
+	sharded := 0
+	for _, d := range p2 {
+		if d[len(d)-len(execSharded):] == execSharded {
+			sharded++
+		}
+	}
+	// n=24 gives every sub-run stage well over minShardRounds rounds, so a
+	// multi-core plan must actually engage the fleet somewhere.
+	if sharded == 0 {
+		t.Fatalf("multi-core plan never shards: %v", p2)
+	}
+}

@@ -1,84 +1,44 @@
 package graphio
 
 import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"hash/crc32"
-	"io"
+	"congestapsp/internal/frame"
 )
 
-// This file is the framed-record codec underneath the serving layer's
-// write-ahead journal and checkpoint snapshots (internal/serve, DESIGN.md
-// §12). A frame is a length-prefixed, checksummed byte record:
-//
-//	[4B big-endian payload length][4B big-endian CRC32C(payload)][payload]
-//
-// The CRC is Castagnoli (the polynomial storage systems standardize on,
-// hardware-accelerated on amd64/arm64). Frames are self-delimiting, so a
-// reader can walk a file record by record and — critically for crash
-// recovery — distinguish a clean end (io.EOF exactly at a frame boundary)
-// from a torn or corrupt tail (ErrTornFrame): a partial header, a length
-// beyond the cap, a payload cut short by the crash, or a checksum
-// mismatch. Appends are a single contiguous write, so a crashed writer can
-// tear at most the final frame.
+// This file is graphio's surface over the framed-record codec underneath
+// the serving layer's write-ahead journal and checkpoint snapshots
+// (internal/serve, DESIGN.md §12). The codec itself lives in
+// internal/frame — a leaf package, because the tiled matrix backend
+// (internal/mat) spills tiles through the same framing and mat sits below
+// graph, which graphio depends on. The wrappers here keep the serving
+// layer's import graph unchanged.
 
 // MaxFramePayload caps a single frame's payload (64 MiB). The bound turns
 // a corrupt or hostile length word into ErrTornFrame instead of an
 // attempted multi-gigabyte allocation.
-const MaxFramePayload = 1 << 26
+const MaxFramePayload = frame.MaxPayload
 
 // frameHeaderSize is the fixed per-frame overhead (length + CRC words).
-const frameHeaderSize = 8
+const frameHeaderSize = frame.HeaderSize
 
 // ErrTornFrame reports a frame that does not parse: truncated mid-header
 // or mid-payload (the torn tail a crash leaves), an implausible length, or
 // a payload failing its checksum. Everything before the torn frame is
 // intact; recovery truncates the file there and carries on.
-var ErrTornFrame = errors.New("graphio: torn or corrupt frame")
-
-// crcTable is the Castagnoli CRC32C table shared by writer and reader.
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
+var ErrTornFrame = frame.ErrTorn
 
 // AppendFrame appends the framed form of payload to dst and returns the
 // extended slice (append-style). The frame is laid out contiguously so a
 // caller can hand it to a single Write call — the property that bounds
 // crash damage to one torn tail frame.
 func AppendFrame(dst, payload []byte) ([]byte, error) {
-	if len(payload) > MaxFramePayload {
-		return dst, fmt.Errorf("graphio: frame payload %d exceeds cap %d", len(payload), MaxFramePayload)
-	}
-	var hdr [frameHeaderSize]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
-	dst = append(dst, hdr[:]...)
-	return append(dst, payload...), nil
+	return frame.Append(dst, payload)
 }
 
 // NextFrame parses the first frame in data. It returns the payload
 // (aliasing data — copy it to retain past the buffer's lifetime) and the
 // total encoded size consumed. An empty input returns io.EOF (the clean
-// end of a well-formed stream); anything else that does not parse — short
-// header, length over the cap, truncated payload, CRC mismatch — returns
+// end of a well-formed stream); anything else that does not parse returns
 // ErrTornFrame.
 func NextFrame(data []byte) (payload []byte, n int, err error) {
-	if len(data) == 0 {
-		return nil, 0, io.EOF
-	}
-	if len(data) < frameHeaderSize {
-		return nil, 0, ErrTornFrame
-	}
-	length := binary.BigEndian.Uint32(data[0:4])
-	if length > MaxFramePayload {
-		return nil, 0, ErrTornFrame
-	}
-	end := frameHeaderSize + int(length)
-	if len(data) < end {
-		return nil, 0, ErrTornFrame
-	}
-	payload = data[frameHeaderSize:end]
-	if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(data[4:8]) {
-		return nil, 0, ErrTornFrame
-	}
-	return payload, end, nil
+	return frame.Next(data)
 }

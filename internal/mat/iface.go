@@ -1,0 +1,51 @@
+package mat
+
+// Int64M and IntM are the backend-agnostic matrix surfaces the pipeline,
+// the snapshot layer, and the serving result cache consume (DESIGN.md §13).
+// Two backends satisfy each: the flat contiguous Matrix/Int (the zero-cost
+// default — Dense() hands back zero-copy row views and every accessor
+// compiles to an index into one slice) and the tiled spillable backend
+// (TiledInt64/TiledInt), selected by Options.MemoryBudget, whose Dense()
+// returns nil because materializing the full surface is exactly what the
+// backend exists to avoid.
+//
+// Callers on hot paths should try Dense() first and fall back to At/SetRow
+// only when it returns nil; that keeps the flat path free of per-element
+// interface dispatch.
+
+// Int64M is a rows x cols matrix of int64 (distance tables).
+type Int64M interface {
+	Rows() int
+	Cols() int
+	At(i, j int) int64
+	Set(i, j int, v int64)
+	// SetRow copies src (exactly Cols() long) into row i.
+	SetRow(i int, src []int64)
+	// CopyRow copies row i into dst (exactly Cols() long).
+	CopyRow(dst []int64, i int)
+	// Dense returns the [][]int64 surface as zero-copy row views, or nil
+	// when the backend cannot materialize it (tiled/spilled storage).
+	Dense() [][]int64
+	// Release frees external resources (spill files); no-op for flat.
+	Release() error
+}
+
+// IntM is a rows x cols matrix of int (last-hop / parent tables).
+type IntM interface {
+	Rows() int
+	Cols() int
+	At(i, j int) int
+	Set(i, j int, v int)
+	SetRow(i int, src []int)
+	CopyRow(dst []int, i int)
+	Dense() [][]int
+	Release() error
+}
+
+// Compile-time conformance of both backends.
+var (
+	_ Int64M = (*Matrix)(nil)
+	_ IntM   = (*Int)(nil)
+	_ Int64M = (*TiledInt64)(nil)
+	_ IntM   = (*TiledInt)(nil)
+)

@@ -1,0 +1,418 @@
+package mat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+
+	"congestapsp/internal/frame"
+)
+
+// Tiled matrix backend: the rows x cols surface is split into fixed-size
+// row-tile blocks (tileRows consecutive rows per tile), of which at most
+// maxResident are held in memory at once. When a miss would exceed the
+// budget, the least-recently-used tile is evicted — written to an
+// append-only spill file as a CRC-framed record (internal/frame, the same
+// codec under the serving journal) if it is dirty, or simply dropped if the
+// on-disk copy is current. Reloads validate the frame checksum before
+// trusting a byte. Tiles that have never been written spill nothing and
+// reload as fill-initialized — a zero-cost lazy zero.
+//
+// The spill file is append-only: rewriting a dirty tile appends a fresh
+// frame and repoints the tile's offset table entry, leaving the stale frame
+// as garbage. That trades disk for the crash-simplicity of never seeking a
+// writer, and matrices here live for one Run — the file is deleted by
+// Release.
+//
+// All operations are mutex-guarded, so shard workers writing disjoint rows
+// remain safe (they serialize, which is the price of spilled storage; the
+// flat backend keeps its lock-free disjoint-row property). Spill I/O
+// failures panic with a descriptive error — the pipeline's per-stage panic
+// isolation converts that into a *congest.PanicError for the caller.
+
+// tileTargetBytes is the geometry target: tile row counts are chosen so one
+// tile's payload is about this size — large enough to amortize frame and
+// syscall overhead, small enough that a handful fit in tight budgets.
+const tileTargetBytes = 1 << 20
+
+// elemSize is the on-disk (and in-memory, on 64-bit hosts) size of one
+// element; both int64 and int encode as 8-byte little-endian words.
+const elemSize = 8
+
+// TileConfig sizes a tiled matrix. Zero values derive sane geometry.
+type TileConfig struct {
+	// Budget is the resident-byte target for this one matrix; the resident
+	// tile count is derived from it when MaxResident is 0.
+	Budget int64
+	// TileRows overrides rows-per-tile (0 = derive from tileTargetBytes).
+	TileRows int
+	// MaxResident overrides the resident tile cap (0 = derive from Budget).
+	MaxResident int
+	// Dir is where the spill file is created ("" = os.TempDir()).
+	Dir string
+}
+
+// SpillStats reports a tiled matrix's geometry and spill activity.
+type SpillStats struct {
+	Tiles       int   // total tiles covering the matrix
+	TileRows    int   // rows per tile (last tile may be ragged)
+	MaxResident int   // resident tile cap
+	Evictions   int64 // tiles evicted (dirty or clean)
+	Spills      int64 // dirty evictions that wrote a frame
+	Reloads     int64 // tiles re-read and checksum-validated from disk
+	SpillBytes  int64 // total bytes appended to the spill file
+}
+
+// tileLoc is a tile's current frame in the spill file; size 0 means the
+// tile has never been spilled (reloads as fill).
+type tileLoc struct {
+	off  int64
+	size int
+}
+
+// tile is one resident block of tileRows*cols elements plus LRU links.
+type tile[T int64 | int] struct {
+	idx        int
+	data       []T
+	dirty      bool
+	prev, next *tile[T]
+}
+
+type tiled[T int64 | int] struct {
+	mu          sync.Mutex
+	rows, cols  int
+	tileRows    int
+	maxResident int
+	fill        T
+	resident    []*tile[T] // by tile index; nil = not resident
+	loc         []tileLoc  // by tile index
+	nResident   int
+	head, tail  *tile[T] // LRU: head = most recent, tail = eviction victim
+	free        []T      // one recycled data slab from the last eviction
+	f           *os.File
+	fsize       int64
+	dir         string
+	buf         []byte // scratch payload encode buffer
+	fbuf        []byte // scratch framed-record buffer (write and read side)
+	stats       SpillStats
+}
+
+// tileGeometry derives (tileRows, maxResident) from a byte budget. The
+// resident cap is at least 2 so a row copy plus a concurrent reader cannot
+// thrash a single slot, and at most the total tile count.
+func tileGeometry(rows, cols int, cfg TileConfig) (int, int) {
+	tr := cfg.TileRows
+	if tr <= 0 {
+		rowBytes := cols * elemSize
+		if rowBytes <= 0 {
+			rowBytes = elemSize
+		}
+		tr = tileTargetBytes / rowBytes
+		if tr < 1 {
+			tr = 1
+		}
+	}
+	if tr > rows && rows > 0 {
+		tr = rows
+	}
+	// Keep a tile's frame payload far under the codec's 64 MiB cap.
+	for tr > 1 && tr*cols*elemSize > frame.MaxPayload/4 {
+		tr /= 2
+	}
+	if cfg.TileRows <= 0 && cfg.Budget > 0 {
+		// A derived tile must be at most a quarter of the budget, so the LRU
+		// can hold several tiles and actually rotate instead of thrashing
+		// one oversized slot.
+		maxTileBytes := cfg.Budget / 4
+		for tr > 1 && int64(tr)*int64(cols)*elemSize > maxTileBytes {
+			tr /= 2
+		}
+	}
+	tiles := (rows + tr - 1) / tr
+	mr := cfg.MaxResident
+	if mr <= 0 {
+		tileBytes := int64(tr) * int64(cols) * elemSize
+		if cfg.Budget > 0 && tileBytes > 0 {
+			mr = int(cfg.Budget / tileBytes)
+		} else {
+			mr = tiles
+		}
+	}
+	if mr < 2 {
+		mr = 2
+	}
+	if tiles > 0 && mr > tiles {
+		mr = tiles
+	}
+	return tr, mr
+}
+
+func newTiled[T int64 | int](rows, cols int, fill T, cfg TileConfig) *tiled[T] {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	tr, mr := tileGeometry(rows, cols, cfg)
+	tiles := 0
+	if rows > 0 {
+		tiles = (rows + tr - 1) / tr
+	}
+	m := &tiled[T]{
+		rows: rows, cols: cols,
+		tileRows: tr, maxResident: mr,
+		fill:     fill,
+		resident: make([]*tile[T], tiles),
+		loc:      make([]tileLoc, tiles),
+		dir:      cfg.Dir,
+	}
+	m.stats.Tiles = tiles
+	m.stats.TileRows = tr
+	m.stats.MaxResident = mr
+	return m
+}
+
+// tileSpan returns the element count of tile t (the last tile is ragged
+// when tileRows does not divide rows).
+func (m *tiled[T]) tileSpan(t int) int {
+	r := m.tileRows
+	if (t+1)*m.tileRows > m.rows {
+		r = m.rows - t*m.tileRows
+	}
+	return r * m.cols
+}
+
+// lruFront moves tl to the head of the LRU list, linking it if new.
+func (m *tiled[T]) lruFront(tl *tile[T]) {
+	if m.head == tl {
+		return
+	}
+	// Unlink if already in the list.
+	if tl.prev != nil || tl.next != nil || m.tail == tl {
+		if tl.prev != nil {
+			tl.prev.next = tl.next
+		}
+		if tl.next != nil {
+			tl.next.prev = tl.prev
+		}
+		if m.tail == tl {
+			m.tail = tl.prev
+		}
+	}
+	tl.prev = nil
+	tl.next = m.head
+	if m.head != nil {
+		m.head.prev = tl
+	}
+	m.head = tl
+	if m.tail == nil {
+		m.tail = tl
+	}
+}
+
+// evictTail spills (if dirty) and drops the least-recently-used tile,
+// recycling its data slab for the next load.
+func (m *tiled[T]) evictTail() {
+	victim := m.tail
+	if victim == nil {
+		panic("mat: tiled eviction with empty LRU")
+	}
+	if victim.dirty {
+		m.spill(victim)
+	}
+	if victim.prev != nil {
+		victim.prev.next = nil
+	}
+	m.tail = victim.prev
+	if m.head == victim {
+		m.head = nil
+	}
+	m.resident[victim.idx] = nil
+	m.nResident--
+	m.free = victim.data
+	victim.data = nil
+	victim.prev, victim.next = nil, nil
+	m.stats.Evictions++
+}
+
+// spill appends tile tl as one framed record and repoints its location.
+func (m *tiled[T]) spill(tl *tile[T]) {
+	if m.f == nil {
+		f, err := os.CreateTemp(m.dir, "congestapsp-tiles-*.spill")
+		if err != nil {
+			panic(fmt.Errorf("mat: create spill file: %w", err))
+		}
+		m.f = f
+	}
+	span := m.tileSpan(tl.idx)
+	need := 8 + span*elemSize
+	if cap(m.buf) < need {
+		m.buf = make([]byte, 0, need)
+	}
+	payload := m.buf[:need]
+	binary.LittleEndian.PutUint64(payload[:8], uint64(tl.idx))
+	for i, v := range tl.data[:span] {
+		binary.LittleEndian.PutUint64(payload[8+i*8:], uint64(int64(v)))
+	}
+	framed, err := frame.Append(m.fbuf[:0], payload)
+	if err != nil {
+		panic(fmt.Errorf("mat: frame tile %d: %w", tl.idx, err))
+	}
+	m.fbuf = framed[:0]
+	if _, err := m.f.WriteAt(framed, m.fsize); err != nil {
+		panic(fmt.Errorf("mat: spill tile %d: %w", tl.idx, err))
+	}
+	m.loc[tl.idx] = tileLoc{off: m.fsize, size: len(framed)}
+	m.fsize += int64(len(framed))
+	m.stats.Spills++
+	m.stats.SpillBytes += int64(len(framed))
+	tl.dirty = false
+}
+
+// reload reads tile t's frame back, validating the checksum and index.
+func (m *tiled[T]) reload(t int, dst []T) {
+	lc := m.loc[t]
+	if cap(m.fbuf) < lc.size {
+		m.fbuf = make([]byte, 0, lc.size)
+	}
+	raw := m.fbuf[:lc.size]
+	if _, err := m.f.ReadAt(raw, lc.off); err != nil {
+		panic(fmt.Errorf("mat: reload tile %d: %w", t, err))
+	}
+	payload, _, err := frame.Next(raw)
+	if err != nil {
+		panic(fmt.Errorf("mat: reload tile %d: %w", t, err))
+	}
+	span := m.tileSpan(t)
+	if len(payload) != 8+span*elemSize {
+		panic(fmt.Errorf("mat: reload tile %d: payload %d bytes, want %d", t, len(payload), 8+span*elemSize))
+	}
+	if got := int(binary.LittleEndian.Uint64(payload[:8])); got != t {
+		panic(fmt.Errorf("mat: reload tile %d: frame tagged %d", t, got))
+	}
+	for i := range dst[:span] {
+		dst[i] = T(int64(binary.LittleEndian.Uint64(payload[8+i*8:])))
+	}
+	m.stats.Reloads++
+}
+
+// tileFor returns the resident tile covering row i, loading (and evicting)
+// as needed. Caller holds m.mu.
+func (m *tiled[T]) tileFor(i int) *tile[T] {
+	t := i / m.tileRows
+	if tl := m.resident[t]; tl != nil {
+		m.lruFront(tl)
+		return tl
+	}
+	if m.nResident >= m.maxResident {
+		m.evictTail()
+	}
+	span := m.tileSpan(t)
+	data := m.free
+	m.free = nil
+	if cap(data) < span {
+		data = make([]T, span)
+		if m.fill != 0 {
+			for j := range data {
+				data[j] = m.fill
+			}
+		}
+	} else {
+		data = data[:span]
+		for j := range data {
+			data[j] = m.fill
+		}
+	}
+	tl := &tile[T]{idx: t, data: data}
+	if m.loc[t].size > 0 {
+		m.reload(t, tl.data)
+	}
+	m.resident[t] = tl
+	m.nResident++
+	m.lruFront(tl)
+	return tl
+}
+
+func (m *tiled[T]) Rows() int { return m.rows }
+func (m *tiled[T]) Cols() int { return m.cols }
+
+func (m *tiled[T]) At(i, j int) T {
+	check(i, j, m.rows, m.cols)
+	m.mu.Lock()
+	tl := m.tileFor(i)
+	v := tl.data[(i-tl.idx*m.tileRows)*m.cols+j]
+	m.mu.Unlock()
+	return v
+}
+
+func (m *tiled[T]) Set(i, j int, v T) {
+	check(i, j, m.rows, m.cols)
+	m.mu.Lock()
+	tl := m.tileFor(i)
+	tl.data[(i-tl.idx*m.tileRows)*m.cols+j] = v
+	tl.dirty = true
+	m.mu.Unlock()
+}
+
+func (m *tiled[T]) SetRow(i int, src []T) {
+	checkRow(i, m.rows)
+	m.mu.Lock()
+	tl := m.tileFor(i)
+	off := (i - tl.idx*m.tileRows) * m.cols
+	copy(tl.data[off:off+m.cols], src)
+	tl.dirty = true
+	m.mu.Unlock()
+}
+
+func (m *tiled[T]) CopyRow(dst []T, i int) {
+	checkRow(i, m.rows)
+	m.mu.Lock()
+	tl := m.tileFor(i)
+	off := (i - tl.idx*m.tileRows) * m.cols
+	copy(dst, tl.data[off:off+m.cols])
+	m.mu.Unlock()
+}
+
+// Dense returns nil: the tiled backend exists precisely because the full
+// surface does not fit the budget. Callers must fall back to At/CopyRow.
+func (m *tiled[T]) Dense() [][]T { return nil }
+
+// Stats snapshots geometry and spill counters.
+func (m *tiled[T]) Stats() SpillStats {
+	m.mu.Lock()
+	s := m.stats
+	m.mu.Unlock()
+	return s
+}
+
+// Release closes and deletes the spill file. Safe to call more than once;
+// the matrix must not be used afterward.
+func (m *tiled[T]) Release() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	name := m.f.Name()
+	errClose := m.f.Close()
+	m.f = nil
+	if err := os.Remove(name); err != nil && errClose == nil {
+		errClose = err
+	}
+	return errClose
+}
+
+// TiledInt64 is the spillable int64 backend (distance tables).
+type TiledInt64 struct{ tiled[int64] }
+
+// NewTiledInt64 returns a rows x cols tiled matrix with every element fill.
+func NewTiledInt64(rows, cols int, fill int64, cfg TileConfig) *TiledInt64 {
+	return &TiledInt64{*newTiled[int64](rows, cols, fill, cfg)}
+}
+
+// TiledInt is the spillable int backend (last-hop tables).
+type TiledInt struct{ tiled[int] }
+
+// NewTiledInt returns a rows x cols tiled int matrix with every element fill.
+func NewTiledInt(rows, cols int, fill int, cfg TileConfig) *TiledInt {
+	return &TiledInt{*newTiled[int](rows, cols, fill, cfg)}
+}

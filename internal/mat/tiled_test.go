@@ -1,0 +1,165 @@
+package mat
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestTiledEvictReloadRoundTrip forces heavy eviction traffic with a
+// 2-tile budget and checks every cell survives the spill/reload cycle.
+func TestTiledEvictReloadRoundTrip(t *testing.T) {
+	const rows, cols = 64, 48
+	dir := t.TempDir()
+	m := NewTiledInt64(rows, cols, 0, TileConfig{TileRows: 4, MaxResident: 2, Dir: dir})
+	want := make([][]int64, rows)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < rows; i++ {
+		want[i] = make([]int64, cols)
+		for j := 0; j < cols; j++ {
+			want[i][j] = rng.Int63n(1 << 40)
+		}
+		m.SetRow(i, want[i])
+	}
+	// Strided reads touch every tile repeatedly in an LRU-hostile order.
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < rows; i++ {
+			r := (i*17 + pass) % rows
+			for j := 0; j < cols; j += 7 {
+				if got := m.At(r, j); got != want[r][j] {
+					t.Fatalf("pass %d: At(%d,%d) = %d, want %d", pass, r, j, got, want[r][j])
+				}
+			}
+		}
+	}
+	// Row copies after churn.
+	buf := make([]int64, cols)
+	for i := 0; i < rows; i++ {
+		m.CopyRow(buf, i)
+		for j := range buf {
+			if buf[j] != want[i][j] {
+				t.Fatalf("CopyRow(%d)[%d] = %d, want %d", i, j, buf[j], want[i][j])
+			}
+		}
+	}
+	st := m.Stats()
+	if st.Evictions == 0 || st.Spills == 0 || st.Reloads == 0 {
+		t.Fatalf("expected spill traffic, got %+v", st)
+	}
+	if st.Tiles != 16 || st.MaxResident != 2 {
+		t.Fatalf("geometry: %+v", st)
+	}
+	if m.Dense() != nil {
+		t.Fatal("tiled Dense() must be nil")
+	}
+	// Release removes the spill file.
+	if err := m.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".spill") {
+			t.Fatalf("spill file %s survived Release", e.Name())
+		}
+	}
+	if err := m.Release(); err != nil {
+		t.Fatalf("second Release: %v", err)
+	}
+}
+
+// TestTiledMatchesFlat drives the same random op sequence through both
+// backends (int64 and int) and demands bit-identical state.
+func TestTiledMatchesFlat(t *testing.T) {
+	const rows, cols = 37, 29 // ragged last tile
+	const fill = int64(1 << 50)
+	flat := NewFilled(rows, cols, fill)
+	td := NewTiledInt64(rows, cols, fill, TileConfig{TileRows: 5, MaxResident: 3, Dir: t.TempDir()})
+	defer td.Release()
+
+	flatI := NewIntFilled(rows, cols, -1)
+	tdI := NewTiledInt(rows, cols, -1, TileConfig{TileRows: 5, MaxResident: 3, Dir: t.TempDir()})
+	defer tdI.Release()
+
+	rng := rand.New(rand.NewSource(11))
+	row := make([]int64, cols)
+	rowI := make([]int, cols)
+	for op := 0; op < 5000; op++ {
+		i, j := rng.Intn(rows), rng.Intn(cols)
+		switch rng.Intn(4) {
+		case 0:
+			v := rng.Int63n(1 << 30)
+			flat.Set(i, j, v)
+			td.Set(i, j, v)
+			flatI.Set(i, j, int(v))
+			tdI.Set(i, j, int(v))
+		case 1:
+			for k := range row {
+				row[k] = rng.Int63n(1 << 30)
+				rowI[k] = int(row[k])
+			}
+			flat.SetRow(i, row)
+			td.SetRow(i, row)
+			flatI.SetRow(i, rowI)
+			tdI.SetRow(i, rowI)
+		case 2:
+			if flat.At(i, j) != td.At(i, j) {
+				t.Fatalf("op %d: int64 At(%d,%d): flat %d tiled %d", op, i, j, flat.At(i, j), td.At(i, j))
+			}
+			if flatI.At(i, j) != tdI.At(i, j) {
+				t.Fatalf("op %d: int At(%d,%d): flat %d tiled %d", op, i, j, flatI.At(i, j), tdI.At(i, j))
+			}
+		case 3:
+			var a, b [cols]int64
+			flat.CopyRow(a[:], i)
+			td.CopyRow(b[:], i)
+			if a != b {
+				t.Fatalf("op %d: int64 row %d mismatch", op, i)
+			}
+			var ai, bi [cols]int
+			flatI.CopyRow(ai[:], i)
+			tdI.CopyRow(bi[:], i)
+			if ai != bi {
+				t.Fatalf("op %d: int row %d mismatch", op, i)
+			}
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if flat.At(i, j) != td.At(i, j) {
+				t.Fatalf("final: At(%d,%d): flat %d tiled %d", i, j, flat.At(i, j), td.At(i, j))
+			}
+		}
+	}
+}
+
+// TestTiledGeometryFromBudget checks budget-derived geometry: tiny budgets
+// clamp to 2 resident tiles, generous budgets keep everything resident.
+func TestTiledGeometryFromBudget(t *testing.T) {
+	tr, mr := tileGeometry(4096, 4096, TileConfig{Budget: 64 << 20})
+	if tr < 1 || mr < 2 {
+		t.Fatalf("geometry %d/%d", tr, mr)
+	}
+	tileBytes := int64(tr) * 4096 * elemSize
+	if int64(mr)*tileBytes > 64<<20 {
+		t.Fatalf("resident set %d bytes exceeds budget", int64(mr)*tileBytes)
+	}
+	// Budget larger than the matrix: never evicts.
+	trBig, mrBig := tileGeometry(64, 64, TileConfig{Budget: 1 << 30})
+	if tiles := (64 + trBig - 1) / trBig; mrBig > tiles {
+		t.Fatalf("maxResident %d > tiles %d", mrBig, tiles)
+	}
+	m := NewTiledInt64(64, 64, 0, TileConfig{Budget: 1 << 30, Dir: t.TempDir()})
+	defer m.Release()
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			m.Set(i, j, int64(i*64+j))
+		}
+	}
+	if st := m.Stats(); st.Evictions != 0 || st.Spills != 0 {
+		t.Fatalf("generous budget spilled: %+v", st)
+	}
+}

@@ -82,6 +82,11 @@ type entry struct {
 	version atomic.Uint64
 	edges   atomic.Int64  // current edge count, maintained by the drain goroutine
 	digest  atomic.Uint64 // current content digest, maintained by the drain goroutine
+	// arenaBytes is the Runner's last observed warm-arena footprint,
+	// published by the drain goroutine after each batch cycle (the Runner
+	// may not be probed concurrently with a run, so the pool's byte
+	// accounting reads this atomic instead of the live network).
+	arenaBytes atomic.Int64
 
 	// cache maps an options key to the Result computed for it at the
 	// current version; cleared on every version bump. Queries run full
@@ -101,6 +106,15 @@ func newEntry(key string, r *apsp.Runner, p *Pool) *entry {
 	e.edges.Store(int64(r.Graph().M()))
 	e.digest.Store(r.Graph().Digest())
 	return e
+}
+
+// approxBytes estimates the entry's resident footprint for the pool's byte
+// budget: the n²-proportional result matrices a cached full-APSP answer
+// pins (8 bytes of Dist plus 8 of LastHop per cell) plus the high-water
+// arena footprint of the warm Runner's simulation network.
+func (e *entry) approxBytes() int64 {
+	n := int64(e.runner.Graph().N())
+	return n*n*16 + e.arenaBytes.Load()
 }
 
 // idle reports whether the entry has no queued or in-flight work — the
@@ -194,6 +208,10 @@ func (e *entry) drain() {
 			}
 			i = j
 		}
+		// Publish the arenas' (grow-only) footprint and let the pool
+		// re-check its byte budget: warm runs are where entries get bigger.
+		e.arenaBytes.Store(e.runner.ArenaFootprint())
+		e.pool.noteFootprint()
 	}
 }
 
@@ -234,6 +252,7 @@ func (e *entry) serveQueries(run []*request) {
 		ctx, cancel := mergedContext(group)
 		opts := group[0].opts
 		opts.Parallel = e.pool.parallel
+		opts.Planner = e.pool.planner
 		res, err := e.runner.RunContext(ctx, opts)
 		cancel()
 		e.pool.met.Add("apspd_runs_total", 1)
@@ -346,13 +365,17 @@ func (e *entry) serveBlockers(run []*request) {
 	}
 }
 
-// recordRun folds a run's per-stage cost into the stage metrics.
+// recordRun folds a run's per-stage cost into the stage metrics, including
+// the execution planner's seq-vs-sharded decision trace.
 func (e *entry) recordRun(res *apsp.Result) {
 	met := e.pool.met
 	for _, st := range res.Stats.Stages {
 		met.Add(fmt.Sprintf("apspd_stage_rounds_total{stage=%q}", st.Name), int64(st.Rounds))
 		met.AddFloat(fmt.Sprintf("apspd_stage_wall_seconds_total{stage=%q}", st.Name), st.WallMS/1000)
 		met.Add(fmt.Sprintf("apspd_stage_allocs_total{stage=%q}", st.Name), int64(st.Allocs))
+		if st.Exec != "" {
+			met.Add(fmt.Sprintf("apspd_stage_exec_total{stage=%q,exec=%q}", st.Name, st.Exec), 1)
+		}
 	}
 }
 

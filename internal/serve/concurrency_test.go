@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"sync"
 	"testing"
+	"time"
 
 	"congestapsp/pkg/apsp"
 )
@@ -191,6 +192,42 @@ func TestServeEviction(t *testing.T) {
 	}
 }
 
+// TestServeByteBudgetEviction checks the -max-bytes budget: with a byte
+// budget that admits one n=16 graph (16²·16 = 4096 approximate bytes cold)
+// but not two, loading a second graph evicts the first even though the
+// entry-count cap would hold both, and the apspd_pool_bytes gauge tracks
+// the surviving footprint (result matrices plus warm-arena high water).
+func TestServeByteBudgetEviction(t *testing.T) {
+	svc, srv := testDaemon(t, Config{PoolSize: 8, MaxBytes: 6000})
+	keyA := loadScenario(t, srv, "ring-n16-s1")
+	keyB := loadScenario(t, srv, "ring-n16-s2") // 8192 > 6000: evicts A
+	if code, _ := postRaw(t, srv, "/v1/graphs/"+keyA+"/query", `{"full":true}`); code != http.StatusNotFound {
+		t.Errorf("byte-budget-evicted graph: got %d want 404", code)
+	}
+	if svc.Pool().Len() != 1 {
+		t.Fatalf("pool size %d, want 1 (entry cap is 8; the byte budget must evict)", svc.Pool().Len())
+	}
+	if got := svc.Metrics().Get("apspd_pool_evictions_total"); got < 1 {
+		t.Errorf("evictions counter %d, want >= 1", got)
+	}
+	if got := svc.Metrics().GetGauge("apspd_pool_bytes"); got < 4096 || got > 6000 {
+		t.Errorf("pool bytes gauge %d, want within (4096, 6000] after eviction", got)
+	}
+	// A warm run grows the Runner's arenas; the drain cycle republishes the
+	// footprint, so the gauge must rise past the cold matrix-only estimate.
+	// The republish happens just after the waiter is released, hence the
+	// bounded wait.
+	post(t, srv, "/v1/graphs/"+keyB+"/query", queryRequest{Full: true}, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Metrics().GetGauge("apspd_pool_bytes") <= 4096 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool bytes gauge %d after a warm run, want > 4096 (arena high water uncounted?)",
+				svc.Metrics().GetGauge("apspd_pool_bytes"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // TestServeEvictionUnderLoad checks that eviction is non-disruptive: a
 // batch in flight on an evicted entry drains normally on the warm Runner
 // (eviction only unlinks the key), and only later lookups 404.
@@ -271,7 +308,7 @@ func TestBatcherBlameSplit(t *testing.T) {
 	g.AddEdge(0, 1, 5)
 	g.AddEdge(1, 2, 7)
 	g.AddEdge(2, 3, 9)
-	p := NewPool(2, 16, false, NewMetrics())
+	p := NewPool(2, 16, 0, false, false, NewMetrics())
 	key, _, err := p.Load(g)
 	if err != nil {
 		t.Fatal(err)

@@ -73,6 +73,13 @@ func (m *Metrics) Get(series string) int64 {
 	return m.ints[series]
 }
 
+// GetGauge reads a gauge (0 when the series was never set).
+func (m *Metrics) GetGauge(series string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[series]
+}
+
 // family strips the label block: `a_total{kind="x"}` -> `a_total`.
 func family(series string) string {
 	if i := strings.IndexByte(series, '{'); i >= 0 {
@@ -87,8 +94,9 @@ func family(series string) string {
 var familyHelp = map[string]string{
 	"apspd_pool_hits_total":           "graph loads and lookups answered by an already-warm Runner",
 	"apspd_pool_misses_total":         "graph loads that had to build a new Runner",
-	"apspd_pool_evictions_total":      "warm Runners evicted by the pool's LRU cap",
+	"apspd_pool_evictions_total":      "warm Runners evicted by the pool's LRU cap or byte budget",
 	"apspd_pool_size":                 "warm Runners currently pooled",
+	"apspd_pool_bytes":                "approximate bytes held by pooled entries (n^2 result matrices plus warm-arena high water)",
 	"apspd_shed_total":                "requests shed by the per-graph queue-depth cap (HTTP 429)",
 	"apspd_queue_depth_max":           "high-water mark of a per-graph batch queue",
 	"apspd_batches_total":             "coalesced batches drained, by request kind",
@@ -112,6 +120,7 @@ var familyHelp = map[string]string{
 	"apspd_stage_rounds_total":        "simulated CONGEST rounds charged, by pipeline stage",
 	"apspd_stage_wall_seconds_total":  "host wall-clock spent, by pipeline stage",
 	"apspd_stage_allocs_total":        "heap allocations performed, by pipeline stage",
+	"apspd_stage_exec_total":          "per-stage execution decisions (seq vs sharded), by pipeline stage",
 }
 
 // WriteText renders the registry in Prometheus text exposition format,

@@ -42,7 +42,9 @@ type Pool struct {
 	mu       sync.Mutex
 	max      int
 	maxQueue int
+	maxBytes int64
 	parallel bool
+	planner  bool
 	clock    uint64
 	entries  map[string]*entry
 	met      *Metrics
@@ -55,9 +57,12 @@ type Pool struct {
 }
 
 // NewPool builds a pool holding at most max warm Runners, each with a
-// batch queue capped at maxQueue requests. parallel selects the execution
-// mode of every pooled run (results are bit-identical either way).
-func NewPool(max, maxQueue int, parallel bool, met *Metrics) *Pool {
+// batch queue capped at maxQueue requests. parallel and planner select the
+// execution mode of every pooled run (results are bit-identical in any
+// mode; planner resolves seq-vs-sharded per pipeline stage). maxBytes, when
+// positive, is a second eviction budget over the pool's approximate byte
+// footprint (entry.approxBytes) enforced alongside the entry-count LRU.
+func NewPool(max, maxQueue int, maxBytes int64, parallel, planner bool, met *Metrics) *Pool {
 	if max < 1 {
 		max = 1
 	}
@@ -67,7 +72,9 @@ func NewPool(max, maxQueue int, parallel bool, met *Metrics) *Pool {
 	return &Pool{
 		max:      max,
 		maxQueue: maxQueue,
+		maxBytes: maxBytes,
 		parallel: parallel,
+		planner:  planner,
 		entries:  make(map[string]*entry),
 		met:      met,
 	}
@@ -151,16 +158,55 @@ func (p *Pool) LoadOrigin(g *apsp.Graph, scenario string) (key string, created b
 	p.clock++
 	e.lastUse = p.clock
 	p.entries[key] = e
+	size, bytes := p.enforceLocked()
+	p.mu.Unlock()
+	p.met.Add("apspd_pool_misses_total", 1)
+	p.met.Set("apspd_pool_size", int64(size))
+	p.met.Set("apspd_pool_bytes", bytes)
+	return key, true, nil
+}
+
+// bytesLocked sums the approximate byte footprint of every pooled entry.
+// Callers hold p.mu.
+func (p *Pool) bytesLocked() int64 {
+	var b int64
+	for _, e := range p.entries {
+		b += e.approxBytes()
+	}
+	return b
+}
+
+// enforceLocked applies both eviction budgets — the entry-count cap and,
+// when configured, the approximate-byte budget — and returns the surviving
+// totals. The byte loop never evicts the last entry: a single graph larger
+// than the budget still gets served (the budget bounds accumulation, not
+// admission). Callers hold p.mu.
+func (p *Pool) enforceLocked() (size int, bytes int64) {
 	for len(p.entries) > p.max {
 		if !p.evictLRULocked() {
 			break
 		}
 	}
-	size := len(p.entries)
+	bytes = p.bytesLocked()
+	for p.maxBytes > 0 && bytes > p.maxBytes && len(p.entries) > 1 {
+		if !p.evictLRULocked() {
+			break
+		}
+		bytes = p.bytesLocked()
+	}
+	return len(p.entries), bytes
+}
+
+// noteFootprint re-applies the byte budget and refreshes the size/bytes
+// gauges. Drain goroutines call it after serving a batch cycle: warm runs
+// grow a Runner's arenas, so the pool's footprint moves between loads, not
+// just at them.
+func (p *Pool) noteFootprint() {
+	p.mu.Lock()
+	size, bytes := p.enforceLocked()
 	p.mu.Unlock()
-	p.met.Add("apspd_pool_misses_total", 1)
 	p.met.Set("apspd_pool_size", int64(size))
-	return key, true, nil
+	p.met.Set("apspd_pool_bytes", bytes)
 }
 
 // evictLRULocked removes the least-recently-used evictable entry and

@@ -54,6 +54,12 @@ func NewRunner(g *Graph) (*Runner, error) {
 // Graph returns the graph the Runner is pinned to.
 func (r *Runner) Graph() *Graph { return r.g }
 
+// ArenaFootprint returns the high-water byte footprint of the runner's warm
+// simulation arenas (the session network's scratch slabs plus its worker
+// fleet's). Grow-only, hence monotone; serving pools use it for
+// approximate per-entry byte accounting.
+func (r *Runner) ArenaFootprint() int64 { return r.s.ArenaFootprint() }
+
 // SetFaultInjector arms (or, with nil, disarms) a deterministic fault
 // injector on the Runner's warm session — a test instrument (see
 // internal/faultinject) the serving layer threads through its pool so
